@@ -1,0 +1,29 @@
+//! Criterion bench behind the Fig. 1 reproduction: time the LU factorization
+//! of `G` (what ER pays per step) vs `C/h + G` (what BENR pays per Newton
+//! iteration) on a coupled post-layout structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_sparse::{CsrMatrix, SparseLu};
+
+fn bench_factorizations(c: &mut Criterion) {
+    let circuit = exi_bench::fig1_circuit(0.5).expect("fig1 circuit");
+    let n = circuit.num_unknowns();
+    let x = vec![0.0; n];
+    let eval = circuit.evaluate(&x).expect("evaluation");
+    let h = 1e-12;
+    let benr_matrix =
+        CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g).expect("C/h + G");
+
+    let mut group = c.benchmark_group("fig1_lu_fill");
+    group.sample_size(10);
+    group.bench_function("lu_of_G", |b| {
+        b.iter(|| SparseLu::factorize(&eval.g).expect("LU of G"))
+    });
+    group.bench_function("lu_of_C_over_h_plus_G", |b| {
+        b.iter(|| SparseLu::factorize(&benr_matrix).expect("LU of C/h+G"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorizations);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind the Fig. 2 reproduction: time BENR, ER and ER-C on
+//! the stiff inverter chain at the step sizes the figure compares.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_sim::{run_transient, Method, TransientOptions};
+
+fn bench_fig2_methods(c: &mut Criterion) {
+    let circuit = exi_bench::fig2_circuit(4).expect("fig2 circuit");
+    let options = TransientOptions {
+        t_stop: 4e-10,
+        h_init: 2e-12,
+        h_max: 2e-12,
+        error_budget: 5e-2,
+        ..TransientOptions::default()
+    };
+    let mut group = c.benchmark_group("fig2_accuracy_methods");
+    group.sample_size(10);
+    for method in [
+        Method::BackwardEuler,
+        Method::ExponentialRosenbrock,
+        Method::ExponentialRosenbrockCorrected,
+    ] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| run_transient(&circuit, method, &options, &["s4"]).expect("transient run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_methods);
+criterion_main!(benches);

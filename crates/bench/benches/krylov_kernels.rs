@@ -1,0 +1,47 @@
+//! Criterion bench for the MEVP kernels (ablation A): invert vs standard vs
+//! rational Krylov subspaces on the same matrices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_krylov::{mevp_invert_krylov, mevp_rational_krylov, mevp_standard_krylov, MevpOptions};
+use exi_sparse::SparseLu;
+
+fn bench_mevp_kernels(c: &mut Criterion) {
+    let circuit = exi_bench::fig1_circuit(0.4).expect("circuit");
+    let n = circuit.num_unknowns();
+    let x = vec![0.0; n];
+    let eval = circuit.evaluate(&x).expect("evaluation");
+    let g_lu = SparseLu::factorize(&eval.g).expect("LU of G");
+    let c_lu = SparseLu::factorize(&eval.c).ok();
+    let v: Vec<f64> = (0..n).map(|i| ((i % 5) as f64 - 2.0) / 2.0).collect();
+    let h = 2e-11;
+    let options = MevpOptions {
+        tolerance: 1e-7,
+        max_dimension: 200,
+        allow_unconverged: true,
+        ..MevpOptions::default()
+    };
+
+    let mut group = c.benchmark_group("krylov_mevp");
+    group.sample_size(10);
+    group.bench_function("invert", |b| {
+        b.iter(|| mevp_invert_krylov(&eval.c, &eval.g, &g_lu, &v, h, &options).expect("invert"))
+    });
+    group.bench_function("rational", |b| {
+        b.iter(|| {
+            mevp_rational_krylov(&eval.c, &eval.g, h / 2.0, &v, h, &options).expect("rational")
+        })
+    });
+    if let Some(c_lu) = &c_lu {
+        group.bench_function("standard", |b| {
+            b.iter(|| {
+                mevp_standard_krylov(&eval.g, c_lu, &v, h, &options)
+                    .map(|o| o.dimension)
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mevp_kernels);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind the Table I reproduction: BENR vs ER vs ER-C on a
+//! sparsely coupled and a densely coupled case (reduced scale so the bench
+//! suite stays fast; the `table1` binary runs the full-scale table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_bench::{run_case, table1_cases};
+use exi_sim::Method;
+
+fn bench_table1_cases(c: &mut Criterion) {
+    let cases = table1_cases(0.25);
+    let mut group = c.benchmark_group("table1_runtime");
+    group.sample_size(10);
+    // tc3: sparse C (small expected speedup); tc5: strongly coupled C.
+    for idx in [2usize, 4usize] {
+        let case = cases[idx].clone();
+        for method in [Method::BackwardEuler, Method::ExponentialRosenbrock] {
+            let id = format!("{}_{}", case.name, method.label());
+            let case_ref = case.clone();
+            group.bench_function(&id, move |b| {
+                b.iter(|| {
+                    let outcome = run_case(&case_ref, method, None);
+                    assert!(outcome.is_completed(), "{outcome:?}");
+                    outcome
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cases);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # exi-bench
+//!
+//! Benchmark harness regenerating the tables and figures of the DAC'15
+//! exponential-integrator paper with the `exi-sim` workspace.
+//!
+//! * [`cases`] — the eight Table-I analogue circuits (`tc1`–`tc8`) plus the
+//!   Fig. 1 post-layout structure and the Fig. 2 inverter chain, all scaled to
+//!   laptop size (see DESIGN.md for the substitution rationale).
+//! * [`table`] — plain-text table formatting shared by the harness binaries.
+//! * [`runner`] — runs one circuit with one method and collects the Table-I
+//!   row counters.
+//!
+//! The binaries `fig1`, `fig2`, `table1` and `krylov_ablation` print the
+//! corresponding artifact; the Criterion benches under `benches/` time the
+//! same kernels on reduced sizes.
+
+pub mod cases;
+pub mod runner;
+pub mod table;
+
+pub use cases::{fig1_circuit, fig2_circuit, table1_cases, CaseSpec};
+pub use runner::{run_case, CaseOutcome};
+pub use table::TextTable;

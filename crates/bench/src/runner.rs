@@ -1,0 +1,121 @@
+//! Runs one benchmark case with one method and collects Table-I row data.
+
+use exi_netlist::Circuit;
+use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sparse::SparseError;
+
+use crate::cases::CaseSpec;
+
+/// Result of running one (case, method) pair.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// The run completed.
+    Completed {
+        /// Accepted steps (`#step`).
+        steps: usize,
+        /// Average Newton iterations per step (`#NRa`, implicit methods only).
+        avg_newton: f64,
+        /// Average Krylov dimension (`#m_a`, exponential methods only).
+        avg_krylov: f64,
+        /// Number of LU factorizations.
+        lu_count: usize,
+        /// Wall-clock runtime in seconds.
+        runtime: f64,
+    },
+    /// The run hit the configured fill (memory) budget — the analogue of the
+    /// paper's "Out of Memory" entries.
+    OutOfMemory,
+    /// The run failed for another reason.
+    Failed(String),
+}
+
+impl CaseOutcome {
+    /// Runtime if the run completed.
+    pub fn runtime(&self) -> Option<f64> {
+        match self {
+            CaseOutcome::Completed { runtime, .. } => Some(*runtime),
+            _ => None,
+        }
+    }
+
+    /// `true` if the run completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CaseOutcome::Completed { .. })
+    }
+}
+
+/// Default transient options used by the Table-I harness.
+pub fn table1_options(t_stop: f64, fill_budget: Option<usize>) -> TransientOptions {
+    TransientOptions {
+        t_stop,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        h_min: 1e-16,
+        error_budget: 2e-3,
+        krylov_tolerance: 1e-7,
+        fill_budget,
+        ..TransientOptions::default()
+    }
+}
+
+/// Runs `method` on `case` and converts the result into a table row entry.
+pub fn run_case(case: &CaseSpec, method: Method, fill_budget: Option<usize>) -> CaseOutcome {
+    let circuit = match case.build() {
+        Ok(c) => c,
+        Err(e) => return CaseOutcome::Failed(e.to_string()),
+    };
+    run_circuit(&circuit, method, &table1_options(case.t_stop, fill_budget), &[])
+}
+
+/// Runs `method` on an already-built circuit.
+pub fn run_circuit(
+    circuit: &Circuit,
+    method: Method,
+    options: &TransientOptions,
+    probes: &[&str],
+) -> CaseOutcome {
+    match run_transient(circuit, method, options, probes) {
+        Ok(result) => CaseOutcome::Completed {
+            steps: result.stats.accepted_steps,
+            avg_newton: result.stats.avg_newton_iterations(),
+            avg_krylov: result.stats.avg_krylov_dimension(),
+            lu_count: result.stats.lu_factorizations,
+            runtime: result.stats.runtime_seconds(),
+        },
+        Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. })) => CaseOutcome::OutOfMemory,
+        Err(e) => CaseOutcome::Failed(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::table1_cases;
+
+    #[test]
+    fn small_case_runs_with_er_and_benr() {
+        let cases = table1_cases(0.2);
+        let case = &cases[0];
+        let er = run_case(case, Method::ExponentialRosenbrock, None);
+        assert!(er.is_completed(), "{er:?}");
+        let benr = run_case(case, Method::BackwardEuler, None);
+        assert!(benr.is_completed(), "{benr:?}");
+        if let (
+            CaseOutcome::Completed { avg_krylov, .. },
+            CaseOutcome::Completed { avg_newton, .. },
+        ) = (&er, &benr)
+        {
+            assert!(*avg_krylov > 0.0);
+            assert!(*avg_newton >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fill_budget_produces_out_of_memory_outcome() {
+        let cases = table1_cases(0.2);
+        let case = &cases[7];
+        let outcome = run_case(case, Method::BackwardEuler, Some(64));
+        assert!(matches!(outcome, CaseOutcome::OutOfMemory), "{outcome:?}");
+        assert!(outcome.runtime().is_none());
+    }
+}

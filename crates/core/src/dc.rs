@@ -1,0 +1,190 @@
+//! DC operating-point analysis.
+//!
+//! Both the BENR baseline and the ER engines start a transient run from the
+//! operating point `x(0)` that solves the static system `f(x) = B·u(0)`
+//! (Algorithm 2 line 2). A damped Newton–Raphson iteration is used; when the
+//! plain iteration struggles, a Levenberg-style diagonal damping term is added
+//! to the Jacobian, which plays the practical role of SPICE's gmin stepping.
+
+use exi_netlist::Circuit;
+use exi_sparse::{vector, CsrMatrix, LuOptions, SparseLu};
+
+use crate::error::{SimError, SimResult};
+use crate::options::DcOptions;
+
+/// Outcome of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// The operating-point state vector.
+    pub state: Vec<f64>,
+    /// Newton iterations spent.
+    pub iterations: usize,
+    /// Infinity norm of the final KCL residual `f(x) − B·u(0)`.
+    pub residual: f64,
+}
+
+/// Computes the DC operating point of `circuit` at `t = 0`.
+///
+/// # Errors
+///
+/// * [`SimError::Netlist`] / [`SimError::Sparse`] for evaluation or
+///   factorization failures.
+/// * [`SimError::NewtonDidNotConverge`] if the iteration does not converge
+///   within `options.max_iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use exi_netlist::{Circuit, Waveform};
+/// use exi_sim::{dc_operating_point, DcOptions};
+///
+/// # fn main() -> Result<(), exi_sim::SimError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// let gnd = ckt.node("0");
+/// ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(2.0))?;
+/// ckt.add_resistor("R1", a, b, 1e3)?;
+/// ckt.add_resistor("R2", b, gnd, 1e3)?;
+/// let dc = dc_operating_point(&ckt, &DcOptions::default())?;
+/// assert!((dc.state[1] - 1.0).abs() < 1e-9); // resistive divider
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<DcSolution> {
+    let n = circuit.num_unknowns();
+    let b = circuit.input_matrix()?;
+    let u0 = circuit.input_vector(0.0);
+    let bu = b.mul_vec(&u0);
+    let mut x = vec![0.0; n];
+    let mut damping = 0.0;
+    let mut previous_residual = f64::INFINITY;
+
+    for iter in 1..=options.max_iterations {
+        let ev = circuit.evaluate(&x)?;
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = bu[i] - ev.f[i];
+        }
+        let residual_norm = vector::norm_inf(&rhs);
+        // Adaptive Levenberg damping: engage when the residual grows or the
+        // iteration produced non-finite values.
+        if !residual_norm.is_finite() || residual_norm > 10.0 * previous_residual {
+            damping = if damping == 0.0 { options.fallback_damping } else { damping * 10.0 };
+        }
+        previous_residual = residual_norm.min(previous_residual);
+
+        let jac = if damping > 0.0 {
+            let scaled_identity = CsrMatrix::identity(n).scaled(damping);
+            CsrMatrix::linear_combination(1.0, &ev.g, 1.0, &scaled_identity)?
+        } else {
+            ev.g.clone()
+        };
+        let lu = SparseLu::factorize_with(
+            &jac,
+            &LuOptions { ordering: options.ordering, ..LuOptions::default() },
+        )?;
+        let mut delta = lu.solve(&rhs)?;
+        // Simple voltage limiting keeps exponential devices in range.
+        for d in delta.iter_mut() {
+            if d.abs() > options.max_update {
+                *d = options.max_update * d.signum();
+            }
+            if !d.is_finite() {
+                *d = 0.0;
+            }
+        }
+        let update_norm = vector::norm_inf(&delta);
+        vector::axpy(1.0, &delta, &mut x);
+        if update_norm < options.tolerance && residual_norm.is_finite() {
+            // Recompute the residual at the converged point for reporting.
+            let ev = circuit.evaluate(&x)?;
+            let final_residual =
+                vector::norm_inf(&vector::sub(&bu, &ev.f));
+            return Ok(DcSolution { state: x, iterations: iter, residual: final_residual });
+        }
+    }
+    Err(SimError::NewtonDidNotConverge {
+        time: 0.0,
+        step: 0.0,
+        iterations: options.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::{DiodeModel, MosfetModel, Waveform};
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(3.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 2e3).unwrap();
+        ckt.add_resistor("R2", b, gnd, 1e3).unwrap();
+        let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!((dc.state[0] - 3.0).abs() < 1e-9);
+        assert!((dc.state[1] - 1.0).abs() < 1e-9);
+        // Source branch current = -(3/3k) (current flows out of the source).
+        assert!((dc.state[2] + 1e-3).abs() < 1e-9);
+        assert!(dc.residual < 1e-9);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(2.0)).unwrap();
+        ckt.add_resistor("R1", a, d, 1e3).unwrap();
+        ckt.add_diode("D1", d, gnd, DiodeModel::default()).unwrap();
+        let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let vd = dc.state[1];
+        // Forward drop of a silicon-like diode at ~1 mA.
+        assert!(vd > 0.5 && vd < 0.8, "vd = {vd}");
+        assert!(dc.residual < 1e-9);
+    }
+
+    #[test]
+    fn cmos_inverter_output_levels() {
+        // Input low -> output close to vdd; input high -> output close to 0.
+        for (vin, expect_high) in [(0.0, true), (1.0, false)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            let gnd = ckt.node("0");
+            ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(1.0)).unwrap();
+            ckt.add_voltage_source("Vin", inp, gnd, Waveform::Dc(vin)).unwrap();
+            ckt.add_mosfet("MN", out, inp, gnd, MosfetModel::nmos()).unwrap();
+            ckt.add_mosfet("MP", out, inp, vdd, MosfetModel::pmos()).unwrap();
+            ckt.add_resistor("Rload", out, gnd, 1e8).unwrap();
+            let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+            let vout = dc.state[ckt.unknown_of("out").unwrap()];
+            if expect_high {
+                assert!(vout > 0.9, "vin = {vin}: vout = {vout}");
+            } else {
+                assert!(vout < 0.1, "vin = {vin}: vout = {vout}");
+            }
+        }
+    }
+
+    #[test]
+    fn fails_gracefully_when_not_converging() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, gnd, 1e3).unwrap();
+        // Absurd iteration limit forces the failure path.
+        let opts = DcOptions { max_iterations: 1, tolerance: 1e-30, ..DcOptions::default() };
+        assert!(matches!(
+            dc_operating_point(&ckt, &opts),
+            Err(SimError::NewtonDidNotConverge { .. })
+        ));
+    }
+}

@@ -1,0 +1,399 @@
+//! Exponential Rosenbrock–Euler transient engines (ER and ER-C).
+//!
+//! This is the paper's contribution (Sec. III–IV, Algorithm 2). Per accepted
+//! step the engine:
+//!
+//! 1. evaluates the devices at `x_k` and LU-factorizes **only** `G_k`
+//!    (Algorithm 2 line 5) — never `C_k` nor `C_k/h + G_k`;
+//! 2. builds invert-Krylov subspaces for the φ₁/φ₂ terms of Eq. (14) with
+//!    the residual test of Eq. (22);
+//! 3. checks the local nonlinear error estimator of Eq. (15)/(24) and, if it
+//!    exceeds the budget, shrinks the step *without any new factorization*
+//!    (scaling-invariance of the Krylov decomposition);
+//! 4. optionally applies the φ₂ correction term of Eq. (16)/(25) (ER-C).
+//!
+//! All `C⁻¹` factors that appear in the paper's formulas cancel analytically
+//! against the φ denominators, so a singular capacitance matrix needs no
+//! regularization — the implementation only ever solves with `G_k`:
+//!
+//! ```text
+//! x_{k+1} = x_k + (e^{hJ} − I)·w₁ + (φ₁(hJ) − I)·w₂,
+//!     w₁ = G_k⁻¹ (f(x_k) − B·u(t_k)),          w₂ = −G_k⁻¹ B·(u(t_{k+1}) − u(t_k)),
+//! err     = −(e^{hJ} − I)·w₃,                  w₃ = G_k⁻¹ ΔF_k,
+//! D_k     = −γ·(φ₁(hJ) − I)·w₃                  (ER-C correction)
+//! ```
+
+use std::time::Instant;
+
+use exi_krylov::{mevp_invert_krylov, KrylovDecomposition, MevpOptions};
+use exi_netlist::Circuit;
+use exi_sparse::{vector, LuOptions, SparseLu};
+
+use crate::dc::dc_operating_point;
+use crate::engines::{clamp_step, prepare, reached_end, Recorder};
+use crate::error::{SimError, SimResult};
+use crate::options::{DcOptions, TransientOptions};
+use crate::output::TransientResult;
+use crate::stats::RunStats;
+
+/// Threshold below which a Krylov start vector is treated as zero (its
+/// contribution to the step is exactly representable as zero).
+const NEGLIGIBLE_NORM: f64 = 1e-300;
+
+/// Runs an exponential Rosenbrock–Euler transient analysis.
+///
+/// With `correction = false` this is the plain **ER** method (paper Eq. 14);
+/// with `correction = true` it is **ER-C** (Eq. 17/25), which reuses the
+/// error-estimator subspace to add a φ₂ correction term.
+///
+/// # Errors
+///
+/// * [`SimError::StepSizeUnderflow`] if the nonlinear error cannot be brought
+///   below the budget even at `h_min`.
+/// * [`SimError::Sparse`] / [`SimError::Krylov`] / [`SimError::Netlist`] for
+///   kernel failures.
+pub fn run_exponential_rosenbrock(
+    circuit: &Circuit,
+    correction: bool,
+    options: &TransientOptions,
+    probe_names: &[&str],
+) -> SimResult<TransientResult> {
+    let started = Instant::now();
+    let (probes, breakpoints) = prepare(circuit, options, probe_names)?;
+    let mut stats = RunStats::new();
+
+    let dc = dc_operating_point(
+        circuit,
+        &DcOptions { ordering: options.ordering, ..DcOptions::default() },
+    )?;
+    stats.newton_iterations += dc.iterations;
+    stats.device_evaluations += dc.iterations + 1;
+    stats.lu_factorizations += dc.iterations;
+
+    let n = circuit.num_unknowns();
+    let b = circuit.input_matrix()?;
+    let lu_options = LuOptions {
+        ordering: options.ordering,
+        fill_budget: options.fill_budget,
+        ..LuOptions::default()
+    };
+    let mevp_options = MevpOptions {
+        tolerance: options.krylov_tolerance,
+        max_dimension: options.krylov_max_dimension,
+        min_dimension: 2,
+        allow_unconverged: true,
+    };
+
+    let mut recorder = Recorder::new(probes, options.record_full_states);
+    let mut x = dc.state;
+    let mut t = 0.0_f64;
+    recorder.record(t, &x);
+    let mut h = options.h_init;
+
+    while !reached_end(t, options.t_stop) {
+        // --- Algorithm 2 lines 4-6: linearize, factorize G, build subspaces. ---
+        let eval_k = circuit.evaluate(&x)?;
+        stats.device_evaluations += 1;
+        let u_k = circuit.input_vector(t);
+        let bu_k = b.mul_vec(&u_k);
+        let g_lu = SparseLu::factorize_with(&eval_k.g, &lu_options)?;
+        stats.lu_factorizations += 1;
+
+        // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
+        let rhs1 = vector::sub(&eval_k.f, &bu_k);
+        let w1 = g_lu.solve(&rhs1)?;
+        stats.linear_solves += 1;
+        let dec1 = self::build_subspace(&eval_k, &g_lu, &w1, h, &mevp_options, &mut stats)?;
+
+        // The step-size loop (Algorithm 2 lines 8-21): no LU, no new w1 subspace.
+        let h_base = clamp_step(t, h.min(options.h_max), options.t_stop, &breakpoints);
+        if h_base < options.h_min {
+            return Err(SimError::StepSizeUnderflow { time: t, step: h_base });
+        }
+        let mut h_step = h_base;
+        // w2 is proportional to Δu = u(t+h) − u(t); within one breakpoint
+        // interval the input is piecewise linear, so when h shrinks the vector
+        // only scales and the subspace can be reused.
+        let u_next0 = circuit.input_vector(t + h_step);
+        let du0 = vector::sub(&u_next0, &u_k);
+        let bdu0 = b.mul_vec(&du0);
+        let mut w2 = g_lu.solve(&bdu0)?;
+        stats.linear_solves += 1;
+        vector::scale(-1.0, &mut w2);
+        let dec2 = self::build_subspace(&eval_k, &g_lu, &w2, h_step, &mevp_options, &mut stats)?;
+        let h_ref_for_w2 = h_step;
+
+        let mut rejections = 0usize;
+        let (accepted_x, accepted_h) = loop {
+            // --- Candidate x_{k+1} from Eq. (14). ---
+            let mut candidate = x.clone();
+            if let Some(dec) = &dec1 {
+                let expv = dec.eval_expv(h_step)?;
+                for i in 0..n {
+                    candidate[i] += expv[i] - w1[i];
+                }
+            }
+            if let Some(dec) = &dec2 {
+                // Rescale w2 for the (possibly reduced) step: w2(h) = w2(h_ref)·h/h_ref.
+                let scale = h_step / h_ref_for_w2;
+                let phi1 = dec.eval_phi(1, h_step)?;
+                for i in 0..n {
+                    candidate[i] += scale * (phi1[i] - w2[i]);
+                }
+            }
+
+            // --- Error estimator of Eq. (15)/(24). ---
+            let eval_next = circuit.evaluate(&candidate)?;
+            stats.device_evaluations += 1;
+            // ΔF_k = G_k·(x_{k+1} − x_k) − (f(x_{k+1}) − f(x_k)).
+            let dx = vector::sub(&candidate, &x);
+            let gdx = eval_k.g.mul_vec(&dx);
+            let df = vector::sub(&eval_next.f, &eval_k.f);
+            let delta_f = vector::sub(&gdx, &df);
+            let w3 = g_lu.solve(&delta_f)?;
+            stats.linear_solves += 1;
+            let dec3 =
+                self::build_subspace(&eval_k, &g_lu, &w3, h_step, &mevp_options, &mut stats)?;
+
+            let (error_norm, corrected) = match &dec3 {
+                Some(dec) => {
+                    let expv = dec.eval_expv(h_step)?;
+                    let mut err = 0.0_f64;
+                    for i in 0..n {
+                        err = err.max((expv[i] - w3[i]).abs());
+                    }
+                    let corrected = if correction {
+                        // D_k = −γ·(φ₁(hJ) − I)·w₃  (Eq. 25); x_{k+1,c} = x_{k+1} − D_k.
+                        let phi1 = dec.eval_phi(1, h_step)?;
+                        let mut xc = candidate.clone();
+                        for i in 0..n {
+                            xc[i] += options.correction_gamma * (phi1[i] - w3[i]);
+                        }
+                        Some(xc)
+                    } else {
+                        None
+                    };
+                    (err, corrected)
+                }
+                None => (0.0, None),
+            };
+
+            if error_norm <= options.error_budget {
+                break (corrected.unwrap_or(candidate), h_step);
+            }
+            // Reject: shrink the step. No LU decomposition and no rebuild of
+            // the w1/w2 subspaces is needed (Algorithm 2 lines 20).
+            rejections += 1;
+            stats.rejected_steps += 1;
+            h_step *= options.shrink_factor;
+            if h_step < options.h_min {
+                return Err(SimError::StepSizeUnderflow { time: t, step: h_step });
+            }
+        };
+
+        x = accepted_x;
+        t += accepted_h;
+        stats.accepted_steps += 1;
+        recorder.record(t, &x);
+
+        // Algorithm 2 lines 23-25: an easy step earns a larger next step.
+        if rejections <= options.easy_step_threshold {
+            h = (accepted_h * options.growth_factor).min(options.h_max);
+        } else {
+            h = accepted_h;
+        }
+    }
+
+    stats.runtime = started.elapsed();
+    Ok(recorder.finish(x, stats))
+}
+
+/// Builds an invert-Krylov subspace for vector `v`, or `None` when the vector
+/// is (numerically) zero and its contribution vanishes.
+fn build_subspace(
+    eval: &exi_netlist::Evaluation,
+    g_lu: &SparseLu,
+    v: &[f64],
+    h: f64,
+    mevp_options: &MevpOptions,
+    stats: &mut RunStats,
+) -> SimResult<Option<KrylovDecomposition>> {
+    if vector::norm2(v) < NEGLIGIBLE_NORM {
+        return Ok(None);
+    }
+    if v.iter().any(|x| !x.is_finite()) {
+        // A non-finite vector here means an upstream evaluation overflowed.
+        return Err(SimError::Krylov(exi_krylov::KrylovError::ZeroStartVector));
+    }
+    let outcome = mevp_invert_krylov(&eval.c, &eval.g, g_lu, v, h, mevp_options)?;
+    stats.krylov_subspaces += 1;
+    stats.krylov_dimension_total += outcome.dimension;
+    Ok(Some(outcome.decomposition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::implicit::{run_implicit, ImplicitScheme};
+    use exi_netlist::{generators, Waveform};
+
+    fn rc_ramp_circuit(r: f64, c: f64, v: f64, ramp: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (ramp, v)]))
+            .unwrap();
+        ckt.add_resistor("R1", vin, out, r).unwrap();
+        ckt.add_capacitor("C1", out, gnd, c).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn er_matches_rc_analytic_solution_with_large_steps() {
+        // ER is exact for linear circuits with piecewise-linear inputs (up to
+        // Krylov tolerance), even with steps far beyond the circuit's time
+        // constant.
+        let (r, c, v) = (1e3, 1e-12, 1.0);
+        let tau = r * c;
+        let ramp = tau / 100.0;
+        let ckt = rc_ramp_circuit(r, c, v, ramp);
+        let options = TransientOptions {
+            t_stop: 5.0 * tau,
+            h_init: tau / 2.0,
+            h_max: tau,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        let result = run_exponential_rosenbrock(&ckt, false, &options, &["out"]).unwrap();
+        let p = result.probe_index("out").unwrap();
+        // Compare at the accepted time points themselves (interpolating
+        // between the deliberately huge steps would only measure the
+        // interpolation error, not the integrator's).
+        let mut checked = 0usize;
+        for (t_i, got) in result.waveform(p) {
+            if t_i <= ramp {
+                continue;
+            }
+            let expected = v * (1.0 - (-(t_i - ramp) / tau).exp());
+            assert!(
+                (got - expected).abs() < 5e-3,
+                "t = {t_i:.2e}: got {got}, expected {expected}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "expected several accepted points past the ramp");
+        // Far fewer steps than an implicit method would need for this accuracy.
+        assert!(result.stats.accepted_steps < 50);
+        // Exactly one LU per accepted step plus the DC solve.
+        assert!(result.stats.lu_factorizations <= result.stats.accepted_steps + result.stats.newton_iterations + 1);
+    }
+
+    #[test]
+    fn er_and_benr_agree_on_inverter_chain() {
+        let spec = generators::InverterChainSpec {
+            stages: 3,
+            ..generators::InverterChainSpec::default()
+        };
+        let ckt = generators::inverter_chain(&spec).unwrap();
+        let options = TransientOptions {
+            t_stop: 3e-10,
+            h_init: 1e-12,
+            h_max: 5e-12,
+            error_budget: 5e-3,
+            ..TransientOptions::default()
+        };
+        let er = run_exponential_rosenbrock(&ckt, false, &options, &["s3"]).unwrap();
+        let benr = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["s3"]).unwrap();
+        let p = 0;
+        let err = er.max_error_vs(&benr, p);
+        assert!(err < 0.1, "ER and BENR should agree on s3, max diff {err}");
+        // ER performs no Newton iterations during the transient (only the DC
+        // solve contributes).
+        assert!(er.stats.avg_krylov_dimension() > 0.0);
+    }
+
+    #[test]
+    fn er_c_is_at_least_as_accurate_as_er() {
+        let spec = generators::InverterChainSpec {
+            stages: 2,
+            ..generators::InverterChainSpec::default()
+        };
+        let ckt = generators::inverter_chain(&spec).unwrap();
+        // Reference: BENR with very small fixed steps.
+        let fine = TransientOptions {
+            t_stop: 2e-10,
+            h_init: 5e-14,
+            h_max: 5e-14,
+            error_budget: 1.0,
+            ..TransientOptions::default()
+        };
+        let reference =
+            run_implicit(&ckt, ImplicitScheme::BackwardEuler, &fine, &["s2"]).unwrap();
+        let coarse = TransientOptions {
+            t_stop: 2e-10,
+            h_init: 2e-12,
+            h_max: 4e-12,
+            error_budget: 1e-2,
+            ..TransientOptions::default()
+        };
+        let er = run_exponential_rosenbrock(&ckt, false, &coarse, &["s2"]).unwrap();
+        let erc = run_exponential_rosenbrock(&ckt, true, &coarse, &["s2"]).unwrap();
+        let er_err = er.rms_error_vs(&reference, 0);
+        let erc_err = erc.rms_error_vs(&reference, 0);
+        // The correction must not make things worse by more than a hair, and
+        // both must be reasonably accurate.
+        assert!(er_err < 0.05, "er rms error {er_err}");
+        assert!(erc_err < er_err * 1.5 + 1e-4, "erc {erc_err} vs er {er_err}");
+    }
+
+    #[test]
+    fn er_handles_singular_capacitance_without_regularization() {
+        // Nodes with no capacitance at all make C singular; the standard
+        // matrix-exponential approach would need a regularization pass.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::single_pulse(0.0, 1.0, 1e-11, 1e-12, 1e-12, 1e-9))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 1e3).unwrap();
+        // "mid" is a purely resistive node: no capacitor attached.
+        ckt.add_resistor("R2", mid, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, gnd, 1e-13).unwrap();
+        let options = TransientOptions {
+            t_stop: 1e-9,
+            h_init: 1e-12,
+            h_max: 2e-11,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        let result = run_exponential_rosenbrock(&ckt, false, &options, &["mid", "out"]).unwrap();
+        assert!(result.final_state.iter().all(|v| v.is_finite()));
+        // Final value approaches the resistive divider limit 0.5 as the cap charges.
+        let p_out = result.probe_index("out").unwrap();
+        let v_end = result.sample_at(p_out, 1e-9);
+        assert!(v_end > 0.8, "out should charge towards 1.0, got {v_end}");
+    }
+
+    #[test]
+    fn step_size_underflow_is_reported() {
+        let options = TransientOptions {
+            t_stop: 1e-9,
+            h_init: 1e-12,
+            h_min: 1e-12,
+            // Impossible error budget forces endless rejections.
+            error_budget: 1e-30,
+            ..TransientOptions::default()
+        };
+        // A nonlinear circuit with an impossible budget must fail cleanly.
+        let spec = generators::InverterChainSpec {
+            stages: 1,
+            ..generators::InverterChainSpec::default()
+        };
+        let inv = generators::inverter_chain(&spec).unwrap();
+        let err = run_exponential_rosenbrock(&inv, false, &options, &[]).unwrap_err();
+        assert!(matches!(err, SimError::StepSizeUnderflow { .. }));
+    }
+}

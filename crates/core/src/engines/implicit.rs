@@ -1,0 +1,311 @@
+//! Low-order implicit integration: backward Euler and trapezoidal rule with
+//! Newton–Raphson iterations (the paper's BENR baseline, Sec. II-A).
+//!
+//! Every Newton iteration assembles and LU-factorizes the combined matrix
+//! `C(x)/h + θ·G(x)` — the operation whose cost (and factor fill, Fig. 1)
+//! the exponential framework avoids. When the step size changes, the matrix
+//! changes and a new factorization is unavoidable (paper Sec. II-A); the
+//! statistics collected here make that visible.
+
+use std::time::Instant;
+
+use exi_netlist::Circuit;
+use exi_sparse::{vector, CsrMatrix, LuOptions, SparseLu};
+
+use crate::dc::dc_operating_point;
+use crate::engines::{clamp_step, prepare, reached_end, Recorder};
+use crate::error::{SimError, SimResult};
+use crate::options::{DcOptions, TransientOptions};
+use crate::output::TransientResult;
+use crate::stats::RunStats;
+
+/// Implicit one-step discretization parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImplicitScheme {
+    /// Backward Euler (θ = 1), paper's BENR baseline.
+    BackwardEuler,
+    /// Trapezoidal rule (θ = ½).
+    Trapezoidal,
+}
+
+impl ImplicitScheme {
+    fn theta(self) -> f64 {
+        match self {
+            ImplicitScheme::BackwardEuler => 1.0,
+            ImplicitScheme::Trapezoidal => 0.5,
+        }
+    }
+}
+
+/// Runs an implicit (BE or TR) transient analysis with Newton–Raphson
+/// iterations and adaptive step control.
+///
+/// # Errors
+///
+/// * [`SimError::NewtonDidNotConverge`] if Newton fails even at `h_min`.
+/// * [`SimError::Sparse`] for factorization failures; a
+///   [`exi_sparse::SparseError::FillBudgetExceeded`] surfaces when the
+///   configured fill budget is exhausted (the Table I "out of memory" cases).
+/// * Option-validation and netlist errors.
+pub fn run_implicit(
+    circuit: &Circuit,
+    scheme: ImplicitScheme,
+    options: &TransientOptions,
+    probe_names: &[&str],
+) -> SimResult<TransientResult> {
+    let started = Instant::now();
+    let (probes, breakpoints) = prepare(circuit, options, probe_names)?;
+    let theta = scheme.theta();
+    let mut stats = RunStats::new();
+
+    let dc = dc_operating_point(
+        circuit,
+        &DcOptions { ordering: options.ordering, ..DcOptions::default() },
+    )?;
+    stats.newton_iterations += dc.iterations;
+    stats.device_evaluations += dc.iterations + 1;
+    stats.lu_factorizations += dc.iterations;
+
+    let n = circuit.num_unknowns();
+    let b = circuit.input_matrix()?;
+    let lu_options = LuOptions {
+        ordering: options.ordering,
+        fill_budget: options.fill_budget,
+        ..LuOptions::default()
+    };
+
+    let mut recorder = Recorder::new(probes, options.record_full_states);
+    let mut x = dc.state;
+    let mut t = 0.0_f64;
+    recorder.record(t, &x);
+
+    // Previous derivative estimate used by the forward-Euler predictor for
+    // local-truncation-error control.
+    let mut prev_derivative: Option<Vec<f64>> = None;
+    let mut h = options.h_init;
+
+    while !reached_end(t, options.t_stop) {
+        let eval_k = circuit.evaluate(&x)?;
+        stats.device_evaluations += 1;
+        let u_k = circuit.input_vector(t);
+        let bu_k = b.mul_vec(&u_k);
+
+        let mut accepted = false;
+        while !accepted {
+            let h_step = clamp_step(t, h.min(options.h_max), options.t_stop, &breakpoints);
+            if h_step < options.h_min {
+                return Err(SimError::StepSizeUnderflow { time: t, step: h_step });
+            }
+            let u_next = circuit.input_vector(t + h_step);
+            let bu_next = b.mul_vec(&u_next);
+
+            // --- Newton–Raphson iterations for the implicit step. ---
+            let mut xi = x.clone();
+            let mut converged = false;
+            let mut iterations = 0usize;
+            while iterations < options.newton_max_iterations {
+                iterations += 1;
+                let ev = circuit.evaluate(&xi)?;
+                stats.device_evaluations += 1;
+                // Residual T(x) of Eq. (2) generalized to the θ-method.
+                let mut residual = vec![0.0; n];
+                for i in 0..n {
+                    residual[i] = (ev.q[i] - eval_k.q[i]) / h_step
+                        + theta * (ev.f[i] - bu_next[i])
+                        + (1.0 - theta) * (eval_k.f[i] - bu_k[i]);
+                }
+                // Jacobian C/h + θ·G — this is the matrix whose LU dominates
+                // BENR's cost on densely coupled circuits.
+                let jac = CsrMatrix::linear_combination(1.0 / h_step, &ev.c, theta, &ev.g)?;
+                let lu = SparseLu::factorize_with(&jac, &lu_options)?;
+                stats.lu_factorizations += 1;
+                let mut delta = lu.solve(&residual)?;
+                stats.linear_solves += 1;
+                vector::scale(-1.0, &mut delta);
+                let update = vector::norm_inf(&delta);
+                vector::axpy(1.0, &delta, &mut xi);
+                stats.newton_iterations += 1;
+                if !update.is_finite() {
+                    break;
+                }
+                if update < options.newton_tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+
+            if !converged {
+                stats.rejected_steps += 1;
+                h *= options.shrink_factor;
+                if h < options.h_min {
+                    return Err(SimError::NewtonDidNotConverge {
+                        time: t,
+                        step: h_step,
+                        iterations: options.newton_max_iterations,
+                    });
+                }
+                continue;
+            }
+
+            // --- Local truncation error control via a forward-Euler predictor. ---
+            let lte = match &prev_derivative {
+                Some(dxdt) => {
+                    let mut err = 0.0_f64;
+                    for i in 0..n {
+                        let predicted = x[i] + h_step * dxdt[i];
+                        err = err.max((xi[i] - predicted).abs());
+                    }
+                    err * 0.5
+                }
+                None => 0.0,
+            };
+            if lte > options.error_budget && h_step > 2.0 * options.h_min {
+                stats.rejected_steps += 1;
+                h = h_step * options.shrink_factor;
+                continue;
+            }
+
+            // Accept the step.
+            let mut derivative = vec![0.0; n];
+            for i in 0..n {
+                derivative[i] = (xi[i] - x[i]) / h_step;
+            }
+            prev_derivative = Some(derivative);
+            x = xi;
+            t += h_step;
+            stats.accepted_steps += 1;
+            recorder.record(t, &x);
+            accepted = true;
+
+            // Easy step: grow the step size for the next attempt.
+            if iterations <= options.easy_step_threshold + 1 && lte < 0.5 * options.error_budget {
+                h = (h_step * options.growth_factor).min(options.h_max);
+            } else {
+                h = h_step;
+            }
+        }
+    }
+
+    stats.runtime = started.elapsed();
+    Ok(recorder.finish(x, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::{generators, Waveform};
+
+    #[test]
+    fn backward_euler_matches_rc_analytic_solution() {
+        let (r, c, v) = (1e3, 1e-12, 1.0);
+        let tau = r * c;
+        let options = TransientOptions {
+            t_stop: 5.0 * tau,
+            h_init: tau / 200.0,
+            h_max: tau / 100.0,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        // Use a fast PWL ramp so the interesting charging happens after t = 0
+        // (a DC source would already be charged at the operating point).
+        let mut ckt2 = Circuit::new();
+        let vin = ckt2.node("in");
+        let out = ckt2.node("out");
+        let gnd = ckt2.node("0");
+        ckt2.add_voltage_source(
+            "V1",
+            vin,
+            gnd,
+            Waveform::Pwl(vec![(0.0, 0.0), (tau * 1e-3, v)]),
+        )
+        .unwrap();
+        ckt2.add_resistor("R1", vin, out, r).unwrap();
+        ckt2.add_capacitor("C1", out, gnd, c).unwrap();
+        let result =
+            run_implicit(&ckt2, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        let p = result.probe_index("out").unwrap();
+        let t_check = 2.0 * tau;
+        let expected = v * (1.0 - (-(t_check - tau * 1e-3) / tau).exp());
+        let got = result.sample_at(p, t_check);
+        assert!((got - expected).abs() < 0.02, "got {got}, expected {expected}");
+        assert!(result.stats.accepted_steps > 100);
+        assert!(result.stats.lu_factorizations >= result.stats.accepted_steps);
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler_at_equal_steps() {
+        let (r, c, v) = (1e3, 1e-12, 1.0);
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (tau * 1e-3, v)]))
+            .unwrap();
+        ckt.add_resistor("R1", vin, out, r).unwrap();
+        ckt.add_capacitor("C1", out, gnd, c).unwrap();
+        let options = TransientOptions {
+            t_stop: 3.0 * tau,
+            h_init: tau / 20.0,
+            h_max: tau / 20.0,
+            error_budget: 1.0, // effectively disable LTE rejection for this comparison
+            ..TransientOptions::default()
+        };
+        let be = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        let tr = run_implicit(&ckt, ImplicitScheme::Trapezoidal, &options, &["out"]).unwrap();
+        let exact = |t: f64| v * (1.0 - (-(t - tau * 1e-3) / tau).exp());
+        let p = be.probe_index("out").unwrap();
+        let t_check = tau;
+        let be_err = (be.sample_at(p, t_check) - exact(t_check)).abs();
+        let tr_err = (tr.sample_at(p, t_check) - exact(t_check)).abs();
+        assert!(tr_err < be_err, "tr {tr_err} should beat be {be_err}");
+    }
+
+    #[test]
+    fn benr_counts_multiple_newton_iterations_on_nonlinear_circuits() {
+        let spec = generators::InverterChainSpec {
+            stages: 2,
+            ..generators::InverterChainSpec::default()
+        };
+        let ckt = generators::inverter_chain(&spec).unwrap();
+        let options = TransientOptions {
+            t_stop: 2e-10,
+            h_init: 2e-12,
+            h_max: 1e-11,
+            error_budget: 1e-2,
+            ..TransientOptions::default()
+        };
+        let result =
+            run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["s1", "s2"]).unwrap();
+        assert!(result.stats.accepted_steps > 10);
+        assert!(result.stats.avg_newton_iterations() >= 1.0);
+        // Output of the first inverter should stay within the rails.
+        let p = result.probe_index("s1").unwrap();
+        for (_, value) in result.waveform(p) {
+            assert!(value > -0.3 && value < 1.3, "s1 = {value}");
+        }
+    }
+
+    #[test]
+    fn fill_budget_failure_is_reported() {
+        let spec = generators::CoupledLinesSpec {
+            lines: 4,
+            segments: 8,
+            random_couplings: 60,
+            mosfet_drivers: false,
+            ..generators::CoupledLinesSpec::default()
+        };
+        let ckt = generators::coupled_lines(&spec).unwrap();
+        let options = TransientOptions {
+            t_stop: 1e-10,
+            h_init: 1e-12,
+            fill_budget: Some(10),
+            ..TransientOptions::default()
+        };
+        let err = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Sparse(exi_sparse::SparseError::FillBudgetExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Transient integration engines.
+//!
+//! * [`implicit`] — the low-order implicit baselines: backward Euler with
+//!   Newton–Raphson (BENR, the paper's comparison method) and the trapezoidal
+//!   rule.
+//! * [`er`] — the paper's contribution: exponential Rosenbrock–Euler (ER) and
+//!   its corrected variant (ER-C), with invert-Krylov MEVP evaluation and
+//!   LU-free step-size control (Algorithm 2).
+
+pub mod er;
+pub mod implicit;
+
+use exi_netlist::Circuit;
+
+use crate::error::{SimError, SimResult};
+use crate::options::TransientOptions;
+use crate::output::{Probe, TransientResult};
+use crate::stats::RunStats;
+
+/// Relative tolerance used when deciding that the simulation reached `t_stop`
+/// or a breakpoint.
+const TIME_EPSILON: f64 = 1e-12;
+
+/// Resolves probe names to unknown indices.
+///
+/// # Errors
+///
+/// Returns a netlist error if a probe name does not exist (ground probes are
+/// silently skipped, their value is identically zero).
+pub(crate) fn resolve_probes(circuit: &Circuit, names: &[&str]) -> SimResult<Vec<Probe>> {
+    let mut probes = Vec::with_capacity(names.len());
+    for name in names {
+        match circuit.find_node(name) {
+            Some(node) => {
+                if let Some(idx) = node.unknown() {
+                    probes.push(Probe::new(*name, idx));
+                }
+            }
+            None => {
+                return Err(SimError::Netlist(exi_netlist::NetlistError::UnknownNode {
+                    name: (*name).to_string(),
+                }))
+            }
+        }
+    }
+    Ok(probes)
+}
+
+/// Accumulates accepted time points into a [`TransientResult`].
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    probes: Vec<Probe>,
+    times: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+    full_states: Vec<Vec<f64>>,
+    record_full: bool,
+}
+
+impl Recorder {
+    pub(crate) fn new(probes: Vec<Probe>, record_full: bool) -> Self {
+        Recorder { probes, times: Vec::new(), samples: Vec::new(), full_states: Vec::new(), record_full }
+    }
+
+    /// Records an accepted state at time `t`.
+    pub(crate) fn record(&mut self, t: f64, x: &[f64]) {
+        self.times.push(t);
+        self.samples.push(self.probes.iter().map(|p| x[p.unknown]).collect());
+        if self.record_full {
+            self.full_states.push(x.to_vec());
+        }
+    }
+
+    /// Finalizes the result.
+    pub(crate) fn finish(self, final_state: Vec<f64>, stats: RunStats) -> TransientResult {
+        TransientResult {
+            times: self.times,
+            probes: self.probes,
+            samples: self.samples,
+            full_states: self.full_states,
+            final_state,
+            stats,
+        }
+    }
+}
+
+/// Computes the largest step that may be taken from `t` without overshooting
+/// `t_stop` or stepping across the next waveform breakpoint.
+pub(crate) fn clamp_step(t: f64, h: f64, t_stop: f64, breakpoints: &[f64]) -> f64 {
+    let mut h = h.min(t_stop - t);
+    let guard = TIME_EPSILON * t_stop.max(1e-30);
+    for &bp in breakpoints {
+        if bp > t + guard {
+            if bp < t + h - guard {
+                h = bp - t;
+            }
+            break;
+        }
+    }
+    h.max(0.0)
+}
+
+/// Returns `true` when the simulation time has reached the stop time.
+pub(crate) fn reached_end(t: f64, t_stop: f64) -> bool {
+    t >= t_stop * (1.0 - TIME_EPSILON)
+}
+
+/// Validates options and resolves probes; shared preamble of every engine.
+pub(crate) fn prepare(
+    circuit: &Circuit,
+    options: &TransientOptions,
+    probe_names: &[&str],
+) -> SimResult<(Vec<Probe>, Vec<f64>)> {
+    options.validate()?;
+    let probes = resolve_probes(circuit, probe_names)?;
+    let breakpoints = circuit.breakpoints(options.t_stop);
+    Ok((probes, breakpoints))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::Waveform;
+
+    #[test]
+    fn clamp_step_respects_stop_time_and_breakpoints() {
+        let bps = vec![1.0, 2.0, 3.0];
+        // Far from any breakpoint.
+        assert_eq!(clamp_step(0.0, 0.5, 10.0, &bps), 0.5);
+        // Would cross the breakpoint at 1.0.
+        assert_eq!(clamp_step(0.8, 0.5, 10.0, &bps), 1.0 - 0.8);
+        // Sitting exactly on a breakpoint: the next one limits the step.
+        let h = clamp_step(1.0, 5.0, 10.0, &bps);
+        assert!((h - 1.0).abs() < 1e-9);
+        // Near the end of the interval.
+        assert!((clamp_step(9.9, 1.0, 10.0, &[]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reached_end_is_tolerant() {
+        assert!(reached_end(1.0, 1.0));
+        assert!(reached_end(1.0 - 1e-15, 1.0));
+        assert!(!reached_end(0.5, 1.0));
+    }
+
+    #[test]
+    fn probes_resolve_and_reject_unknown_names() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, gnd, 1.0).unwrap();
+        let probes = resolve_probes(&ckt, &["a", "0"]).unwrap();
+        assert_eq!(probes.len(), 1); // ground probe silently dropped
+        assert!(resolve_probes(&ckt, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn recorder_collects_samples() {
+        let probes = vec![Probe::new("a", 0)];
+        let mut rec = Recorder::new(probes, true);
+        rec.record(0.0, &[1.0, 2.0]);
+        rec.record(1.0, &[3.0, 4.0]);
+        let result = rec.finish(vec![3.0, 4.0], RunStats::new());
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.samples[1][0], 3.0);
+        assert_eq!(result.full_states.len(), 2);
+        assert_eq!(result.final_state, vec![3.0, 4.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for the simulation engines.
+
+use std::error::Error;
+use std::fmt;
+
+use exi_krylov::KrylovError;
+use exi_netlist::NetlistError;
+use exi_sparse::SparseError;
+
+/// Errors produced by DC and transient analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Error raised while evaluating the circuit.
+    Netlist(NetlistError),
+    /// Error raised by the sparse linear algebra kernels (factorization,
+    /// solves). A `FillBudgetExceeded` here is how the benchmark harness
+    /// observes the "out of memory" failures reported for BENR in Table I.
+    Sparse(SparseError),
+    /// Error raised by the Krylov / matrix exponential kernels.
+    Krylov(KrylovError),
+    /// The Newton–Raphson iteration did not converge even at the minimum
+    /// allowed step size.
+    NewtonDidNotConverge {
+        /// Simulation time at which convergence failed.
+        time: f64,
+        /// Step size at the failure.
+        step: f64,
+        /// Iterations spent in the last attempt.
+        iterations: usize,
+    },
+    /// The adaptive step-size control shrank the step below the allowed
+    /// minimum without meeting the error budget.
+    StepSizeUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+        /// The step size that was reached.
+        step: f64,
+    },
+    /// The requested analysis has inconsistent options (for example a zero
+    /// simulation span or a non-positive initial step).
+    InvalidOptions {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
+            SimError::Krylov(e) => write!(f, "krylov kernel error: {e}"),
+            SimError::NewtonDidNotConverge { time, step, iterations } => write!(
+                f,
+                "newton iteration did not converge at t = {time:.3e} s (h = {step:.3e} s, {iterations} iterations)"
+            ),
+            SimError::StepSizeUnderflow { time, step } => {
+                write!(f, "step size underflow at t = {time:.3e} s (h = {step:.3e} s)")
+            }
+            SimError::InvalidOptions { message } => write!(f, "invalid options: {message}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            SimError::Sparse(e) => Some(e),
+            SimError::Krylov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+impl From<SparseError> for SimError {
+    fn from(e: SparseError) -> Self {
+        SimError::Sparse(e)
+    }
+}
+
+impl From<KrylovError> for SimError {
+    fn from(e: KrylovError) -> Self {
+        SimError::Krylov(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SimError = NetlistError::EmptyCircuit.into();
+        assert!(e.to_string().contains("netlist"));
+        assert!(e.source().is_some());
+        let e: SimError = SparseError::Singular { column: 0 }.into();
+        assert!(e.to_string().contains("singular"));
+        let e: SimError = KrylovError::ZeroStartVector.into();
+        assert!(e.to_string().contains("krylov"));
+        let e = SimError::NewtonDidNotConverge { time: 1e-9, step: 1e-12, iterations: 50 };
+        assert!(e.to_string().contains("newton"));
+        let e = SimError::StepSizeUnderflow { time: 0.0, step: 1e-20 };
+        assert!(e.to_string().contains("underflow"));
+        let e = SimError::InvalidOptions { message: "t_stop must be positive".into() };
+        assert!(e.to_string().contains("t_stop"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,165 @@
+//! Transient analysis results: probed waveforms and run statistics.
+
+use crate::stats::RunStats;
+
+/// A node (or branch) selected for waveform recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Probe {
+    /// Human-readable label, usually the node name.
+    pub label: String,
+    /// Index of the unknown in the MNA state vector.
+    pub unknown: usize,
+}
+
+impl Probe {
+    /// Creates a probe for the given unknown index.
+    pub fn new(label: impl Into<String>, unknown: usize) -> Self {
+        Probe { label: label.into(), unknown }
+    }
+}
+
+/// Result of a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Accepted time points, starting at `t = 0`.
+    pub times: Vec<f64>,
+    /// The probes that were recorded (columns of `samples`).
+    pub probes: Vec<Probe>,
+    /// One row per time point with the probed values.
+    pub samples: Vec<Vec<f64>>,
+    /// Full state snapshots (only if requested in the options).
+    pub full_states: Vec<Vec<f64>>,
+    /// The state vector at the final time point.
+    pub final_state: Vec<f64>,
+    /// Counters collected during the run.
+    pub stats: RunStats,
+}
+
+impl TransientResult {
+    /// Number of accepted time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if no time points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The waveform of probe `p` as `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn waveform(&self, p: usize) -> Vec<(f64, f64)> {
+        assert!(p < self.probes.len(), "probe index out of range");
+        self.times.iter().zip(self.samples.iter()).map(|(&t, row)| (t, row[p])).collect()
+    }
+
+    /// Linearly interpolates the value of probe `p` at time `t` (clamped to
+    /// the simulated interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or the result is empty.
+    pub fn sample_at(&self, p: usize, t: f64) -> f64 {
+        assert!(p < self.probes.len(), "probe index out of range");
+        assert!(!self.is_empty(), "empty result");
+        if t <= self.times[0] {
+            return self.samples[0][p];
+        }
+        for k in 1..self.times.len() {
+            if t <= self.times[k] {
+                let (t0, t1) = (self.times[k - 1], self.times[k]);
+                let (v0, v1) = (self.samples[k - 1][p], self.samples[k][p]);
+                if t1 <= t0 {
+                    return v1;
+                }
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        self.samples.last().map(|r| r[p]).unwrap_or(0.0)
+    }
+
+    /// Finds the probe index with the given label.
+    pub fn probe_index(&self, label: &str) -> Option<usize> {
+        self.probes.iter().position(|p| p.label == label)
+    }
+
+    /// Maximum absolute difference between probe `p` of `self` and the same
+    /// probe of a reference result, comparing at the reference's time points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either result is empty or the probe index is out of range.
+    pub fn max_error_vs(&self, reference: &TransientResult, p: usize) -> f64 {
+        reference
+            .times
+            .iter()
+            .zip(reference.samples.iter())
+            .fold(0.0_f64, |acc, (&t, row)| acc.max((self.sample_at(p, t) - row[p]).abs()))
+    }
+
+    /// Root-mean-square difference against a reference result for probe `p`,
+    /// sampled at the reference's time points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either result is empty or the probe index is out of range.
+    pub fn rms_error_vs(&self, reference: &TransientResult, p: usize) -> f64 {
+        let n = reference.times.len();
+        let sum: f64 = reference
+            .times
+            .iter()
+            .zip(reference.samples.iter())
+            .map(|(&t, row)| {
+                let d = self.sample_at(p, t) - row[p];
+                d * d
+            })
+            .sum();
+        (sum / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_result(times: Vec<f64>, values: Vec<f64>) -> TransientResult {
+        let samples = values.iter().map(|&v| vec![v]).collect();
+        TransientResult {
+            times,
+            probes: vec![Probe::new("out", 0)],
+            samples,
+            full_states: Vec::new(),
+            final_state: vec![*values.last().unwrap()],
+            stats: RunStats::new(),
+        }
+    }
+
+    #[test]
+    fn waveform_and_interpolation() {
+        let r = make_result(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.waveform(0), vec![(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]);
+        assert_eq!(r.sample_at(0, 0.5), 1.0);
+        assert_eq!(r.sample_at(0, 1.5), 1.0);
+        assert_eq!(r.sample_at(0, -1.0), 0.0);
+        assert_eq!(r.sample_at(0, 5.0), 0.0);
+        assert_eq!(r.probe_index("out"), Some(0));
+        assert_eq!(r.probe_index("missing"), None);
+    }
+
+    #[test]
+    fn error_metrics_against_reference() {
+        let reference = make_result(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]);
+        let approx = make_result(vec![0.0, 2.0], vec![0.1, 2.1]);
+        let max_err = approx.max_error_vs(&reference, 0);
+        assert!((max_err - 0.1).abs() < 1e-12);
+        let rms = approx.rms_error_vs(&reference, 0);
+        assert!(rms > 0.0 && rms <= max_err + 1e-12);
+        // A result compared against itself has zero error.
+        assert_eq!(reference.max_error_vs(&reference, 0), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Run statistics collected by the transient engines.
+//!
+//! These are the per-method columns of the paper's Table I: number of
+//! accepted steps, average Newton iterations per step (BENR), average Krylov
+//! subspace dimension per step (ER/ER-C), LU factorization count and runtime.
+
+use std::time::Duration;
+
+/// Counters accumulated over one transient analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Number of accepted time steps (`#step` in Table I).
+    pub accepted_steps: usize,
+    /// Number of rejected step attempts.
+    pub rejected_steps: usize,
+    /// Total Newton–Raphson iterations across all steps.
+    pub newton_iterations: usize,
+    /// Number of LU factorizations performed.
+    pub lu_factorizations: usize,
+    /// Number of sparse triangular solves performed.
+    pub linear_solves: usize,
+    /// Number of full device evaluations.
+    pub device_evaluations: usize,
+    /// Number of Krylov subspaces built.
+    pub krylov_subspaces: usize,
+    /// Sum of the dimensions of all Krylov subspaces built.
+    pub krylov_dimension_total: usize,
+    /// Wall-clock time of the analysis.
+    pub runtime: Duration,
+}
+
+impl RunStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Average Newton iterations per accepted step (`#NRa` in Table I).
+    pub fn avg_newton_iterations(&self) -> f64 {
+        if self.accepted_steps == 0 {
+            0.0
+        } else {
+            self.newton_iterations as f64 / self.accepted_steps as f64
+        }
+    }
+
+    /// Average Krylov subspace dimension (`#m_a` in Table I).
+    pub fn avg_krylov_dimension(&self) -> f64 {
+        if self.krylov_subspaces == 0 {
+            0.0
+        } else {
+            self.krylov_dimension_total as f64 / self.krylov_subspaces as f64
+        }
+    }
+
+    /// Total step attempts (accepted plus rejected).
+    pub fn total_attempts(&self) -> usize {
+        self.accepted_steps + self.rejected_steps
+    }
+
+    /// Runtime in seconds (`RT(s)` in Table I).
+    pub fn runtime_seconds(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_counts() {
+        let s = RunStats::new();
+        assert_eq!(s.avg_newton_iterations(), 0.0);
+        assert_eq!(s.avg_krylov_dimension(), 0.0);
+        assert_eq!(s.total_attempts(), 0);
+    }
+
+    #[test]
+    fn averages_divide_by_the_right_denominator() {
+        let s = RunStats {
+            accepted_steps: 10,
+            rejected_steps: 2,
+            newton_iterations: 28,
+            krylov_subspaces: 30,
+            krylov_dimension_total: 900,
+            ..RunStats::default()
+        };
+        assert!((s.avg_newton_iterations() - 2.8).abs() < 1e-12);
+        assert!((s.avg_krylov_dimension() - 30.0).abs() < 1e-12);
+        assert_eq!(s.total_attempts(), 12);
+        assert_eq!(s.runtime_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The Arnoldi process and the standard-Krylov MEVP front-end.
+//!
+//! The Arnoldi iteration is shared by all three subspace flavours; only the
+//! operator being applied and the convergence test differ. The standard
+//! Krylov front-end in this module corresponds to the prior-work formulation
+//! (paper Eq. 5–6) that requires a factorization of `C`; it exists both as a
+//! baseline for the ablation benchmarks and to demonstrate the convergence
+//! problem the invert Krylov method solves.
+
+use exi_sparse::{vector, CsrMatrix, DenseMatrix, SparseLu};
+
+use crate::decomposition::{KrylovDecomposition, ProjectionKind};
+use crate::error::{KrylovError, KrylovResult};
+use crate::mevp::{MevpOptions, MevpOutcome};
+use crate::operator::{JacobianOperator, KrylovOperator};
+
+/// Subdiagonal magnitude below which the Arnoldi process is declared to have
+/// found an invariant subspace ("happy breakdown").
+const BREAKDOWN_TOLERANCE: f64 = 1e-14;
+
+/// Incremental Arnoldi factorization with modified Gram–Schmidt
+/// orthogonalization (and one step of re-orthogonalization for robustness).
+#[derive(Debug)]
+pub(crate) struct ArnoldiProcess {
+    basis: Vec<Vec<f64>>,
+    hess: DenseMatrix,
+    beta: f64,
+    m: usize,
+    max_m: usize,
+    breakdown: bool,
+}
+
+impl ArnoldiProcess {
+    /// Starts the process from vector `v`.
+    pub(crate) fn new(v: &[f64], max_m: usize) -> KrylovResult<Self> {
+        let beta = vector::norm2(v);
+        if beta == 0.0 || !beta.is_finite() {
+            return Err(KrylovError::ZeroStartVector);
+        }
+        let v1: Vec<f64> = v.iter().map(|x| x / beta).collect();
+        Ok(ArnoldiProcess {
+            basis: vec![v1],
+            hess: DenseMatrix::zeros(max_m + 1, max_m),
+            beta,
+            m: 0,
+            max_m,
+            breakdown: false,
+        })
+    }
+
+    /// The most recent basis vector (the one the operator should be applied to
+    /// for the next step).
+    pub(crate) fn last_vector(&self) -> &[f64] {
+        &self.basis[self.m]
+    }
+
+    /// Current subspace dimension.
+    pub(crate) fn dimension(&self) -> usize {
+        self.m
+    }
+
+    /// Whether a happy breakdown occurred (subspace is invariant and exact).
+    pub(crate) fn breakdown(&self) -> bool {
+        self.breakdown
+    }
+
+    /// Absorbs `w = A·v_j`, orthogonalizes it against the basis and appends a
+    /// new column to the Hessenberg matrix. Returns the subdiagonal entry
+    /// `h_{j+1,j}`.
+    pub(crate) fn absorb(&mut self, mut w: Vec<f64>) -> KrylovResult<f64> {
+        if self.m >= self.max_m {
+            return Err(KrylovError::NotConverged {
+                max_dimension: self.max_m,
+                residual: f64::NAN,
+                tolerance: 0.0,
+            });
+        }
+        let j = self.m;
+        // Modified Gram–Schmidt.
+        for i in 0..=j {
+            let hij = vector::dot(&w, &self.basis[i]);
+            self.hess.add_to(i, j, hij);
+            vector::axpy(-hij, &self.basis[i], &mut w);
+        }
+        // One re-orthogonalization pass guards against loss of orthogonality
+        // in stiff problems.
+        for i in 0..=j {
+            let correction = vector::dot(&w, &self.basis[i]);
+            if correction.abs() > 0.0 {
+                self.hess.add_to(i, j, correction);
+                vector::axpy(-correction, &self.basis[i], &mut w);
+            }
+        }
+        let hnext = vector::norm2(&w);
+        self.m += 1;
+        if hnext <= BREAKDOWN_TOLERANCE {
+            self.breakdown = true;
+            return Ok(0.0);
+        }
+        self.hess.set(j + 1, j, hnext);
+        vector::scale(1.0 / hnext, &mut w);
+        self.basis.push(w);
+        Ok(hnext)
+    }
+
+    /// Finalizes into a [`KrylovDecomposition`] of the given kind.
+    pub(crate) fn into_decomposition(self, kind: ProjectionKind) -> KrylovDecomposition {
+        let m = self.m;
+        let rows = if self.breakdown { m } else { m + 1 };
+        let hess = self.hess.submatrix(rows, m);
+        KrylovDecomposition::new(kind, self.basis, hess, self.beta, m)
+    }
+}
+
+/// Computes `e^{hJ}·v` with the **standard** Krylov subspace `K_m(J, v)`,
+/// `J = -C⁻¹G` (paper Eq. 5–6). Requires a factorization of `C`.
+///
+/// # Errors
+///
+/// * [`KrylovError::ZeroStartVector`] if `v` is zero.
+/// * [`KrylovError::NotConverged`] if the residual tolerance is not met within
+///   `options.max_dimension`.
+/// * Sparse kernel errors from the `C` solves.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{SparseLu, TripletMatrix};
+/// use exi_krylov::{mevp_standard_krylov, MevpOptions};
+///
+/// # fn main() -> Result<(), exi_krylov::KrylovError> {
+/// // A 2x2 RC system: C = I, G = diag(1, 2), so e^{hJ} = diag(e^-h, e^-2h).
+/// let mut c = TripletMatrix::new(2, 2);
+/// c.push(0, 0, 1.0);
+/// c.push(1, 1, 1.0);
+/// let c = c.to_csr();
+/// let mut g = TripletMatrix::new(2, 2);
+/// g.push(0, 0, 1.0);
+/// g.push(1, 1, 2.0);
+/// let g = g.to_csr();
+/// let c_lu = SparseLu::factorize(&c)?;
+/// let out = mevp_standard_krylov(&g, &c_lu, &[1.0, 1.0], 0.1, &MevpOptions::default())?;
+/// assert!((out.mevp[0] - (-0.1f64).exp()).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mevp_standard_krylov(
+    g: &CsrMatrix,
+    c_lu: &SparseLu,
+    v: &[f64],
+    h: f64,
+    options: &MevpOptions,
+) -> KrylovResult<MevpOutcome> {
+    let op = JacobianOperator::new(g, c_lu);
+    if v.len() != op.dim() {
+        return Err(KrylovError::DimensionMismatch { expected: op.dim(), found: v.len() });
+    }
+    let mut process = ArnoldiProcess::new(v, options.max_dimension)?;
+    let mut last_residual = f64::INFINITY;
+    while process.dimension() < options.max_dimension {
+        let w = op.apply(process.last_vector())?;
+        process.absorb(w)?;
+        if process.breakdown() {
+            last_residual = 0.0;
+            break;
+        }
+        if process.dimension() < options.min_dimension {
+            continue;
+        }
+        // Saad's posterior estimate: beta * h_{m+1,m} * |e_mᵀ e^{hH_m} e₁|.
+        let snapshot = preview_decomposition(&process, ProjectionKind::Direct);
+        last_residual = snapshot.residual_scalar(h)?;
+        if last_residual <= options.tolerance {
+            break;
+        }
+    }
+    if last_residual > options.tolerance && !options.allow_unconverged {
+        return Err(KrylovError::NotConverged {
+            max_dimension: process.dimension(),
+            residual: last_residual,
+            tolerance: options.tolerance,
+        });
+    }
+    let dimension = process.dimension();
+    let decomposition = process.into_decomposition(ProjectionKind::Direct);
+    let mevp = decomposition.eval_expv(h)?;
+    Ok(MevpOutcome { mevp, decomposition, residual: last_residual, dimension })
+}
+
+/// Builds a cheap read-only decomposition snapshot for convergence testing
+/// without consuming the process.
+pub(crate) fn preview_decomposition(
+    process: &ArnoldiProcess,
+    kind: ProjectionKind,
+) -> KrylovDecomposition {
+    let m = process.m;
+    let rows = if process.breakdown { m } else { m + 1 };
+    let hess = process.hess.submatrix(rows, m);
+    KrylovDecomposition::new(kind, process.basis.clone(), hess, process.beta, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_sparse::TripletMatrix;
+
+    fn diag(vals: &[f64]) -> CsrMatrix {
+        let mut t = TripletMatrix::new(vals.len(), vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            t.push(i, i, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn zero_start_vector_is_rejected() {
+        assert!(matches!(
+            ArnoldiProcess::new(&[0.0, 0.0], 5),
+            Err(KrylovError::ZeroStartVector)
+        ));
+    }
+
+    #[test]
+    fn arnoldi_basis_is_orthonormal() {
+        // Operator: a fixed dense-ish sparse matrix applied repeatedly.
+        let a = {
+            let mut t = TripletMatrix::new(4, 4);
+            let vals = [
+                [2.0, -1.0, 0.0, 0.5],
+                [-1.0, 3.0, -1.0, 0.0],
+                [0.0, -1.0, 2.5, -1.0],
+                [0.5, 0.0, -1.0, 4.0],
+            ];
+            for i in 0..4 {
+                for j in 0..4 {
+                    t.push(i, j, vals[i][j]);
+                }
+            }
+            t.to_csr()
+        };
+        let v = vec![1.0, 0.0, -2.0, 1.0];
+        let mut p = ArnoldiProcess::new(&v, 4).unwrap();
+        for _ in 0..4 {
+            if p.breakdown() {
+                break;
+            }
+            let w = a.mul_vec(p.last_vector());
+            p.absorb(w).unwrap();
+        }
+        let d = p.into_decomposition(ProjectionKind::Direct);
+        let basis = d.basis();
+        for i in 0..basis.len() {
+            for j in 0..basis.len() {
+                let dot = vector::dot(&basis[i], &basis[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-10, "({i},{j}) -> {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn standard_krylov_matches_diagonal_exponential() {
+        let c = diag(&[1.0, 1.0, 1.0]);
+        let g = diag(&[1.0, 5.0, 10.0]);
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        let v = vec![1.0, 2.0, -1.0];
+        let h = 0.05;
+        let out = mevp_standard_krylov(&g, &c_lu, &v, h, &MevpOptions::default()).unwrap();
+        for (i, &gi) in [1.0, 5.0, 10.0].iter().enumerate() {
+            let expected = v[i] * (-h * gi).exp();
+            assert!((out.mevp[i] - expected).abs() < 1e-6, "{} vs {}", out.mevp[i], expected);
+        }
+        assert!(out.dimension <= 3);
+    }
+
+    #[test]
+    fn breakdown_gives_exact_result() {
+        // v is an eigenvector of J: subspace dimension 1 suffices.
+        let c = diag(&[1.0, 1.0]);
+        let g = diag(&[3.0, 3.0]);
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        let out =
+            mevp_standard_krylov(&g, &c_lu, &[1.0, 1.0], 0.2, &MevpOptions::default()).unwrap();
+        assert_eq!(out.dimension, 1);
+        assert!((out.mevp[0] - (-0.6_f64).exp()).abs() < 1e-12);
+        assert_eq!(out.residual, 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let c = diag(&[1.0, 1.0]);
+        let g = diag(&[1.0, 1.0]);
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        assert!(matches!(
+            mevp_standard_krylov(&g, &c_lu, &[1.0], 0.1, &MevpOptions::default()),
+            Err(KrylovError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn not_converged_when_dimension_capped() {
+        // A stiff system with widely spread eigenvalues and a tiny cap.
+        let n = 20;
+        let c = diag(&vec![1.0; n]);
+        let gvals: Vec<f64> = (0..n).map(|i| 10f64.powi((i % 7) as i32)).collect();
+        let g = diag(&gvals);
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        let v = vec![1.0; n];
+        let opts = MevpOptions { max_dimension: 3, tolerance: 1e-12, ..MevpOptions::default() };
+        let r = mevp_standard_krylov(&g, &c_lu, &v, 1e-3, &opts);
+        assert!(matches!(r, Err(KrylovError::NotConverged { .. })));
+    }
+}

@@ -1,0 +1,195 @@
+//! Dense matrix exponential via Padé approximation with scaling and squaring.
+//!
+//! The Krylov methods reduce the large sparse problem `e^{hJ} v` to the
+//! exponential of a small (typically `m ≤ 60`) dense matrix. That small
+//! exponential is computed here with the degree-13 Padé approximant and
+//! scaling-and-squaring (Higham's method, the same algorithm behind MATLAB's
+//! `expm` which the paper's reference implementation relies on).
+
+use exi_sparse::DenseMatrix;
+
+use crate::error::{KrylovError, KrylovResult};
+
+/// Coefficients of the degree-13 Padé approximant to the exponential.
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// Threshold on the 1-norm below which the degree-13 approximant is accurate
+/// without scaling (Higham 2005).
+const THETA13: f64 = 5.371920351148152;
+
+/// Computes the matrix exponential `e^A` of a square dense matrix.
+///
+/// # Errors
+///
+/// Returns [`KrylovError::Sparse`] wrapping a `NotSquare` error if `a` is not
+/// square, or a `Singular` error if the Padé denominator cannot be inverted
+/// (which does not happen for finite input).
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::DenseMatrix;
+/// use exi_krylov::expm;
+///
+/// # fn main() -> Result<(), exi_krylov::KrylovError> {
+/// // exp of a diagonal matrix is the element-wise exp of the diagonal.
+/// let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, -2.0]]);
+/// let e = expm(&a)?;
+/// assert!((e.get(0, 0) - 1.0_f64.exp()).abs() < 1e-12);
+/// assert!((e.get(1, 1) - (-2.0_f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &DenseMatrix) -> KrylovResult<DenseMatrix> {
+    if a.rows() != a.cols() {
+        return Err(KrylovError::Sparse(exi_sparse::SparseError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        }));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(DenseMatrix::zeros(0, 0));
+    }
+    let norm = a.norm_one();
+    // Number of halvings so that the scaled norm falls below theta_13.
+    let s = if norm > THETA13 { (norm / THETA13).log2().ceil().max(0.0) as u32 } else { 0 };
+    let scale = 0.5_f64.powi(s as i32);
+    let a_scaled = a.scale(scale);
+
+    let ident = DenseMatrix::identity(n);
+    let a2 = a_scaled.matmul(&a_scaled);
+    let a4 = a2.matmul(&a2);
+    let a6 = a4.matmul(&a2);
+
+    // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    let u_inner = a6
+        .matmul(&a6.scale(PADE13[13]).add(&a4.scale(PADE13[11])).add(&a2.scale(PADE13[9])))
+        .add(&a6.scale(PADE13[7]))
+        .add(&a4.scale(PADE13[5]))
+        .add(&a2.scale(PADE13[3]))
+        .add(&ident.scale(PADE13[1]));
+    let u = a_scaled.matmul(&u_inner);
+    // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    let v = a6
+        .matmul(&a6.scale(PADE13[12]).add(&a4.scale(PADE13[10])).add(&a2.scale(PADE13[8])))
+        .add(&a6.scale(PADE13[6]))
+        .add(&a4.scale(PADE13[4]))
+        .add(&a2.scale(PADE13[2]))
+        .add(&ident.scale(PADE13[0]));
+
+    // Solve (V - U) X = (V + U) column by column.
+    let denom = v.sub(&u);
+    let numer = v.add(&u);
+    let mut x = DenseMatrix::zeros(n, n);
+    let mut col = vec![0.0; n];
+    for j in 0..n {
+        for i in 0..n {
+            col[i] = numer.get(i, j);
+        }
+        let sol = denom.solve(&col)?;
+        for i in 0..n {
+            x.set(i, j, sol[i]);
+        }
+    }
+    // Undo the scaling by repeated squaring.
+    for _ in 0..s {
+        x = x.matmul(&x);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                best = best.max((a.get(i, j) - b.get(i, j)).abs());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = DenseMatrix::zeros(4, 4);
+        let e = expm(&z).unwrap();
+        assert!(max_abs_diff(&e, &DenseMatrix::identity(4)) < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[0.5, 0.0], &[0.0, -3.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e.get(0, 0) - 0.5_f64.exp()).abs() < 1e-13);
+        assert!((e.get(1, 1) - (-3.0_f64).exp()).abs() < 1e-13);
+        assert!(e.get(0, 1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_nilpotent_matches_series() {
+        // N = [[0,1],[0,0]] so exp(N) = I + N exactly.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let e = expm(&a).unwrap();
+        let expected = DenseMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        assert!(max_abs_diff(&e, &expected) < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // A = [[0, -t],[t, 0]] gives a rotation matrix.
+        let t = 0.7;
+        let a = DenseMatrix::from_rows(&[&[0.0, -t], &[t, 0.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e.get(0, 0) - t.cos()).abs() < 1e-13);
+        assert!((e.get(1, 0) - t.sin()).abs() < 1e-13);
+        assert!((e.get(0, 1) + t.sin()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn scaling_and_squaring_handles_large_norm() {
+        // Large stable eigenvalue: e^{-50} ~ 2e-22.
+        let a = DenseMatrix::from_rows(&[&[-50.0, 10.0], &[0.0, -30.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e.get(0, 0) - (-50.0_f64).exp()).abs() < 1e-20);
+        assert!((e.get(1, 1) - (-30.0_f64).exp()).abs() < 1e-18);
+        // Upper-triangular structure preserved.
+        assert!(e.get(1, 0).abs() < 1e-20);
+    }
+
+    #[test]
+    fn exp_additivity_for_commuting_matrices() {
+        // exp(A) * exp(A) = exp(2A).
+        let a = DenseMatrix::from_rows(&[&[0.2, 0.1, 0.0], &[0.0, -0.3, 0.4], &[0.1, 0.0, 0.1]]);
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        let prod = e1.matmul(&e1);
+        assert!(max_abs_diff(&prod, &e2) < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected_and_empty_ok() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(expm(&a).is_err());
+        let empty = DenseMatrix::zeros(0, 0);
+        assert_eq!(expm(&empty).unwrap().rows(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! MEVP via the **invert Krylov subspace** (paper Sec. IV, Algorithm 1).
+//!
+//! The subspace `K_m(J⁻¹, v) = span{v, (-G⁻¹C)v, (-G⁻¹C)²v, …}` is built by
+//! repeatedly solving with `G` — the conductance matrix, which in post-layout
+//! circuits is far sparser and cheaper to factorize than `C` or `C/h + G`.
+//! Convergence of the matrix exponential approximation is monitored with the
+//! KCL/KVL residual of paper Eq. (22).
+
+use exi_sparse::{vector, CsrMatrix, SparseLu};
+
+use crate::arnoldi::{preview_decomposition, ArnoldiProcess};
+use crate::decomposition::ProjectionKind;
+use crate::error::{KrylovError, KrylovResult};
+use crate::mevp::{MevpOptions, MevpOutcome};
+use crate::operator::{InverseJacobianOperator, KrylovOperator};
+
+/// Computes `e^{hJ}·v` with the invert Krylov subspace (Algorithm 1,
+/// `MEVP_IKS`), where `J = -C⁻¹G` but only `G` is factorized.
+///
+/// The returned [`MevpOutcome::decomposition`] can be re-evaluated at other
+/// step sizes and for φ₁/φ₂ without touching the large matrices again —
+/// that is what makes step-size rejection cheap in the ER engine.
+///
+/// # Errors
+///
+/// * [`KrylovError::ZeroStartVector`] if `v` is zero.
+/// * [`KrylovError::NotConverged`] if the Eq. (22) residual does not fall
+///   below `options.tolerance` within `options.max_dimension`.
+/// * Sparse kernel errors propagated from the `G` solves.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{SparseLu, TripletMatrix};
+/// use exi_krylov::{mevp_invert_krylov, MevpOptions};
+///
+/// # fn main() -> Result<(), exi_krylov::KrylovError> {
+/// // C = diag(1, 2), G = diag(1, 1): J = -C^{-1}G = diag(-1, -0.5).
+/// let mut c = TripletMatrix::new(2, 2);
+/// c.push(0, 0, 1.0);
+/// c.push(1, 1, 2.0);
+/// let c = c.to_csr();
+/// let mut g = TripletMatrix::new(2, 2);
+/// g.push(0, 0, 1.0);
+/// g.push(1, 1, 1.0);
+/// let g = g.to_csr();
+/// let g_lu = SparseLu::factorize(&g)?;
+/// let out = mevp_invert_krylov(&c, &g, &g_lu, &[1.0, 1.0], 0.3, &MevpOptions::default())?;
+/// assert!((out.mevp[0] - (-0.3f64).exp()).abs() < 1e-7);
+/// assert!((out.mevp[1] - (-0.15f64).exp()).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mevp_invert_krylov(
+    c: &CsrMatrix,
+    g: &CsrMatrix,
+    g_lu: &SparseLu,
+    v: &[f64],
+    h: f64,
+    options: &MevpOptions,
+) -> KrylovResult<MevpOutcome> {
+    let op = InverseJacobianOperator::new(c, g_lu);
+    if v.len() != op.dim() {
+        return Err(KrylovError::DimensionMismatch { expected: op.dim(), found: v.len() });
+    }
+    let mut process = ArnoldiProcess::new(v, options.max_dimension)?;
+    let mut last_residual = f64::INFINITY;
+    while process.dimension() < options.max_dimension {
+        let w = op.apply(process.last_vector())?;
+        process.absorb(w)?;
+        if process.breakdown() {
+            last_residual = 0.0;
+            break;
+        }
+        if process.dimension() < options.min_dimension {
+            continue;
+        }
+        let snapshot = preview_decomposition(&process, ProjectionKind::Inverse);
+        // Eq. (22): ‖r_m(h)‖ = β · |h_{m+1,m}| · ‖G·v_{m+1}‖ · |e_mᵀ H_m⁻¹ e^{h H_m⁻¹} e₁|.
+        let scalar = match snapshot.residual_scalar(h) {
+            Ok(s) => s,
+            // An ill-conditioned small Hessenberg early in the iteration is
+            // not fatal; keep expanding the subspace.
+            Err(KrylovError::Sparse(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        let gv_norm = snapshot
+            .next_basis_vector()
+            .map(|vm1| vector::norm2(&g.mul_vec(vm1)))
+            .unwrap_or(0.0);
+        last_residual = scalar * gv_norm;
+        if last_residual <= options.tolerance {
+            break;
+        }
+    }
+    if last_residual > options.tolerance && !options.allow_unconverged {
+        return Err(KrylovError::NotConverged {
+            max_dimension: process.dimension(),
+            residual: last_residual,
+            tolerance: options.tolerance,
+        });
+    }
+    let dimension = process.dimension();
+    let decomposition = process.into_decomposition(ProjectionKind::Inverse);
+    let mevp = decomposition.eval_expv(h)?;
+    Ok(MevpOutcome { mevp, decomposition, residual: last_residual, dimension })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_sparse::TripletMatrix;
+
+    fn diag(vals: &[f64]) -> CsrMatrix {
+        let mut t = TripletMatrix::new(vals.len(), vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            t.push(i, i, v);
+        }
+        t.to_csr()
+    }
+
+    fn tridiag(n: usize, diag_v: f64, off: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, diag_v);
+            if i + 1 < n {
+                t.push(i, i + 1, off);
+                t.push(i + 1, i, off);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn matches_diagonal_exponential() {
+        let c = diag(&[1.0, 2.0, 4.0]);
+        let g = diag(&[1.0, 1.0, 1.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let v = vec![1.0, -2.0, 0.5];
+        let h = 0.4;
+        let out = mevp_invert_krylov(&c, &g, &g_lu, &v, h, &MevpOptions::default()).unwrap();
+        let lambdas = [-1.0, -0.5, -0.25];
+        for i in 0..3 {
+            let expected = v[i] * (h * lambdas[i]).exp();
+            assert!((out.mevp[i] - expected).abs() < 1e-6, "{} vs {expected}", out.mevp[i]);
+        }
+    }
+
+    #[test]
+    fn agrees_with_standard_krylov_on_nonsingular_c() {
+        let n = 30;
+        let c = tridiag(n, 2.0, 0.3);
+        let g = tridiag(n, 1.5, -0.5);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let h = 0.1;
+        let opts = MevpOptions { tolerance: 1e-9, ..MevpOptions::default() };
+        let inv = mevp_invert_krylov(&c, &g, &g_lu, &v, h, &opts).unwrap();
+        let std = crate::arnoldi::mevp_standard_krylov(&g, &c_lu, &v, h, &opts).unwrap();
+        assert!(vector::max_abs_diff(&inv.mevp, &std.mevp) < 1e-6);
+    }
+
+    #[test]
+    fn works_with_singular_c() {
+        // Singular C (a zero row) would break the standard Krylov method,
+        // which needs C⁻¹; the invert method only needs G⁻¹.
+        let n = 4;
+        let mut ct = TripletMatrix::new(n, n);
+        ct.push(0, 0, 1.0);
+        ct.push(1, 1, 2.0);
+        // rows 2 and 3 have no capacitance at all.
+        let c = ct.to_csr();
+        let g = tridiag(n, 3.0, -1.0);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let v = vec![1.0, 1.0, 1.0, 1.0];
+        let out = mevp_invert_krylov(&c, &g, &g_lu, &v, 1e-2, &MevpOptions::default()).unwrap();
+        assert_eq!(out.mevp.len(), n);
+        assert!(out.mevp.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn stiff_system_needs_fewer_dimensions_than_standard() {
+        // Stiff C: capacitances spanning 6 orders of magnitude. The invert
+        // subspace captures the slow (dominant) modes quickly.
+        let n = 40;
+        let cvals: Vec<f64> = (0..n).map(|i| 10f64.powi(-((i % 7) as i32)) * 1e-12).collect();
+        let c = diag(&cvals);
+        let g = tridiag(n, 1e-3, -2e-4);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let v = vec![1.0; n];
+        let h = 1e-10;
+        let opts = MevpOptions { tolerance: 1e-6, max_dimension: 60, ..MevpOptions::default() };
+        let inv = mevp_invert_krylov(&c, &g, &g_lu, &v, h, &opts).unwrap();
+        assert!(inv.dimension < 40, "invert krylov dimension {}", inv.dimension);
+        assert!(inv.mevp.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn decomposition_is_reusable_across_step_sizes() {
+        let c = diag(&[1.0, 3.0]);
+        let g = diag(&[2.0, 2.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let v = vec![1.0, 1.0];
+        let out =
+            mevp_invert_krylov(&c, &g, &g_lu, &v, 0.2, &MevpOptions::default()).unwrap();
+        // Halve the step: same decomposition, new evaluation.
+        let half = out.decomposition.eval_expv(0.1).unwrap();
+        assert!((half[0] - (-0.2_f64).exp()).abs() < 1e-7);
+        assert!((half[1] - (-2.0 / 3.0 * 0.1_f64).exp()).abs() < 1e-7);
+        // phi1 evaluation from the same subspace.
+        let p1 = out.decomposition.eval_phi(1, 0.2).unwrap();
+        let expected0 = ((-0.4_f64).exp() - 1.0) / (-0.4);
+        assert!((p1[0] - expected0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_vector_and_dimension_mismatch_rejected() {
+        let c = diag(&[1.0, 1.0]);
+        let g = diag(&[1.0, 1.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        assert!(matches!(
+            mevp_invert_krylov(&c, &g, &g_lu, &[0.0, 0.0], 0.1, &MevpOptions::default()),
+            Err(KrylovError::ZeroStartVector)
+        ));
+        assert!(matches!(
+            mevp_invert_krylov(&c, &g, &g_lu, &[1.0], 0.1, &MevpOptions::default()),
+            Err(KrylovError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! # exi-krylov
+//!
+//! Matrix exponential, φ-function and Krylov-subspace kernels for the
+//! `exi-sim` exponential-integrator circuit simulator (reproduction of Zhuang
+//! et al., DAC 2015).
+//!
+//! The central operation of a matrix-exponential circuit simulator is the
+//! **matrix exponential and vector product** (MEVP) `e^{hJ}·v` with
+//! `J = -C⁻¹G`. Three Krylov-subspace flavours are provided:
+//!
+//! * [`mevp_invert_krylov`] — the paper's method (Algorithm 1, `MEVP_IKS`):
+//!   builds `K_m(J⁻¹, v)` so that only `G` is factorized and stiff/singular
+//!   `C` matrices are handled without regularization.
+//! * [`mevp_standard_krylov`] — the prior-work formulation `K_m(J, v)`
+//!   (requires `C⁻¹`), kept as an ablation baseline.
+//! * [`mevp_rational_krylov`] — shift-and-invert subspace on `(C + γG)⁻¹C`,
+//!   the fastest-converging but most expensive alternative.
+//!
+//! Every front-end returns a [`KrylovDecomposition`] that can be re-evaluated
+//! for different step sizes `h` and φ orders without rebuilding the basis —
+//! the scaling-invariance the ER engine relies on when it rejects a step.
+//!
+//! # Examples
+//!
+//! ```
+//! use exi_sparse::{SparseLu, TripletMatrix};
+//! use exi_krylov::{mevp_invert_krylov, MevpOptions};
+//!
+//! # fn main() -> Result<(), exi_krylov::KrylovError> {
+//! // A two-node RC line.
+//! let mut c = TripletMatrix::new(2, 2);
+//! c.push(0, 0, 1e-12);
+//! c.push(1, 1, 2e-12);
+//! let c = c.to_csr();
+//! let mut g = TripletMatrix::new(2, 2);
+//! g.push(0, 0, 2e-3);
+//! g.push(0, 1, -1e-3);
+//! g.push(1, 0, -1e-3);
+//! g.push(1, 1, 1e-3);
+//! let g = g.to_csr();
+//! let g_lu = SparseLu::factorize(&g)?;
+//! let out = mevp_invert_krylov(&c, &g, &g_lu, &[1.0, 0.0], 1e-10, &MevpOptions::default())?;
+//! assert_eq!(out.mevp.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arnoldi;
+pub mod decomposition;
+pub mod error;
+pub mod expm;
+pub mod invert;
+pub mod mevp;
+pub mod operator;
+pub mod phi;
+pub mod rational;
+
+pub use arnoldi::mevp_standard_krylov;
+pub use decomposition::{KrylovDecomposition, ProjectionKind};
+pub use error::{KrylovError, KrylovResult};
+pub use expm::expm;
+pub use invert::mevp_invert_krylov;
+pub use mevp::{MevpOptions, MevpOutcome};
+pub use operator::{
+    InverseJacobianOperator, JacobianOperator, KrylovOperator, ShiftInvertOperator,
+};
+pub use phi::{phi_matrices, phi_scalar, phi_vectors, MAX_PHI_ORDER};
+pub use rational::mevp_rational_krylov;

@@ -1,0 +1,62 @@
+//! Options and outcome types shared by the MEVP (matrix exponential and
+//! vector product) front-ends.
+
+use crate::decomposition::KrylovDecomposition;
+
+/// Options controlling a Krylov MEVP computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MevpOptions {
+    /// Residual tolerance ε used as the Arnoldi termination criterion
+    /// (paper Algorithm 1 line 10; the experiments use `1e-7`).
+    pub tolerance: f64,
+    /// Hard cap on the subspace dimension.
+    pub max_dimension: usize,
+    /// Minimum dimension to build before testing convergence.
+    pub min_dimension: usize,
+    /// When `true`, hitting `max_dimension` without meeting the tolerance
+    /// returns the best-effort approximation (with the achieved residual in
+    /// the outcome) instead of an error. The transient engines enable this so
+    /// a single hard Krylov step degrades accuracy instead of aborting a run.
+    pub allow_unconverged: bool,
+}
+
+impl Default for MevpOptions {
+    fn default() -> Self {
+        MevpOptions { tolerance: 1e-7, max_dimension: 120, min_dimension: 2, allow_unconverged: false }
+    }
+}
+
+impl MevpOptions {
+    /// Convenience constructor with an explicit tolerance and defaults for the
+    /// remaining fields.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        MevpOptions { tolerance, ..MevpOptions::default() }
+    }
+}
+
+/// Result of a converged MEVP computation.
+#[derive(Debug, Clone)]
+pub struct MevpOutcome {
+    /// The approximation of `e^{hJ}·v`.
+    pub mevp: Vec<f64>,
+    /// The Krylov decomposition, reusable for other step sizes and φ orders.
+    pub decomposition: KrylovDecomposition,
+    /// Residual norm at termination.
+    pub residual: f64,
+    /// Subspace dimension used.
+    pub dimension: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let o = MevpOptions::default();
+        assert_eq!(o.tolerance, 1e-7);
+        assert!(o.max_dimension >= 100);
+        let o = MevpOptions::with_tolerance(1e-9);
+        assert_eq!(o.tolerance, 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Operators whose Krylov subspaces approximate the matrix exponential.
+//!
+//! All methods in this crate build a subspace `span{v, Av, A²v, …}` for some
+//! operator `A` derived from the linearized circuit matrices `C` (capacitance)
+//! and `G` (conductance):
+//!
+//! * **Standard Krylov** uses `A = J = -C⁻¹G` and therefore must factorize
+//!   `C` — problematic when `C` is singular or densely coupled (paper
+//!   Sec. II-B).
+//! * **Invert Krylov** uses `A = J⁻¹ = -G⁻¹C` and only ever factorizes `G`
+//!   (paper Sec. IV-A, the method this framework is built on).
+//! * **Rational (shift-and-invert) Krylov** uses `A = (I - γJ)⁻¹ = (C + γG)⁻¹C`
+//!   (referenced baseline from MATEX, used here for ablations).
+
+use exi_sparse::{CsrMatrix, SparseLu, SparseResult};
+
+/// An operator that generates a Krylov subspace by repeated application.
+pub trait KrylovOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Applies the operator to `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a sparse-kernel error if an internal triangular solve fails.
+    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>>;
+}
+
+/// The circuit Jacobian `J = -C⁻¹ G` (standard Krylov subspace).
+#[derive(Debug)]
+pub struct JacobianOperator<'a> {
+    g: &'a CsrMatrix,
+    c_lu: &'a SparseLu,
+}
+
+impl<'a> JacobianOperator<'a> {
+    /// Creates the operator from `G` and a factorization of `C`.
+    pub fn new(g: &'a CsrMatrix, c_lu: &'a SparseLu) -> Self {
+        JacobianOperator { g, c_lu }
+    }
+}
+
+impl KrylovOperator for JacobianOperator<'_> {
+    fn dim(&self) -> usize {
+        self.g.rows()
+    }
+
+    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
+        let gv = self.g.mul_vec(v);
+        let mut x = self.c_lu.solve(&gv)?;
+        for xi in x.iter_mut() {
+            *xi = -*xi;
+        }
+        Ok(x)
+    }
+}
+
+/// The inverse Jacobian `J⁻¹ = -G⁻¹ C` (invert Krylov subspace, paper Eq. 18).
+#[derive(Debug)]
+pub struct InverseJacobianOperator<'a> {
+    c: &'a CsrMatrix,
+    g_lu: &'a SparseLu,
+}
+
+impl<'a> InverseJacobianOperator<'a> {
+    /// Creates the operator from `C` and a factorization of `G`.
+    pub fn new(c: &'a CsrMatrix, g_lu: &'a SparseLu) -> Self {
+        InverseJacobianOperator { c, g_lu }
+    }
+}
+
+impl KrylovOperator for InverseJacobianOperator<'_> {
+    fn dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
+        let cv = self.c.mul_vec(v);
+        let mut x = self.g_lu.solve(&cv)?;
+        for xi in x.iter_mut() {
+            *xi = -*xi;
+        }
+        Ok(x)
+    }
+}
+
+/// The shift-and-invert operator `(I - γJ)⁻¹ = (C + γG)⁻¹ C`.
+#[derive(Debug)]
+pub struct ShiftInvertOperator<'a> {
+    c: &'a CsrMatrix,
+    shifted_lu: &'a SparseLu,
+}
+
+impl<'a> ShiftInvertOperator<'a> {
+    /// Creates the operator from `C` and a factorization of `C + γG`.
+    pub fn new(c: &'a CsrMatrix, shifted_lu: &'a SparseLu) -> Self {
+        ShiftInvertOperator { c, shifted_lu }
+    }
+}
+
+impl KrylovOperator for ShiftInvertOperator<'_> {
+    fn dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
+        let cv = self.c.mul_vec(v);
+        self.shifted_lu.solve(&cv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_sparse::TripletMatrix;
+
+    fn diag(vals: &[f64]) -> CsrMatrix {
+        let mut t = TripletMatrix::new(vals.len(), vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            t.push(i, i, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn jacobian_operator_applies_minus_cinv_g() {
+        let c = diag(&[2.0, 4.0]);
+        let g = diag(&[1.0, 2.0]);
+        let c_lu = SparseLu::factorize(&c).unwrap();
+        let op = JacobianOperator::new(&g, &c_lu);
+        assert_eq!(op.dim(), 2);
+        let y = op.apply(&[1.0, 1.0]).unwrap();
+        assert!((y[0] + 0.5).abs() < 1e-14);
+        assert!((y[1] + 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_jacobian_operator_applies_minus_ginv_c() {
+        let c = diag(&[2.0, 4.0]);
+        let g = diag(&[1.0, 2.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let op = InverseJacobianOperator::new(&c, &g_lu);
+        let y = op.apply(&[1.0, 1.0]).unwrap();
+        assert!((y[0] + 2.0).abs() < 1e-14);
+        assert!((y[1] + 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn shift_invert_operator_matches_formula() {
+        let c = diag(&[1.0, 1.0]);
+        let g = diag(&[2.0, 4.0]);
+        let gamma = 0.5;
+        let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+        let lu = SparseLu::factorize(&shifted).unwrap();
+        let op = ShiftInvertOperator::new(&c, &lu);
+        let y = op.apply(&[1.0, 1.0]).unwrap();
+        // (1 + 0.5*2)^-1 = 0.5 ; (1 + 0.5*4)^-1 = 1/3
+        assert!((y[0] - 0.5).abs() < 1e-14);
+        assert!((y[1] - 1.0 / 3.0).abs() < 1e-14);
+    }
+}

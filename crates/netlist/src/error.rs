@@ -1,0 +1,82 @@
+//! Error types for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a circuit netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A device referenced a node name that could not be created or resolved.
+    UnknownNode {
+        /// The offending node name.
+        name: String,
+    },
+    /// A device parameter is out of its physical range (e.g. negative
+    /// resistance where not allowed, zero capacitance).
+    InvalidParameter {
+        /// Device name.
+        device: String,
+        /// Parameter name.
+        parameter: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// A netlist line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A duplicate device name was encountered.
+    DuplicateDevice {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The circuit has no unknowns (empty or everything grounded).
+    EmptyCircuit,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode { name } => write!(f, "unknown node '{name}'"),
+            NetlistError::InvalidParameter { device, parameter, value } => {
+                write!(f, "invalid parameter {parameter} = {value} on device '{device}'")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            NetlistError::DuplicateDevice { name } => write!(f, "duplicate device name '{name}'"),
+            NetlistError::EmptyCircuit => write!(f, "circuit has no unknowns"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Result alias for this crate.
+pub type NetlistResult<T> = Result<T, NetlistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetlistError::UnknownNode { name: "x".into() }.to_string().contains("x"));
+        assert!(NetlistError::EmptyCircuit.to_string().contains("no unknowns"));
+        let e = NetlistError::InvalidParameter { device: "R1".into(), parameter: "resistance", value: -1.0 };
+        assert!(e.to_string().contains("R1"));
+        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = NetlistError::DuplicateDevice { name: "M1".into() };
+        assert!(e.to_string().contains("M1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

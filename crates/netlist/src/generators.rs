@@ -1,0 +1,459 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on proprietary post-layout netlists (FreeCPU SPEF
+//! extractions, ckt1–ckt8). These generators build parameterised circuits with
+//! the same *structural* properties the paper's argument depends on —
+//! nonlinear driver count, capacitive coupling density, stiffness — at sizes
+//! that run on a laptop. See DESIGN.md §3 for the substitution rationale.
+//!
+//! Naming conventions (usable with [`Circuit::unknown_of`]):
+//!
+//! * `inverter_chain`: input `in`, stage outputs `s1 … sN`, supply `vdd`.
+//! * `rc_ladder`: input `in`, taps `n1 … nN`.
+//! * `power_grid`: pads `vdd`, grid nodes `g_<row>_<col>`.
+//! * `coupled_lines`: line nodes `l<line>_<segment>`, driver inputs `in<line>`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::devices::MosfetModel;
+use crate::error::NetlistResult;
+use crate::waveform::Waveform;
+
+/// Parameters for [`rc_ladder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcLadderSpec {
+    /// Number of RC segments.
+    pub segments: usize,
+    /// Series resistance per segment in ohms.
+    pub resistance: f64,
+    /// Shunt capacitance per segment in farads.
+    pub capacitance: f64,
+    /// Input waveform driven through an ideal voltage source.
+    pub input: Waveform,
+}
+
+impl Default for RcLadderSpec {
+    fn default() -> Self {
+        RcLadderSpec {
+            segments: 10,
+            resistance: 100.0,
+            capacitance: 1e-13,
+            input: Waveform::single_pulse(0.0, 1.0, 0.0, 1e-11, 1e-11, 1e-8),
+        }
+    }
+}
+
+/// Builds a uniform RC transmission-line ladder driven by a voltage source.
+///
+/// # Errors
+///
+/// Propagates device-construction errors (they indicate invalid spec values).
+pub fn rc_ladder(spec: &RcLadderSpec) -> NetlistResult<Circuit> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vin = ckt.node("in");
+    ckt.add_voltage_source("Vin", vin, gnd, spec.input.clone())?;
+    let mut prev = vin;
+    for i in 1..=spec.segments {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(&format!("R{i}"), prev, node, spec.resistance)?;
+        ckt.add_capacitor(&format!("C{i}"), node, gnd, spec.capacitance)?;
+        prev = node;
+    }
+    Ok(ckt)
+}
+
+/// Parameters for [`inverter_chain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InverterChainSpec {
+    /// Number of inverter stages.
+    pub stages: usize,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Load capacitance at every stage output in farads.
+    pub load_capacitance: f64,
+    /// Wire resistance between consecutive stages in ohms.
+    pub wire_resistance: f64,
+    /// Wire (parasitic) capacitance between consecutive stages in farads.
+    pub wire_capacitance: f64,
+    /// Fan-out factor: width multiplier applied cumulatively along the chain.
+    pub fanout: f64,
+    /// Input waveform.
+    pub input: Waveform,
+}
+
+impl Default for InverterChainSpec {
+    fn default() -> Self {
+        InverterChainSpec {
+            stages: 8,
+            vdd: 1.0,
+            load_capacitance: 2e-15,
+            wire_resistance: 50.0,
+            wire_capacitance: 1e-15,
+            fanout: 1.0,
+            input: Waveform::single_pulse(0.0, 1.0, 1e-10, 2e-11, 2e-11, 2e-9),
+        }
+    }
+}
+
+/// Builds a CMOS inverter chain — the stiff nonlinear demonstration circuit
+/// used for the paper's Fig. 2 accuracy comparison.
+///
+/// Each stage is a PMOS/NMOS pair; stages are connected through a short RC
+/// wire and loaded with a capacitor, so the circuit mixes fast device
+/// nonlinearities with slower interconnect time constants (stiffness).
+///
+/// # Errors
+///
+/// Propagates device-construction errors.
+pub fn inverter_chain(spec: &InverterChainSpec) -> NetlistResult<Circuit> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(spec.vdd))?;
+    ckt.add_voltage_source("Vin", vin, gnd, spec.input.clone())?;
+    let mut stage_in = vin;
+    let mut width = 1.0;
+    for s in 1..=spec.stages {
+        let out = ckt.node(&format!("s{s}"));
+        let nmos = MosfetModel::nmos().scaled_width(width);
+        let pmos = MosfetModel::pmos().scaled_width(width);
+        ckt.add_mosfet(&format!("MN{s}"), out, stage_in, gnd, nmos)?;
+        ckt.add_mosfet(&format!("MP{s}"), out, stage_in, vdd, pmos)?;
+        ckt.add_capacitor(&format!("CL{s}"), out, gnd, spec.load_capacitance * width)?;
+        // Interconnect to the next stage.
+        if s < spec.stages {
+            let wire = ckt.node(&format!("w{s}"));
+            ckt.add_resistor(&format!("RW{s}"), out, wire, spec.wire_resistance)?;
+            ckt.add_capacitor(&format!("CW{s}"), wire, gnd, spec.wire_capacitance)?;
+            stage_in = wire;
+        }
+        width *= spec.fanout;
+    }
+    Ok(ckt)
+}
+
+/// Parameters for [`power_grid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGridSpec {
+    /// Number of rows in the mesh.
+    pub rows: usize,
+    /// Number of columns in the mesh.
+    pub cols: usize,
+    /// Resistance of each mesh segment in ohms.
+    pub segment_resistance: f64,
+    /// Decoupling capacitance at each grid node in farads.
+    pub node_capacitance: f64,
+    /// Supply voltage at the pads.
+    pub vdd: f64,
+    /// Number of current sinks (switching blocks) attached to grid nodes.
+    pub num_sinks: usize,
+    /// Peak sink current in amperes.
+    pub sink_current: f64,
+    /// Seed used to place the sinks.
+    pub seed: u64,
+}
+
+impl Default for PowerGridSpec {
+    fn default() -> Self {
+        PowerGridSpec {
+            rows: 8,
+            cols: 8,
+            segment_resistance: 1.0,
+            node_capacitance: 1e-13,
+            vdd: 1.0,
+            num_sinks: 8,
+            sink_current: 5e-3,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds a power-distribution-network mesh: resistive grid, decoupling
+/// capacitors, corner supply pads and pulsed current sinks.
+///
+/// # Errors
+///
+/// Propagates device-construction errors.
+pub fn power_grid(spec: &PowerGridSpec) -> NetlistResult<Circuit> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vdd = ckt.node("vdd");
+    ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(spec.vdd))?;
+    let node_name = |r: usize, c: usize| format!("g_{r}_{c}");
+    // Grid nodes, decap and mesh resistors.
+    for r in 0..spec.rows {
+        for c in 0..spec.cols {
+            let n = ckt.node(&node_name(r, c));
+            ckt.add_capacitor(&format!("Cd_{r}_{c}"), n, gnd, spec.node_capacitance)?;
+            if c + 1 < spec.cols {
+                let right = ckt.node(&node_name(r, c + 1));
+                ckt.add_resistor(&format!("Rh_{r}_{c}"), n, right, spec.segment_resistance)?;
+            }
+            if r + 1 < spec.rows {
+                let down = ckt.node(&node_name(r + 1, c));
+                ckt.add_resistor(&format!("Rv_{r}_{c}"), n, down, spec.segment_resistance)?;
+            }
+        }
+    }
+    // Supply pads at the four corners (through small package resistances).
+    for (i, (r, c)) in [
+        (0, 0),
+        (0, spec.cols.saturating_sub(1)),
+        (spec.rows.saturating_sub(1), 0),
+        (spec.rows.saturating_sub(1), spec.cols.saturating_sub(1)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let n = ckt.node(&node_name(*r, *c));
+        ckt.add_resistor(&format!("Rpad{i}"), vdd, n, 0.1)?;
+    }
+    // Random pulsed current sinks model switching logic blocks.
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    for k in 0..spec.num_sinks {
+        let r = rng.gen_range(0..spec.rows);
+        let c = rng.gen_range(0..spec.cols);
+        let n = ckt.node(&node_name(r, c));
+        let delay = rng.gen_range(0.0..2e-9);
+        let wave = Waveform::Pulse {
+            v1: 0.0,
+            v2: spec.sink_current,
+            delay,
+            rise: 5e-11,
+            fall: 5e-11,
+            width: 5e-10,
+            period: 4e-9,
+        };
+        // Current is drawn from the grid node to ground.
+        ckt.add_current_source(&format!("Isink{k}"), n, gnd, wave)?;
+    }
+    Ok(ckt)
+}
+
+/// Parameters for [`coupled_lines`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledLinesSpec {
+    /// Number of parallel interconnect lines.
+    pub lines: usize,
+    /// Number of RC segments per line.
+    pub segments: usize,
+    /// Series resistance per segment in ohms.
+    pub segment_resistance: f64,
+    /// Ground capacitance per segment in farads.
+    pub ground_capacitance: f64,
+    /// Coupling capacitance between vertically adjacent segments in farads
+    /// (set to 0 to disable nearest-neighbour coupling).
+    pub coupling_capacitance: f64,
+    /// Number of *additional* random coupling capacitors injected across the
+    /// whole structure, emulating a detailed parasitic extraction. This is the
+    /// knob that controls `nnz(C)` in the Table I reproduction.
+    pub random_couplings: usize,
+    /// Whether each line is driven by a CMOS inverter (nonlinear driver) or an
+    /// ideal voltage source with series resistance.
+    pub mosfet_drivers: bool,
+    /// Supply voltage for the drivers.
+    pub vdd: f64,
+    /// Seed for the random coupling placement and input skews.
+    pub seed: u64,
+}
+
+impl Default for CoupledLinesSpec {
+    fn default() -> Self {
+        CoupledLinesSpec {
+            lines: 8,
+            segments: 20,
+            segment_resistance: 20.0,
+            ground_capacitance: 5e-15,
+            coupling_capacitance: 2e-15,
+            random_couplings: 0,
+            mosfet_drivers: true,
+            vdd: 1.0,
+            seed: 11,
+        }
+    }
+}
+
+/// Builds a bundle of parallel driven interconnect lines with controllable
+/// capacitive coupling — the post-layout "strongly coupled parasitics"
+/// workload at the heart of the paper's Table I.
+///
+/// # Errors
+///
+/// Propagates device-construction errors.
+pub fn coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vdd = ckt.node("vdd");
+    ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(spec.vdd))?;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let node_name = |line: usize, seg: usize| format!("l{line}_{seg}");
+
+    for line in 0..spec.lines {
+        let input = ckt.node(&format!("in{line}"));
+        let delay = 1e-10 + rng.gen_range(0.0..2e-10);
+        let wave = Waveform::Pulse {
+            v1: 0.0,
+            v2: spec.vdd,
+            delay,
+            rise: 2e-11,
+            fall: 2e-11,
+            width: 1e-9,
+            period: 2.5e-9,
+        };
+        ckt.add_voltage_source(&format!("Vin{line}"), input, gnd, wave)?;
+        // Driver: inverter or linear source resistance.
+        let first = ckt.node(&node_name(line, 0));
+        if spec.mosfet_drivers {
+            ckt.add_mosfet(
+                &format!("MN{line}"),
+                first,
+                input,
+                gnd,
+                MosfetModel::nmos().scaled_width(4.0),
+            )?;
+            ckt.add_mosfet(
+                &format!("MP{line}"),
+                first,
+                input,
+                vdd,
+                MosfetModel::pmos().scaled_width(4.0),
+            )?;
+        } else {
+            ckt.add_resistor(&format!("Rdrv{line}"), input, first, 200.0)?;
+        }
+        ckt.add_capacitor(&format!("Cd{line}"), first, gnd, spec.ground_capacitance)?;
+        // The RC line itself.
+        let mut prev = first;
+        for seg in 1..spec.segments {
+            let node = ckt.node(&node_name(line, seg));
+            ckt.add_resistor(&format!("R{line}_{seg}"), prev, node, spec.segment_resistance)?;
+            ckt.add_capacitor(&format!("C{line}_{seg}"), node, gnd, spec.ground_capacitance)?;
+            prev = node;
+        }
+    }
+    // Nearest-neighbour coupling between adjacent lines.
+    if spec.coupling_capacitance > 0.0 {
+        for line in 0..spec.lines.saturating_sub(1) {
+            for seg in 0..spec.segments {
+                let a = ckt.node(&node_name(line, seg));
+                let b = ckt.node(&node_name(line + 1, seg));
+                ckt.add_capacitor(
+                    &format!("Cc{line}_{seg}"),
+                    a,
+                    b,
+                    spec.coupling_capacitance,
+                )?;
+            }
+        }
+    }
+    // Random long-range couplings emulating a dense extracted SPEF.
+    for k in 0..spec.random_couplings {
+        let la = rng.gen_range(0..spec.lines);
+        let lb = rng.gen_range(0..spec.lines);
+        let sa = rng.gen_range(0..spec.segments);
+        let sb = rng.gen_range(0..spec.segments);
+        let a = ckt.node(&node_name(la, sa));
+        let b = ckt.node(&node_name(lb, sb));
+        if a == b {
+            continue;
+        }
+        let value = spec.coupling_capacitance.max(1e-16) * rng.gen_range(0.2..1.5);
+        ckt.add_capacitor(&format!("Cx{k}"), a, b, value)?;
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_ladder_structure() {
+        let ckt = rc_ladder(&RcLadderSpec { segments: 5, ..RcLadderSpec::default() }).unwrap();
+        // 5 internal nodes + input node + 1 branch current.
+        assert_eq!(ckt.num_unknowns(), 7);
+        assert_eq!(ckt.num_devices(), 11);
+        assert!(ckt.unknown_of("n5").is_some());
+    }
+
+    #[test]
+    fn inverter_chain_structure() {
+        let spec = InverterChainSpec { stages: 4, ..InverterChainSpec::default() };
+        let ckt = inverter_chain(&spec).unwrap();
+        assert_eq!(ckt.num_nonlinear_devices(), 8);
+        assert!(ckt.unknown_of("s4").is_some());
+        assert!(ckt.unknown_of("s1").is_some());
+        // in, vdd, s1..s4, w1..w3 plus 2 branch currents.
+        assert_eq!(ckt.num_unknowns(), 2 + 4 + 3 + 2);
+        let ev = ckt.evaluate(&vec![0.0; ckt.num_unknowns()]).unwrap();
+        assert!(ev.c.nnz() > 0);
+        assert!(ev.g.nnz() > 0);
+    }
+
+    #[test]
+    fn power_grid_structure() {
+        let spec = PowerGridSpec { rows: 4, cols: 5, num_sinks: 3, ..PowerGridSpec::default() };
+        let ckt = power_grid(&spec).unwrap();
+        // 20 grid nodes + vdd + 1 branch.
+        assert_eq!(ckt.num_unknowns(), 22);
+        assert!(ckt.unknown_of("g_3_4").is_some());
+        assert_eq!(ckt.num_sources(), 1 + 3);
+    }
+
+    #[test]
+    fn coupled_lines_coupling_density_knob() {
+        let sparse_spec = CoupledLinesSpec {
+            lines: 4,
+            segments: 10,
+            coupling_capacitance: 0.0,
+            random_couplings: 0,
+            mosfet_drivers: false,
+            ..CoupledLinesSpec::default()
+        };
+        let dense_spec = CoupledLinesSpec {
+            coupling_capacitance: 2e-15,
+            random_couplings: 200,
+            ..sparse_spec.clone()
+        };
+        let sparse = coupled_lines(&sparse_spec).unwrap();
+        let dense = coupled_lines(&dense_spec).unwrap();
+        let xs = vec![0.0; sparse.num_unknowns()];
+        let xd = vec![0.0; dense.num_unknowns()];
+        let es = sparse.evaluate(&xs).unwrap();
+        let ed = dense.evaluate(&xd).unwrap();
+        assert_eq!(sparse.num_unknowns(), dense.num_unknowns());
+        assert!(
+            ed.c.nnz() > 2 * es.c.nnz(),
+            "coupling knob should grow nnz(C): {} vs {}",
+            ed.c.nnz(),
+            es.c.nnz()
+        );
+        // G is unaffected by the added capacitive coupling.
+        assert_eq!(es.g.nnz(), ed.g.nnz());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = CoupledLinesSpec { random_couplings: 50, ..CoupledLinesSpec::default() };
+        let a = coupled_lines(&spec).unwrap();
+        let b = coupled_lines(&spec).unwrap();
+        assert_eq!(a.num_devices(), b.num_devices());
+        let x = vec![0.0; a.num_unknowns()];
+        let ea = a.evaluate(&x).unwrap();
+        let eb = b.evaluate(&x).unwrap();
+        assert_eq!(ea.c.nnz(), eb.c.nnz());
+        assert_eq!(ea.g.values(), eb.g.values());
+    }
+
+    #[test]
+    fn mosfet_drivers_add_nonlinear_devices() {
+        let with = coupled_lines(&CoupledLinesSpec { lines: 3, mosfet_drivers: true, ..CoupledLinesSpec::default() }).unwrap();
+        let without = coupled_lines(&CoupledLinesSpec { lines: 3, mosfet_drivers: false, ..CoupledLinesSpec::default() }).unwrap();
+        assert_eq!(with.num_nonlinear_devices(), 6);
+        assert_eq!(without.num_nonlinear_devices(), 0);
+    }
+}

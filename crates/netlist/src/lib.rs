@@ -1,0 +1,57 @@
+//! # exi-netlist
+//!
+//! Circuit netlist representation, device models, MNA stamping, a small
+//! SPICE-like parser and synthetic workload generators for the `exi-sim`
+//! exponential-integrator circuit simulator (reproduction of Zhuang et al.,
+//! DAC 2015).
+//!
+//! The crate produces everything the integrators in `exi-sim` consume: at any
+//! state `x` a [`Circuit`] can be evaluated into the matrices and vectors of
+//! the nonlinear MNA system
+//!
+//! ```text
+//! C(x)·dx/dt + f(x) = B·u(t)
+//! ```
+//!
+//! (paper Eq. 1), plus the constant incidence matrix `B`, the stimulus vector
+//! `u(t)` and the waveform breakpoints used for step-size alignment.
+//!
+//! # Examples
+//!
+//! Build an RC low-pass filter programmatically:
+//!
+//! ```
+//! use exi_netlist::{Circuit, Waveform};
+//!
+//! # fn main() -> Result<(), exi_netlist::NetlistError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! let gnd = ckt.node("0");
+//! ckt.add_voltage_source("Vin", vin, gnd, Waveform::single_pulse(0.0, 1.0, 0.0, 1e-11, 1e-11, 5e-9))?;
+//! ckt.add_resistor("R1", vin, out, 1e3)?;
+//! ckt.add_capacitor("C1", out, gnd, 1e-12)?;
+//! let eval = ckt.evaluate(&vec![0.0; ckt.num_unknowns()])?;
+//! assert_eq!(eval.g.rows(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or parse a SPICE-like netlist with [`parse_netlist`].
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod devices;
+pub mod error;
+pub mod generators;
+pub mod node;
+pub mod parser;
+pub mod waveform;
+
+pub use circuit::{Circuit, Evaluation};
+pub use devices::{Device, DiodeModel, MosfetModel, MosfetPolarity};
+pub use error::{NetlistError, NetlistResult};
+pub use node::NodeId;
+pub use parser::{parse_netlist, parse_value};
+pub use waveform::Waveform;

@@ -1,0 +1,140 @@
+//! Circuit nodes and the mapping from node names to MNA unknowns.
+
+use std::collections::HashMap;
+
+/// Identifier of a circuit node.
+///
+/// Node `0` is always the ground/reference node; it never contributes an
+/// unknown to the MNA system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage unknown in the MNA vector, or `None` for
+    /// ground.
+    pub fn unknown(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Registry of node names.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    names: HashMap<String, NodeId>,
+    labels: Vec<String>,
+    next: usize,
+}
+
+impl NodeMap {
+    /// Creates an empty registry containing only the ground node (named `0`,
+    /// `gnd` or `GND`).
+    pub fn new() -> Self {
+        NodeMap { names: HashMap::new(), labels: vec!["0".to_string()], next: 1 }
+    }
+
+    /// Returns the node for `name`, creating it if necessary.
+    ///
+    /// The names `0`, `gnd`, `GND`, `ground` and `vss!`-style ground aliases
+    /// all map to [`NodeId::GROUND`].
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if is_ground_name(name) {
+            return NodeId::GROUND;
+        }
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = NodeId(self.next);
+        self.next += 1;
+        self.names.insert(name.to_string(), id);
+        self.labels.push(name.to_string());
+        id
+    }
+
+    /// Looks up an existing node without creating it.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        if is_ground_name(name) {
+            Some(NodeId::GROUND)
+        } else {
+            self.names.get(name).copied()
+        }
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Number of non-ground nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.next - 1
+    }
+
+    /// Iterates over `(name, id)` pairs of non-ground nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.names.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+fn is_ground_name(name: &str) -> bool {
+    matches!(name, "0") || name.eq_ignore_ascii_case("gnd") || name.eq_ignore_ascii_case("ground")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut m = NodeMap::new();
+        assert!(m.node("0").is_ground());
+        assert!(m.node("gnd").is_ground());
+        assert!(m.node("GND").is_ground());
+        assert!(m.node("ground").is_ground());
+        assert_eq!(m.num_nodes(), 0);
+        assert_eq!(NodeId::GROUND.unknown(), None);
+    }
+
+    #[test]
+    fn nodes_are_created_once() {
+        let mut m = NodeMap::new();
+        let a = m.node("in");
+        let b = m.node("out");
+        let a2 = m.node("in");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(a.unknown(), Some(0));
+        assert_eq!(b.unknown(), Some(1));
+        assert_eq!(m.name(a), "in");
+        assert_eq!(m.find("out"), Some(b));
+        assert_eq!(m.find("nope"), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeId::GROUND.to_string(), "gnd");
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,183 @@
+//! Coordinate (triplet) format sparse matrix builder.
+//!
+//! MNA stamping naturally produces `(row, col, value)` triplets with many
+//! duplicates (each device stamps a handful of entries, several devices touch
+//! the same node pair). [`TripletMatrix`] collects them and compresses into
+//! [`CsrMatrix`](crate::CsrMatrix), summing duplicates.
+
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+
+/// Sparse matrix builder in coordinate (COO / triplet) form.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicates are summed during compression
+/// t.push(1, 1, 5.0);
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with pre-allocated capacity for `cap` triplets.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        TripletMatrix { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (uncompressed) triplets currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Zero values are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds; stamping code controls its
+    /// indices and an out-of-range stamp is a programming error.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Fallible variant of [`push`](Self::push) for user-supplied data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] when the indices are outside
+    /// the matrix dimensions.
+    pub fn try_push(&mut self, row: usize, col: usize, value: f64) -> SparseResult<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+        Ok(())
+    }
+
+    /// Iterates over the raw triplets.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+
+    /// Removes all triplets, keeping the allocation and dimensions.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Compresses into CSR format, summing duplicate entries and dropping
+    /// entries that cancel to exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_compress() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, -1.0);
+        t.push(2, 2, 0.0); // ignored
+        assert_eq!(t.len(), 4);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(2, 0), -1.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 4.0);
+        t.push(0, 1, -4.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn try_push_bounds() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(t.try_push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            t.try_push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_panics_out_of_bounds() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut t = TripletMatrix::with_capacity(2, 2, 4);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! The sparse LU factorization ([`crate::lu::SparseLu`]) is column-oriented
+//! (Gilbert–Peierls), so it consumes matrices in CSC form. The simulator keeps
+//! its matrices in CSR and converts on demand; the conversion is a single
+//! counting pass.
+
+use crate::csr::CsrMatrix;
+
+/// An immutable sparse matrix in compressed sparse column format.
+///
+/// Row indices within each column are sorted and unique.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{CscMatrix, TripletMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(1, 0, 2.0);
+/// t.push(1, 1, 3.0);
+/// let a = CscMatrix::from_csr(&t.to_csr());
+/// let (rows, vals) = a.col(0);
+/// assert_eq!(rows, &[0, 1]);
+/// assert_eq!(vals, &[1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Creates an empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CscMatrix { rows, cols, colptr: vec![0; cols + 1], rowidx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Converts a CSR matrix into CSC form.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        let mut colptr = vec![0usize; cols + 1];
+        for &c in a.indices() {
+            colptr[c + 1] += 1;
+        }
+        for j in 0..cols {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut rowidx = vec![0usize; a.nnz()];
+        let mut values = vec![0.0f64; a.nnz()];
+        let mut next = colptr.clone();
+        for i in 0..rows {
+            let (ci, vi) = a.row(i);
+            for (c, v) in ci.iter().zip(vi.iter()) {
+                let pos = next[*c];
+                rowidx[pos] = i;
+                values[pos] = *v;
+                next[*c] += 1;
+            }
+        }
+        CscMatrix { rows, cols, colptr, rowidx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (`cols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row index array.
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the stored row indices and values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        assert!(j < self.cols, "column index out of bounds");
+        let s = self.colptr[j];
+        let e = self.colptr[j + 1];
+        (&self.rowidx[s..e], &self.values[s..e])
+    }
+
+    /// Returns the value at `(i, j)`, or `0.0` if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i >= self.rows || j >= self.cols {
+            return 0.0;
+        }
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts back to CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> = (0..self.cols)
+            .flat_map(|j| {
+                let (rows, vals) = self.col(j);
+                rows.iter().zip(vals.iter()).map(move |(r, v)| (*r, j, *v)).collect::<Vec<_>>()
+            })
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+impl From<&CsrMatrix> for CscMatrix {
+    fn from(a: &CsrMatrix) -> Self {
+        CscMatrix::from_csr(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 4.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 5.0);
+        t.push(2, 0, 2.0);
+        t.push(2, 2, 3.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn csr_to_csc_roundtrip() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), a.nnz());
+        assert_eq!(c.get(0, 2), 1.0);
+        assert_eq!(c.get(2, 0), 2.0);
+        assert_eq!(c.get(1, 0), 0.0);
+        let back = c.to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn columns_are_sorted() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        for j in 0..c.cols() {
+            let (rows, _) = c.col(j);
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_trait() {
+        let a = sample_csr();
+        let c: CscMatrix = (&a).into();
+        assert_eq!(c.rows(), 3);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CscMatrix::zeros(4, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.colptr().len(), 3);
+    }
+}

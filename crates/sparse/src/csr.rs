@@ -1,0 +1,523 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the working format of the simulator: MNA matrices `G` and `C` are
+//! assembled into CSR, matrix-vector products (the inner loop of Krylov
+//! subspace construction) iterate rows contiguously, and linear combinations
+//! such as `C/h + G` (needed by the backward-Euler baseline) are computed by
+//! merging rows.
+
+use crate::error::{SparseError, SparseResult};
+use crate::DenseMatrix;
+
+/// An immutable sparse matrix in compressed sparse row format.
+///
+/// Column indices within each row are sorted and unique.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{CsrMatrix, TripletMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(0, 1, -1.0);
+/// t.push(1, 1, 3.0);
+/// let a: CsrMatrix = t.to_csr();
+/// assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![1.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let indptr = (0..=n).collect();
+        let indices = (0..n).collect();
+        let values = vec![1.0; n];
+        CsrMatrix { rows: n, cols: n, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix from raw triplets, summing duplicates and dropping
+    /// entries that sum to exactly zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        // Count entries per row (including duplicates first).
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        // Bucket triplets by row.
+        let mut col_buf = vec![0usize; triplets.len()];
+        let mut val_buf = vec![0.0f64; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let pos = next[r];
+            col_buf[pos] = c;
+            val_buf[pos] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and accumulate duplicates.
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        for r in 0..rows {
+            let start = counts[r];
+            let end = counts[r + 1];
+            let mut row: Vec<(usize, f64)> =
+                (start..end).map(|k| (col_buf[k], val_buf[k])).collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let col = row[i].0;
+                let mut sum = 0.0;
+                while i < row.len() && row[i].0 == col {
+                    sum += row[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    indices.push(col);
+                    values.push(sum);
+                }
+            }
+            indptr[r + 1] = indices.len();
+        }
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix directly from its raw components.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the structure is inconsistent (wrong `indptr`
+    /// length, unsorted or out-of-range column indices, value/index length
+    /// mismatch).
+    pub fn try_from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> SparseResult<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr indptr length",
+                expected: rows + 1,
+                found: indptr.len(),
+            });
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr indices/values length",
+                expected: indices.len(),
+                found: values.len(),
+            });
+        }
+        if *indptr.last().unwrap_or(&0) != indices.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr indptr terminator",
+                expected: indices.len(),
+                found: *indptr.last().unwrap_or(&0),
+            });
+        }
+        for r in 0..rows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(SparseError::DimensionMismatch {
+                    op: "csr indptr monotonicity",
+                    expected: indptr[r],
+                    found: indptr[r + 1],
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for k in indptr[r]..indptr[r + 1] {
+                let c = indices[k];
+                if c >= cols {
+                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::DimensionMismatch {
+                            op: "csr sorted columns",
+                            expected: p + 1,
+                            found: c,
+                        });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the stored columns and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "row index out of bounds");
+        let s = self.indptr[i];
+        let e = self.indptr[i + 1];
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Returns the value at `(i, j)`, or `0.0` if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i >= self.rows || j >= self.cols {
+            return 0.0;
+        }
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix - dense vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix - dense vector product written into a caller-provided
+    /// buffer (`y = A x`), avoiding an allocation in hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec: y dimension mismatch");
+        for i in 0..self.rows {
+            let s = self.indptr[i];
+            let e = self.indptr[i + 1];
+            let mut acc = 0.0;
+            for k in s..e {
+                acc += self.values[k] * x[self.indices[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Transpose-vector product `y = Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn mul_vec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "mul_vec_transpose: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let s = self.indptr[i];
+            let e = self.indptr[i + 1];
+            for k in s..e {
+                y[self.indices[k]] += self.values[k] * xi;
+            }
+        }
+        y
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        // Prefix-sum the per-column counts to obtain the transpose's row pointers.
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = indptr.clone();
+        for i in 0..self.rows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k];
+                let pos = next[c];
+                indices[pos] = i;
+                values[pos] = self.values[k];
+                next[c] += 1;
+            }
+        }
+        // Rows of the transpose are filled in increasing original-row order,
+        // so the column indices of each transposed row are already sorted.
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Returns `alpha * self` as a new matrix.
+    pub fn scaled(&self, alpha: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in out.values.iter_mut() {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Computes the linear combination `alpha * A + beta * B`.
+    ///
+    /// This is the operation the backward-Euler baseline uses to form
+    /// `C/h + G` at every accepted step size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the shapes differ.
+    pub fn linear_combination(
+        alpha: f64,
+        a: &CsrMatrix,
+        beta: f64,
+        b: &CsrMatrix,
+    ) -> SparseResult<CsrMatrix> {
+        if a.rows != b.rows || a.cols != b.cols {
+            return Err(SparseError::DimensionMismatch {
+                op: "linear_combination shape",
+                expected: a.rows,
+                found: b.rows,
+            });
+        }
+        let rows = a.rows;
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+        let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+        for i in 0..rows {
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() || q < bc.len() {
+                let (col, val) = if q >= bc.len() || (p < ac.len() && ac[p] < bc[q]) {
+                    let out = (ac[p], alpha * av[p]);
+                    p += 1;
+                    out
+                } else if p >= ac.len() || bc[q] < ac[p] {
+                    let out = (bc[q], beta * bv[q]);
+                    q += 1;
+                    out
+                } else {
+                    let out = (ac[p], alpha * av[p] + beta * bv[q]);
+                    p += 1;
+                    q += 1;
+                    out
+                };
+                if val != 0.0 {
+                    indices.push(col);
+                    values.push(val);
+                }
+            }
+            indptr[i + 1] = indices.len();
+        }
+        Ok(CsrMatrix { rows, cols: a.cols, indptr, indices, values })
+    }
+
+    /// Returns the main diagonal as a dense vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Converts to a dense matrix (intended for tests and tiny matrices).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                d.set(i, *c, *v);
+            }
+        }
+        d
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.rows {
+            let (_, vals) = self.row(i);
+            let s: f64 = vals.iter().map(|v| v.abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let s = self.indptr[i];
+            let e = self.indptr[i + 1];
+            (s..e).map(move |k| (i, self.indices[k], self.values[k]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 4.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 5.0);
+        t.push(2, 0, 2.0);
+        t.push(2, 2, 3.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn structure_and_access() {
+        let a = sample();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.diagonal(), vec![4.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = a.mul_vec(&x);
+        let d = a.to_dense();
+        let yd = d.matvec(&x);
+        for (u, v) in y.iter().zip(yd.iter()) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.get(2, 0), 1.0);
+        assert_eq!(t.get(0, 2), 2.0);
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn transpose_vec_matches_transpose_mul() {
+        let a = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        let y1 = a.mul_vec_transpose(&x);
+        let y2 = a.transpose().mul_vec(&x);
+        for (u, v) in y1.iter().zip(y2.iter()) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn linear_combination_forms_c_over_h_plus_g() {
+        let g = sample();
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 2, 2.0);
+        let c = t.to_csr();
+        let h = 0.5;
+        let m = CsrMatrix::linear_combination(1.0 / h, &c, 1.0, &g).unwrap();
+        assert_eq!(m.get(0, 0), 4.0 + 2.0);
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn linear_combination_shape_mismatch() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(3, 3);
+        assert!(CsrMatrix::linear_combination(1.0, &a, 1.0, &b).is_err());
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        let z = CsrMatrix::zeros(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.mul_vec(&[1.0; 5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_from_raw_validates() {
+        // Valid.
+        let ok = CsrMatrix::try_from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(ok.is_ok());
+        // Bad indptr length.
+        assert!(CsrMatrix::try_from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Unsorted columns.
+        assert!(
+            CsrMatrix::try_from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::try_from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let a = sample();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), 5);
+        assert!(entries.contains(&(2, 2, 3.0)));
+    }
+
+    #[test]
+    fn norm_inf_is_max_row_sum() {
+        let a = sample();
+        assert_eq!(a.norm_inf(), 5.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Small dense matrices.
+//!
+//! The Krylov-subspace kernels project the large sparse problem onto an
+//! `m x m` upper-Hessenberg matrix with `m` typically below 100. All dense
+//! work (matrix exponential, phi functions, small solves) happens on
+//! [`DenseMatrix`], a plain row-major `Vec<f64>` container. This is not meant
+//! to compete with a BLAS; it is deliberately simple, allocation-friendly and
+//! easy to audit.
+
+use crate::error::{SparseError, SparseResult};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = DenseMatrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix { rows: nrows, cols: ncols, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: wrong data length");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "dense get out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "dense set out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to the entry at `(i, j)`.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "dense add_to out of bounds");
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Returns a view of row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "dense row out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the top-left `r x c` sub-matrix as a new matrix.
+    ///
+    /// Used to extract `H_m` from the `(m+1) x m` Arnoldi Hessenberg matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > rows` or `c > cols`.
+    pub fn submatrix(&self, r: usize, c: usize) -> DenseMatrix {
+        assert!(r <= self.rows && c <= self.cols, "submatrix out of bounds");
+        let mut out = DenseMatrix::zeros(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(i, j, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += aik * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Returns `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add: shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Returns `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub: shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a - b).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scale(&self, alpha: f64) -> DenseMatrix {
+        let data = self.data.iter().map(|a| alpha * a).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// One-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for j in 0..self.cols {
+            let mut s = 0.0;
+            for i in 0..self.rows {
+                s += self.get(i, j).abs();
+            }
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Infinity-norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.rows {
+            let s: f64 = self.row(i).iter().map(|v| v.abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Solves the dense linear system `self * x = b` with partial pivoting.
+    ///
+    /// Intended for the small projected systems produced by the Krylov
+    /// kernels (`m` up to a few hundred).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] if the matrix is not square,
+    /// [`SparseError::DimensionMismatch`] if `b` has the wrong length, and
+    /// [`SparseError::Singular`] if a pivot collapses below `1e-300`.
+    pub fn solve(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(SparseError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        if b.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                op: "dense solve rhs",
+                expected: self.rows,
+                found: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at or below row k.
+            let mut piv = k;
+            let mut piv_val = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > piv_val {
+                    piv = i;
+                    piv_val = v;
+                }
+            }
+            if piv_val < 1e-300 {
+                return Err(SparseError::Singular { column: k });
+            }
+            if piv != k {
+                for j in 0..n {
+                    a.swap(k * n + j, piv * n + j);
+                }
+                x.swap(k, piv);
+            }
+            let akk = a[k * n + k];
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / akk;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in k..n {
+                    a[i * n + j] -= factor * a[k * n + j];
+                }
+                x[i] -= factor * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for j in (k + 1)..n {
+                s -= a[k * n + j] * x[j];
+            }
+            x[k] = s / a[k * n + k];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseMatrix::solve`].
+    pub fn inverse(&self) -> SparseResult<DenseMatrix> {
+        if self.rows != self.cols {
+            return Err(SparseError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        let n = self.rows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        // Solve against each unit vector; adequate for the small matrices we handle.
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn matmul_matvec_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(1, 1), 50.0);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        let t = a.transpose();
+        assert_eq!(t.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]);
+        assert_eq!(a.norm_one(), 6.0);
+        assert_eq!(a.norm_inf(), 7.0);
+        assert!((a.norm_fro() - (30.0_f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        // Solution of [[2,1],[1,3]] x = [3,5] is [0.8, 1.4]
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        let i = DenseMatrix::identity(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((prod.get(r, c) - i.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_extracts_leading_block() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let s = a.submatrix(2, 2);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn non_square_solve_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.solve(&[0.0, 0.0]), Err(SparseError::NotSquare { .. })));
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the sparse linear algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix construction, factorization and solves.
+///
+/// All public fallible operations in this crate return [`SparseError`] so that
+/// callers (the simulator engines) can distinguish between recoverable
+/// conditions (e.g. a fill budget being exceeded, which the benchmark harness
+/// uses to emulate an out-of-memory condition) and genuine numerical failures
+/// (structural or numerical singularity).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A matrix dimension did not match what the operation required.
+    DimensionMismatch {
+        /// Human readable description of the operation that failed.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension that was actually supplied.
+        found: usize,
+    },
+    /// An entry was addressed outside of the matrix bounds.
+    IndexOutOfBounds {
+        /// Row index requested.
+        row: usize,
+        /// Column index requested.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// The matrix is structurally or numerically singular.
+    Singular {
+        /// Column (in factorization order) at which no acceptable pivot was found.
+        column: usize,
+    },
+    /// The factorization exceeded the configured fill (memory) budget.
+    FillBudgetExceeded {
+        /// Number of nonzeros that the factorization reached.
+        reached: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// An iterative process failed to converge.
+    ConvergenceFailure {
+        /// Description of the process.
+        what: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, expected, found } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            }
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "index ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular (no pivot found at column {column})")
+            }
+            SparseError::FillBudgetExceeded { reached, budget } => {
+                write!(f, "factorization fill {reached} exceeded budget {budget}")
+            }
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            SparseError::ConvergenceFailure { what, iterations } => {
+                write!(f, "{what} failed to converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+/// Convenient result alias used throughout the crate.
+pub type SparseResult<T> = Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SparseError::Singular { column: 3 };
+        assert!(e.to_string().contains("singular"));
+        let e = SparseError::FillBudgetExceeded { reached: 10, budget: 5 };
+        assert!(e.to_string().contains("budget"));
+        let e = SparseError::DimensionMismatch { op: "spmv", expected: 4, found: 3 };
+        assert!(e.to_string().contains("spmv"));
+        let e = SparseError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = SparseError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("square"));
+        let e = SparseError::ConvergenceFailure { what: "arnoldi", iterations: 7 };
+        assert!(e.to_string().contains("converge"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # exi-sparse
+//!
+//! Sparse and small dense linear algebra substrate for the `exi-sim`
+//! exponential-integrator circuit simulator (a reproduction of Zhuang et al.,
+//! *"An Algorithmic Framework for Efficient Large-Scale Circuit Simulation
+//! Using Exponential Integrators"*, DAC 2015).
+//!
+//! The crate provides exactly the kernels the simulator needs and nothing
+//! more:
+//!
+//! * [`TripletMatrix`] — coordinate-format builder used by MNA stamping.
+//! * [`CsrMatrix`] / [`CscMatrix`] — compressed sparse row/column storage,
+//!   sparse matrix–vector products and linear combinations such as `C/h + G`.
+//! * [`SparseLu`] — left-looking Gilbert–Peierls sparse LU with threshold
+//!   partial pivoting, fill-reducing orderings ([`ordering`]) and an optional
+//!   fill budget (used to emulate out-of-memory failures of the baseline).
+//! * [`DenseMatrix`] — small dense matrices for the projected Hessenberg
+//!   systems produced by Krylov subspace methods.
+//! * [`vector`] — BLAS-1 style helpers on `&[f64]`.
+//!
+//! # Examples
+//!
+//! Assemble a small conductance matrix, factorize it and solve:
+//!
+//! ```
+//! use exi_sparse::{SparseLu, TripletMatrix};
+//!
+//! # fn main() -> Result<(), exi_sparse::SparseError> {
+//! let mut g = TripletMatrix::new(2, 2);
+//! g.push(0, 0, 2.0);
+//! g.push(0, 1, -1.0);
+//! g.push(1, 0, -1.0);
+//! g.push(1, 1, 2.0);
+//! let g = g.to_csr();
+//! let lu = SparseLu::factorize(&g)?;
+//! let x = lu.solve(&[1.0, 0.0])?;
+//! assert!((x[0] - 2.0 / 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod lu;
+pub mod ordering;
+pub mod permutation;
+pub mod vector;
+
+pub use coo::TripletMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{SparseError, SparseResult};
+pub use lu::{factor_fill, solve_sparse, LuOptions, SparseLu};
+pub use ordering::OrderingMethod;
+pub use permutation::Permutation;

@@ -1,0 +1,558 @@
+//! Sparse LU factorization (left-looking Gilbert–Peierls with partial pivoting).
+//!
+//! This is the direct solver the whole simulator is built on. The exponential
+//! Rosenbrock–Euler engine factorizes only the conductance matrix `G` (once
+//! per accepted step), while the backward-Euler/Newton–Raphson baseline must
+//! factorize `C/h + G` at every Newton iteration and whenever the step size
+//! changes — exactly the cost asymmetry the paper exploits.
+//!
+//! The implementation follows the classic algorithm of Gilbert & Peierls
+//! (also used by CSparse/KLU): for each column, a depth-first search over the
+//! pattern of the already-computed `L` determines the nonzero pattern of the
+//! new column in topological order, after which a sparse triangular solve
+//! fills in the numerical values. Row pivoting is threshold partial pivoting
+//! with a preference for the diagonal to preserve the fill-reducing column
+//! ordering.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::ordering::{compute_ordering, OrderingMethod};
+use crate::permutation::Permutation;
+
+/// Options controlling the sparse LU factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuOptions {
+    /// Fill-reducing column ordering applied before factorization.
+    pub ordering: OrderingMethod,
+    /// Threshold for diagonal-preferring partial pivoting in `(0, 1]`.
+    ///
+    /// The diagonal entry is accepted as pivot if its magnitude is at least
+    /// `pivot_tolerance` times the largest eligible entry in the column;
+    /// otherwise the largest entry is used.
+    pub pivot_tolerance: f64,
+    /// Absolute magnitude below which a pivot is considered numerically zero.
+    pub zero_pivot_threshold: f64,
+    /// Optional upper bound on `nnz(L) + nnz(U)`.
+    ///
+    /// The benchmark harness uses this to emulate the out-of-memory failures
+    /// the paper reports for the BENR baseline on densely coupled circuits.
+    pub fill_budget: Option<usize>,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions {
+            ordering: OrderingMethod::Rcm,
+            pivot_tolerance: 0.1,
+            zero_pivot_threshold: 1e-13,
+            fill_budget: None,
+        }
+    }
+}
+
+/// A computed sparse LU factorization `P·A·Q = L·U`.
+///
+/// `P` is the row permutation chosen by partial pivoting, `Q` the
+/// fill-reducing column ordering, `L` unit lower triangular and `U` upper
+/// triangular.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{SparseLu, TripletMatrix};
+///
+/// # fn main() -> Result<(), exi_sparse::SparseError> {
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 4.0);
+/// t.push(0, 1, 1.0);
+/// t.push(1, 0, 1.0);
+/// t.push(1, 1, 3.0);
+/// let a = t.to_csr();
+/// let lu = SparseLu::factorize(&a)?;
+/// let x = lu.solve(&[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Columns of `L` (strictly below the diagonal), row indices in pivot positions.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// Columns of `U` (strictly above the diagonal), row indices in pivot positions.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// Diagonal of `U` in pivot positions.
+    u_diag: Vec<f64>,
+    /// `pinv[original_row]` = pivot position of that row.
+    pinv: Vec<usize>,
+    /// Column ordering: position `k` factors original column `q.unmap(k)`.
+    q: Permutation,
+}
+
+impl SparseLu {
+    /// Factorizes `a` with default [`LuOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseLu::factorize_with`].
+    pub fn factorize(a: &CsrMatrix) -> SparseResult<Self> {
+        Self::factorize_with(a, &LuOptions::default())
+    }
+
+    /// Factorizes `a` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::NotSquare`] if `a` is not square.
+    /// * [`SparseError::Singular`] if no acceptable pivot exists for a column.
+    /// * [`SparseError::FillBudgetExceeded`] if the configured fill budget is hit.
+    pub fn factorize_with(a: &CsrMatrix, options: &LuOptions) -> SparseResult<Self> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let q = compute_ordering(a, options.ordering);
+        let acsc = CscMatrix::from_csr(a);
+
+        // L columns with ORIGINAL row indices during factorization; remapped to
+        // pivot positions at the end.
+        let mut l_colptr = vec![0usize; n + 1];
+        let mut l_rows: Vec<usize> = Vec::new();
+        let mut l_vals: Vec<f64> = Vec::new();
+        let mut u_colptr = vec![0usize; n + 1];
+        let mut u_rows: Vec<usize> = Vec::new();
+        let mut u_vals: Vec<f64> = Vec::new();
+        let mut u_diag = vec![0.0f64; n];
+        let mut pinv = vec![usize::MAX; n];
+
+        // Dense workspaces indexed by original row.
+        let mut x = vec![0.0f64; n];
+        let mut marked = vec![usize::MAX; n];
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+
+        for jj in 0..n {
+            let j_orig = q.unmap(jj);
+            let (b_rows, b_vals) = acsc.col(j_orig);
+
+            // --- Symbolic: pattern of x = L^{-1} * A[:, j] via DFS (reach). ---
+            topo.clear();
+            for &r in b_rows {
+                if marked[r] == jj {
+                    continue;
+                }
+                // Iterative DFS from r through the columns of L.
+                dfs_stack.push((r, 0));
+                marked[r] = jj;
+                while let Some(&(node, child_idx)) = dfs_stack.last() {
+                    let k = pinv[node];
+                    let children: &[usize] = if k == usize::MAX {
+                        &[]
+                    } else {
+                        &l_rows[l_colptr[k]..l_colptr[k + 1]]
+                    };
+                    let mut next_child = None;
+                    let mut ci = child_idx;
+                    while ci < children.len() {
+                        let c = children[ci];
+                        ci += 1;
+                        if marked[c] != jj {
+                            next_child = Some(c);
+                            break;
+                        }
+                    }
+                    dfs_stack.last_mut().expect("stack non-empty").1 = ci;
+                    match next_child {
+                        Some(c) => {
+                            marked[c] = jj;
+                            dfs_stack.push((c, 0));
+                        }
+                        None => {
+                            dfs_stack.pop();
+                            topo.push(node);
+                        }
+                    }
+                }
+            }
+            // `topo` is in post-order; reverse gives a topological order for
+            // elimination (dependencies first).
+            topo.reverse();
+
+            // --- Numeric: sparse lower-triangular solve. ---
+            // The workspace `x` is zero outside the previous pattern (it is
+            // cleared when columns are stored), so only the right-hand side
+            // needs to be scattered.
+            for (&r, &v) in b_rows.iter().zip(b_vals.iter()) {
+                x[r] = v;
+            }
+            for &r in topo.iter() {
+                let k = pinv[r];
+                if k == usize::MAX {
+                    continue;
+                }
+                let xr = x[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                for idx in l_colptr[k]..l_colptr[k + 1] {
+                    x[l_rows[idx]] -= l_vals[idx] * xr;
+                }
+            }
+
+            // --- Pivot selection among non-pivotal rows in the pattern. ---
+            let mut max_val = 0.0f64;
+            let mut max_row = usize::MAX;
+            let mut diag_val = 0.0f64;
+            let mut diag_ok = false;
+            for &r in topo.iter() {
+                if pinv[r] != usize::MAX {
+                    continue;
+                }
+                let v = x[r].abs();
+                if v > max_val {
+                    max_val = v;
+                    max_row = r;
+                }
+                if r == j_orig {
+                    diag_val = v;
+                    diag_ok = true;
+                }
+            }
+            if max_row == usize::MAX || max_val < options.zero_pivot_threshold {
+                return Err(SparseError::Singular { column: jj });
+            }
+            let pivot_row = if diag_ok && diag_val >= options.pivot_tolerance * max_val {
+                j_orig
+            } else {
+                max_row
+            };
+            let pivot_val = x[pivot_row];
+            pinv[pivot_row] = jj;
+            u_diag[jj] = pivot_val;
+
+            // --- Store U column jj (pivotal rows) and L column jj (others). ---
+            for &r in topo.iter() {
+                let val = x[r];
+                x[r] = 0.0; // clear workspace for the next column
+                if r == pivot_row {
+                    continue;
+                }
+                if val == 0.0 {
+                    continue;
+                }
+                let k = pinv[r];
+                if k != usize::MAX && k != jj {
+                    u_rows.push(k);
+                    u_vals.push(val);
+                } else if k == usize::MAX {
+                    l_rows.push(r);
+                    l_vals.push(val / pivot_val);
+                }
+            }
+            u_colptr[jj + 1] = u_rows.len();
+            l_colptr[jj + 1] = l_rows.len();
+
+            if let Some(budget) = options.fill_budget {
+                let fill = l_rows.len() + u_rows.len() + n;
+                if fill > budget {
+                    return Err(SparseError::FillBudgetExceeded { reached: fill, budget });
+                }
+            }
+        }
+
+        // Remap L row indices from original rows to pivot positions.
+        for r in l_rows.iter_mut() {
+            *r = pinv[*r];
+        }
+
+        Ok(SparseLu {
+            n,
+            l_colptr,
+            l_rows,
+            l_vals,
+            u_colptr,
+            u_rows,
+            u_vals,
+            u_diag,
+            pinv,
+            q,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros in `L` (including the implicit unit diagonal).
+    pub fn nnz_l(&self) -> usize {
+        self.l_vals.len() + self.n
+    }
+
+    /// Number of nonzeros in `U` (including the diagonal).
+    pub fn nnz_u(&self) -> usize {
+        self.u_vals.len() + self.n
+    }
+
+    /// Total factor fill `nnz(L) + nnz(U)`.
+    pub fn fill(&self) -> usize {
+        self.nnz_l() + self.nnz_u()
+    }
+
+    /// Solves `A x = b` using the computed factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                op: "lu solve rhs",
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let mut z = vec![0.0f64; self.n];
+        // Apply the row permutation: z = P b.
+        for (r, &br) in b.iter().enumerate() {
+            z[self.pinv[r]] = br;
+        }
+        // Forward solve with unit lower triangular L (column oriented).
+        for j in 0..self.n {
+            let xj = z[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for idx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                z[self.l_rows[idx]] -= self.l_vals[idx] * xj;
+            }
+        }
+        // Backward solve with U (column oriented).
+        for j in (0..self.n).rev() {
+            z[j] /= self.u_diag[j];
+            let xj = z[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for idx in self.u_colptr[j]..self.u_colptr[j + 1] {
+                z[self.u_rows[idx]] -= self.u_vals[idx] * xj;
+            }
+        }
+        // Undo the column ordering: x[q(k)] = z[k].
+        let mut xout = vec![0.0f64; self.n];
+        for k in 0..self.n {
+            xout[self.q.unmap(k)] = z[k];
+        }
+        Ok(xout)
+    }
+
+    /// Solves `A x = b` for several right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SparseLu::solve`], checked per right-hand side.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> SparseResult<Vec<Vec<f64>>> {
+        rhs.iter().map(|b| self.solve(b)).collect()
+    }
+}
+
+/// Convenience function: factorize `a` and solve a single system.
+///
+/// # Errors
+///
+/// Propagates factorization and solve errors from [`SparseLu`].
+pub fn solve_sparse(a: &CsrMatrix, b: &[f64]) -> SparseResult<Vec<f64>> {
+    SparseLu::factorize(a)?.solve(b)
+}
+
+/// Reports the factor fill of a matrix under a given ordering without keeping
+/// the factors (used by the Fig. 1 reproduction).
+///
+/// Returns `(nnz_l, nnz_u)`.
+///
+/// # Errors
+///
+/// Propagates factorization errors from [`SparseLu`].
+pub fn factor_fill(a: &CsrMatrix, ordering: OrderingMethod) -> SparseResult<(usize, usize)> {
+    let lu = SparseLu::factorize_with(a, &LuOptions { ordering, ..LuOptions::default() })?;
+    Ok((lu.nnz_l(), lu.nnz_u()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vector, TripletMatrix};
+
+    fn dense_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        vector::max_abs_diff(&ax, b)
+    }
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_small_dense_system() {
+        let mut t = TripletMatrix::new(3, 3);
+        let rows = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 4.0]];
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                t.push(i, j, v);
+            }
+        }
+        let a = t.to_csr();
+        let b = vec![1.0, 2.0, 3.0];
+        let lu = SparseLu::factorize(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(dense_residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn solves_tridiagonal_systems_of_various_sizes() {
+        for n in [1usize, 2, 3, 10, 50, 200] {
+            let a = tridiag(n);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+            let x = solve_sparse(&a, &b).unwrap();
+            assert!(dense_residual(&a, &x, &b) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_orderings_give_same_solution() {
+        let a = tridiag(30);
+        let b: Vec<f64> = (0..30).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let mut solutions = Vec::new();
+        for ordering in [OrderingMethod::Natural, OrderingMethod::Rcm, OrderingMethod::MinDegree] {
+            let lu =
+                SparseLu::factorize_with(&a, &LuOptions { ordering, ..LuOptions::default() })
+                    .unwrap();
+            solutions.push(lu.solve(&b).unwrap());
+        }
+        for s in &solutions[1..] {
+            assert!(vector::max_abs_diff(&solutions[0], s) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0, 1], [1, 0]] requires row pivoting.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csr();
+        let x = solve_sparse(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((x[0] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        // Column 1 is entirely zero.
+        let a = t.to_csr();
+        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn numerically_singular_matrix_is_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let a = t.to_csr();
+        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn fill_budget_is_enforced() {
+        let a = tridiag(100);
+        let opts = LuOptions { fill_budget: Some(50), ..LuOptions::default() };
+        assert!(matches!(
+            SparseLu::factorize_with(&a, &opts),
+            Err(SparseError::FillBudgetExceeded { .. })
+        ));
+        let opts = LuOptions { fill_budget: Some(10_000), ..LuOptions::default() };
+        assert!(SparseLu::factorize_with(&a, &opts).is_ok());
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = CsrMatrix::zeros(2, 3);
+        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn fill_counts_are_consistent() {
+        let a = tridiag(20);
+        let lu = SparseLu::factorize(&a).unwrap();
+        assert!(lu.nnz_l() >= 20);
+        assert!(lu.nnz_u() >= 20);
+        assert_eq!(lu.fill(), lu.nnz_l() + lu.nnz_u());
+        let (l, u) = factor_fill(&a, OrderingMethod::Rcm).unwrap();
+        assert_eq!((l, u), (lu.nnz_l(), lu.nnz_u()));
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let a = tridiag(15);
+        let rhs: Vec<Vec<f64>> =
+            (0..3).map(|k| (0..15).map(|i| (i + k) as f64).collect()).collect();
+        let lu = SparseLu::factorize(&a).unwrap();
+        let xs = lu.solve_many(&rhs).unwrap();
+        for (x, b) in xs.iter().zip(rhs.iter()) {
+            assert!(dense_residual(&a, x, b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = tridiag(4);
+        let lu = SparseLu::factorize(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn random_sparse_spd_like_systems() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..5 {
+            let n = 40 + trial * 13;
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 10.0 + rng.gen::<f64>());
+            }
+            for _ in 0..(3 * n) {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i != j {
+                    let v = rng.gen_range(-1.0..1.0);
+                    t.push(i, j, v);
+                }
+            }
+            let a = t.to_csr();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = solve_sparse(&a, &b).unwrap();
+            assert!(dense_residual(&a, &x, &b) < 1e-9, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Permutations of `{0, …, n-1}` used by fill-reducing orderings and pivoting.
+
+use crate::error::{SparseError, SparseResult};
+
+/// A permutation `p` of `{0, …, n-1}`, stored together with its inverse.
+///
+/// Convention: `p.map(i)` is the *new* position of original index `i`
+/// (i.e. `new[p.map(i)] = old[i]`), and `p.unmap(k)` is the original index
+/// placed at new position `k`.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::Permutation;
+///
+/// let p = Permutation::from_order(&[2, 0, 1]).unwrap(); // new order: old 2, old 0, old 1
+/// assert_eq!(p.unmap(0), 2);
+/// assert_eq!(p.map(2), 0);
+/// let v = p.apply(&[10.0, 20.0, 30.0]);
+/// assert_eq!(v, vec![30.0, 10.0, 20.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `order[k]` = original index placed at new position `k`.
+    order: Vec<usize>,
+    /// `position[i]` = new position of original index `i`.
+    position: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let order: Vec<usize> = (0..n).collect();
+        Permutation { position: order.clone(), order }
+    }
+
+    /// Builds a permutation from an ordering: `order[k]` is the original index
+    /// that should be placed at new position `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `order` is not a
+    /// permutation of `0..n`.
+    pub fn from_order(order: &[usize]) -> SparseResult<Self> {
+        let n = order.len();
+        let mut position = vec![usize::MAX; n];
+        for (k, &i) in order.iter().enumerate() {
+            if i >= n || position[i] != usize::MAX {
+                return Err(SparseError::DimensionMismatch {
+                    op: "permutation order",
+                    expected: n,
+                    found: i,
+                });
+            }
+            position[i] = k;
+        }
+        Ok(Permutation { order: order.to_vec(), position })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// New position of original index `i`.
+    #[inline]
+    pub fn map(&self, i: usize) -> usize {
+        self.position[i]
+    }
+
+    /// Original index at new position `k`.
+    #[inline]
+    pub fn unmap(&self, k: usize) -> usize {
+        self.order[k]
+    }
+
+    /// The ordering slice (`order[k]` = original index at new position `k`).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Applies the permutation to a vector: `out[k] = v[order[k]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.len()`.
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.len(), "permutation apply: length mismatch");
+        self.order.iter().map(|&i| v[i]).collect()
+    }
+
+    /// Applies the inverse permutation: `out[order[k]] = v[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.len()`.
+    pub fn apply_inverse(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.len(), "permutation apply_inverse: length mismatch");
+        let mut out = vec![0.0; v.len()];
+        for (k, &i) in self.order.iter().enumerate() {
+            out[i] = v[k];
+        }
+        out
+    }
+
+    /// Returns the inverse permutation as a new [`Permutation`].
+    pub fn inverse(&self) -> Permutation {
+        Permutation { order: self.position.clone(), position: self.order.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(4);
+        for i in 0..4 {
+            assert_eq!(p.map(i), i);
+            assert_eq!(p.unmap(i), i);
+        }
+        assert_eq!(p.apply(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn apply_and_inverse_roundtrip() {
+        let p = Permutation::from_order(&[2, 0, 3, 1]).unwrap();
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        let w = p.apply(&v);
+        assert_eq!(w, vec![30.0, 10.0, 40.0, 20.0]);
+        let back = p.apply_inverse(&w);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_order(&[1, 2, 0]).unwrap();
+        let inv = p.inverse();
+        for i in 0..3 {
+            assert_eq!(inv.map(p.map(i)), i);
+        }
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        assert!(Permutation::from_order(&[0, 0, 1]).is_err());
+        assert!(Permutation::from_order(&[0, 5]).is_err());
+        assert!(Permutation::from_order(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Small helpers for dense vectors represented as `&[f64]` / `Vec<f64>`.
+//!
+//! The simulator manipulates state vectors (nodal voltages and branch
+//! currents) as plain `Vec<f64>`. These free functions provide the handful of
+//! BLAS-1 style operations the integrators need, with explicit names rather
+//! than operator overloading so call sites in the numerical code read like the
+//! formulas in the paper.
+
+/// Euclidean (2-) norm of a vector.
+///
+/// # Examples
+///
+/// ```
+/// let v = [3.0, 4.0];
+/// assert_eq!(exi_sparse::vector::norm2(&v), 5.0);
+/// ```
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm (maximum absolute entry) of a vector; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let v = [1.0, -7.0, 2.0];
+/// assert_eq!(exi_sparse::vector::norm_inf(&v), 7.0);
+/// ```
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+}
+
+/// Dot product of two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(exi_sparse::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Maximum absolute difference between two vectors (`||a - b||_inf`).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+}
+
+/// Root-mean-square difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or are empty.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rms_diff: length mismatch");
+    assert!(!a.is_empty(), "rms_diff: empty vectors");
+    let s: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    (s / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[1.0, -7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        assert_eq!(dot(&x, &y), 6.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn elementwise() {
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5, 4.0];
+        assert_eq!(sub(&a, &b), vec![0.5, -2.0]);
+        assert_eq!(add(&a, &b), vec![1.5, 6.0]);
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+        assert!((rms_diff(&a, &b) - ((0.25 + 4.0) / 2.0_f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the sparse linear algebra substrate.
+
+use exi_sparse::{
+    vector, CscMatrix, CsrMatrix, LuOptions, OrderingMethod, SparseLu, TripletMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random diagonally dominant sparse matrix (always factorizable)
+/// together with a right-hand side.
+fn dominant_system(max_n: usize) -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0..n, 0..n, -1.0f64..1.0f64),
+            0..(4 * n),
+        );
+        let rhs = proptest::collection::vec(-10.0f64..10.0f64, n);
+        (entries, rhs).prop_map(move |(entries, rhs)| {
+            let mut t = TripletMatrix::new(n, n);
+            let mut row_sum = vec![0.0f64; n];
+            for (i, j, v) in entries {
+                if i != j {
+                    t.push(i, j, v);
+                    row_sum[i] += v.abs();
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                t.push(i, i, s + 1.0);
+            }
+            (t.to_csr(), rhs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU-based solves reproduce the right-hand side: ‖Ax − b‖ small.
+    #[test]
+    fn lu_solve_has_small_residual((a, b) in dominant_system(40)) {
+        let lu = SparseLu::factorize(&a).expect("dominant matrix factorizes");
+        let x = lu.solve(&b).expect("solve");
+        let r = vector::max_abs_diff(&a.mul_vec(&x), &b);
+        prop_assert!(r < 1e-8, "residual {r}");
+    }
+
+    /// All fill-reducing orderings give the same solution.
+    #[test]
+    fn orderings_are_equivalent((a, b) in dominant_system(30)) {
+        let mut solutions = Vec::new();
+        for ordering in [OrderingMethod::Natural, OrderingMethod::Rcm, OrderingMethod::MinDegree] {
+            let lu = SparseLu::factorize_with(&a, &LuOptions { ordering, ..LuOptions::default() })
+                .expect("factorize");
+            solutions.push(lu.solve(&b).expect("solve"));
+        }
+        for s in &solutions[1..] {
+            prop_assert!(vector::max_abs_diff(&solutions[0], s) < 1e-7);
+        }
+    }
+
+    /// CSR → CSC → CSR round-trips exactly.
+    #[test]
+    fn csr_csc_roundtrip((a, _b) in dominant_system(30)) {
+        let csc = CscMatrix::from_csr(&a);
+        prop_assert_eq!(csc.to_csr(), a);
+    }
+
+    /// Transposing twice is the identity, and (Aᵀ)x equals the transpose product.
+    #[test]
+    fn transpose_involution((a, b) in dominant_system(30)) {
+        let t = a.transpose();
+        prop_assert_eq!(t.transpose(), a.clone());
+        let y1 = a.mul_vec_transpose(&b);
+        let y2 = t.mul_vec(&b);
+        prop_assert!(vector::max_abs_diff(&y1, &y2) < 1e-12);
+    }
+
+    /// Linear combination is consistent with dense arithmetic on the vector level:
+    /// (αA + βA)x = (α+β)·Ax.
+    #[test]
+    fn linear_combination_matches_axpy((a, b) in dominant_system(30), alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+        let combo = CsrMatrix::linear_combination(alpha, &a, beta, &a).expect("combine");
+        let lhs = combo.mul_vec(&b);
+        let mut rhs = a.mul_vec(&b);
+        vector::scale(alpha + beta, &mut rhs);
+        prop_assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    /// Triplet accumulation order does not matter.
+    #[test]
+    fn triplet_order_is_irrelevant(mut entries in proptest::collection::vec((0usize..10, 0usize..10, -5.0f64..5.0), 1..60)) {
+        let build = |list: &[(usize, usize, f64)]| {
+            let mut t = TripletMatrix::new(10, 10);
+            for &(i, j, v) in list {
+                t.push(i, j, v);
+            }
+            t.to_csr()
+        };
+        let a = build(&entries);
+        entries.reverse();
+        let b = build(&entries);
+        // Compare entry-wise with a tolerance (summation order may differ).
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a small RC circuit, run a transient analysis with the
+//! exponential Rosenbrock–Euler method and print the output waveform.
+//!
+//! Run with: `cargo run -p exi-sim --example quickstart`
+
+use exi_netlist::{Circuit, Waveform};
+use exi_sim::{run_transient, Method, SimError, TransientOptions};
+
+fn main() -> Result<(), SimError> {
+    // A 1 kΩ / 1 pF low-pass filter driven by a 1 V pulse.
+    let mut circuit = Circuit::new();
+    let vin = circuit.node("in");
+    let out = circuit.node("out");
+    let gnd = circuit.node("0");
+    circuit.add_voltage_source(
+        "Vin",
+        vin,
+        gnd,
+        Waveform::single_pulse(0.0, 1.0, 1e-10, 5e-11, 5e-11, 3e-9),
+    )?;
+    circuit.add_resistor("R1", vin, out, 1e3)?;
+    circuit.add_capacitor("C1", out, gnd, 1e-12)?;
+
+    // Simulate 5 ns with the ER method and probe the output node.
+    let options = TransientOptions {
+        t_stop: 5e-9,
+        h_init: 1e-12,
+        h_max: 2e-10,
+        error_budget: 1e-4,
+        ..TransientOptions::default()
+    };
+    let result = run_transient(&circuit, Method::ExponentialRosenbrock, &options, &["out"])?;
+
+    println!("# ER transient of an RC low-pass ({} accepted steps)", result.stats.accepted_steps);
+    println!("# LU factorizations: {}", result.stats.lu_factorizations);
+    println!("# average Krylov dimension: {:.1}", result.stats.avg_krylov_dimension());
+    println!("# time(s)      v(out)(V)");
+    let p = result.probe_index("out").expect("probe");
+    for (t, v) in result.waveform(p) {
+        println!("{t:.4e}  {v:.6}");
+    }
+    Ok(())
+}

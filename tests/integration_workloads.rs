@@ -1,0 +1,112 @@
+//! Integration tests over the synthetic benchmark workloads: the Table-I
+//! analogue circuits and the structural claims behind Fig. 1.
+
+use exi_netlist::generators::{coupled_lines, power_grid, CoupledLinesSpec, PowerGridSpec};
+use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sparse::{factor_fill, CsrMatrix, OrderingMethod, SparseError};
+
+fn quick_options(t_stop: f64) -> TransientOptions {
+    TransientOptions {
+        t_stop,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        error_budget: 2e-3,
+        ..TransientOptions::default()
+    }
+}
+
+/// Fig. 1 structural claim: on a densely coupled circuit, the LU factors of
+/// `C/h + G` carry far more fill than the LU factors of `G`.
+#[test]
+fn benr_matrix_fill_exceeds_g_fill_on_coupled_circuits() {
+    let ckt = coupled_lines(&CoupledLinesSpec {
+        lines: 6,
+        segments: 15,
+        random_couplings: 800,
+        mosfet_drivers: false,
+        ..CoupledLinesSpec::default()
+    })
+    .unwrap();
+    let x = vec![0.0; ckt.num_unknowns()];
+    let eval = ckt.evaluate(&x).unwrap();
+    let benr_matrix = CsrMatrix::linear_combination(1e12, &eval.c, 1.0, &eval.g).unwrap();
+    let (gl, gu) = factor_fill(&eval.g, OrderingMethod::Rcm).unwrap();
+    let (bl, bu) = factor_fill(&benr_matrix, OrderingMethod::Rcm).unwrap();
+    assert!(
+        bl + bu > (gl + gu) * 3 / 2,
+        "expected C/h+G fill ({}) to clearly exceed G fill ({})",
+        bl + bu,
+        gl + gu
+    );
+    // And nnz(C) itself exceeds nnz(G) in this post-layout-style structure.
+    assert!(eval.c.nnz() > eval.g.nnz());
+}
+
+/// Table-I capability claim: with a bounded factor fill (the memory-budget
+/// analogue) BENR fails on a densely coupled circuit while ER completes.
+#[test]
+fn er_completes_where_budgeted_benr_cannot() {
+    let ckt = coupled_lines(&CoupledLinesSpec {
+        lines: 6,
+        segments: 12,
+        random_couplings: 700,
+        mosfet_drivers: true,
+        ..CoupledLinesSpec::default()
+    })
+    .unwrap();
+    let n = ckt.num_unknowns();
+    let mut options = quick_options(4e-10);
+    options.fill_budget = Some(12 * n);
+    let benr = run_transient(&ckt, Method::BackwardEuler, &options, &[]);
+    assert!(
+        matches!(benr, Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. }))),
+        "budgeted BENR should fail on the coupled case, got {benr:?}"
+    );
+    // ER with the same budget succeeds because it only factorizes G.
+    let er = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &[]).unwrap();
+    assert!(er.stats.accepted_steps > 5);
+    assert!(er.final_state.iter().all(|v| v.is_finite()));
+}
+
+/// A power-grid workload runs with both methods and keeps the rail voltage
+/// physical (between 0 and vdd plus a small overshoot margin).
+#[test]
+fn power_grid_transient_is_physical() {
+    let spec = PowerGridSpec { rows: 6, cols: 6, num_sinks: 6, ..PowerGridSpec::default() };
+    let ckt = power_grid(&spec).unwrap();
+    let observed = "g_3_3";
+    for method in [Method::BackwardEuler, Method::ExponentialRosenbrock] {
+        let result = run_transient(&ckt, method, &quick_options(2e-9), &[observed]).unwrap();
+        let p = result.probe_index(observed).unwrap();
+        for (t, v) in result.waveform(p) {
+            assert!(
+                v > 0.5 * spec.vdd && v < 1.2 * spec.vdd,
+                "{method} at t = {t:.2e}: unphysical rail voltage {v}"
+            );
+        }
+    }
+}
+
+/// Determinism: the same seeded workload produces the same simulation result.
+#[test]
+fn seeded_workloads_are_reproducible() {
+    let spec = CoupledLinesSpec {
+        lines: 4,
+        segments: 8,
+        random_couplings: 50,
+        ..CoupledLinesSpec::default()
+    };
+    let run = || {
+        let ckt = coupled_lines(&spec).unwrap();
+        let node = "l0_7";
+        let r = run_transient(&ckt, Method::ExponentialRosenbrock, &quick_options(3e-10), &[node])
+            .unwrap();
+        r.final_state
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}
