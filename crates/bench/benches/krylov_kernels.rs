@@ -1,9 +1,81 @@
-//! Criterion bench for the MEVP kernels (ablation A): invert vs standard vs
-//! rational Krylov subspaces on the same matrices.
+//! Criterion bench for the MEVP kernels and the symbolic-reuse LU path.
+//!
+//! Two groups:
+//!
+//! * `lu_refactorize` — the headline comparison for the symbolic/numeric
+//!   split: a full `factorize_with` (ordering + pivoting + reachability DFS +
+//!   numeric elimination) vs a numeric-only `refactorize_with` of the
+//!   power-grid conductance matrix. The refactorization must be ≥2× faster;
+//!   the measured ratio is printed alongside the timings.
+//! * `krylov_mevp` — ablation A: invert vs standard vs rational Krylov
+//!   subspaces on the same matrices, plus the workspace-reusing invert
+//!   variant the ER engine actually runs.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use exi_krylov::{mevp_invert_krylov, mevp_rational_krylov, mevp_standard_krylov, MevpOptions};
-use exi_sparse::SparseLu;
+use exi_krylov::{
+    mevp_invert_krylov, mevp_invert_krylov_with, mevp_rational_krylov, mevp_standard_krylov,
+    MevpOptions, MevpWorkspace,
+};
+use exi_netlist::generators::{power_grid, PowerGridSpec};
+use exi_sparse::{CsrMatrix, LuOptions, LuWorkspace, SparseLu};
+
+/// The conductance matrix of a laptop-scale power-distribution mesh — the
+/// workload whose per-step `G` factorization dominates the ER engine.
+fn power_grid_conductance() -> CsrMatrix {
+    let spec = PowerGridSpec {
+        rows: 40,
+        cols: 40,
+        num_sinks: 60,
+        ..PowerGridSpec::default()
+    };
+    let circuit = power_grid(&spec).expect("power grid circuit");
+    let x = vec![0.0; circuit.num_unknowns()];
+    circuit.evaluate(&x).expect("evaluation").g
+}
+
+fn bench_lu_refactorize(c: &mut Criterion) {
+    let g = power_grid_conductance();
+    let options = LuOptions::default();
+    let mut refac = SparseLu::factorize_with(&g, &options).expect("pilot LU of G");
+    let mut ws = LuWorkspace::new();
+
+    let mut group = c.benchmark_group("lu_refactorize");
+    group.sample_size(10);
+    group.bench_function("factorize_full", |b| {
+        b.iter(|| SparseLu::factorize_with(&g, &options).expect("full factorization"))
+    });
+    group.bench_function("refactorize_numeric", |b| {
+        b.iter(|| {
+            refac
+                .refactorize_with(&g, &mut ws)
+                .expect("numeric refactorization")
+        })
+    });
+    group.finish();
+
+    // Direct head-to-head ratio on identical work, for the acceptance check.
+    let reps = 20;
+    let start = Instant::now();
+    for _ in 0..reps {
+        criterion::black_box(SparseLu::factorize_with(&g, &options).expect("full"));
+    }
+    let full = start.elapsed().as_secs_f64() / reps as f64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        refac.refactorize_with(&g, &mut ws).expect("numeric");
+    }
+    let numeric = start.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "lu_refactorize: full {:.3} ms vs numeric-only {:.3} ms -> {:.1}x speedup (n = {}, nnz = {})",
+        full * 1e3,
+        numeric * 1e3,
+        full / numeric,
+        g.rows(),
+        g.nnz()
+    );
+}
 
 fn bench_mevp_kernels(c: &mut Criterion) {
     let circuit = exi_bench::fig1_circuit(0.4).expect("circuit");
@@ -26,6 +98,17 @@ fn bench_mevp_kernels(c: &mut Criterion) {
     group.bench_function("invert", |b| {
         b.iter(|| mevp_invert_krylov(&eval.c, &eval.g, &g_lu, &v, h, &options).expect("invert"))
     });
+    let mut ws = MevpWorkspace::new();
+    group.bench_function("invert_with_workspace", |b| {
+        b.iter(|| {
+            let out = mevp_invert_krylov_with(&eval.c, &eval.g, &g_lu, &v, h, &options, &mut ws)
+                .expect("invert with workspace");
+            let dimension = out.dimension;
+            ws.recycle_vec(out.mevp);
+            ws.recycle(out.decomposition);
+            dimension
+        })
+    });
     group.bench_function("rational", |b| {
         b.iter(|| {
             mevp_rational_krylov(&eval.c, &eval.g, h / 2.0, &v, h, &options).expect("rational")
@@ -43,5 +126,5 @@ fn bench_mevp_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mevp_kernels);
+criterion_group!(benches, bench_lu_refactorize, bench_mevp_kernels);
 criterion_main!(benches);

@@ -13,41 +13,46 @@ use exi_bench::{fig1_circuit, TextTable};
 use exi_sparse::{factor_fill, CsrMatrix, OrderingMethod};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let circuit = fig1_circuit(scale).expect("fig1 circuit generation");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
     let eval = circuit.evaluate(&x).expect("circuit evaluation");
     let h = 1e-12;
-    let benr_matrix = CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g)
-        .expect("C/h + G assembly");
+    let benr_matrix =
+        CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g).expect("C/h + G assembly");
 
     println!("Fig. 1 reproduction: matrix and LU-factor fill of a post-layout structure");
-    println!("circuit: {} unknowns, {} devices\n", n, circuit.num_devices());
+    println!(
+        "circuit: {} unknowns, {} devices\n",
+        n,
+        circuit.num_devices()
+    );
 
     let mut table = TextTable::new(vec!["matrix", "nnz", "nnz(L)", "nnz(U)", "fill vs G"]);
     let g_fill = factor_fill(&eval.g, OrderingMethod::Rcm).expect("LU of G");
-    let mut report = |label: &str, m: &CsrMatrix| {
-        match factor_fill(m, OrderingMethod::Rcm) {
-            Ok((l, u)) => {
-                let rel = (l + u) as f64 / (g_fill.0 + g_fill.1) as f64;
-                table.add_row(vec![
-                    label.to_string(),
-                    m.nnz().to_string(),
-                    l.to_string(),
-                    u.to_string(),
-                    format!("{rel:.2}x"),
-                ]);
-            }
-            Err(e) => {
-                table.add_row(vec![
-                    label.to_string(),
-                    m.nnz().to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    format!("({e})"),
-                ]);
-            }
+    let mut report = |label: &str, m: &CsrMatrix| match factor_fill(m, OrderingMethod::Rcm) {
+        Ok((l, u)) => {
+            let rel = (l + u) as f64 / (g_fill.0 + g_fill.1) as f64;
+            table.add_row(vec![
+                label.to_string(),
+                m.nnz().to_string(),
+                l.to_string(),
+                u.to_string(),
+                format!("{rel:.2}x"),
+            ]);
+        }
+        Err(e) => {
+            table.add_row(vec![
+                label.to_string(),
+                m.nnz().to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("({e})"),
+            ]);
         }
     };
     report("C (capacitance)", &eval.c);
@@ -55,8 +60,6 @@ fn main() {
     report("C/h + G (BENR)", &benr_matrix);
     print!("{table}");
     println!();
-    println!(
-        "Paper's qualitative claim to check: nnz(C) and nnz(LU(C/h+G)) are much larger than"
-    );
+    println!("Paper's qualitative claim to check: nnz(C) and nnz(LU(C/h+G)) are much larger than");
     println!("nnz(G) and nnz(LU(G)); only the latter is factorized by the ER/ER-C framework.");
 }

@@ -34,8 +34,11 @@ fn main() {
         ..TransientOptions::default()
     };
     // ER-C is run at twice the step of BENR/ER, as in the paper.
-    let erc_options =
-        TransientOptions { h_init: 4e-12, h_max: 4e-12, ..compared_options.clone() };
+    let erc_options = TransientOptions {
+        h_init: 4e-12,
+        h_max: 4e-12,
+        ..compared_options.clone()
+    };
 
     println!("Fig. 2 reproduction: accuracy on a {stages}-stage inverter chain (node {observed})");
     println!("reference: BENR @ h = {:.0e} s\n", reference_options.h_init);
@@ -44,7 +47,13 @@ fn main() {
         .expect("reference run");
     let p = reference.probe_index(&observed).expect("observed probe");
 
-    let mut table = TextTable::new(vec!["method", "step (s)", "#steps", "max err (V)", "rms err (V)"]);
+    let mut table = TextTable::new(vec![
+        "method",
+        "step (s)",
+        "#steps",
+        "max err (V)",
+        "rms err (V)",
+    ]);
     for (method, options) in [
         (Method::BackwardEuler, &compared_options),
         (Method::ExponentialRosenbrock, &compared_options),
@@ -70,7 +79,10 @@ fn main() {
         println!("\nAblation B: effect of the correction coefficient gamma (ER-C)");
         let mut table = TextTable::new(vec!["gamma", "max err (V)", "rms err (V)"]);
         for gamma in [0.0, 0.05, 0.1, 0.2, 0.5] {
-            let options = TransientOptions { correction_gamma: gamma, ..erc_options.clone() };
+            let options = TransientOptions {
+                correction_gamma: gamma,
+                ..erc_options.clone()
+            };
             let result = run_transient(
                 &circuit,
                 Method::ExponentialRosenbrockCorrected,

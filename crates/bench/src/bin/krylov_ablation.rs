@@ -9,13 +9,14 @@
 //! Usage: `cargo run --release -p exi-bench --bin krylov_ablation [scale]`
 
 use exi_bench::TextTable;
-use exi_krylov::{
-    mevp_invert_krylov, mevp_rational_krylov, mevp_standard_krylov, MevpOptions,
-};
+use exi_krylov::{mevp_invert_krylov, mevp_rational_krylov, mevp_standard_krylov, MevpOptions};
 use exi_sparse::{vector, SparseLu};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let circuit = exi_bench::fig1_circuit(scale.min(0.6)).expect("ablation circuit");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
@@ -26,19 +27,33 @@ fn main() {
     let c_lu = SparseLu::factorize(&eval.c);
 
     let v: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
-    let options = MevpOptions { tolerance: 1e-7, max_dimension: 200, ..MevpOptions::default() };
-    let tight = MevpOptions { tolerance: 1e-11, max_dimension: 400, ..MevpOptions::default() };
+    let options = MevpOptions {
+        tolerance: 1e-7,
+        max_dimension: 200,
+        ..MevpOptions::default()
+    };
+    let tight = MevpOptions {
+        tolerance: 1e-11,
+        max_dimension: 400,
+        ..MevpOptions::default()
+    };
 
     println!("Ablation A: Krylov subspace flavours for the MEVP ({n} unknowns)");
     println!("tolerance = {:.0e}\n", options.tolerance);
     let mut table = TextTable::new(vec![
-        "h (s)", "invert m", "invert err", "rational m", "rational err", "standard m", "standard err",
+        "h (s)",
+        "invert m",
+        "invert err",
+        "rational m",
+        "rational err",
+        "standard m",
+        "standard err",
     ]);
 
     for h in [1e-12, 5e-12, 2e-11, 1e-10] {
         // Reference with a very tight tolerance (invert flavour).
-        let reference = mevp_invert_krylov(&eval.c, &eval.g, &g_lu, &v, h, &tight)
-            .expect("reference MEVP");
+        let reference =
+            mevp_invert_krylov(&eval.c, &eval.g, &g_lu, &v, h, &tight).expect("reference MEVP");
         let err_vs_ref = |got: &[f64]| vector::max_abs_diff(got, &reference.mevp);
 
         let invert = mevp_invert_krylov(&eval.c, &eval.g, &g_lu, &v, h, &options);

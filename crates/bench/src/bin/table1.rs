@@ -6,6 +6,12 @@
 //! `C/h + G` exceeds the budget and the row reports "Out of Memory", while
 //! ER/ER-C — which only factorize `G` — complete.
 //!
+//! Besides the human-readable table, the binary writes
+//! `BENCH_table1.json` (per-case unknown counts, nonzeros, and per-method
+//! steps / LU counters / refactorization counters / runtimes) so successive
+//! revisions have a machine-readable performance trajectory to regress
+//! against.
+//!
 //! Usage: `cargo run --release -p exi-bench --bin table1 [scale]`
 //! (`scale` defaults to 1.0; use e.g. 0.5 for a quicker run)
 
@@ -16,9 +22,22 @@ use exi_sim::Method;
 /// ER methods get no budget: they only factorize the much sparser `G`.
 const BENR_FILL_PER_UNKNOWN: usize = 18;
 
-fn outcome_cells(outcome: &CaseOutcome, baseline_runtime: Option<f64>) -> (String, String, String, String) {
+/// File the machine-readable results are written to (in the working
+/// directory).
+const JSON_OUTPUT: &str = "BENCH_table1.json";
+
+fn outcome_cells(
+    outcome: &CaseOutcome,
+    baseline_runtime: Option<f64>,
+) -> (String, String, String, String) {
     match outcome {
-        CaseOutcome::Completed { steps, avg_newton, avg_krylov, runtime, .. } => {
+        CaseOutcome::Completed {
+            steps,
+            avg_newton,
+            avg_krylov,
+            runtime,
+            ..
+        } => {
             let detail = if *avg_krylov > 0.0 {
                 format!("{avg_krylov:.1}")
             } else {
@@ -30,15 +49,21 @@ fn outcome_cells(outcome: &CaseOutcome, baseline_runtime: Option<f64>) -> (Strin
             };
             (steps.to_string(), detail, format!("{runtime:.2}"), speedup)
         }
-        CaseOutcome::OutOfMemory => {
-            ("-".into(), "-".into(), "Out of Memory".into(), "NA".into())
-        }
-        CaseOutcome::Failed(msg) => ("-".into(), "-".into(), format!("failed: {msg}"), "NA".into()),
+        CaseOutcome::OutOfMemory => ("-".into(), "-".into(), "Out of Memory".into(), "NA".into()),
+        CaseOutcome::Failed(msg) => (
+            "-".into(),
+            "-".into(),
+            format!("failed: {msg}"),
+            "NA".into(),
+        ),
     }
 }
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let cases = table1_cases(scale);
 
     println!("Table I reproduction (scale = {scale}): BENR vs ER vs ER-C");
@@ -48,11 +73,25 @@ fn main() {
     );
 
     let mut table = TextTable::new(vec![
-        "case", "#N", "#Dev", "nnzC", "nnzG", // specification
-        "BE #step", "BE #NRa", "BE RT(s)", // BENR
-        "ER #step", "ER #ma", "ER RT(s)", "ER SP", // ER
-        "ERC #step", "ERC #ma", "ERC RT(s)", "ERC SP", // ER-C
+        "case",
+        "#N",
+        "#Dev",
+        "nnzC",
+        "nnzG", // specification
+        "BE #step",
+        "BE #NRa",
+        "BE RT(s)", // BENR
+        "ER #step",
+        "ER #ma",
+        "ER RT(s)",
+        "ER SP", // ER
+        "ERC #step",
+        "ERC #ma",
+        "ERC RT(s)",
+        "ERC SP", // ER-C
     ]);
+
+    let mut json_cases: Vec<String> = Vec::new();
 
     for case in &cases {
         let circuit = case.build().expect("case circuit");
@@ -69,6 +108,23 @@ fn main() {
         let (be_steps, be_nr, be_rt, _) = outcome_cells(&benr, None);
         let (er_steps, er_m, er_rt, er_sp) = outcome_cells(&er, benr_rt);
         let (erc_steps, erc_m, erc_rt, erc_sp) = outcome_cells(&erc, benr_rt);
+
+        json_cases.push(format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"mirrors\":\"{}\",\"unknowns\":{},",
+                "\"nonlinear_devices\":{},\"nnz_c\":{},\"nnz_g\":{},\"methods\":{{",
+                "\"BENR\":{},\"ER\":{},\"ER-C\":{}}}}}"
+            ),
+            case.name,
+            case.mirrors,
+            n,
+            circuit.num_nonlinear_devices(),
+            eval.c.nnz(),
+            eval.g.nnz(),
+            benr.to_json(),
+            er.to_json(),
+            erc.to_json(),
+        ));
 
         table.add_row(vec![
             case.name.to_string(),
@@ -96,4 +152,13 @@ fn main() {
     println!("Expected shape (paper Table I): modest ER/ER-C speedups on the sparsely coupled");
     println!("cases (tc1-tc3), growing speedups as nnz(C) rises (tc4-tc5), and 'Out of Memory'");
     println!("for BENR on the densely coupled cases (tc6-tc8) which ER/ER-C still complete.");
+
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"benr_fill_per_unknown\": {BENR_FILL_PER_UNKNOWN},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_cases.join(",\n")
+    );
+    match std::fs::write(JSON_OUTPUT, &json) {
+        Ok(()) => println!("\nmachine-readable results written to {JSON_OUTPUT}"),
+        Err(e) => eprintln!("could not write {JSON_OUTPUT}: {e}"),
+    }
 }

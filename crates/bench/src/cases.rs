@@ -221,7 +221,11 @@ mod tests {
         for case in table1_cases(0.3) {
             let ckt = case.build().unwrap();
             assert!(ckt.num_unknowns() > 10, "{} too small", case.name);
-            assert!(ckt.unknown_of(&case.observed_node()).is_some(), "{}", case.name);
+            assert!(
+                ckt.unknown_of(&case.observed_node()).is_some(),
+                "{}",
+                case.name
+            );
         }
     }
 

@@ -17,8 +17,12 @@ pub enum CaseOutcome {
         avg_newton: f64,
         /// Average Krylov dimension (`#m_a`, exponential methods only).
         avg_krylov: f64,
-        /// Number of LU factorizations.
+        /// Number of LU factorizations (fresh + numeric-only).
         lu_count: usize,
+        /// Number of full symbolic analyses among them.
+        symbolic_analyses: usize,
+        /// Number of numeric-only refactorizations among them.
+        lu_refactorizations: usize,
         /// Wall-clock runtime in seconds.
         runtime: f64,
     },
@@ -42,6 +46,42 @@ impl CaseOutcome {
     pub fn is_completed(&self) -> bool {
         matches!(self, CaseOutcome::Completed { .. })
     }
+
+    /// Serializes the outcome as a JSON object (used by the `table1` binary
+    /// to emit the machine-readable `BENCH_table1.json`).
+    pub fn to_json(&self) -> String {
+        match self {
+            CaseOutcome::Completed {
+                steps,
+                avg_newton,
+                avg_krylov,
+                lu_count,
+                symbolic_analyses,
+                lu_refactorizations,
+                runtime,
+            } => format!(
+                concat!(
+                    "{{\"status\":\"completed\",\"steps\":{},\"avg_newton\":{:.3},",
+                    "\"avg_krylov\":{:.3},\"lu_factorizations\":{},\"symbolic_analyses\":{},",
+                    "\"lu_refactorizations\":{},\"runtime_s\":{:.6}}}"
+                ),
+                steps,
+                avg_newton,
+                avg_krylov,
+                lu_count,
+                symbolic_analyses,
+                lu_refactorizations,
+                runtime
+            ),
+            CaseOutcome::OutOfMemory => "{\"status\":\"out_of_memory\"}".to_string(),
+            CaseOutcome::Failed(msg) => {
+                format!(
+                    "{{\"status\":\"failed\",\"error\":\"{}\"}}",
+                    msg.replace('"', "'")
+                )
+            }
+        }
+    }
 }
 
 /// Default transient options used by the Table-I harness.
@@ -64,7 +104,12 @@ pub fn run_case(case: &CaseSpec, method: Method, fill_budget: Option<usize>) -> 
         Ok(c) => c,
         Err(e) => return CaseOutcome::Failed(e.to_string()),
     };
-    run_circuit(&circuit, method, &table1_options(case.t_stop, fill_budget), &[])
+    run_circuit(
+        &circuit,
+        method,
+        &table1_options(case.t_stop, fill_budget),
+        &[],
+    )
 }
 
 /// Runs `method` on an already-built circuit.
@@ -80,6 +125,8 @@ pub fn run_circuit(
             avg_newton: result.stats.avg_newton_iterations(),
             avg_krylov: result.stats.avg_krylov_dimension(),
             lu_count: result.stats.lu_factorizations,
+            symbolic_analyses: result.stats.symbolic_analyses,
+            lu_refactorizations: result.stats.lu_refactorizations,
             runtime: result.stats.runtime_seconds(),
         },
         Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. })) => CaseOutcome::OutOfMemory,
@@ -101,12 +148,21 @@ mod tests {
         let benr = run_case(case, Method::BackwardEuler, None);
         assert!(benr.is_completed(), "{benr:?}");
         if let (
-            CaseOutcome::Completed { avg_krylov, .. },
+            CaseOutcome::Completed {
+                avg_krylov,
+                symbolic_analyses,
+                lu_refactorizations,
+                lu_count,
+                ..
+            },
             CaseOutcome::Completed { avg_newton, .. },
         ) = (&er, &benr)
         {
             assert!(*avg_krylov > 0.0);
             assert!(*avg_newton >= 1.0);
+            // The symbolic-reuse path carries the run.
+            assert!(*symbolic_analyses < *lu_count / 2);
+            assert_eq!(*lu_count, symbolic_analyses + lu_refactorizations);
         }
     }
 
@@ -117,5 +173,28 @@ mod tests {
         let outcome = run_case(case, Method::BackwardEuler, Some(64));
         assert!(matches!(outcome, CaseOutcome::OutOfMemory), "{outcome:?}");
         assert!(outcome.runtime().is_none());
+    }
+
+    #[test]
+    fn outcomes_serialize_to_json() {
+        let done = CaseOutcome::Completed {
+            steps: 10,
+            avg_newton: 2.0,
+            avg_krylov: 0.0,
+            lu_count: 12,
+            symbolic_analyses: 1,
+            lu_refactorizations: 11,
+            runtime: 0.25,
+        };
+        let json = done.to_json();
+        assert!(json.contains("\"status\":\"completed\""));
+        assert!(json.contains("\"lu_refactorizations\":11"));
+        assert_eq!(
+            CaseOutcome::OutOfMemory.to_json(),
+            "{\"status\":\"out_of_memory\"}"
+        );
+        assert!(CaseOutcome::Failed("a \"b\"".into())
+            .to_json()
+            .contains("a 'b'"));
     }
 }

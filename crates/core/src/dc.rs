@@ -5,12 +5,21 @@
 //! (Algorithm 2 line 2). A damped Newton–Raphson iteration is used; when the
 //! plain iteration struggles, a Levenberg-style diagonal damping term is added
 //! to the Jacobian, which plays the practical role of SPICE's gmin stepping.
+//!
+//! The Jacobian's sparsity pattern is fixed across Newton iterations (it only
+//! changes when the damping term switches on or off), so after the first
+//! iteration the LU factorization runs through the cached-symbolic
+//! refactorization path. The final factor is handed to the transient engines,
+//! which — for circuits whose conductance pattern matches — never pay for a
+//! second symbolic analysis.
 
 use exi_netlist::Circuit;
-use exi_sparse::{vector, CsrMatrix, LuOptions, SparseLu};
+use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu};
 
+use crate::engines::refresh_lu;
 use crate::error::{SimError, SimResult};
 use crate::options::DcOptions;
+use crate::stats::RunStats;
 
 /// Outcome of a DC operating-point analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +61,20 @@ pub struct DcSolution {
 /// # }
 /// ```
 pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<DcSolution> {
+    let mut stats = RunStats::new();
+    let (solution, _) = dc_operating_point_internal(circuit, options, &mut stats)?;
+    Ok(solution)
+}
+
+/// As [`dc_operating_point`], additionally accounting every device
+/// evaluation, Newton iteration and (re)factorization into `stats` and
+/// returning the final Jacobian factor so a transient engine can seed its own
+/// LU cache with the already-computed symbolic analysis.
+pub(crate) fn dc_operating_point_internal(
+    circuit: &Circuit,
+    options: &DcOptions,
+    stats: &mut RunStats,
+) -> SimResult<(DcSolution, Option<SparseLu>)> {
     let n = circuit.num_unknowns();
     let b = circuit.input_matrix()?;
     let u0 = circuit.input_vector(0.0);
@@ -60,9 +83,18 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
     let mut damping = 0.0;
     let mut previous_residual = f64::INFINITY;
 
+    let lu_options = LuOptions {
+        ordering: options.ordering,
+        ..LuOptions::default()
+    };
+    let mut lu_cache: Option<SparseLu> = None;
+    let mut lu_ws = LuWorkspace::new();
+    let mut rhs = vec![0.0; n];
+    let mut delta = vec![0.0; n];
+
     for iter in 1..=options.max_iterations {
         let ev = circuit.evaluate(&x)?;
-        let mut rhs = vec![0.0; n];
+        stats.device_evaluations += 1;
         for i in 0..n {
             rhs[i] = bu[i] - ev.f[i];
         }
@@ -70,7 +102,11 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
         // Adaptive Levenberg damping: engage when the residual grows or the
         // iteration produced non-finite values.
         if !residual_norm.is_finite() || residual_norm > 10.0 * previous_residual {
-            damping = if damping == 0.0 { options.fallback_damping } else { damping * 10.0 };
+            damping = if damping == 0.0 {
+                options.fallback_damping
+            } else {
+                damping * 10.0
+            };
         }
         previous_residual = residual_norm.min(previous_residual);
 
@@ -80,11 +116,10 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
         } else {
             ev.g.clone()
         };
-        let lu = SparseLu::factorize_with(
-            &jac,
-            &LuOptions { ordering: options.ordering, ..LuOptions::default() },
-        )?;
-        let mut delta = lu.solve(&rhs)?;
+        refresh_lu(&mut lu_cache, &jac, &lu_options, &mut lu_ws, stats)?;
+        let lu = lu_cache.as_ref().expect("refresh_lu populated the cache");
+        lu.solve_into(&rhs, &mut delta, &mut lu_ws)?;
+        stats.linear_solves += 1;
         // Simple voltage limiting keeps exponential devices in range.
         for d in delta.iter_mut() {
             if d.abs() > options.max_update {
@@ -96,12 +131,18 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
         }
         let update_norm = vector::norm_inf(&delta);
         vector::axpy(1.0, &delta, &mut x);
+        stats.newton_iterations += 1;
         if update_norm < options.tolerance && residual_norm.is_finite() {
             // Recompute the residual at the converged point for reporting.
             let ev = circuit.evaluate(&x)?;
-            let final_residual =
-                vector::norm_inf(&vector::sub(&bu, &ev.f));
-            return Ok(DcSolution { state: x, iterations: iter, residual: final_residual });
+            stats.device_evaluations += 1;
+            let final_residual = vector::norm_inf(&vector::sub(&bu, &ev.f));
+            let solution = DcSolution {
+                state: x,
+                iterations: iter,
+                residual: final_residual,
+            };
+            return Ok((solution, lu_cache));
         }
     }
     Err(SimError::NewtonDidNotConverge {
@@ -122,7 +163,8 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(3.0)).unwrap();
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(3.0))
+            .unwrap();
         ckt.add_resistor("R1", a, b, 2e3).unwrap();
         ckt.add_resistor("R2", b, gnd, 1e3).unwrap();
         let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
@@ -139,7 +181,8 @@ mod tests {
         let a = ckt.node("a");
         let d = ckt.node("d");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(2.0)).unwrap();
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(2.0))
+            .unwrap();
         ckt.add_resistor("R1", a, d, 1e3).unwrap();
         ckt.add_diode("D1", d, gnd, DiodeModel::default()).unwrap();
         let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
@@ -158,10 +201,14 @@ mod tests {
             let inp = ckt.node("in");
             let out = ckt.node("out");
             let gnd = ckt.node("0");
-            ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(1.0)).unwrap();
-            ckt.add_voltage_source("Vin", inp, gnd, Waveform::Dc(vin)).unwrap();
-            ckt.add_mosfet("MN", out, inp, gnd, MosfetModel::nmos()).unwrap();
-            ckt.add_mosfet("MP", out, inp, vdd, MosfetModel::pmos()).unwrap();
+            ckt.add_voltage_source("Vdd", vdd, gnd, Waveform::Dc(1.0))
+                .unwrap();
+            ckt.add_voltage_source("Vin", inp, gnd, Waveform::Dc(vin))
+                .unwrap();
+            ckt.add_mosfet("MN", out, inp, gnd, MosfetModel::nmos())
+                .unwrap();
+            ckt.add_mosfet("MP", out, inp, vdd, MosfetModel::pmos())
+                .unwrap();
             ckt.add_resistor("Rload", out, gnd, 1e8).unwrap();
             let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
             let vout = dc.state[ckt.unknown_of("out").unwrap()];
@@ -174,14 +221,51 @@ mod tests {
     }
 
     #[test]
+    fn newton_iterations_reuse_the_symbolic_analysis() {
+        // A nonlinear circuit needs several Newton iterations whose Jacobian
+        // values change but whose pattern does not: exactly one symbolic
+        // analysis, all later iterations numeric-only.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, d, 1e3).unwrap();
+        ckt.add_diode("D1", d, gnd, DiodeModel::default()).unwrap();
+        let mut stats = RunStats::new();
+        let (dc, lu) =
+            dc_operating_point_internal(&ckt, &DcOptions::default(), &mut stats).unwrap();
+        assert!(dc.iterations > 1);
+        // At most one extra symbolic analysis when the Levenberg damping
+        // kicks in and changes the Jacobian pattern; all other iterations
+        // run numeric-only.
+        assert!(stats.symbolic_analyses <= 2, "{stats:?}");
+        assert_eq!(
+            stats.lu_refactorizations,
+            stats.lu_factorizations - stats.symbolic_analyses
+        );
+        assert!(
+            stats.lu_refactorizations > stats.symbolic_analyses,
+            "{stats:?}"
+        );
+        assert!(lu.is_some());
+    }
+
+    #[test]
     fn fails_gracefully_when_not_converging() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", a, gnd, 1e3).unwrap();
         // Absurd iteration limit forces the failure path.
-        let opts = DcOptions { max_iterations: 1, tolerance: 1e-30, ..DcOptions::default() };
+        let opts = DcOptions {
+            max_iterations: 1,
+            tolerance: 1e-30,
+            ..DcOptions::default()
+        };
         assert!(matches!(
             dc_operating_point(&ckt, &opts),
             Err(SimError::NewtonDidNotConverge { .. })

@@ -12,6 +12,15 @@
 //!    (scaling-invariance of the Krylov decomposition);
 //! 4. optionally applies the φ₂ correction term of Eq. (16)/(25) (ER-C).
 //!
+//! Because `G`'s sparsity pattern is fixed for the whole run, only the very
+//! first factorization performs the symbolic analysis (ordering, pivot
+//! search, reachability DFS) — every later step reuses it through the
+//! numeric-only [`SparseLu::refactorize_with`] path, and the engine even
+//! seeds its cache with the factor the DC solve already computed. All
+//! triangular solves, matrix–vector products and Krylov subspace builds run
+//! through reusable workspaces, so the hot loop performs no circuit-sized
+//! allocation in steady state.
+//!
 //! All `C⁻¹` factors that appear in the paper's formulas cancel analytically
 //! against the φ denominators, so a singular capacitance matrix needs no
 //! regularization — the implementation only ever solves with `G_k`:
@@ -25,12 +34,12 @@
 
 use std::time::Instant;
 
-use exi_krylov::{mevp_invert_krylov, KrylovDecomposition, MevpOptions};
+use exi_krylov::{mevp_invert_krylov_with, KrylovDecomposition, MevpOptions, MevpWorkspace};
 use exi_netlist::Circuit;
-use exi_sparse::{vector, LuOptions, SparseLu};
+use exi_sparse::{vector, LuOptions, LuWorkspace, SparseLu};
 
-use crate::dc::dc_operating_point;
-use crate::engines::{clamp_step, prepare, reached_end, Recorder};
+use crate::dc::dc_operating_point_internal;
+use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Recorder};
 use crate::error::{SimError, SimResult};
 use crate::options::{DcOptions, TransientOptions};
 use crate::output::TransientResult;
@@ -62,13 +71,14 @@ pub fn run_exponential_rosenbrock(
     let (probes, breakpoints) = prepare(circuit, options, probe_names)?;
     let mut stats = RunStats::new();
 
-    let dc = dc_operating_point(
+    let (dc, dc_lu) = dc_operating_point_internal(
         circuit,
-        &DcOptions { ordering: options.ordering, ..DcOptions::default() },
+        &DcOptions {
+            ordering: options.ordering,
+            ..DcOptions::default()
+        },
+        &mut stats,
     )?;
-    stats.newton_iterations += dc.iterations;
-    stats.device_evaluations += dc.iterations + 1;
-    stats.lu_factorizations += dc.iterations;
 
     let n = circuit.num_unknowns();
     let b = circuit.input_matrix()?;
@@ -84,6 +94,24 @@ pub fn run_exponential_rosenbrock(
         allow_unconverged: true,
     };
 
+    // Hot-loop state: the cached factorization of `G` (seeded with the DC
+    // Jacobian factor, whose symbolic analysis usually carries over), the
+    // reusable kernel workspaces and all circuit-sized scratch buffers.
+    let mut g_lu: Option<SparseLu> = dc_lu;
+    let mut lu_ws = LuWorkspace::new();
+    let mut mevp_ws = MevpWorkspace::new();
+    let mut bu_k = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut bdu = vec![0.0; n];
+    let mut w1 = vec![0.0; n];
+    let mut w2 = vec![0.0; n];
+    let mut w3 = vec![0.0; n];
+    let mut candidate = vec![0.0; n];
+    let mut dx = vec![0.0; n];
+    let mut delta_f = vec![0.0; n];
+    let mut kry = vec![0.0; n];
+    let mut du = vec![0.0; b.cols()];
+
     let mut recorder = Recorder::new(probes, options.record_full_states);
     let mut x = dc.state;
     let mut t = 0.0_f64;
@@ -95,50 +123,73 @@ pub fn run_exponential_rosenbrock(
         let eval_k = circuit.evaluate(&x)?;
         stats.device_evaluations += 1;
         let u_k = circuit.input_vector(t);
-        let bu_k = b.mul_vec(&u_k);
-        let g_lu = SparseLu::factorize_with(&eval_k.g, &lu_options)?;
-        stats.lu_factorizations += 1;
+        b.mul_vec_into(&u_k, &mut bu_k);
+        refresh_lu(&mut g_lu, &eval_k.g, &lu_options, &mut lu_ws, &mut stats)?;
+        let g_lu_ref = g_lu.as_ref().expect("refresh_lu populated the cache");
 
         // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
-        let rhs1 = vector::sub(&eval_k.f, &bu_k);
-        let w1 = g_lu.solve(&rhs1)?;
+        for i in 0..n {
+            rhs[i] = eval_k.f[i] - bu_k[i];
+        }
+        g_lu_ref.solve_into(&rhs, &mut w1, &mut lu_ws)?;
         stats.linear_solves += 1;
-        let dec1 = self::build_subspace(&eval_k, &g_lu, &w1, h, &mevp_options, &mut stats)?;
+        let dec1 = build_subspace(
+            &eval_k,
+            g_lu_ref,
+            &w1,
+            h,
+            &mevp_options,
+            &mut stats,
+            &mut mevp_ws,
+        )?;
 
         // The step-size loop (Algorithm 2 lines 8-21): no LU, no new w1 subspace.
         let h_base = clamp_step(t, h.min(options.h_max), options.t_stop, &breakpoints);
         if h_base < options.h_min {
-            return Err(SimError::StepSizeUnderflow { time: t, step: h_base });
+            return Err(SimError::StepSizeUnderflow {
+                time: t,
+                step: h_base,
+            });
         }
         let mut h_step = h_base;
         // w2 is proportional to Δu = u(t+h) − u(t); within one breakpoint
         // interval the input is piecewise linear, so when h shrinks the vector
         // only scales and the subspace can be reused.
         let u_next0 = circuit.input_vector(t + h_step);
-        let du0 = vector::sub(&u_next0, &u_k);
-        let bdu0 = b.mul_vec(&du0);
-        let mut w2 = g_lu.solve(&bdu0)?;
+        for (d, (un, uk)) in du.iter_mut().zip(u_next0.iter().zip(u_k.iter())) {
+            *d = un - uk;
+        }
+        b.mul_vec_into(&du, &mut bdu);
+        g_lu_ref.solve_into(&bdu, &mut w2, &mut lu_ws)?;
         stats.linear_solves += 1;
         vector::scale(-1.0, &mut w2);
-        let dec2 = self::build_subspace(&eval_k, &g_lu, &w2, h_step, &mevp_options, &mut stats)?;
+        let dec2 = build_subspace(
+            &eval_k,
+            g_lu_ref,
+            &w2,
+            h_step,
+            &mevp_options,
+            &mut stats,
+            &mut mevp_ws,
+        )?;
         let h_ref_for_w2 = h_step;
 
         let mut rejections = 0usize;
-        let (accepted_x, accepted_h) = loop {
+        let accepted_h = loop {
             // --- Candidate x_{k+1} from Eq. (14). ---
-            let mut candidate = x.clone();
+            candidate.copy_from_slice(&x);
             if let Some(dec) = &dec1 {
-                let expv = dec.eval_expv(h_step)?;
+                dec.eval_expv_into(h_step, &mut kry)?;
                 for i in 0..n {
-                    candidate[i] += expv[i] - w1[i];
+                    candidate[i] += kry[i] - w1[i];
                 }
             }
             if let Some(dec) = &dec2 {
                 // Rescale w2 for the (possibly reduced) step: w2(h) = w2(h_ref)·h/h_ref.
                 let scale = h_step / h_ref_for_w2;
-                let phi1 = dec.eval_phi(1, h_step)?;
+                dec.eval_phi_into(1, h_step, &mut kry)?;
                 for i in 0..n {
-                    candidate[i] += scale * (phi1[i] - w2[i]);
+                    candidate[i] += scale * (kry[i] - w2[i]);
                 }
             }
 
@@ -146,40 +197,49 @@ pub fn run_exponential_rosenbrock(
             let eval_next = circuit.evaluate(&candidate)?;
             stats.device_evaluations += 1;
             // ΔF_k = G_k·(x_{k+1} − x_k) − (f(x_{k+1}) − f(x_k)).
-            let dx = vector::sub(&candidate, &x);
-            let gdx = eval_k.g.mul_vec(&dx);
-            let df = vector::sub(&eval_next.f, &eval_k.f);
-            let delta_f = vector::sub(&gdx, &df);
-            let w3 = g_lu.solve(&delta_f)?;
+            for i in 0..n {
+                dx[i] = candidate[i] - x[i];
+            }
+            eval_k.g.mul_vec_into(&dx, &mut delta_f);
+            for (i, df) in delta_f.iter_mut().enumerate() {
+                *df -= eval_next.f[i] - eval_k.f[i];
+            }
+            g_lu_ref.solve_into(&delta_f, &mut w3, &mut lu_ws)?;
             stats.linear_solves += 1;
-            let dec3 =
-                self::build_subspace(&eval_k, &g_lu, &w3, h_step, &mevp_options, &mut stats)?;
+            let dec3 = build_subspace(
+                &eval_k,
+                g_lu_ref,
+                &w3,
+                h_step,
+                &mevp_options,
+                &mut stats,
+                &mut mevp_ws,
+            )?;
 
-            let (error_norm, corrected) = match &dec3 {
+            let error_norm = match &dec3 {
                 Some(dec) => {
-                    let expv = dec.eval_expv(h_step)?;
+                    dec.eval_expv_into(h_step, &mut kry)?;
                     let mut err = 0.0_f64;
                     for i in 0..n {
-                        err = err.max((expv[i] - w3[i]).abs());
+                        err = err.max((kry[i] - w3[i]).abs());
                     }
-                    let corrected = if correction {
+                    if correction && err <= options.error_budget {
                         // D_k = −γ·(φ₁(hJ) − I)·w₃  (Eq. 25); x_{k+1,c} = x_{k+1} − D_k.
-                        let phi1 = dec.eval_phi(1, h_step)?;
-                        let mut xc = candidate.clone();
+                        dec.eval_phi_into(1, h_step, &mut kry)?;
                         for i in 0..n {
-                            xc[i] += options.correction_gamma * (phi1[i] - w3[i]);
+                            candidate[i] += options.correction_gamma * (kry[i] - w3[i]);
                         }
-                        Some(xc)
-                    } else {
-                        None
-                    };
-                    (err, corrected)
+                    }
+                    err
                 }
-                None => (0.0, None),
+                None => 0.0,
             };
+            if let Some(dec) = dec3 {
+                mevp_ws.recycle(dec);
+            }
 
             if error_norm <= options.error_budget {
-                break (corrected.unwrap_or(candidate), h_step);
+                break h_step;
             }
             // Reject: shrink the step. No LU decomposition and no rebuild of
             // the w1/w2 subspaces is needed (Algorithm 2 lines 20).
@@ -187,14 +247,24 @@ pub fn run_exponential_rosenbrock(
             stats.rejected_steps += 1;
             h_step *= options.shrink_factor;
             if h_step < options.h_min {
-                return Err(SimError::StepSizeUnderflow { time: t, step: h_step });
+                return Err(SimError::StepSizeUnderflow {
+                    time: t,
+                    step: h_step,
+                });
             }
         };
 
-        x = accepted_x;
+        x.copy_from_slice(&candidate);
         t += accepted_h;
         stats.accepted_steps += 1;
         recorder.record(t, &x);
+        // Hand the step's subspace bases back to the arena for the next step.
+        if let Some(dec) = dec1 {
+            mevp_ws.recycle(dec);
+        }
+        if let Some(dec) = dec2 {
+            mevp_ws.recycle(dec);
+        }
 
         // Algorithm 2 lines 23-25: an easy step earns a larger next step.
         if rejections <= options.easy_step_threshold {
@@ -204,12 +274,14 @@ pub fn run_exponential_rosenbrock(
         }
     }
 
+    stats.krylov_workspace_allocations = mevp_ws.allocations();
     stats.runtime = started.elapsed();
     Ok(recorder.finish(x, stats))
 }
 
 /// Builds an invert-Krylov subspace for vector `v`, or `None` when the vector
 /// is (numerically) zero and its contribution vanishes.
+#[allow(clippy::too_many_arguments)]
 fn build_subspace(
     eval: &exi_netlist::Evaluation,
     g_lu: &SparseLu,
@@ -217,6 +289,7 @@ fn build_subspace(
     h: f64,
     mevp_options: &MevpOptions,
     stats: &mut RunStats,
+    ws: &mut MevpWorkspace,
 ) -> SimResult<Option<KrylovDecomposition>> {
     if vector::norm2(v) < NEGLIGIBLE_NORM {
         return Ok(None);
@@ -225,9 +298,13 @@ fn build_subspace(
         // A non-finite vector here means an upstream evaluation overflowed.
         return Err(SimError::Krylov(exi_krylov::KrylovError::ZeroStartVector));
     }
-    let outcome = mevp_invert_krylov(&eval.c, &eval.g, g_lu, v, h, mevp_options)?;
+    let outcome = mevp_invert_krylov_with(&eval.c, &eval.g, g_lu, v, h, mevp_options, ws)?;
     stats.krylov_subspaces += 1;
     stats.krylov_dimension_total += outcome.dimension;
+    stats.peak_krylov_dimension = stats.peak_krylov_dimension.max(outcome.dimension);
+    // The engine evaluates through the decomposition; the eagerly computed
+    // product is not needed, so its storage goes straight back to the pool.
+    ws.recycle_vec(outcome.mevp);
     Ok(Some(outcome.decomposition))
 }
 
@@ -282,11 +359,45 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked >= 3, "expected several accepted points past the ramp");
+        assert!(
+            checked >= 3,
+            "expected several accepted points past the ramp"
+        );
         // Far fewer steps than an implicit method would need for this accuracy.
         assert!(result.stats.accepted_steps < 50);
         // Exactly one LU per accepted step plus the DC solve.
-        assert!(result.stats.lu_factorizations <= result.stats.accepted_steps + result.stats.newton_iterations + 1);
+        assert!(
+            result.stats.lu_factorizations
+                <= result.stats.accepted_steps + result.stats.newton_iterations + 1
+        );
+    }
+
+    #[test]
+    fn er_reuses_one_symbolic_analysis_for_the_whole_run() {
+        // Linear circuit: the conductance pattern never changes, so the DC
+        // solve performs the single symbolic analysis and every transient
+        // step refactorizes numerically.
+        let (r, c, v) = (1e3, 1e-12, 1.0);
+        let tau = r * c;
+        let ckt = rc_ramp_circuit(r, c, v, tau / 100.0);
+        let options = TransientOptions {
+            t_stop: 5.0 * tau,
+            h_init: tau / 2.0,
+            h_max: tau,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        let result = run_exponential_rosenbrock(&ckt, false, &options, &["out"]).unwrap();
+        let s = &result.stats;
+        assert_eq!(s.symbolic_analyses, 1, "{s:?}");
+        assert_eq!(s.lu_refactorizations, s.lu_factorizations - 1);
+        assert!(s.lu_refactorizations >= s.accepted_steps);
+        // The Krylov workspace reaches steady state: far fewer fresh
+        // allocations than subspace builds.
+        assert!(
+            s.krylov_workspace_allocations < (s.peak_krylov_dimension + 3) * 2 + s.krylov_subspaces,
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -328,8 +439,7 @@ mod tests {
             error_budget: 1.0,
             ..TransientOptions::default()
         };
-        let reference =
-            run_implicit(&ckt, ImplicitScheme::BackwardEuler, &fine, &["s2"]).unwrap();
+        let reference = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &fine, &["s2"]).unwrap();
         let coarse = TransientOptions {
             t_stop: 2e-10,
             h_init: 2e-12,
@@ -344,7 +454,10 @@ mod tests {
         // The correction must not make things worse by more than a hair, and
         // both must be reasonably accurate.
         assert!(er_err < 0.05, "er rms error {er_err}");
-        assert!(erc_err < er_err * 1.5 + 1e-4, "erc {erc_err} vs er {er_err}");
+        assert!(
+            erc_err < er_err * 1.5 + 1e-4,
+            "erc {erc_err} vs er {er_err}"
+        );
     }
 
     #[test]
@@ -356,8 +469,13 @@ mod tests {
         let mid = ckt.node("mid");
         let out = ckt.node("out");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::single_pulse(0.0, 1.0, 1e-11, 1e-12, 1e-12, 1e-9))
-            .unwrap();
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            gnd,
+            Waveform::single_pulse(0.0, 1.0, 1e-11, 1e-12, 1e-12, 1e-9),
+        )
+        .unwrap();
         ckt.add_resistor("R1", a, mid, 1e3).unwrap();
         // "mid" is a purely resistive node: no capacitor attached.
         ckt.add_resistor("R2", mid, out, 1e3).unwrap();

@@ -11,6 +11,7 @@ pub mod er;
 pub mod implicit;
 
 use exi_netlist::Circuit;
+use exi_sparse::{CsrMatrix, LuOptions, LuWorkspace, SparseError, SparseLu};
 
 use crate::error::{SimError, SimResult};
 use crate::options::TransientOptions;
@@ -58,13 +59,20 @@ pub(crate) struct Recorder {
 
 impl Recorder {
     pub(crate) fn new(probes: Vec<Probe>, record_full: bool) -> Self {
-        Recorder { probes, times: Vec::new(), samples: Vec::new(), full_states: Vec::new(), record_full }
+        Recorder {
+            probes,
+            times: Vec::new(),
+            samples: Vec::new(),
+            full_states: Vec::new(),
+            record_full,
+        }
     }
 
     /// Records an accepted state at time `t`.
     pub(crate) fn record(&mut self, t: f64, x: &[f64]) {
         self.times.push(t);
-        self.samples.push(self.probes.iter().map(|p| x[p.unknown]).collect());
+        self.samples
+            .push(self.probes.iter().map(|p| x[p.unknown]).collect());
         if self.record_full {
             self.full_states.push(x.to_vec());
         }
@@ -102,6 +110,47 @@ pub(crate) fn clamp_step(t: f64, h: f64, t_stop: f64, breakpoints: &[f64]) -> f6
 /// Returns `true` when the simulation time has reached the stop time.
 pub(crate) fn reached_end(t: f64, t_stop: f64) -> bool {
     t >= t_stop * (1.0 - TIME_EPSILON)
+}
+
+/// Obtains an LU factorization of `a`, preferring the cheap numeric-only
+/// refactorization path when `cache` already holds a factor whose symbolic
+/// analysis matches `a`'s sparsity pattern.
+///
+/// Falls back to a fresh factorization (with re-pivoting) whenever the
+/// refactorization is rejected — pattern change, vanished pivot or excessive
+/// element growth. Counts both paths into `stats` so runs expose how much
+/// symbolic work they actually reused.
+pub(crate) fn refresh_lu(
+    cache: &mut Option<SparseLu>,
+    a: &CsrMatrix,
+    options: &LuOptions,
+    ws: &mut LuWorkspace,
+    stats: &mut RunStats,
+) -> SimResult<()> {
+    if let Some(lu) = cache.as_mut() {
+        if lu.refactorize_with(a, ws).is_ok() {
+            // The fill of a pattern-preserving refactorization is identical
+            // to the pilot's, but a budget configured *after* the pilot (or a
+            // factor seeded from another analysis) must still be honored.
+            if let Some(budget) = options.fill_budget {
+                if lu.fill() > budget {
+                    return Err(SimError::Sparse(SparseError::FillBudgetExceeded {
+                        reached: lu.fill(),
+                        budget,
+                    }));
+                }
+            }
+            stats.lu_factorizations += 1;
+            stats.lu_refactorizations += 1;
+            return Ok(());
+        }
+        // Stale symbolic analysis: discard and re-pivot from scratch.
+        *cache = None;
+    }
+    *cache = Some(SparseLu::factorize_with(a, options)?);
+    stats.lu_factorizations += 1;
+    stats.symbolic_analyses += 1;
+    Ok(())
 }
 
 /// Validates options and resolves probes; shared preamble of every engine.
@@ -147,7 +196,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", a, gnd, 1.0).unwrap();
         let probes = resolve_probes(&ckt, &["a", "0"]).unwrap();
         assert_eq!(probes.len(), 1); // ground probe silently dropped

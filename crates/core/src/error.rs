@@ -107,11 +107,20 @@ mod tests {
         assert!(e.to_string().contains("singular"));
         let e: SimError = KrylovError::ZeroStartVector.into();
         assert!(e.to_string().contains("krylov"));
-        let e = SimError::NewtonDidNotConverge { time: 1e-9, step: 1e-12, iterations: 50 };
+        let e = SimError::NewtonDidNotConverge {
+            time: 1e-9,
+            step: 1e-12,
+            iterations: 50,
+        };
         assert!(e.to_string().contains("newton"));
-        let e = SimError::StepSizeUnderflow { time: 0.0, step: 1e-20 };
+        let e = SimError::StepSizeUnderflow {
+            time: 0.0,
+            step: 1e-20,
+        };
         assert!(e.to_string().contains("underflow"));
-        let e = SimError::InvalidOptions { message: "t_stop must be positive".into() };
+        let e = SimError::InvalidOptions {
+            message: "t_stop must be positive".into(),
+        };
         assert!(e.to_string().contains("t_stop"));
         assert!(e.source().is_none());
     }

@@ -71,7 +71,12 @@ impl Default for TransientOptions {
 impl TransientOptions {
     /// Convenience constructor for a span `[0, t_stop]` with an initial step.
     pub fn new(t_stop: f64, h_init: f64) -> Self {
-        TransientOptions { t_stop, h_init, h_max: t_stop / 10.0, ..TransientOptions::default() }
+        TransientOptions {
+            t_stop,
+            h_init,
+            h_max: t_stop / 10.0,
+            ..TransientOptions::default()
+        }
     }
 
     /// Validates the option set.
@@ -82,24 +87,28 @@ impl TransientOptions {
     /// found.
     pub fn validate(&self) -> SimResult<()> {
         let fail = |message: &str| {
-            Err(SimError::InvalidOptions { message: message.to_string() })
+            Err(SimError::InvalidOptions {
+                message: message.to_string(),
+            })
         };
-        if !(self.t_stop > 0.0) {
+        // NaN-aware: a NaN value fails the `positive` test and is rejected.
+        let positive = |v: f64| v > 0.0;
+        if !positive(self.t_stop) {
             return fail("t_stop must be positive");
         }
-        if !(self.h_init > 0.0) || self.h_init > self.t_stop {
+        if !positive(self.h_init) || self.h_init > self.t_stop {
             return fail("h_init must be positive and no larger than t_stop");
         }
-        if !(self.h_min > 0.0) || self.h_min > self.h_init {
+        if !positive(self.h_min) || self.h_min > self.h_init {
             return fail("h_min must be positive and no larger than h_init");
         }
         if self.h_max < self.h_init {
             return fail("h_max must be at least h_init");
         }
-        if !(self.error_budget > 0.0) {
+        if !positive(self.error_budget) {
             return fail("error_budget must be positive");
         }
-        if !(self.shrink_factor > 0.0 && self.shrink_factor < 1.0) {
+        if !(positive(self.shrink_factor) && self.shrink_factor < 1.0) {
             return fail("shrink_factor must lie in (0, 1)");
         }
         if self.growth_factor < 1.0 {
@@ -157,15 +166,42 @@ mod tests {
     fn invalid_options_are_rejected() {
         let base = TransientOptions::default();
         for bad in [
-            TransientOptions { t_stop: 0.0, ..base.clone() },
-            TransientOptions { h_init: -1.0, ..base.clone() },
-            TransientOptions { h_init: 1.0, ..base.clone() },
-            TransientOptions { h_min: 0.0, ..base.clone() },
-            TransientOptions { h_max: 1e-15, ..base.clone() },
-            TransientOptions { error_budget: 0.0, ..base.clone() },
-            TransientOptions { shrink_factor: 1.5, ..base.clone() },
-            TransientOptions { growth_factor: 0.5, ..base.clone() },
-            TransientOptions { newton_max_iterations: 0, ..base.clone() },
+            TransientOptions {
+                t_stop: 0.0,
+                ..base.clone()
+            },
+            TransientOptions {
+                h_init: -1.0,
+                ..base.clone()
+            },
+            TransientOptions {
+                h_init: 1.0,
+                ..base.clone()
+            },
+            TransientOptions {
+                h_min: 0.0,
+                ..base.clone()
+            },
+            TransientOptions {
+                h_max: 1e-15,
+                ..base.clone()
+            },
+            TransientOptions {
+                error_budget: 0.0,
+                ..base.clone()
+            },
+            TransientOptions {
+                shrink_factor: 1.5,
+                ..base.clone()
+            },
+            TransientOptions {
+                growth_factor: 0.5,
+                ..base.clone()
+            },
+            TransientOptions {
+                newton_max_iterations: 0,
+                ..base.clone()
+            },
         ] {
             assert!(bad.validate().is_err());
         }

@@ -14,7 +14,10 @@ pub struct Probe {
 impl Probe {
     /// Creates a probe for the given unknown index.
     pub fn new(label: impl Into<String>, unknown: usize) -> Self {
-        Probe { label: label.into(), unknown }
+        Probe {
+            label: label.into(),
+            unknown,
+        }
     }
 }
 
@@ -53,7 +56,11 @@ impl TransientResult {
     /// Panics if `p` is out of range.
     pub fn waveform(&self, p: usize) -> Vec<(f64, f64)> {
         assert!(p < self.probes.len(), "probe index out of range");
-        self.times.iter().zip(self.samples.iter()).map(|(&t, row)| (t, row[p])).collect()
+        self.times
+            .iter()
+            .zip(self.samples.iter())
+            .map(|(&t, row)| (t, row[p]))
+            .collect()
     }
 
     /// Linearly interpolates the value of probe `p` at time `t` (clamped to
@@ -97,7 +104,9 @@ impl TransientResult {
             .times
             .iter()
             .zip(reference.samples.iter())
-            .fold(0.0_f64, |acc, (&t, row)| acc.max((self.sample_at(p, t) - row[p]).abs()))
+            .fold(0.0_f64, |acc, (&t, row)| {
+                acc.max((self.sample_at(p, t) - row[p]).abs())
+            })
     }
 
     /// Root-mean-square difference against a reference result for probe `p`,

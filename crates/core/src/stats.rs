@@ -2,7 +2,9 @@
 //!
 //! These are the per-method columns of the paper's Table I: number of
 //! accepted steps, average Newton iterations per step (BENR), average Krylov
-//! subspace dimension per step (ER/ER-C), LU factorization count and runtime.
+//! subspace dimension per step (ER/ER-C), LU factorization count and runtime —
+//! plus the symbolic-reuse and allocation counters introduced with the
+//! KLU-style refactorization path (see `docs/PERFORMANCE.md`).
 
 use std::time::Duration;
 
@@ -15,8 +17,16 @@ pub struct RunStats {
     pub rejected_steps: usize,
     /// Total Newton–Raphson iterations across all steps.
     pub newton_iterations: usize,
-    /// Number of LU factorizations performed.
+    /// Number of numeric LU factorizations performed, fresh and reused alike
+    /// (`lu_factorizations == symbolic_analyses + lu_refactorizations`).
     pub lu_factorizations: usize,
+    /// Number of **full** factorizations that had to run the symbolic
+    /// analysis (fill-reducing ordering, pivot search, reachability DFS).
+    /// With a fixed sparsity pattern an engine needs exactly one of these.
+    pub symbolic_analyses: usize,
+    /// Number of numeric-only refactorizations that reused a cached symbolic
+    /// analysis (values changed, pattern did not).
+    pub lu_refactorizations: usize,
     /// Number of sparse triangular solves performed.
     pub linear_solves: usize,
     /// Number of full device evaluations.
@@ -25,6 +35,13 @@ pub struct RunStats {
     pub krylov_subspaces: usize,
     /// Sum of the dimensions of all Krylov subspaces built.
     pub krylov_dimension_total: usize,
+    /// Largest single Krylov subspace dimension seen.
+    pub peak_krylov_dimension: usize,
+    /// Circuit-sized heap allocations made by the Krylov workspace because
+    /// its recycling pool was empty. In steady state this stops growing; a
+    /// value that keeps climbing with the step count indicates a workspace
+    /// reuse regression in the hot path.
+    pub krylov_workspace_allocations: usize,
     /// Wall-clock time of the analysis.
     pub runtime: Duration,
 }
@@ -58,6 +75,16 @@ impl RunStats {
         self.accepted_steps + self.rejected_steps
     }
 
+    /// Fraction of LU factorizations served by the cheap numeric-only
+    /// refactorization path (`0.0` when no factorization happened).
+    pub fn refactorization_ratio(&self) -> f64 {
+        if self.lu_factorizations == 0 {
+            0.0
+        } else {
+            self.lu_refactorizations as f64 / self.lu_factorizations as f64
+        }
+    }
+
     /// Runtime in seconds (`RT(s)` in Table I).
     pub fn runtime_seconds(&self) -> f64 {
         self.runtime.as_secs_f64()
@@ -74,6 +101,7 @@ mod tests {
         assert_eq!(s.avg_newton_iterations(), 0.0);
         assert_eq!(s.avg_krylov_dimension(), 0.0);
         assert_eq!(s.total_attempts(), 0);
+        assert_eq!(s.refactorization_ratio(), 0.0);
     }
 
     #[test]
@@ -90,5 +118,20 @@ mod tests {
         assert!((s.avg_krylov_dimension() - 30.0).abs() < 1e-12);
         assert_eq!(s.total_attempts(), 12);
         assert_eq!(s.runtime_seconds(), 0.0);
+    }
+
+    #[test]
+    fn refactorization_ratio_reflects_symbolic_reuse() {
+        let s = RunStats {
+            lu_factorizations: 40,
+            symbolic_analyses: 1,
+            lu_refactorizations: 39,
+            ..RunStats::default()
+        };
+        assert!((s.refactorization_ratio() - 0.975).abs() < 1e-12);
+        assert_eq!(
+            s.lu_factorizations,
+            s.symbolic_analyses + s.lu_refactorizations
+        );
     }
 }

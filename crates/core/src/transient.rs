@@ -122,8 +122,13 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("Vin", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]))
-            .unwrap();
+        ckt.add_voltage_source(
+            "Vin",
+            vin,
+            gnd,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]),
+        )
+        .unwrap();
         ckt.add_resistor("R1", vin, out, 1e3).unwrap();
         ckt.add_capacitor("C1", out, gnd, 1e-13).unwrap();
         let options = TransientOptions {
@@ -147,7 +152,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V", a, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_voltage_source("V", a, gnd, Waveform::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R", a, gnd, 1.0).unwrap();
         ckt.add_capacitor("C", a, gnd, 1e-12).unwrap();
         let options = TransientOptions::new(1e-10, 1e-12);

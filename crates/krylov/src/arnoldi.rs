@@ -6,20 +6,36 @@
 //! (paper Eq. 5–6) that requires a factorization of `C`; it exists both as a
 //! baseline for the ablation benchmarks and to demonstrate the convergence
 //! problem the invert Krylov method solves.
+//!
+//! The process draws its basis vectors and Hessenberg storage from a
+//! [`MevpWorkspace`] arena and applies operators through
+//! [`KrylovOperator::apply_into`], so building a subspace in a transient
+//! engine's steady state performs no circuit-sized heap allocation.
+//! Convergence tests run on the small Hessenberg matrix alone — the basis is
+//! never cloned.
 
 use exi_sparse::{vector, CsrMatrix, DenseMatrix, SparseLu};
 
-use crate::decomposition::{KrylovDecomposition, ProjectionKind};
+use crate::decomposition::{phi_small_of, residual_scalar_of, KrylovDecomposition, ProjectionKind};
 use crate::error::{KrylovError, KrylovResult};
-use crate::mevp::{MevpOptions, MevpOutcome};
+use crate::mevp::{MevpOptions, MevpOutcome, MevpWorkspace};
 use crate::operator::{JacobianOperator, KrylovOperator};
 
 /// Subdiagonal magnitude below which the Arnoldi process is declared to have
 /// found an invariant subspace ("happy breakdown").
 const BREAKDOWN_TOLERANCE: f64 = 1e-14;
 
+/// Norm-ratio trigger for the re-orthogonalization pass (DGKS criterion):
+/// the second Gram–Schmidt sweep runs only when the first sweep shrank the
+/// vector below this fraction of its **pre-orthogonalization** norm — i.e.
+/// when cancellation may actually have eaten significant digits. (The
+/// previous guard `correction.abs() > 0.0` was effectively always true, so
+/// every absorb paid a full second sweep even when it contributed nothing.)
+const REORTH_NORM_RATIO: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
 /// Incremental Arnoldi factorization with modified Gram–Schmidt
-/// orthogonalization (and one step of re-orthogonalization for robustness).
+/// orthogonalization (and one guarded step of re-orthogonalization for
+/// robustness in stiff problems).
 #[derive(Debug)]
 pub(crate) struct ArnoldiProcess {
     basis: Vec<Vec<f64>>,
@@ -28,30 +44,58 @@ pub(crate) struct ArnoldiProcess {
     m: usize,
     max_m: usize,
     breakdown: bool,
+    /// Candidate vector being orthogonalized (`A·v_m` before `absorb`).
+    w: Vec<f64>,
 }
 
 impl ArnoldiProcess {
-    /// Starts the process from vector `v`.
+    /// Starts the process from vector `v` with a private workspace
+    /// (convenience for tests; hot paths use [`ArnoldiProcess::new_in`]).
+    #[cfg(test)]
     pub(crate) fn new(v: &[f64], max_m: usize) -> KrylovResult<Self> {
+        Self::new_in(v, max_m, &mut MevpWorkspace::new())
+    }
+
+    /// Starts the process from vector `v`, drawing storage from `ws`.
+    pub(crate) fn new_in(v: &[f64], max_m: usize, ws: &mut MevpWorkspace) -> KrylovResult<Self> {
         let beta = vector::norm2(v);
         if beta == 0.0 || !beta.is_finite() {
             return Err(KrylovError::ZeroStartVector);
         }
-        let v1: Vec<f64> = v.iter().map(|x| x / beta).collect();
+        let mut v1 = ws.take_vec(v.len());
+        for (out, x) in v1.iter_mut().zip(v.iter()) {
+            *out = x / beta;
+        }
+        let mut basis = Vec::with_capacity(max_m + 1);
+        basis.push(v1);
         Ok(ArnoldiProcess {
-            basis: vec![v1],
-            hess: DenseMatrix::zeros(max_m + 1, max_m),
+            basis,
+            hess: ws.take_hess(max_m + 1, max_m),
             beta,
             m: 0,
             max_m,
             breakdown: false,
+            w: ws.take_vec(v.len()),
         })
     }
 
-    /// The most recent basis vector (the one the operator should be applied to
-    /// for the next step).
+    /// The most recent basis vector (the one the operator is applied to for
+    /// the next step; engines go through [`ArnoldiProcess::step`]).
+    #[cfg(test)]
     pub(crate) fn last_vector(&self) -> &[f64] {
         &self.basis[self.m]
+    }
+
+    /// The tentative `(m+1)`-th basis vector, available after a non-breakdown
+    /// step (used by the invert-Krylov residual of Eq. 22).
+    pub(crate) fn next_vector(&self) -> Option<&[f64]> {
+        if self.breakdown {
+            None
+        } else if self.basis.len() > self.m {
+            Some(&self.basis[self.m])
+        } else {
+            None
+        }
     }
 
     /// Current subspace dimension.
@@ -64,10 +108,19 @@ impl ArnoldiProcess {
         self.breakdown
     }
 
-    /// Absorbs `w = A·v_j`, orthogonalizes it against the basis and appends a
-    /// new column to the Hessenberg matrix. Returns the subdiagonal entry
-    /// `h_{j+1,j}`.
-    pub(crate) fn absorb(&mut self, mut w: Vec<f64>) -> KrylovResult<f64> {
+    /// Applies `op` to the newest basis vector and absorbs the result —
+    /// one full Arnoldi step without any allocation. Returns `h_{j+1,j}`.
+    pub(crate) fn step<O: KrylovOperator>(
+        &mut self,
+        op: &O,
+        ws: &mut MevpWorkspace,
+    ) -> KrylovResult<f64> {
+        if self.breakdown {
+            // The subspace is invariant and exact; there is no vector to
+            // expand with (the basis holds only `m` vectors). A further step
+            // is a harmless no-op rather than an out-of-bounds panic.
+            return Ok(0.0);
+        }
         if self.m >= self.max_m {
             return Err(KrylovError::NotConverged {
                 max_dimension: self.max_m,
@@ -75,40 +128,112 @@ impl ArnoldiProcess {
                 tolerance: 0.0,
             });
         }
+        op.apply_into(&self.basis[self.m], &mut self.w, &mut ws.op)?;
+        self.absorb_candidate(ws)
+    }
+
+    /// Absorbs an externally computed `w = A·v_j` (test helper; engines use
+    /// [`ArnoldiProcess::step`]).
+    #[cfg(test)]
+    pub(crate) fn absorb(&mut self, w: Vec<f64>) -> KrylovResult<f64> {
+        if self.breakdown {
+            return Ok(0.0);
+        }
+        if self.m >= self.max_m {
+            return Err(KrylovError::NotConverged {
+                max_dimension: self.max_m,
+                residual: f64::NAN,
+                tolerance: 0.0,
+            });
+        }
+        self.w.copy_from_slice(&w);
+        self.absorb_candidate(&mut MevpWorkspace::new())
+    }
+
+    /// Orthogonalizes `self.w` against the basis and appends a new column to
+    /// the Hessenberg matrix. Returns the subdiagonal entry `h_{j+1,j}`.
+    fn absorb_candidate(&mut self, ws: &mut MevpWorkspace) -> KrylovResult<f64> {
         let j = self.m;
+        let pre_norm = vector::norm2(&self.w);
         // Modified Gram–Schmidt.
         for i in 0..=j {
-            let hij = vector::dot(&w, &self.basis[i]);
+            let hij = vector::dot(&self.w, &self.basis[i]);
             self.hess.add_to(i, j, hij);
-            vector::axpy(-hij, &self.basis[i], &mut w);
+            vector::axpy(-hij, &self.basis[i], &mut self.w);
         }
-        // One re-orthogonalization pass guards against loss of orthogonality
-        // in stiff problems.
-        for i in 0..=j {
-            let correction = vector::dot(&w, &self.basis[i]);
-            if correction.abs() > 0.0 {
-                self.hess.add_to(i, j, correction);
-                vector::axpy(-correction, &self.basis[i], &mut w);
+        // One guarded re-orthogonalization pass (DGKS): only when the first
+        // sweep cancelled most of the vector can round-off have contaminated
+        // the remainder; otherwise the second sweep contributes nothing and
+        // is skipped, halving the Gram–Schmidt work of a typical absorb.
+        let mut hnext = vector::norm2(&self.w);
+        if hnext < REORTH_NORM_RATIO * pre_norm {
+            for i in 0..=j {
+                let correction = vector::dot(&self.w, &self.basis[i]);
+                if correction != 0.0 {
+                    self.hess.add_to(i, j, correction);
+                    vector::axpy(-correction, &self.basis[i], &mut self.w);
+                }
             }
+            hnext = vector::norm2(&self.w);
         }
-        let hnext = vector::norm2(&w);
         self.m += 1;
         if hnext <= BREAKDOWN_TOLERANCE {
             self.breakdown = true;
             return Ok(0.0);
         }
         self.hess.set(j + 1, j, hnext);
-        vector::scale(1.0 / hnext, &mut w);
-        self.basis.push(w);
+        let mut v_next = ws.take_vec(self.w.len());
+        std::mem::swap(&mut v_next, &mut self.w);
+        vector::scale(1.0 / hnext, &mut v_next);
+        self.basis.push(v_next);
         Ok(hnext)
     }
 
-    /// Finalizes into a [`KrylovDecomposition`] of the given kind.
-    pub(crate) fn into_decomposition(self, kind: ProjectionKind) -> KrylovDecomposition {
+    /// Small-space coefficients `β · φ_order(h·S) · e₁` of the current
+    /// iterate, written into `out` (no basis access, nothing cloned).
+    pub(crate) fn phi_small(
+        &self,
+        kind: ProjectionKind,
+        order: usize,
+        h: f64,
+        out: &mut Vec<f64>,
+    ) -> KrylovResult<()> {
+        let hm = self.hess.submatrix(self.m, self.m);
+        phi_small_of(kind, &hm, self.beta, order, h, out)
+    }
+
+    /// Residual estimate of the current iterate, computed from the small
+    /// Hessenberg matrix alone (no basis access, nothing cloned).
+    pub(crate) fn residual_scalar(&self, kind: ProjectionKind, h: f64) -> KrylovResult<f64> {
+        let hm = self.hess.submatrix(self.m, self.m);
+        let h_next = if self.breakdown {
+            0.0
+        } else {
+            self.hess.get(self.m, self.m - 1)
+        };
+        residual_scalar_of(kind, &hm, h_next, self.beta, h)
+    }
+
+    /// Finalizes into a [`KrylovDecomposition`] of the given kind, returning
+    /// the scratch storage to `ws` for the next subspace build.
+    pub(crate) fn into_decomposition_in(
+        self,
+        kind: ProjectionKind,
+        ws: &mut MevpWorkspace,
+    ) -> KrylovDecomposition {
         let m = self.m;
         let rows = if self.breakdown { m } else { m + 1 };
-        let hess = self.hess.submatrix(rows, m);
-        KrylovDecomposition::new(kind, self.basis, hess, self.beta, m)
+        let hess_small = self.hess.submatrix(rows, m);
+        ws.recycle_vec(self.w);
+        ws.hess = Some(self.hess);
+        KrylovDecomposition::new(kind, self.basis, hess_small, self.beta, m)
+    }
+
+    /// Finalizes into a [`KrylovDecomposition`] (test helper).
+    #[cfg(test)]
+    pub(crate) fn into_decomposition(self, kind: ProjectionKind) -> KrylovDecomposition {
+        let mut ws = MevpWorkspace::new();
+        self.into_decomposition_in(kind, &mut ws)
     }
 }
 
@@ -151,15 +276,35 @@ pub fn mevp_standard_krylov(
     h: f64,
     options: &MevpOptions,
 ) -> KrylovResult<MevpOutcome> {
+    mevp_standard_krylov_with(g, c_lu, v, h, options, &mut MevpWorkspace::new())
+}
+
+/// As [`mevp_standard_krylov`], drawing all scratch storage from `ws` — the
+/// allocation-free variant for hot loops. Recycle the returned decomposition
+/// with [`MevpWorkspace::recycle`] when done with it.
+///
+/// # Errors
+///
+/// Same as [`mevp_standard_krylov`].
+pub fn mevp_standard_krylov_with(
+    g: &CsrMatrix,
+    c_lu: &SparseLu,
+    v: &[f64],
+    h: f64,
+    options: &MevpOptions,
+    ws: &mut MevpWorkspace,
+) -> KrylovResult<MevpOutcome> {
     let op = JacobianOperator::new(g, c_lu);
     if v.len() != op.dim() {
-        return Err(KrylovError::DimensionMismatch { expected: op.dim(), found: v.len() });
+        return Err(KrylovError::DimensionMismatch {
+            expected: op.dim(),
+            found: v.len(),
+        });
     }
-    let mut process = ArnoldiProcess::new(v, options.max_dimension)?;
+    let mut process = ArnoldiProcess::new_in(v, options.max_dimension, ws)?;
     let mut last_residual = f64::INFINITY;
     while process.dimension() < options.max_dimension {
-        let w = op.apply(process.last_vector())?;
-        process.absorb(w)?;
+        process.step(&op, ws)?;
         if process.breakdown() {
             last_residual = 0.0;
             break;
@@ -168,8 +313,7 @@ pub fn mevp_standard_krylov(
             continue;
         }
         // Saad's posterior estimate: beta * h_{m+1,m} * |e_mᵀ e^{hH_m} e₁|.
-        let snapshot = preview_decomposition(&process, ProjectionKind::Direct);
-        last_residual = snapshot.residual_scalar(h)?;
+        last_residual = process.residual_scalar(ProjectionKind::Direct, h)?;
         if last_residual <= options.tolerance {
             break;
         }
@@ -182,24 +326,19 @@ pub fn mevp_standard_krylov(
         });
     }
     let dimension = process.dimension();
-    let decomposition = process.into_decomposition(ProjectionKind::Direct);
-    let mevp = decomposition.eval_expv(h)?;
-    Ok(MevpOutcome { mevp, decomposition, residual: last_residual, dimension })
-}
-
-/// Builds a cheap read-only decomposition snapshot for convergence testing
-/// without consuming the process.
-pub(crate) fn preview_decomposition(
-    process: &ArnoldiProcess,
-    kind: ProjectionKind,
-) -> KrylovDecomposition {
-    let m = process.m;
-    let rows = if process.breakdown { m } else { m + 1 };
-    let hess = process.hess.submatrix(rows, m);
-    KrylovDecomposition::new(kind, process.basis.clone(), hess, process.beta, m)
+    let decomposition = process.into_decomposition_in(ProjectionKind::Direct, ws);
+    let mut mevp = ws.take_vec(v.len());
+    decomposition.eval_expv_into(h, &mut mevp)?;
+    Ok(MevpOutcome {
+        mevp,
+        decomposition,
+        residual: last_residual,
+        dimension,
+    })
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the formulas under test
 mod tests {
     use super::*;
     use exi_sparse::TripletMatrix;
@@ -259,6 +398,28 @@ mod tests {
     }
 
     #[test]
+    fn workspace_recycling_reuses_basis_storage() {
+        let c = diag(&[1.0, 2.0, 3.0, 4.0]);
+        let g = diag(&[1.0, 1.0, 1.0, 1.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let mut ws = MevpWorkspace::new();
+        let v = vec![1.0, -0.5, 2.0, 0.25];
+        let opts = MevpOptions::default();
+        let first =
+            crate::invert::mevp_invert_krylov_with(&c, &g, &g_lu, &v, 0.1, &opts, &mut ws).unwrap();
+        let after_first = ws.allocations();
+        let first_mevp = first.mevp.clone();
+        ws.recycle_vec(first.mevp);
+        ws.recycle(first.decomposition);
+        let second =
+            crate::invert::mevp_invert_krylov_with(&c, &g, &g_lu, &v, 0.1, &opts, &mut ws).unwrap();
+        // The second build ran entirely from the pool.
+        assert_eq!(ws.allocations(), after_first);
+        // And produced the same result.
+        assert_eq!(first_mevp, second.mevp);
+    }
+
+    #[test]
     fn standard_krylov_matches_diagonal_exponential() {
         let c = diag(&[1.0, 1.0, 1.0]);
         let g = diag(&[1.0, 5.0, 10.0]);
@@ -268,7 +429,12 @@ mod tests {
         let out = mevp_standard_krylov(&g, &c_lu, &v, h, &MevpOptions::default()).unwrap();
         for (i, &gi) in [1.0, 5.0, 10.0].iter().enumerate() {
             let expected = v[i] * (-h * gi).exp();
-            assert!((out.mevp[i] - expected).abs() < 1e-6, "{} vs {}", out.mevp[i], expected);
+            assert!(
+                (out.mevp[i] - expected).abs() < 1e-6,
+                "{} vs {}",
+                out.mevp[i],
+                expected
+            );
         }
         assert!(out.dimension <= 3);
     }
@@ -306,7 +472,11 @@ mod tests {
         let g = diag(&gvals);
         let c_lu = SparseLu::factorize(&c).unwrap();
         let v = vec![1.0; n];
-        let opts = MevpOptions { max_dimension: 3, tolerance: 1e-12, ..MevpOptions::default() };
+        let opts = MevpOptions {
+            max_dimension: 3,
+            tolerance: 1e-12,
+            ..MevpOptions::default()
+        };
         let r = mevp_standard_krylov(&g, &c_lu, &v, 1e-3, &opts);
         assert!(matches!(r, Err(KrylovError::NotConverged { .. })));
     }

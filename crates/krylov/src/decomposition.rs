@@ -7,6 +7,11 @@
 //! cost — this is the "scaling-invariance" the paper exploits to adjust the
 //! step size without new LU factorizations or new Krylov bases
 //! (Sec. III/IV, Algorithm 2 line 9).
+//!
+//! All computations that involve only the small Hessenberg matrix (stable φ
+//! evaluation, residual estimates) are free functions over `(kind, H_m)`, so
+//! the in-progress Arnoldi iteration can run its convergence test without
+//! materializing — let alone cloning — a full decomposition.
 
 use exi_sparse::DenseMatrix;
 
@@ -26,6 +31,151 @@ pub enum ProjectionKind {
         /// The shift `γ` used when building the subspace.
         gamma: f64,
     },
+}
+
+/// The small matrix `S` such that `h·J` is approximated by `h·S` in the
+/// projected space, with an explicit stabilizing shift `delta` applied before
+/// inverting the Hessenberg matrix (inverse and shift-invert kinds only).
+pub(crate) fn projected_jacobian_of(
+    kind: ProjectionKind,
+    hm: &DenseMatrix,
+    delta: f64,
+) -> KrylovResult<DenseMatrix> {
+    match kind {
+        ProjectionKind::Direct => Ok(hm.clone()),
+        ProjectionKind::Inverse => shifted_inverse(hm, delta),
+        ProjectionKind::ShiftInvert { gamma } => {
+            let hinv = shifted_inverse(hm, delta)?;
+            let ident = DenseMatrix::identity(hm.rows());
+            Ok(ident.sub(&hinv).scale(1.0 / gamma))
+        }
+    }
+}
+
+/// Inverts `hm - delta·I`, escalating the shift if the matrix is exactly
+/// singular even after shifting.
+fn shifted_inverse(hm: &DenseMatrix, delta: f64) -> KrylovResult<DenseMatrix> {
+    let shifted = hm.sub(&DenseMatrix::identity(hm.rows()).scale(delta));
+    match shifted.inverse() {
+        Ok(inv) => Ok(inv),
+        Err(_) => {
+            let bigger = (1e4 * delta).max(1e-8 * hm.norm_inf().max(f64::MIN_POSITIVE));
+            let shifted = hm.sub(&DenseMatrix::identity(hm.rows()).scale(bigger));
+            Ok(shifted.inverse()?)
+        }
+    }
+}
+
+/// Computes the φ matrices of `h·S` with an adaptive stabilizing shift.
+///
+/// The projection of `J⁻¹` onto the Krylov subspace is not normal; its field
+/// of values can poke into the right half-plane even though the circuit
+/// itself is stable, and a (near-)singular `C` adds eigenvalues that are pure
+/// rounding noise around zero. Inverting such a Hessenberg matrix can
+/// manufacture enormous *positive* rates whose exponential overflows.
+/// Physically all of those modes are "infinitely fast decay", so when the
+/// evaluation produces non-finite values the shift `δ` is escalated towards a
+/// few per mille of the step size `h` — which pins those modes to a very fast
+/// stable decay while perturbing the modes that matter (|λ| ≳ h) by well
+/// under the integrator's error budget.
+pub(crate) fn stable_phi_of(
+    kind: ProjectionKind,
+    hm: &DenseMatrix,
+    order: usize,
+    h: f64,
+) -> KrylovResult<(DenseMatrix, Vec<DenseMatrix>)> {
+    let m = hm.rows();
+    let base = 1e-12 * hm.norm_inf().max(f64::MIN_POSITIVE);
+    let shifts: [f64; 4] = [
+        base,
+        (2e-3 * h.abs()).max(base),
+        (2e-2 * h.abs()).max(base),
+        (2e-1 * h.abs()).max(base),
+    ];
+    let mut last_err = None;
+    for (attempt, &delta) in shifts.iter().enumerate() {
+        let s = match projected_jacobian_of(kind, hm, delta) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        if matches!(kind, ProjectionKind::Direct) && attempt > 0 {
+            // The direct kind never benefits from shifting; fail fast.
+            break;
+        }
+        let hs = s.scale(h);
+        match phi_matrices(&hs, order) {
+            Ok(phis) => {
+                // A stable circuit propagator has φ norms of order one;
+                // astronomically large (or non-finite) values mean an
+                // unphysical positive rate slipped through — escalate.
+                let well_behaved = phis
+                    .iter()
+                    .all(|p| p.as_slice().iter().all(|v| v.is_finite()) && p.norm_inf() < 1e8);
+                if well_behaved {
+                    return Ok((s, phis));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+        if matches!(kind, ProjectionKind::Direct) {
+            break;
+        }
+    }
+    Err(last_err.unwrap_or(KrylovError::NotConverged {
+        max_dimension: m,
+        residual: f64::INFINITY,
+        tolerance: 0.0,
+    }))
+}
+
+/// Scalar part of the matrix-exponential residual estimate at step size `h`,
+/// given the square Hessenberg block `hm`, the subdiagonal element `h_next`
+/// and the start-vector norm `beta`. See
+/// [`KrylovDecomposition::residual_scalar`].
+pub(crate) fn residual_scalar_of(
+    kind: ProjectionKind,
+    hm: &DenseMatrix,
+    h_next: f64,
+    beta: f64,
+    h: f64,
+) -> KrylovResult<f64> {
+    if h_next == 0.0 {
+        return Ok(0.0);
+    }
+    let m = hm.rows();
+    let (s, phis) = stable_phi_of(kind, hm, 0, h)?;
+    let last = match kind {
+        ProjectionKind::Direct => phis[0].get(m - 1, 0),
+        // Eq. (22): e_mᵀ · H_m⁻¹ · e^{h H_m⁻¹} · e₁  — note the extra H_m⁻¹
+        // (the stabilized projection `s` plays the role of H_m⁻¹ here).
+        ProjectionKind::Inverse | ProjectionKind::ShiftInvert { .. } => {
+            let col: Vec<f64> = (0..m).map(|i| phis[0].get(i, 0)).collect();
+            s.matvec(&col)[m - 1]
+        }
+    };
+    Ok(beta * h_next.abs() * last.abs())
+}
+
+/// The small-space coefficient vector `β · φ_order(h·S) · e₁`, written into
+/// `out` (length `m`). Shared by [`KrylovDecomposition::eval_phi_small`] and
+/// the in-progress convergence tests of the Arnoldi front-ends.
+pub(crate) fn phi_small_of(
+    kind: ProjectionKind,
+    hm: &DenseMatrix,
+    beta: f64,
+    order: usize,
+    h: f64,
+    out: &mut Vec<f64>,
+) -> KrylovResult<()> {
+    let (_, phis) = stable_phi_of(kind, hm, order, h)?;
+    let phi = &phis[order];
+    let m = hm.rows();
+    out.clear();
+    out.extend((0..m).map(|i| beta * phi.get(i, 0)));
+    Ok(())
 }
 
 /// An Arnoldi decomposition together with enough information to evaluate
@@ -59,9 +209,21 @@ impl KrylovDecomposition {
         m: usize,
     ) -> Self {
         assert!(m >= 1, "empty krylov decomposition");
-        assert!(basis.len() == m || basis.len() == m + 1, "basis size mismatch");
-        assert!(hess.rows() >= m && hess.cols() >= m, "hessenberg size mismatch");
-        KrylovDecomposition { kind, basis, hess, beta, m }
+        assert!(
+            basis.len() == m || basis.len() == m + 1,
+            "basis size mismatch"
+        );
+        assert!(
+            hess.rows() >= m && hess.cols() >= m,
+            "hessenberg size mismatch"
+        );
+        KrylovDecomposition {
+            kind,
+            basis,
+            hess,
+            beta,
+            m,
+        }
     }
 
     /// Subspace dimension `m`.
@@ -87,6 +249,12 @@ impl KrylovDecomposition {
     /// The orthonormal basis vectors (length `n` each).
     pub fn basis(&self) -> &[Vec<f64>] {
         &self.basis
+    }
+
+    /// Consumes the decomposition, handing back its basis vectors so a
+    /// workspace (see `MevpWorkspace::recycle`) can reuse their storage.
+    pub fn into_basis(self) -> Vec<Vec<f64>> {
+        self.basis
     }
 
     /// The square `m × m` leading block of the Hessenberg matrix.
@@ -131,97 +299,7 @@ impl KrylovDecomposition {
     pub fn projected_jacobian(&self) -> KrylovResult<DenseMatrix> {
         let hm = self.hm();
         let delta = 1e-12 * hm.norm_inf().max(f64::MIN_POSITIVE);
-        self.projected_jacobian_shifted(delta)
-    }
-
-    /// As [`KrylovDecomposition::projected_jacobian`], with an explicit
-    /// stabilizing shift `delta` applied before inverting the Hessenberg
-    /// matrix (inverse and shift-invert kinds only).
-    fn projected_jacobian_shifted(&self, delta: f64) -> KrylovResult<DenseMatrix> {
-        let hm = self.hm();
-        match self.kind {
-            ProjectionKind::Direct => Ok(hm),
-            ProjectionKind::Inverse => Ok(Self::shifted_inverse(&hm, delta)?),
-            ProjectionKind::ShiftInvert { gamma } => {
-                let hinv = Self::shifted_inverse(&hm, delta)?;
-                let ident = DenseMatrix::identity(self.m);
-                Ok(ident.sub(&hinv).scale(1.0 / gamma))
-            }
-        }
-    }
-
-    /// Inverts `hm - delta·I`, escalating the shift if the matrix is exactly
-    /// singular even after shifting.
-    fn shifted_inverse(hm: &DenseMatrix, delta: f64) -> KrylovResult<DenseMatrix> {
-        let shifted = hm.sub(&DenseMatrix::identity(hm.rows()).scale(delta));
-        match shifted.inverse() {
-            Ok(inv) => Ok(inv),
-            Err(_) => {
-                let bigger = (1e4 * delta).max(1e-8 * hm.norm_inf().max(f64::MIN_POSITIVE));
-                let shifted = hm.sub(&DenseMatrix::identity(hm.rows()).scale(bigger));
-                Ok(shifted.inverse()?)
-            }
-        }
-    }
-
-    /// Computes the φ matrices of `h·S` with an adaptive stabilizing shift.
-    ///
-    /// The projection of `J⁻¹` onto the Krylov subspace is not normal; its
-    /// field of values can poke into the right half-plane even though the
-    /// circuit itself is stable, and a (near-)singular `C` adds eigenvalues
-    /// that are pure rounding noise around zero. Inverting such a Hessenberg
-    /// matrix can manufacture enormous *positive* rates whose exponential
-    /// overflows. Physically all of those modes are "infinitely fast decay",
-    /// so when the evaluation produces non-finite values the shift `δ` is
-    /// escalated towards a few per mille of the step size `h` — which pins
-    /// those modes to a very fast stable decay while perturbing the modes
-    /// that matter (|λ| ≳ h) by well under the integrator's error budget.
-    fn stable_phi(&self, order: usize, h: f64) -> KrylovResult<(DenseMatrix, Vec<DenseMatrix>)> {
-        let hm = self.hm();
-        let base = 1e-12 * hm.norm_inf().max(f64::MIN_POSITIVE);
-        let shifts: [f64; 4] = [
-            base,
-            (2e-3 * h.abs()).max(base),
-            (2e-2 * h.abs()).max(base),
-            (2e-1 * h.abs()).max(base),
-        ];
-        let mut last_err = None;
-        for (attempt, &delta) in shifts.iter().enumerate() {
-            let s = match self.projected_jacobian_shifted(delta) {
-                Ok(s) => s,
-                Err(e) => {
-                    last_err = Some(e);
-                    continue;
-                }
-            };
-            if matches!(self.kind, ProjectionKind::Direct) && attempt > 0 {
-                // The direct kind never benefits from shifting; fail fast.
-                break;
-            }
-            let hs = s.scale(h);
-            match phi_matrices(&hs, order) {
-                Ok(phis) => {
-                    // A stable circuit propagator has φ norms of order one;
-                    // astronomically large (or non-finite) values mean an
-                    // unphysical positive rate slipped through — escalate.
-                    let well_behaved = phis
-                        .iter()
-                        .all(|p| p.as_slice().iter().all(|v| v.is_finite()) && p.norm_inf() < 1e8);
-                    if well_behaved {
-                        return Ok((s, phis));
-                    }
-                }
-                Err(e) => last_err = Some(e),
-            }
-            if matches!(self.kind, ProjectionKind::Direct) {
-                break;
-            }
-        }
-        Err(last_err.unwrap_or(KrylovError::NotConverged {
-            max_dimension: self.m,
-            residual: f64::INFINITY,
-            tolerance: 0.0,
-        }))
+        projected_jacobian_of(self.kind, &hm, delta)
     }
 
     /// Evaluates `φ_order(h·J)·v ≈ β · V_m · φ_order(h·S) · e₁`.
@@ -233,8 +311,31 @@ impl KrylovDecomposition {
     ///
     /// Propagates dense-kernel errors and unsupported φ orders.
     pub fn eval_phi(&self, order: usize, h: f64) -> KrylovResult<Vec<f64>> {
-        let y = self.eval_phi_small(order, h)?;
-        Ok(self.lift(&y))
+        let n = self.basis[0].len();
+        let mut out = vec![0.0; n];
+        self.eval_phi_into(order, h, &mut out)?;
+        Ok(out)
+    }
+
+    /// As [`KrylovDecomposition::eval_phi`], writing into a caller-provided
+    /// buffer of length `n` — the allocation-free variant for hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dense-kernel errors and unsupported φ orders; returns a
+    /// dimension error if `out` has the wrong length.
+    pub fn eval_phi_into(&self, order: usize, h: f64, out: &mut [f64]) -> KrylovResult<()> {
+        if out.len() != self.basis[0].len() {
+            return Err(KrylovError::DimensionMismatch {
+                expected: self.basis[0].len(),
+                found: out.len(),
+            });
+        }
+        let hm = self.hm();
+        let mut y = Vec::with_capacity(self.m);
+        phi_small_of(self.kind, &hm, self.beta, order, h, &mut y)?;
+        self.lift_into(&y, out);
+        Ok(())
     }
 
     /// Evaluates `e^{hJ}·v` (φ of order zero).
@@ -246,18 +347,25 @@ impl KrylovDecomposition {
         self.eval_phi(0, h)
     }
 
+    /// As [`KrylovDecomposition::eval_expv`], writing into a caller-provided
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KrylovDecomposition::eval_phi_into`].
+    pub fn eval_expv_into(&self, h: f64, out: &mut [f64]) -> KrylovResult<()> {
+        self.eval_phi_into(0, h, out)
+    }
+
     /// The small-space coefficient vector `β · φ_order(h·S) · e₁` (length `m`).
     ///
     /// # Errors
     ///
     /// Propagates dense-kernel errors and unsupported φ orders.
     pub fn eval_phi_small(&self, order: usize, h: f64) -> KrylovResult<Vec<f64>> {
-        let (_, phis) = self.stable_phi(order, h)?;
-        let phi = &phis[order];
-        let mut y = vec![0.0; self.m];
-        for i in 0..self.m {
-            y[i] = self.beta * phi.get(i, 0);
-        }
+        let hm = self.hm();
+        let mut y = Vec::with_capacity(self.m);
+        phi_small_of(self.kind, &hm, self.beta, order, h, &mut y)?;
         Ok(y)
     }
 
@@ -267,9 +375,26 @@ impl KrylovDecomposition {
     ///
     /// Panics if `y.len() != m`.
     pub fn lift(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.m, "lift: coefficient length mismatch");
         let n = self.basis[0].len();
         let mut out = vec![0.0; n];
+        self.lift_into(y, &mut out);
+        out
+    }
+
+    /// Lifts a small-space vector into a caller-provided buffer: `out = V_m·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != m` or `out.len()` differs from the space
+    /// dimension.
+    pub fn lift_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.m, "lift: coefficient length mismatch");
+        assert_eq!(
+            out.len(),
+            self.basis[0].len(),
+            "lift: output length mismatch"
+        );
+        out.fill(0.0);
         for (j, yj) in y.iter().enumerate() {
             if *yj == 0.0 {
                 continue;
@@ -278,7 +403,6 @@ impl KrylovDecomposition {
                 *o += yj * b;
             }
         }
-        out
     }
 
     /// Residual norm of the matrix-exponential approximation at step size `h`.
@@ -298,17 +422,8 @@ impl KrylovDecomposition {
         if hnext == 0.0 {
             return Ok(0.0);
         }
-        let (s, phis) = self.stable_phi(0, h)?;
-        let last = match self.kind {
-            ProjectionKind::Direct => phis[0].get(self.m - 1, 0),
-            // Eq. (22): e_mᵀ · H_m⁻¹ · e^{h H_m⁻¹} · e₁  — note the extra H_m⁻¹
-            // (the stabilized projection `s` plays the role of H_m⁻¹ here).
-            ProjectionKind::Inverse | ProjectionKind::ShiftInvert { .. } => {
-                let col: Vec<f64> = (0..self.m).map(|i| phis[0].get(i, 0)).collect();
-                s.matvec(&col)[self.m - 1]
-            }
-        };
-        Ok(self.beta * hnext.abs() * last.abs())
+        let hm = self.hm();
+        residual_scalar_of(self.kind, &hm, hnext, self.beta, h)
     }
 }
 
@@ -332,7 +447,11 @@ mod tests {
     fn scalar_exponential_all_kinds() {
         let j = -3.0;
         let h = 0.25;
-        for kind in [ProjectionKind::Direct, ProjectionKind::Inverse, ProjectionKind::ShiftInvert { gamma: 0.1 }] {
+        for kind in [
+            ProjectionKind::Direct,
+            ProjectionKind::Inverse,
+            ProjectionKind::ShiftInvert { gamma: 0.1 },
+        ] {
             let d = scalar_decomposition(kind, j);
             let v = d.eval_expv(h).unwrap();
             assert!(
@@ -379,5 +498,27 @@ mod tests {
         let b = d.eval_expv(0.2).unwrap()[0];
         assert!((a - 2.0 * (-0.15_f64).exp()).abs() < 1e-9);
         assert!((b - 2.0 * (-0.3_f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let d = scalar_decomposition(ProjectionKind::Inverse, -2.5);
+        let alloc = d.eval_phi(1, 0.3).unwrap();
+        let mut buf = vec![42.0; 1];
+        d.eval_phi_into(1, 0.3, &mut buf).unwrap();
+        assert_eq!(alloc, buf);
+        let mut buf = vec![0.0; 1];
+        d.eval_expv_into(0.3, &mut buf).unwrap();
+        assert_eq!(d.eval_expv(0.3).unwrap(), buf);
+        // Wrong output length is rejected.
+        let mut bad = vec![0.0; 2];
+        assert!(d.eval_expv_into(0.3, &mut bad).is_err());
+    }
+
+    #[test]
+    fn into_basis_returns_vectors() {
+        let d = scalar_decomposition(ProjectionKind::Direct, -1.0);
+        let basis = d.into_basis();
+        assert_eq!(basis, vec![vec![1.0]]);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
         let e = KrylovError::from(SparseError::Singular { column: 1 });
         assert!(e.to_string().contains("singular"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = KrylovError::NotConverged { max_dimension: 10, residual: 1.0, tolerance: 1e-7 };
+        let e = KrylovError::NotConverged {
+            max_dimension: 10,
+            residual: 1.0,
+            tolerance: 1e-7,
+        };
         assert!(e.to_string().contains("not converged"));
         assert!(std::error::Error::source(&e).is_none());
         let e = KrylovError::ZeroStartVector;

@@ -68,7 +68,11 @@ pub fn expm(a: &DenseMatrix) -> KrylovResult<DenseMatrix> {
     }
     let norm = a.norm_one();
     // Number of halvings so that the scaled norm falls below theta_13.
-    let s = if norm > THETA13 { (norm / THETA13).log2().ceil().max(0.0) as u32 } else { 0 };
+    let s = if norm > THETA13 {
+        (norm / THETA13).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
     let scale = 0.5_f64.powi(s as i32);
     let a_scaled = a.scale(scale);
 
@@ -79,7 +83,11 @@ pub fn expm(a: &DenseMatrix) -> KrylovResult<DenseMatrix> {
 
     // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
     let u_inner = a6
-        .matmul(&a6.scale(PADE13[13]).add(&a4.scale(PADE13[11])).add(&a2.scale(PADE13[9])))
+        .matmul(
+            &a6.scale(PADE13[13])
+                .add(&a4.scale(PADE13[11]))
+                .add(&a2.scale(PADE13[9])),
+        )
         .add(&a6.scale(PADE13[7]))
         .add(&a4.scale(PADE13[5]))
         .add(&a2.scale(PADE13[3]))
@@ -87,7 +95,11 @@ pub fn expm(a: &DenseMatrix) -> KrylovResult<DenseMatrix> {
     let u = a_scaled.matmul(&u_inner);
     // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
     let v = a6
-        .matmul(&a6.scale(PADE13[12]).add(&a4.scale(PADE13[10])).add(&a2.scale(PADE13[8])))
+        .matmul(
+            &a6.scale(PADE13[12])
+                .add(&a4.scale(PADE13[10]))
+                .add(&a2.scale(PADE13[8])),
+        )
         .add(&a6.scale(PADE13[6]))
         .add(&a4.scale(PADE13[4]))
         .add(&a2.scale(PADE13[2]))
@@ -99,12 +111,12 @@ pub fn expm(a: &DenseMatrix) -> KrylovResult<DenseMatrix> {
     let mut x = DenseMatrix::zeros(n, n);
     let mut col = vec![0.0; n];
     for j in 0..n {
-        for i in 0..n {
-            col[i] = numer.get(i, j);
+        for (i, c) in col.iter_mut().enumerate() {
+            *c = numer.get(i, j);
         }
         let sol = denom.solve(&col)?;
-        for i in 0..n {
-            x.set(i, j, sol[i]);
+        for (i, &v) in sol.iter().enumerate() {
+            x.set(i, j, v);
         }
     }
     // Undo the scaling by repeated squaring.

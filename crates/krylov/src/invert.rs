@@ -8,10 +8,10 @@
 
 use exi_sparse::{vector, CsrMatrix, SparseLu};
 
-use crate::arnoldi::{preview_decomposition, ArnoldiProcess};
+use crate::arnoldi::ArnoldiProcess;
 use crate::decomposition::ProjectionKind;
 use crate::error::{KrylovError, KrylovResult};
-use crate::mevp::{MevpOptions, MevpOutcome};
+use crate::mevp::{MevpOptions, MevpOutcome, MevpWorkspace};
 use crate::operator::{InverseJacobianOperator, KrylovOperator};
 
 /// Computes `e^{hJ}·v` with the invert Krylov subspace (Algorithm 1,
@@ -59,15 +59,37 @@ pub fn mevp_invert_krylov(
     h: f64,
     options: &MevpOptions,
 ) -> KrylovResult<MevpOutcome> {
+    mevp_invert_krylov_with(c, g, g_lu, v, h, options, &mut MevpWorkspace::new())
+}
+
+/// As [`mevp_invert_krylov`], drawing all scratch storage from `ws` — the
+/// allocation-free variant the transient engines run in their hot loop.
+/// Recycle the returned decomposition with [`MevpWorkspace::recycle`] once it
+/// is no longer needed.
+///
+/// # Errors
+///
+/// Same as [`mevp_invert_krylov`].
+pub fn mevp_invert_krylov_with(
+    c: &CsrMatrix,
+    g: &CsrMatrix,
+    g_lu: &SparseLu,
+    v: &[f64],
+    h: f64,
+    options: &MevpOptions,
+    ws: &mut MevpWorkspace,
+) -> KrylovResult<MevpOutcome> {
     let op = InverseJacobianOperator::new(c, g_lu);
     if v.len() != op.dim() {
-        return Err(KrylovError::DimensionMismatch { expected: op.dim(), found: v.len() });
+        return Err(KrylovError::DimensionMismatch {
+            expected: op.dim(),
+            found: v.len(),
+        });
     }
-    let mut process = ArnoldiProcess::new(v, options.max_dimension)?;
+    let mut process = ArnoldiProcess::new_in(v, options.max_dimension, ws)?;
     let mut last_residual = f64::INFINITY;
     while process.dimension() < options.max_dimension {
-        let w = op.apply(process.last_vector())?;
-        process.absorb(w)?;
+        process.step(&op, ws)?;
         if process.breakdown() {
             last_residual = 0.0;
             break;
@@ -75,19 +97,22 @@ pub fn mevp_invert_krylov(
         if process.dimension() < options.min_dimension {
             continue;
         }
-        let snapshot = preview_decomposition(&process, ProjectionKind::Inverse);
         // Eq. (22): ‖r_m(h)‖ = β · |h_{m+1,m}| · ‖G·v_{m+1}‖ · |e_mᵀ H_m⁻¹ e^{h H_m⁻¹} e₁|.
-        let scalar = match snapshot.residual_scalar(h) {
+        let scalar = match process.residual_scalar(ProjectionKind::Inverse, h) {
             Ok(s) => s,
             // An ill-conditioned small Hessenberg early in the iteration is
             // not fatal; keep expanding the subspace.
             Err(KrylovError::Sparse(_)) => continue,
             Err(e) => return Err(e),
         };
-        let gv_norm = snapshot
-            .next_basis_vector()
-            .map(|vm1| vector::norm2(&g.mul_vec(vm1)))
-            .unwrap_or(0.0);
+        let gv_norm = match process.next_vector() {
+            Some(vm1) => {
+                let gv = ws.scratch_slice(g.rows());
+                g.mul_vec_into(vm1, gv);
+                vector::norm2(gv)
+            }
+            None => 0.0,
+        };
         last_residual = scalar * gv_norm;
         if last_residual <= options.tolerance {
             break;
@@ -101,9 +126,15 @@ pub fn mevp_invert_krylov(
         });
     }
     let dimension = process.dimension();
-    let decomposition = process.into_decomposition(ProjectionKind::Inverse);
-    let mevp = decomposition.eval_expv(h)?;
-    Ok(MevpOutcome { mevp, decomposition, residual: last_residual, dimension })
+    let decomposition = process.into_decomposition_in(ProjectionKind::Inverse, ws);
+    let mut mevp = ws.take_vec(v.len());
+    decomposition.eval_expv_into(h, &mut mevp)?;
+    Ok(MevpOutcome {
+        mevp,
+        decomposition,
+        residual: last_residual,
+        dimension,
+    })
 }
 
 #[cfg(test)]
@@ -142,7 +173,11 @@ mod tests {
         let lambdas = [-1.0, -0.5, -0.25];
         for i in 0..3 {
             let expected = v[i] * (h * lambdas[i]).exp();
-            assert!((out.mevp[i] - expected).abs() < 1e-6, "{} vs {expected}", out.mevp[i]);
+            assert!(
+                (out.mevp[i] - expected).abs() < 1e-6,
+                "{} vs {expected}",
+                out.mevp[i]
+            );
         }
     }
 
@@ -155,7 +190,10 @@ mod tests {
         let c_lu = SparseLu::factorize(&c).unwrap();
         let v: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
         let h = 0.1;
-        let opts = MevpOptions { tolerance: 1e-9, ..MevpOptions::default() };
+        let opts = MevpOptions {
+            tolerance: 1e-9,
+            ..MevpOptions::default()
+        };
         let inv = mevp_invert_krylov(&c, &g, &g_lu, &v, h, &opts).unwrap();
         let std = crate::arnoldi::mevp_standard_krylov(&g, &c_lu, &v, h, &opts).unwrap();
         assert!(vector::max_abs_diff(&inv.mevp, &std.mevp) < 1e-6);
@@ -184,15 +222,25 @@ mod tests {
         // Stiff C: capacitances spanning 6 orders of magnitude. The invert
         // subspace captures the slow (dominant) modes quickly.
         let n = 40;
-        let cvals: Vec<f64> = (0..n).map(|i| 10f64.powi(-((i % 7) as i32)) * 1e-12).collect();
+        let cvals: Vec<f64> = (0..n)
+            .map(|i| 10f64.powi(-((i % 7) as i32)) * 1e-12)
+            .collect();
         let c = diag(&cvals);
         let g = tridiag(n, 1e-3, -2e-4);
         let g_lu = SparseLu::factorize(&g).unwrap();
         let v = vec![1.0; n];
         let h = 1e-10;
-        let opts = MevpOptions { tolerance: 1e-6, max_dimension: 60, ..MevpOptions::default() };
+        let opts = MevpOptions {
+            tolerance: 1e-6,
+            max_dimension: 60,
+            ..MevpOptions::default()
+        };
         let inv = mevp_invert_krylov(&c, &g, &g_lu, &v, h, &opts).unwrap();
-        assert!(inv.dimension < 40, "invert krylov dimension {}", inv.dimension);
+        assert!(
+            inv.dimension < 40,
+            "invert krylov dimension {}",
+            inv.dimension
+        );
         assert!(inv.mevp.iter().all(|x| x.is_finite()));
     }
 
@@ -202,8 +250,7 @@ mod tests {
         let g = diag(&[2.0, 2.0]);
         let g_lu = SparseLu::factorize(&g).unwrap();
         let v = vec![1.0, 1.0];
-        let out =
-            mevp_invert_krylov(&c, &g, &g_lu, &v, 0.2, &MevpOptions::default()).unwrap();
+        let out = mevp_invert_krylov(&c, &g, &g_lu, &v, 0.2, &MevpOptions::default()).unwrap();
         // Halve the step: same decomposition, new evaluation.
         let half = out.decomposition.eval_expv(0.1).unwrap();
         assert!((half[0] - (-0.2_f64).exp()).abs() < 1e-7);
@@ -227,5 +274,20 @@ mod tests {
             mevp_invert_krylov(&c, &g, &g_lu, &[1.0], 0.1, &MevpOptions::default()),
             Err(KrylovError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_variant() {
+        let n = 20;
+        let c = tridiag(n, 2.0, 0.4);
+        let g = tridiag(n, 1.0, -0.3);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let opts = MevpOptions::default();
+        let plain = mevp_invert_krylov(&c, &g, &g_lu, &v, 0.05, &opts).unwrap();
+        let mut ws = MevpWorkspace::new();
+        let with_ws = mevp_invert_krylov_with(&c, &g, &g_lu, &v, 0.05, &opts, &mut ws).unwrap();
+        assert_eq!(plain.mevp, with_ws.mevp);
+        assert_eq!(plain.dimension, with_ws.dimension);
     }
 }

@@ -20,6 +20,11 @@
 //! for different step sizes `h` and φ orders without rebuilding the basis —
 //! the scaling-invariance the ER engine relies on when it rejects a step.
 //!
+//! Each front-end also has a `*_with` variant taking a [`MevpWorkspace`]: an
+//! arena of recycled basis vectors, Hessenberg storage and operator scratch
+//! buffers that makes repeated subspace builds (the transient engines' hot
+//! loop) allocation-free in steady state.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,14 +62,15 @@ pub mod operator;
 pub mod phi;
 pub mod rational;
 
-pub use arnoldi::mevp_standard_krylov;
+pub use arnoldi::{mevp_standard_krylov, mevp_standard_krylov_with};
 pub use decomposition::{KrylovDecomposition, ProjectionKind};
 pub use error::{KrylovError, KrylovResult};
 pub use expm::expm;
-pub use invert::mevp_invert_krylov;
-pub use mevp::{MevpOptions, MevpOutcome};
+pub use invert::{mevp_invert_krylov, mevp_invert_krylov_with};
+pub use mevp::{MevpOptions, MevpOutcome, MevpWorkspace};
 pub use operator::{
-    InverseJacobianOperator, JacobianOperator, KrylovOperator, ShiftInvertOperator,
+    InverseJacobianOperator, JacobianOperator, KrylovOperator, OperatorWorkspace,
+    ShiftInvertOperator,
 };
 pub use phi::{phi_matrices, phi_scalar, phi_vectors, MAX_PHI_ORDER};
-pub use rational::mevp_rational_krylov;
+pub use rational::{mevp_rational_krylov, mevp_rational_krylov_with};

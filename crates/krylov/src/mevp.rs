@@ -1,7 +1,10 @@
-//! Options and outcome types shared by the MEVP (matrix exponential and
-//! vector product) front-ends.
+//! Options, outcome types and the reusable workspace shared by the MEVP
+//! (matrix exponential and vector product) front-ends.
+
+use exi_sparse::DenseMatrix;
 
 use crate::decomposition::KrylovDecomposition;
+use crate::operator::OperatorWorkspace;
 
 /// Options controlling a Krylov MEVP computation.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,7 +25,12 @@ pub struct MevpOptions {
 
 impl Default for MevpOptions {
     fn default() -> Self {
-        MevpOptions { tolerance: 1e-7, max_dimension: 120, min_dimension: 2, allow_unconverged: false }
+        MevpOptions {
+            tolerance: 1e-7,
+            max_dimension: 120,
+            min_dimension: 2,
+            allow_unconverged: false,
+        }
     }
 }
 
@@ -30,7 +38,10 @@ impl MevpOptions {
     /// Convenience constructor with an explicit tolerance and defaults for the
     /// remaining fields.
     pub fn with_tolerance(tolerance: f64) -> Self {
-        MevpOptions { tolerance, ..MevpOptions::default() }
+        MevpOptions {
+            tolerance,
+            ..MevpOptions::default()
+        }
     }
 }
 
@@ -47,6 +58,121 @@ pub struct MevpOutcome {
     pub dimension: usize,
 }
 
+/// Reusable arena for Krylov subspace construction.
+///
+/// Building an Arnoldi basis allocates one length-`n` vector per subspace
+/// dimension plus the Hessenberg matrix and operator scratch buffers. In a
+/// transient run the same sizes recur thousands of times, so the workspace
+/// keeps a pool of retired basis vectors (see [`MevpWorkspace::recycle`]) and
+/// hands them back out on the next build. In steady state a subspace build
+/// performs **no** heap allocation proportional to the circuit size.
+///
+/// # Examples
+///
+/// ```
+/// use exi_sparse::{SparseLu, TripletMatrix};
+/// use exi_krylov::{mevp_invert_krylov_with, MevpOptions, MevpWorkspace};
+///
+/// # fn main() -> Result<(), exi_krylov::KrylovError> {
+/// let mut c = TripletMatrix::new(2, 2);
+/// c.push(0, 0, 1.0);
+/// c.push(1, 1, 2.0);
+/// let c = c.to_csr();
+/// let mut g = TripletMatrix::new(2, 2);
+/// g.push(0, 0, 1.0);
+/// g.push(1, 1, 1.0);
+/// let g = g.to_csr();
+/// let g_lu = SparseLu::factorize(&g)?;
+/// let mut ws = MevpWorkspace::new();
+/// let out = mevp_invert_krylov_with(&c, &g, &g_lu, &[1.0, 1.0], 0.1, &MevpOptions::default(), &mut ws)?;
+/// // Returning the decomposition's vectors lets the next build reuse them.
+/// ws.recycle(out.decomposition);
+/// let _ = mevp_invert_krylov_with(&c, &g, &g_lu, &[2.0, 1.0], 0.1, &MevpOptions::default(), &mut ws)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MevpWorkspace {
+    /// Retired basis vectors, ready for reuse.
+    pool: Vec<Vec<f64>>,
+    /// Retired Hessenberg storage.
+    pub(crate) hess: Option<DenseMatrix>,
+    /// Scratch for operator applications inside the Arnoldi loop.
+    pub(crate) op: OperatorWorkspace,
+    /// Scratch for residual-norm products (`G·v_{m+1}`).
+    scratch: Vec<f64>,
+    /// Number of fresh heap allocations the pool could not serve.
+    allocations: usize,
+}
+
+impl MevpWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        MevpWorkspace::default()
+    }
+
+    /// Returns a decomposition's basis vectors to the pool so subsequent
+    /// subspace builds can reuse their storage.
+    pub fn recycle(&mut self, decomposition: KrylovDecomposition) {
+        self.pool.extend(decomposition.into_basis());
+    }
+
+    /// Number of fresh length-`n` vector allocations performed because the
+    /// pool was empty. In an engine's steady state this stops growing; it is
+    /// surfaced in the run statistics as the hot-loop allocation counter.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Number of pooled vectors currently available.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Takes a zeroed length-`n` vector from the pool (or allocates one).
+    pub(crate) fn take_vec(&mut self, n: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, 0.0);
+                v
+            }
+            None => {
+                self.allocations += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// Returns a single retired vector (for example [`MevpOutcome::mevp`]
+    /// once it has been consumed) to the pool directly.
+    pub fn recycle_vec(&mut self, v: Vec<f64>) {
+        self.pool.push(v);
+    }
+
+    /// Takes the pooled Hessenberg storage if it has the requested shape.
+    pub(crate) fn take_hess(&mut self, rows: usize, cols: usize) -> DenseMatrix {
+        match self.hess.take() {
+            Some(mut h) if h.rows() == rows && h.cols() == cols => {
+                h.fill(0.0);
+                h
+            }
+            _ => {
+                self.allocations += 1;
+                DenseMatrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// A scratch slice of length `n` with unspecified contents.
+    pub(crate) fn scratch_slice(&mut self, n: usize) -> &mut [f64] {
+        if self.scratch.len() < n {
+            self.scratch.resize(n, 0.0);
+        }
+        &mut self.scratch[..n]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +184,31 @@ mod tests {
         assert!(o.max_dimension >= 100);
         let o = MevpOptions::with_tolerance(1e-9);
         assert_eq!(o.tolerance, 1e-9);
+    }
+
+    #[test]
+    fn workspace_pool_reuses_vectors() {
+        let mut ws = MevpWorkspace::new();
+        let a = ws.take_vec(8);
+        assert_eq!(ws.allocations(), 1);
+        ws.recycle_vec(a);
+        assert_eq!(ws.pooled(), 1);
+        let b = ws.take_vec(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|&x| x == 0.0));
+        // Served from the pool: no new allocation counted.
+        assert_eq!(ws.allocations(), 1);
+    }
+
+    #[test]
+    fn workspace_hess_reuse_requires_matching_shape() {
+        let mut ws = MevpWorkspace::new();
+        let h = ws.take_hess(5, 4);
+        ws.hess = Some(h);
+        let h2 = ws.take_hess(5, 4);
+        assert_eq!(ws.allocations(), 1);
+        ws.hess = Some(h2);
+        let _h3 = ws.take_hess(6, 5);
+        assert_eq!(ws.allocations(), 2);
     }
 }

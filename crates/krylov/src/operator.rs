@@ -11,20 +11,71 @@
 //!   (paper Sec. IV-A, the method this framework is built on).
 //! * **Rational (shift-and-invert) Krylov** uses `A = (I - γJ)⁻¹ = (C + γG)⁻¹C`
 //!   (referenced baseline from MATEX, used here for ablations).
+//!
+//! Every operator application is one sparse matrix–vector product followed by
+//! one pair of triangular solves — the innermost loop of the whole simulator.
+//! [`KrylovOperator::apply_into`] therefore writes into caller-provided
+//! buffers and draws its scratch space from an [`OperatorWorkspace`], so a
+//! transient run performs no per-application allocation.
 
-use exi_sparse::{CsrMatrix, SparseLu, SparseResult};
+use exi_sparse::{CsrMatrix, LuWorkspace, SparseLu, SparseResult};
+
+/// Reusable scratch buffers for [`KrylovOperator::apply_into`].
+///
+/// One workspace serves any number of operators (and dimensions); buffers
+/// grow to the largest dimension seen and are reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorWorkspace {
+    tmp: Vec<f64>,
+    lu: LuWorkspace,
+}
+
+impl OperatorWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        OperatorWorkspace::default()
+    }
+
+    /// Splits the workspace into an intermediate-product slice of length `n`
+    /// and the triangular-solve workspace.
+    fn parts(&mut self, n: usize) -> (&mut [f64], &mut LuWorkspace) {
+        if self.tmp.len() < n {
+            self.tmp.resize(n, 0.0);
+        }
+        (&mut self.tmp[..n], &mut self.lu)
+    }
+}
 
 /// An operator that generates a Krylov subspace by repeated application.
 pub trait KrylovOperator {
     /// Dimension of the (square) operator.
     fn dim(&self) -> usize;
 
-    /// Applies the operator to `v`.
+    /// Applies the operator to `v`, writing the result into `out` and using
+    /// `ws` for scratch space. Allocation-free once the workspace has grown
+    /// to the operator dimension.
     ///
     /// # Errors
     ///
     /// Returns a sparse-kernel error if an internal triangular solve fails.
-    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>>;
+    fn apply_into(
+        &self,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut OperatorWorkspace,
+    ) -> SparseResult<()>;
+
+    /// Applies the operator to `v`, allocating the result (convenience
+    /// wrapper over [`KrylovOperator::apply_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KrylovOperator::apply_into`].
+    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
+        let mut out = vec![0.0; self.dim()];
+        self.apply_into(v, &mut out, &mut OperatorWorkspace::new())?;
+        Ok(out)
+    }
 }
 
 /// The circuit Jacobian `J = -C⁻¹ G` (standard Krylov subspace).
@@ -46,13 +97,19 @@ impl KrylovOperator for JacobianOperator<'_> {
         self.g.rows()
     }
 
-    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
-        let gv = self.g.mul_vec(v);
-        let mut x = self.c_lu.solve(&gv)?;
-        for xi in x.iter_mut() {
+    fn apply_into(
+        &self,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut OperatorWorkspace,
+    ) -> SparseResult<()> {
+        let (tmp, lu_ws) = ws.parts(self.g.rows());
+        self.g.mul_vec_into(v, tmp);
+        self.c_lu.solve_into(tmp, out, lu_ws)?;
+        for xi in out.iter_mut() {
             *xi = -*xi;
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -75,13 +132,19 @@ impl KrylovOperator for InverseJacobianOperator<'_> {
         self.c.rows()
     }
 
-    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
-        let cv = self.c.mul_vec(v);
-        let mut x = self.g_lu.solve(&cv)?;
-        for xi in x.iter_mut() {
+    fn apply_into(
+        &self,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut OperatorWorkspace,
+    ) -> SparseResult<()> {
+        let (tmp, lu_ws) = ws.parts(self.c.rows());
+        self.c.mul_vec_into(v, tmp);
+        self.g_lu.solve_into(tmp, out, lu_ws)?;
+        for xi in out.iter_mut() {
             *xi = -*xi;
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -104,9 +167,15 @@ impl KrylovOperator for ShiftInvertOperator<'_> {
         self.c.rows()
     }
 
-    fn apply(&self, v: &[f64]) -> SparseResult<Vec<f64>> {
-        let cv = self.c.mul_vec(v);
-        self.shifted_lu.solve(&cv)
+    fn apply_into(
+        &self,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut OperatorWorkspace,
+    ) -> SparseResult<()> {
+        let (tmp, lu_ws) = ws.parts(self.c.rows());
+        self.c.mul_vec_into(v, tmp);
+        self.shifted_lu.solve_into(tmp, out, lu_ws)
     }
 }
 
@@ -158,5 +227,20 @@ mod tests {
         // (1 + 0.5*2)^-1 = 0.5 ; (1 + 0.5*4)^-1 = 1/3
         assert!((y[0] - 0.5).abs() < 1e-14);
         assert!((y[1] - 1.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn apply_into_reuses_workspace_and_matches_apply() {
+        let c = diag(&[2.0, 3.0, 5.0]);
+        let g = diag(&[1.0, 2.0, 4.0]);
+        let g_lu = SparseLu::factorize(&g).unwrap();
+        let op = InverseJacobianOperator::new(&c, &g_lu);
+        let mut ws = OperatorWorkspace::new();
+        let mut out = vec![0.0; 3];
+        for trial in 0..3 {
+            let v = vec![1.0 + trial as f64, -1.0, 0.5];
+            op.apply_into(&v, &mut out, &mut ws).unwrap();
+            assert_eq!(out, op.apply(&v).unwrap(), "trial {trial}");
+        }
     }
 }

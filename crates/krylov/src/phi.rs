@@ -52,7 +52,10 @@ pub const MAX_PHI_ORDER: usize = 4;
 /// ```
 pub fn phi_matrices(a: &DenseMatrix, order: usize) -> KrylovResult<Vec<DenseMatrix>> {
     if order > MAX_PHI_ORDER {
-        return Err(KrylovError::UnsupportedPhiOrder { order, max_order: MAX_PHI_ORDER });
+        return Err(KrylovError::UnsupportedPhiOrder {
+            order,
+            max_order: MAX_PHI_ORDER,
+        });
     }
     if a.rows() != a.cols() {
         return Err(KrylovError::Sparse(exi_sparse::SparseError::NotSquare {
@@ -116,7 +119,10 @@ pub fn phi_matrices(a: &DenseMatrix, order: usize) -> KrylovResult<Vec<DenseMatr
 /// [`KrylovError::DimensionMismatch`] when `v.len() != a.rows()`.
 pub fn phi_vectors(a: &DenseMatrix, v: &[f64], order: usize) -> KrylovResult<Vec<Vec<f64>>> {
     if v.len() != a.rows() {
-        return Err(KrylovError::DimensionMismatch { expected: a.rows(), found: v.len() });
+        return Err(KrylovError::DimensionMismatch {
+            expected: a.rows(),
+            found: v.len(),
+        });
     }
     let phis = phi_matrices(a, order)?;
     Ok(phis.iter().map(|p| p.matvec(v)).collect())
@@ -173,6 +179,7 @@ pub fn phi_scalar(order: usize, z: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the formulas under test
 mod tests {
     use super::*;
 

@@ -9,17 +9,20 @@
 
 use exi_sparse::{vector, CsrMatrix, SparseLu};
 
-use crate::arnoldi::{preview_decomposition, ArnoldiProcess};
+use crate::arnoldi::ArnoldiProcess;
 use crate::decomposition::ProjectionKind;
 use crate::error::{KrylovError, KrylovResult};
-use crate::mevp::{MevpOptions, MevpOutcome};
-use crate::operator::{KrylovOperator, ShiftInvertOperator};
+use crate::mevp::{MevpOptions, MevpOutcome, MevpWorkspace};
+use crate::operator::ShiftInvertOperator;
 
 /// Computes `e^{hJ}·v` with a shift-and-invert Krylov subspace built on
 /// `(C + γG)⁻¹C`. The factorization of `C + γG` is performed internally.
 ///
 /// Convergence is declared when two successive approximations differ by less
-/// than `options.tolerance` in the 2-norm (relative to `‖v‖`).
+/// than `options.tolerance` relative to `‖v‖`. Because the Arnoldi basis is
+/// orthonormal, that difference is evaluated in the small coefficient space
+/// (`‖y_m − y_{m−1}‖₂ = ‖V_m y_m − V_{m−1} y_{m−1}‖₂`) — the large basis is
+/// never touched during the iteration.
 ///
 /// # Errors
 ///
@@ -58,24 +61,47 @@ pub fn mevp_rational_krylov(
     h: f64,
     options: &MevpOptions,
 ) -> KrylovResult<MevpOutcome> {
+    mevp_rational_krylov_with(c, g, gamma, v, h, options, &mut MevpWorkspace::new())
+}
+
+/// As [`mevp_rational_krylov`], drawing scratch storage from `ws`. The
+/// factorization of `C + γG` is still performed internally (it depends on the
+/// shift); recycle the returned decomposition with
+/// [`MevpWorkspace::recycle`].
+///
+/// # Errors
+///
+/// Same as [`mevp_rational_krylov`].
+pub fn mevp_rational_krylov_with(
+    c: &CsrMatrix,
+    g: &CsrMatrix,
+    gamma: f64,
+    v: &[f64],
+    h: f64,
+    options: &MevpOptions,
+    ws: &mut MevpWorkspace,
+) -> KrylovResult<MevpOutcome> {
     if v.len() != c.rows() {
-        return Err(KrylovError::DimensionMismatch { expected: c.rows(), found: v.len() });
+        return Err(KrylovError::DimensionMismatch {
+            expected: c.rows(),
+            found: v.len(),
+        });
     }
     let shifted = CsrMatrix::linear_combination(1.0, c, gamma, g).map_err(KrylovError::Sparse)?;
     let shifted_lu = SparseLu::factorize(&shifted)?;
     let op = ShiftInvertOperator::new(c, &shifted_lu);
     let kind = ProjectionKind::ShiftInvert { gamma };
 
-    let mut process = ArnoldiProcess::new(v, options.max_dimension)?;
+    let mut process = ArnoldiProcess::new_in(v, options.max_dimension, ws)?;
     let vnorm = vector::norm2(v);
-    let mut previous: Option<Vec<f64>> = None;
+    let mut previous: Vec<f64> = Vec::new();
+    let mut current: Vec<f64> = Vec::new();
+    let mut have_previous = false;
     let mut last_residual = f64::INFINITY;
     while process.dimension() < options.max_dimension {
-        let w = op.apply(process.last_vector())?;
-        process.absorb(w)?;
-        let snapshot = preview_decomposition(&process, kind);
-        let current = match snapshot.eval_expv(h) {
-            Ok(x) => x,
+        process.step(&op, ws)?;
+        match process.phi_small(kind, 0, h, &mut current) {
+            Ok(()) => {}
             Err(KrylovError::Sparse(_)) => continue,
             Err(e) => return Err(e),
         };
@@ -83,10 +109,18 @@ pub fn mevp_rational_krylov(
             last_residual = 0.0;
             break;
         }
-        if let Some(prev) = &previous {
-            last_residual = vector::max_abs_diff(prev, &current) / vnorm.max(f64::MIN_POSITIVE);
+        if have_previous {
+            // ‖y_m − y_{m−1}‖₂ over the shared leading coefficients; the new
+            // trailing coefficient counts in full.
+            let mut diff2 = 0.0f64;
+            for (i, &yi) in current.iter().enumerate() {
+                let prev_i = previous.get(i).copied().unwrap_or(0.0);
+                diff2 += (yi - prev_i) * (yi - prev_i);
+            }
+            last_residual = diff2.sqrt() / vnorm.max(f64::MIN_POSITIVE);
         }
-        previous = Some(current);
+        std::mem::swap(&mut previous, &mut current);
+        have_previous = true;
         if process.dimension() >= options.min_dimension && last_residual <= options.tolerance {
             break;
         }
@@ -99,9 +133,15 @@ pub fn mevp_rational_krylov(
         });
     }
     let dimension = process.dimension();
-    let decomposition = process.into_decomposition(kind);
-    let mevp = decomposition.eval_expv(h)?;
-    Ok(MevpOutcome { mevp, decomposition, residual: last_residual, dimension })
+    let decomposition = process.into_decomposition_in(kind, ws);
+    let mut mevp = ws.take_vec(v.len());
+    decomposition.eval_expv_into(h, &mut mevp)?;
+    Ok(MevpOutcome {
+        mevp,
+        decomposition,
+        residual: last_residual,
+        dimension,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +191,10 @@ mod tests {
         let g_lu = SparseLu::factorize(&g).unwrap();
         let v: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) - 1.5).collect();
         let h = 0.05;
-        let opts = MevpOptions { tolerance: 1e-9, ..MevpOptions::default() };
+        let opts = MevpOptions {
+            tolerance: 1e-9,
+            ..MevpOptions::default()
+        };
         let rat = mevp_rational_krylov(&c, &g, h / 2.0, &v, h, &opts).unwrap();
         let inv = crate::invert::mevp_invert_krylov(&c, &g, &g_lu, &v, h, &opts).unwrap();
         assert!(vector::max_abs_diff(&rat.mevp, &inv.mevp) < 1e-6);

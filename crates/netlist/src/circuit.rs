@@ -140,13 +140,16 @@ impl Circuit {
 
     fn register_name(&mut self, name: &str) -> NetlistResult<()> {
         if !self.device_names.insert(name.to_string()) {
-            return Err(NetlistError::DuplicateDevice { name: name.to_string() });
+            return Err(NetlistError::DuplicateDevice {
+                name: name.to_string(),
+            });
         }
         Ok(())
     }
 
     fn check_positive(name: &str, parameter: &'static str, value: f64) -> NetlistResult<()> {
-        if !(value > 0.0) || !value.is_finite() {
+        // NaN fails the finiteness check, so this rejects it like `!(v > 0)` did.
+        if value <= 0.0 || !value.is_finite() {
             return Err(NetlistError::InvalidParameter {
                 device: name.to_string(),
                 parameter,
@@ -161,10 +164,21 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive resistance and duplicate names.
-    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> NetlistResult<()> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> NetlistResult<()> {
         Self::check_positive(name, "resistance", ohms)?;
         self.register_name(name)?;
-        self.devices.push(Device::Resistor { name: name.to_string(), a, b, resistance: ohms });
+        self.devices.push(Device::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            resistance: ohms,
+        });
         Ok(())
     }
 
@@ -182,7 +196,12 @@ impl Circuit {
     ) -> NetlistResult<()> {
         Self::check_positive(name, "capacitance", farads)?;
         self.register_name(name)?;
-        self.devices.push(Device::Capacitor { name: name.to_string(), a, b, capacitance: farads });
+        self.devices.push(Device::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            capacitance: farads,
+        });
         Ok(())
     }
 
@@ -256,7 +275,12 @@ impl Circuit {
         self.register_name(name)?;
         let source = self.sources.len();
         self.sources.push((name.to_string(), waveform));
-        self.devices.push(Device::CurrentSource { name: name.to_string(), from, to, source });
+        self.devices.push(Device::CurrentSource {
+            name: name.to_string(),
+            from,
+            to,
+            source,
+        });
         Ok(())
     }
 
@@ -273,7 +297,12 @@ impl Circuit {
         model: DiodeModel,
     ) -> NetlistResult<()> {
         self.register_name(name)?;
-        self.devices.push(Device::Diode { name: name.to_string(), anode, cathode, model });
+        self.devices.push(Device::Diode {
+            name: name.to_string(),
+            anode,
+            cathode,
+            model,
+        });
         Ok(())
     }
 
@@ -291,7 +320,13 @@ impl Circuit {
         model: MosfetModel,
     ) -> NetlistResult<()> {
         self.register_name(name)?;
-        self.devices.push(Device::Mosfet { name: name.to_string(), drain, gate, source, model });
+        self.devices.push(Device::Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            model,
+        });
         Ok(())
     }
 
@@ -310,7 +345,11 @@ impl Circuit {
         if x.len() != n {
             return Err(NetlistError::Parse {
                 line: 0,
-                message: format!("state vector length {} does not match {} unknowns", x.len(), n),
+                message: format!(
+                    "state vector length {} does not match {} unknowns",
+                    x.len(),
+                    n
+                ),
             });
         }
         let mut g = TripletMatrix::with_capacity(n, n, 8 * self.devices.len());
@@ -332,7 +371,12 @@ impl Circuit {
                 device.stamp(&mut ctx);
             }
         }
-        Ok(Evaluation { c: c.to_csr(), g: g.to_csr(), f, q })
+        Ok(Evaluation {
+            c: c.to_csr(),
+            g: g.to_csr(),
+            f,
+            q,
+        })
     }
 
     /// The constant source-incidence matrix `B` (`num_unknowns × num_sources`).
@@ -401,7 +445,8 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", vin, gnd, Waveform::Dc(1.0)).unwrap();
+        ckt.add_voltage_source("V1", vin, gnd, Waveform::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", vin, out, 1000.0).unwrap();
         ckt.add_capacitor("C1", out, gnd, 1e-12).unwrap();
         ckt
@@ -457,7 +502,8 @@ mod tests {
         let a = ckt.node("a");
         let gnd = ckt.node("0");
         ckt.add_resistor("R1", a, gnd, 100.0).unwrap();
-        ckt.add_current_source("I1", gnd, a, Waveform::Dc(0.01)).unwrap();
+        ckt.add_current_source("I1", gnd, a, Waveform::Dc(0.01))
+            .unwrap();
         let b = ckt.input_matrix().unwrap();
         // Current is injected into node a.
         assert_eq!(b.get(0, 0), 1.0);
@@ -492,7 +538,8 @@ mod tests {
         let g = ckt.node("g");
         let gnd = ckt.node("0");
         ckt.add_diode("D1", a, gnd, DiodeModel::default()).unwrap();
-        ckt.add_mosfet("M1", a, g, gnd, MosfetModel::nmos()).unwrap();
+        ckt.add_mosfet("M1", a, g, gnd, MosfetModel::nmos())
+            .unwrap();
         assert_eq!(ckt.num_nonlinear_devices(), 2);
         let ev = ckt.evaluate(&[0.6, 1.0]).unwrap();
         // Diode forward current appears at node a.
@@ -517,10 +564,19 @@ mod tests {
             ckt.add_capacitor("R1", a, gnd, 1e-12),
             Err(NetlistError::DuplicateDevice { .. })
         ));
-        assert!(matches!(ckt.evaluate(&[1.0, 2.0]), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            ckt.evaluate(&[1.0, 2.0]),
+            Err(NetlistError::Parse { .. })
+        ));
         let empty = Circuit::new();
-        assert!(matches!(empty.evaluate(&[]), Err(NetlistError::EmptyCircuit)));
-        assert!(matches!(empty.input_matrix(), Err(NetlistError::EmptyCircuit)));
+        assert!(matches!(
+            empty.evaluate(&[]),
+            Err(NetlistError::EmptyCircuit)
+        ));
+        assert!(matches!(
+            empty.input_matrix(),
+            Err(NetlistError::EmptyCircuit)
+        ));
     }
 
     #[test]
@@ -528,8 +584,13 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let gnd = ckt.node("0");
-        ckt.add_voltage_source("V1", a, gnd, Waveform::single_pulse(0.0, 1.0, 1e-9, 1e-10, 1e-10, 1e-9))
-            .unwrap();
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            gnd,
+            Waveform::single_pulse(0.0, 1.0, 1e-9, 1e-10, 1e-10, 1e-9),
+        )
+        .unwrap();
         ckt.add_current_source("I1", gnd, a, Waveform::Pwl(vec![(0.0, 0.0), (2e-9, 1e-3)]))
             .unwrap();
         let bp = ckt.breakpoints(1e-8);

@@ -65,7 +65,10 @@ impl DiodeModel {
             let e = EXP_LIMIT.exp();
             let current = self.saturation_current * (e * (1.0 + (x - EXP_LIMIT)) - 1.0);
             let conductance = self.saturation_current * e / nvt;
-            DiodeOperatingPoint { current, conductance }
+            DiodeOperatingPoint {
+                current,
+                conductance,
+            }
         } else {
             let e = x.exp();
             DiodeOperatingPoint {

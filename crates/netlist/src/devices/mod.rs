@@ -132,7 +132,9 @@ impl Device {
     /// context.
     pub(crate) fn stamp(&self, ctx: &mut StampContext<'_>) {
         match self {
-            Device::Resistor { a, b, resistance, .. } => {
+            Device::Resistor {
+                a, b, resistance, ..
+            } => {
                 let g = 1.0 / resistance;
                 let va = ctx.voltage(*a);
                 let vb = ctx.voltage(*b);
@@ -141,7 +143,9 @@ impl Device {
                 ctx.add_f(b.unknown(), -i);
                 ctx.stamp_conductance(*a, *b, g);
             }
-            Device::Capacitor { a, b, capacitance, .. } => {
+            Device::Capacitor {
+                a, b, capacitance, ..
+            } => {
                 let va = ctx.voltage(*a);
                 let vb = ctx.voltage(*b);
                 let q = capacitance * (va - vb);
@@ -149,7 +153,13 @@ impl Device {
                 ctx.add_q(b.unknown(), -q);
                 ctx.stamp_capacitance(*a, *b, *capacitance);
             }
-            Device::Inductor { a, b, inductance, branch, .. } => {
+            Device::Inductor {
+                a,
+                b,
+                inductance,
+                branch,
+                ..
+            } => {
                 let row = ctx.branch_row(*branch);
                 let il = ctx.branch_value(*branch);
                 let va = ctx.voltage(*a);
@@ -166,7 +176,13 @@ impl Device {
                 ctx.add_g(row, a.unknown(), -1.0);
                 ctx.add_g(row, b.unknown(), 1.0);
             }
-            Device::VoltageSource { pos, neg, branch, source, .. } => {
+            Device::VoltageSource {
+                pos,
+                neg,
+                branch,
+                source,
+                ..
+            } => {
                 let row = ctx.branch_row(*branch);
                 let i = ctx.branch_value(*branch);
                 let vp = ctx.voltage(*pos);
@@ -181,11 +197,18 @@ impl Device {
                 ctx.add_g(row, neg.unknown(), -1.0);
                 ctx.add_b(row, *source, 1.0);
             }
-            Device::CurrentSource { from, to, source, .. } => {
+            Device::CurrentSource {
+                from, to, source, ..
+            } => {
                 ctx.add_b(to.unknown(), *source, 1.0);
                 ctx.add_b(from.unknown(), *source, -1.0);
             }
-            Device::Diode { anode, cathode, model, .. } => {
+            Device::Diode {
+                anode,
+                cathode,
+                model,
+                ..
+            } => {
                 let vd = ctx.voltage(*anode) - ctx.voltage(*cathode);
                 let op = model.evaluate(vd);
                 ctx.add_f(anode.unknown(), op.current);
@@ -196,7 +219,13 @@ impl Device {
                 ctx.add_q(cathode.unknown(), -q);
                 ctx.stamp_capacitance(*anode, *cathode, model.junction_capacitance);
             }
-            Device::Mosfet { drain, gate, source, model, .. } => {
+            Device::Mosfet {
+                drain,
+                gate,
+                source,
+                model,
+                ..
+            } => {
                 let vd = ctx.voltage(*drain);
                 let vg = ctx.voltage(*gate);
                 let vs = ctx.voltage(*source);

@@ -105,7 +105,11 @@ impl MosfetModel {
                 // A PMOS is an N-channel device with all voltages (and the
                 // current) negated.
                 let op = self.evaluate_nchannel(-vgs, -vds, -self.threshold);
-                MosfetOperatingPoint { ids: -op.ids, gm: op.gm, gds: op.gds }
+                MosfetOperatingPoint {
+                    ids: -op.ids,
+                    gm: op.gm,
+                    gds: op.gds,
+                }
             }
         }
     }
@@ -117,7 +121,11 @@ impl MosfetModel {
             // With swapped terminals: ids' = -ids, and derivatives transform as
             //   gm(vgs)  = d(-ids')/dvgs   = -gm'
             //   gds(vds) = d(-ids')/dvds   = gm' + gds'
-            return MosfetOperatingPoint { ids: -op.ids, gm: -op.gm, gds: op.gm + op.gds };
+            return MosfetOperatingPoint {
+                ids: -op.ids,
+                gm: -op.gm,
+                gds: op.gm + op.gds,
+            };
         }
         self.forward_nchannel(vgs, vds, vth)
     }
@@ -127,7 +135,11 @@ impl MosfetModel {
         let vov = vgs - vth;
         if vov <= 0.0 {
             // Cut-off.
-            return MosfetOperatingPoint { ids: 0.0, gm: 0.0, gds: 0.0 };
+            return MosfetOperatingPoint {
+                ids: 0.0,
+                gm: 0.0,
+                gds: 0.0,
+            };
         }
         let clm = 1.0 + self.lambda * vds;
         if vds < vov {

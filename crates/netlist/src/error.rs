@@ -41,8 +41,15 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::UnknownNode { name } => write!(f, "unknown node '{name}'"),
-            NetlistError::InvalidParameter { device, parameter, value } => {
-                write!(f, "invalid parameter {parameter} = {value} on device '{device}'")
+            NetlistError::InvalidParameter {
+                device,
+                parameter,
+                value,
+            } => {
+                write!(
+                    f,
+                    "invalid parameter {parameter} = {value} on device '{device}'"
+                )
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
@@ -64,11 +71,22 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(NetlistError::UnknownNode { name: "x".into() }.to_string().contains("x"));
-        assert!(NetlistError::EmptyCircuit.to_string().contains("no unknowns"));
-        let e = NetlistError::InvalidParameter { device: "R1".into(), parameter: "resistance", value: -1.0 };
+        assert!(NetlistError::UnknownNode { name: "x".into() }
+            .to_string()
+            .contains("x"));
+        assert!(NetlistError::EmptyCircuit
+            .to_string()
+            .contains("no unknowns"));
+        let e = NetlistError::InvalidParameter {
+            device: "R1".into(),
+            parameter: "resistance",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("R1"));
-        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = NetlistError::DuplicateDevice { name: "M1".into() };
         assert!(e.to_string().contains("M1"));

@@ -330,8 +330,18 @@ pub fn coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
         let mut prev = first;
         for seg in 1..spec.segments {
             let node = ckt.node(&node_name(line, seg));
-            ckt.add_resistor(&format!("R{line}_{seg}"), prev, node, spec.segment_resistance)?;
-            ckt.add_capacitor(&format!("C{line}_{seg}"), node, gnd, spec.ground_capacitance)?;
+            ckt.add_resistor(
+                &format!("R{line}_{seg}"),
+                prev,
+                node,
+                spec.segment_resistance,
+            )?;
+            ckt.add_capacitor(
+                &format!("C{line}_{seg}"),
+                node,
+                gnd,
+                spec.ground_capacitance,
+            )?;
             prev = node;
         }
     }
@@ -341,12 +351,7 @@ pub fn coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
             for seg in 0..spec.segments {
                 let a = ckt.node(&node_name(line, seg));
                 let b = ckt.node(&node_name(line + 1, seg));
-                ckt.add_capacitor(
-                    &format!("Cc{line}_{seg}"),
-                    a,
-                    b,
-                    spec.coupling_capacitance,
-                )?;
+                ckt.add_capacitor(&format!("Cc{line}_{seg}"), a, b, spec.coupling_capacitance)?;
             }
         }
     }
@@ -373,7 +378,11 @@ mod tests {
 
     #[test]
     fn rc_ladder_structure() {
-        let ckt = rc_ladder(&RcLadderSpec { segments: 5, ..RcLadderSpec::default() }).unwrap();
+        let ckt = rc_ladder(&RcLadderSpec {
+            segments: 5,
+            ..RcLadderSpec::default()
+        })
+        .unwrap();
         // 5 internal nodes + input node + 1 branch current.
         assert_eq!(ckt.num_unknowns(), 7);
         assert_eq!(ckt.num_devices(), 11);
@@ -382,7 +391,10 @@ mod tests {
 
     #[test]
     fn inverter_chain_structure() {
-        let spec = InverterChainSpec { stages: 4, ..InverterChainSpec::default() };
+        let spec = InverterChainSpec {
+            stages: 4,
+            ..InverterChainSpec::default()
+        };
         let ckt = inverter_chain(&spec).unwrap();
         assert_eq!(ckt.num_nonlinear_devices(), 8);
         assert!(ckt.unknown_of("s4").is_some());
@@ -396,7 +408,12 @@ mod tests {
 
     #[test]
     fn power_grid_structure() {
-        let spec = PowerGridSpec { rows: 4, cols: 5, num_sinks: 3, ..PowerGridSpec::default() };
+        let spec = PowerGridSpec {
+            rows: 4,
+            cols: 5,
+            num_sinks: 3,
+            ..PowerGridSpec::default()
+        };
         let ckt = power_grid(&spec).unwrap();
         // 20 grid nodes + vdd + 1 branch.
         assert_eq!(ckt.num_unknowns(), 22);
@@ -438,7 +455,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let spec = CoupledLinesSpec { random_couplings: 50, ..CoupledLinesSpec::default() };
+        let spec = CoupledLinesSpec {
+            random_couplings: 50,
+            ..CoupledLinesSpec::default()
+        };
         let a = coupled_lines(&spec).unwrap();
         let b = coupled_lines(&spec).unwrap();
         assert_eq!(a.num_devices(), b.num_devices());
@@ -451,8 +471,18 @@ mod tests {
 
     #[test]
     fn mosfet_drivers_add_nonlinear_devices() {
-        let with = coupled_lines(&CoupledLinesSpec { lines: 3, mosfet_drivers: true, ..CoupledLinesSpec::default() }).unwrap();
-        let without = coupled_lines(&CoupledLinesSpec { lines: 3, mosfet_drivers: false, ..CoupledLinesSpec::default() }).unwrap();
+        let with = coupled_lines(&CoupledLinesSpec {
+            lines: 3,
+            mosfet_drivers: true,
+            ..CoupledLinesSpec::default()
+        })
+        .unwrap();
+        let without = coupled_lines(&CoupledLinesSpec {
+            lines: 3,
+            mosfet_drivers: false,
+            ..CoupledLinesSpec::default()
+        })
+        .unwrap();
         assert_eq!(with.num_nonlinear_devices(), 6);
         assert_eq!(without.num_nonlinear_devices(), 0);
     }

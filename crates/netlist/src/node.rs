@@ -51,7 +51,11 @@ impl NodeMap {
     /// Creates an empty registry containing only the ground node (named `0`,
     /// `gnd` or `GND`).
     pub fn new() -> Self {
-        NodeMap { names: HashMap::new(), labels: vec!["0".to_string()], next: 1 }
+        NodeMap {
+            names: HashMap::new(),
+            labels: vec!["0".to_string()],
+            next: 1,
+        }
     }
 
     /// Returns the node for `name`, creating it if necessary.

@@ -69,7 +69,10 @@ fn parse_line(circuit: &mut Circuit, line: &str, line_no: usize) -> NetlistResul
     }
     let name = tokens[0].as_str();
     let kind = name.chars().next().unwrap_or(' ').to_ascii_uppercase();
-    let err = |message: String| NetlistError::Parse { line: line_no, message };
+    let err = |message: String| NetlistError::Parse {
+        line: line_no,
+        message,
+    };
     match kind {
         'R' | 'C' | 'L' => {
             if tokens.len() < 4 {
@@ -256,7 +259,7 @@ fn parse_source(tokens: &[String]) -> Option<Waveform> {
     }
     if let Some(args) = function_args(&tokens[0], "pwl") {
         let v: Vec<f64> = args.iter().filter_map(|a| parse_value(a)).collect();
-        if v.len() < 2 || v.len() % 2 != 0 {
+        if v.len() < 2 || !v.len().is_multiple_of(2) {
             return None;
         }
         let points = v.chunks(2).map(|c| (c[0], c[1])).collect();
@@ -361,7 +364,9 @@ mod tests {
 
     #[test]
     fn comments_and_directives_are_skipped() {
-        let ckt = parse_netlist("* title\n.title foo\n// slash comment\nR1 a 0 1\n.tran 1n 10n\n.end\n").unwrap();
+        let ckt =
+            parse_netlist("* title\n.title foo\n// slash comment\nR1 a 0 1\n.tran 1n 10n\n.end\n")
+                .unwrap();
         assert_eq!(ckt.num_devices(), 1);
     }
 }

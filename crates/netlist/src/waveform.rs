@@ -71,7 +71,15 @@ impl Waveform {
     pub fn value(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v1;
                 }
@@ -110,7 +118,13 @@ impl Waveform {
                 }
                 points.last().map(|&(_, v)| v).unwrap_or(0.0)
             }
-            Waveform::Sine { offset, amplitude, frequency, delay, damping } => {
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+                damping,
+            } => {
                 if t < *delay {
                     *offset
                 } else {
@@ -133,7 +147,14 @@ impl Waveform {
         let mut out = Vec::new();
         match self {
             Waveform::Dc(_) => {}
-            Waveform::Pulse { delay, rise, fall, width, period, .. } => {
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
                 let rise = rise.max(MIN_EDGE);
                 let fall = fall.max(MIN_EDGE);
                 let cycle = [0.0, rise, rise + width, rise + width + fall];
@@ -155,7 +176,12 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(points) => {
-                out.extend(points.iter().map(|&(t, _)| t).filter(|&t| t >= 0.0 && t <= t_end));
+                out.extend(
+                    points
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| t >= 0.0 && t <= t_end),
+                );
             }
             // A sinusoid is smooth: only its start is a breakpoint.
             Waveform::Sine { delay, .. } => {
@@ -171,7 +197,15 @@ impl Waveform {
 
     /// Convenience constructor for a single (non-repeating) pulse.
     pub fn single_pulse(v1: f64, v2: f64, delay: f64, rise: f64, fall: f64, width: f64) -> Self {
-        Waveform::Pulse { v1, v2, delay, rise, fall, width, period: f64::INFINITY }
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period: f64::INFINITY,
+        }
     }
 }
 
@@ -239,10 +273,22 @@ mod tests {
 
     #[test]
     fn sine_value() {
-        let w = Waveform::Sine { offset: 1.0, amplitude: 0.5, frequency: 1.0, delay: 0.0, damping: 0.0 };
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            frequency: 1.0,
+            delay: 0.0,
+            damping: 0.0,
+        };
         assert!((w.value(0.25) - 1.5).abs() < 1e-12);
         assert!((w.value(0.0) - 1.0).abs() < 1e-12);
-        let wd = Waveform::Sine { offset: 0.0, amplitude: 1.0, frequency: 1.0, delay: 0.5, damping: 0.0 };
+        let wd = Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 1.0,
+            delay: 0.5,
+            damping: 0.0,
+        };
         assert_eq!(wd.value(0.25), 0.0);
         assert_eq!(wd.breakpoints(1.0), vec![0.5]);
     }

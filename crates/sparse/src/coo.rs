@@ -33,12 +33,20 @@ pub struct TripletMatrix {
 impl TripletMatrix {
     /// Creates an empty builder for a `rows x cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        TripletMatrix { rows, cols, entries: Vec::new() }
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with pre-allocated capacity for `cap` triplets.
     pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
-        TripletMatrix { rows, cols, entries: Vec::with_capacity(cap) }
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.

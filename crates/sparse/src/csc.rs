@@ -37,7 +37,13 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// Creates an empty (all-zero) `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CscMatrix { rows, cols, colptr: vec![0; cols + 1], rowidx: Vec::new(), values: Vec::new() }
+        CscMatrix {
+            rows,
+            cols,
+            colptr: vec![0; cols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Converts a CSR matrix into CSC form.
@@ -63,7 +69,13 @@ impl CscMatrix {
                 next[*c] += 1;
             }
         }
-        CscMatrix { rows, cols, colptr, rowidx, values }
+        CscMatrix {
+            rows,
+            cols,
+            colptr,
+            rowidx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -125,7 +137,10 @@ impl CscMatrix {
         let triplets: Vec<(usize, usize, f64)> = (0..self.cols)
             .flat_map(|j| {
                 let (rows, vals) = self.col(j);
-                rows.iter().zip(vals.iter()).map(move |(r, v)| (*r, j, *v)).collect::<Vec<_>>()
+                rows.iter()
+                    .zip(vals.iter())
+                    .map(move |(r, v)| (*r, j, *v))
+                    .collect::<Vec<_>>()
             })
             .collect();
         CsrMatrix::from_triplets(self.rows, self.cols, &triplets)

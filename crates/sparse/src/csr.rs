@@ -37,7 +37,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Creates an empty (all-zero) `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -45,7 +51,13 @@ impl CsrMatrix {
         let indptr = (0..=n).collect();
         let indices = (0..n).collect();
         let values = vec![1.0; n];
-        CsrMatrix { rows: n, cols: n, indptr, indices, values }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds a CSR matrix from raw triplets, summing duplicates and dropping
@@ -99,7 +111,13 @@ impl CsrMatrix {
             }
             indptr[r + 1] = indices.len();
         }
-        CsrMatrix { rows, cols, indptr, indices, values }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds a CSR matrix directly from its raw components.
@@ -146,10 +164,14 @@ impl CsrMatrix {
                 });
             }
             let mut prev: Option<usize> = None;
-            for k in indptr[r]..indptr[r + 1] {
-                let c = indices[k];
+            for &c in &indices[indptr[r]..indptr[r + 1]] {
                 if c >= cols {
-                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        rows,
+                        cols,
+                    });
                 }
                 if let Some(p) = prev {
                     if c <= p {
@@ -163,7 +185,13 @@ impl CsrMatrix {
                 prev = Some(c);
             }
         }
-        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -240,14 +268,14 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x dimension mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec: y dimension mismatch");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let s = self.indptr[i];
             let e = self.indptr[i + 1];
             let mut acc = 0.0;
             for k in s..e {
                 acc += self.values[k] * x[self.indices[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -259,8 +287,7 @@ impl CsrMatrix {
     pub fn mul_vec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_transpose: dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -297,7 +324,13 @@ impl CsrMatrix {
         }
         // Rows of the transpose are filled in increasing original-row order,
         // so the column indices of each transposed row are already sorted.
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Returns `alpha * self` as a new matrix.
@@ -360,7 +393,13 @@ impl CsrMatrix {
             }
             indptr[i + 1] = indices.len();
         }
-        Ok(CsrMatrix { rows, cols: a.cols, indptr, indices, values })
+        Ok(CsrMatrix {
+            rows,
+            cols: a.cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Returns the main diagonal as a dense vector.
@@ -500,9 +539,7 @@ mod tests {
         // Bad indptr length.
         assert!(CsrMatrix::try_from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
         // Unsorted columns.
-        assert!(
-            CsrMatrix::try_from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::try_from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // Column out of range.
         assert!(CsrMatrix::try_from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
     }

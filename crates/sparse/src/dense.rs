@@ -31,7 +31,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -56,7 +60,11 @@ impl DenseMatrix {
             assert_eq!(r.len(), ncols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        DenseMatrix { rows: nrows, cols: ncols, data }
+        DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -119,6 +127,11 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Sets every entry to `v` (used to recycle scratch matrices in hot loops).
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
     /// Returns the top-left `r x c` sub-matrix as a new matrix.
     ///
     /// Used to extract `H_m` from the `(m+1) x m` Arnoldi Hessenberg matrix.
@@ -167,9 +180,9 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -191,9 +204,22 @@ impl DenseMatrix {
     ///
     /// Panics if the dimensions differ.
     pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add: shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns `self - other`.
@@ -202,15 +228,32 @@ impl DenseMatrix {
     ///
     /// Panics if the dimensions differ.
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub: shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a - b).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns `alpha * self`.
     pub fn scale(&self, alpha: f64) -> DenseMatrix {
         let data = self.data.iter().map(|a| alpha * a).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// One-norm (maximum absolute column sum).
@@ -253,7 +296,10 @@ impl DenseMatrix {
     /// [`SparseError::Singular`] if a pivot collapses below `1e-300`.
     pub fn solve(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
         if self.rows != self.cols {
-            return Err(SparseError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(SparseError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         if b.len() != self.rows {
             return Err(SparseError::DimensionMismatch {
@@ -315,7 +361,10 @@ impl DenseMatrix {
     /// Same conditions as [`DenseMatrix::solve`].
     pub fn inverse(&self) -> SparseResult<DenseMatrix> {
         if self.rows != self.cols {
-            return Err(SparseError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(SparseError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         let n = self.rows;
         let mut inv = DenseMatrix::zeros(n, n);
@@ -324,8 +373,8 @@ impl DenseMatrix {
         for j in 0..n {
             e[j] = 1.0;
             let col = self.solve(&e)?;
-            for i in 0..n {
-                inv.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                inv.set(i, j, v);
             }
             e[j] = 0.0;
         }
@@ -395,7 +444,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SparseError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SparseError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -422,6 +474,9 @@ mod tests {
     #[test]
     fn non_square_solve_rejected() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(a.solve(&[0.0, 0.0]), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            a.solve(&[0.0, 0.0]),
+            Err(SparseError::NotSquare { .. })
+        ));
     }
 }

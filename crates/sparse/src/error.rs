@@ -58,6 +58,22 @@ pub enum SparseError {
         /// Number of iterations performed.
         iterations: usize,
     },
+    /// A numeric refactorization was asked to reuse a symbolic analysis
+    /// computed for a different sparsity pattern. The caller should fall back
+    /// to a fresh factorization.
+    PatternMismatch {
+        /// Number of nonzeros the symbolic analysis expects.
+        expected_nnz: usize,
+        /// Number of nonzeros of the supplied matrix.
+        found_nnz: usize,
+    },
+    /// Element growth during a pivot-order-preserving refactorization shows
+    /// the frozen pivot sequence is no longer numerically viable; a fresh
+    /// factorization (with re-pivoting) is required.
+    UnstableRefactorization {
+        /// Largest `|L|` entry observed.
+        growth: f64,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -81,6 +97,14 @@ impl fmt::Display for SparseError {
             SparseError::ConvergenceFailure { what, iterations } => {
                 write!(f, "{what} failed to converge after {iterations} iterations")
             }
+            SparseError::PatternMismatch { expected_nnz, found_nnz } => write!(
+                f,
+                "refactorization pattern mismatch: symbolic analysis has {expected_nnz} nonzeros, matrix has {found_nnz}"
+            ),
+            SparseError::UnstableRefactorization { growth } => write!(
+                f,
+                "refactorization unstable with frozen pivots (element growth {growth:.3e}); re-pivot with a fresh factorization"
+            ),
         }
     }
 }
@@ -98,16 +122,38 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = SparseError::Singular { column: 3 };
         assert!(e.to_string().contains("singular"));
-        let e = SparseError::FillBudgetExceeded { reached: 10, budget: 5 };
+        let e = SparseError::FillBudgetExceeded {
+            reached: 10,
+            budget: 5,
+        };
         assert!(e.to_string().contains("budget"));
-        let e = SparseError::DimensionMismatch { op: "spmv", expected: 4, found: 3 };
+        let e = SparseError::DimensionMismatch {
+            op: "spmv",
+            expected: 4,
+            found: 3,
+        };
         assert!(e.to_string().contains("spmv"));
-        let e = SparseError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 3,
+            cols: 3,
+        };
         assert!(e.to_string().contains("out of bounds"));
         let e = SparseError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("square"));
-        let e = SparseError::ConvergenceFailure { what: "arnoldi", iterations: 7 };
+        let e = SparseError::ConvergenceFailure {
+            what: "arnoldi",
+            iterations: 7,
+        };
         assert!(e.to_string().contains("converge"));
+        let e = SparseError::PatternMismatch {
+            expected_nnz: 10,
+            found_nnz: 12,
+        };
+        assert!(e.to_string().contains("pattern mismatch"));
+        let e = SparseError::UnstableRefactorization { growth: 1e12 };
+        assert!(e.to_string().contains("re-pivot"));
     }
 
     #[test]

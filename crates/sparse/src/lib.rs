@@ -14,6 +14,10 @@
 //! * [`SparseLu`] — left-looking Gilbert–Peierls sparse LU with threshold
 //!   partial pivoting, fill-reducing orderings ([`ordering`]) and an optional
 //!   fill budget (used to emulate out-of-memory failures of the baseline).
+//!   Its symbolic analysis ([`SymbolicLu`]) is cached so value-only updates
+//!   go through the cheap numeric [`SparseLu::refactorize`], and
+//!   [`SparseLu::solve_into`] + [`LuWorkspace`] make hot-loop triangular
+//!   solves allocation-free.
 //! * [`DenseMatrix`] — small dense matrices for the projected Hessenberg
 //!   systems produced by Krylov subspace methods.
 //! * [`vector`] — BLAS-1 style helpers on `&[f64]`.
@@ -56,6 +60,6 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{SparseError, SparseResult};
-pub use lu::{factor_fill, solve_sparse, LuOptions, SparseLu};
+pub use lu::{factor_fill, solve_sparse, LuOptions, LuWorkspace, SparseLu, SymbolicLu};
 pub use ordering::OrderingMethod;
 pub use permutation::Permutation;

@@ -1,4 +1,6 @@
-//! Sparse LU factorization (left-looking Gilbert–Peierls with partial pivoting).
+//! Sparse LU factorization (left-looking Gilbert–Peierls with partial
+//! pivoting) with a cached **symbolic analysis** and cheap numeric
+//! **refactorization**.
 //!
 //! This is the direct solver the whole simulator is built on. The exponential
 //! Rosenbrock–Euler engine factorizes only the conductance matrix `G` (once
@@ -13,8 +15,19 @@
 //! fills in the numerical values. Row pivoting is threshold partial pivoting
 //! with a preference for the diagonal to preserve the fill-reducing column
 //! ordering.
+//!
+//! Because the sparsity pattern of a circuit's matrices is fixed for an
+//! entire transient run while only the values change, the expensive parts of
+//! a factorization — the fill-reducing ordering, the pivot order and the
+//! per-column reachability DFS — are computed **once** and cached in a
+//! [`SymbolicLu`]. Subsequent factorizations of matrices with the identical
+//! pattern go through [`SparseLu::refactorize`], which replays the recorded
+//! elimination in the recorded order: no ordering, no DFS, no allocation, and
+//! bit-for-bit the same result as a fresh factorization when the values are
+//! unchanged (KLU-style "refactor").
 
-use crate::csc::CscMatrix;
+use std::sync::Arc;
+
 use crate::csr::CsrMatrix;
 use crate::error::{SparseError, SparseResult};
 use crate::ordering::{compute_ordering, OrderingMethod};
@@ -51,11 +64,123 @@ impl Default for LuOptions {
     }
 }
 
+/// Bound on `max |L|` above which a pivot-order-preserving refactorization is
+/// rejected as numerically unstable (the caller should re-pivot with a fresh
+/// [`SparseLu::factorize_with`]). Fresh factorizations bound this by
+/// `1 / pivot_tolerance`; drifting values can erode that guarantee.
+const REFACTOR_GROWTH_LIMIT: f64 = 1e10;
+
+/// Reusable scratch memory for [`SparseLu::solve_into`] and
+/// [`SparseLu::refactorize_with`].
+///
+/// Keeping one workspace alive across a hot loop removes every per-call
+/// allocation from triangular solves and refactorizations. A workspace may be
+/// shared between factors of different dimensions; it grows to the largest
+/// dimension seen.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    scratch: Vec<f64>,
+}
+
+impl LuWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        LuWorkspace::default()
+    }
+
+    /// A scratch slice of length `n` with unspecified contents.
+    fn slice(&mut self, n: usize) -> &mut [f64] {
+        if self.scratch.len() < n {
+            self.scratch.resize(n, 0.0);
+        }
+        &mut self.scratch[..n]
+    }
+
+    /// A zero-initialized scratch slice of length `n`.
+    fn zeroed(&mut self, n: usize) -> &mut [f64] {
+        let s = self.slice(n);
+        s.fill(0.0);
+        s
+    }
+}
+
+/// The symbolic part of a sparse LU factorization: everything that depends
+/// only on the sparsity **pattern** of the matrix (plus the pivot order the
+/// pilot factorization chose), not on its values.
+///
+/// Stored once and shared (via [`Arc`]) by every numeric factor derived from
+/// it:
+///
+/// * the fill-reducing column ordering `Q` and the row pivot order `P`,
+/// * the structural patterns of `L` and `U` in elimination order (the
+///   per-column reachability sets of the Gilbert–Peierls DFS),
+/// * a scatter map from the input matrix's CSR value array to pivot-position
+///   workspace indices, so a refactorization never converts to CSC.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// Column ordering: position `k` factors original column `q.unmap(k)`.
+    q: Permutation,
+    /// `pinv[original_row]` = pivot position of that row.
+    pinv: Vec<usize>,
+    /// CSR pattern of the analyzed matrix (for cheap validation on refactorize).
+    a_indptr: Vec<usize>,
+    a_indices: Vec<usize>,
+    /// Scatter map, per factor column: workspace positions and CSR value
+    /// indices of the input matrix entries of that column.
+    acol_ptr: Vec<usize>,
+    acol_pos: Vec<usize>,
+    acol_src: Vec<usize>,
+    /// Pattern of `L` (strictly below the diagonal), row indices in pivot
+    /// positions, stored per column in elimination (topological) order.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    /// Pattern of `U` (strictly above the diagonal), row indices in pivot
+    /// positions, stored per column in elimination order. Iterating a column
+    /// of this pattern visits the update sources of the left-looking solve in
+    /// exactly the order the pilot factorization applied them.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Structural nonzeros in `L` (including the implicit unit diagonal).
+    pub fn nnz_l(&self) -> usize {
+        self.l_rows.len() + self.n
+    }
+
+    /// Structural nonzeros in `U` (including the diagonal).
+    pub fn nnz_u(&self) -> usize {
+        self.u_rows.len() + self.n
+    }
+
+    /// Total structural factor fill `nnz(L) + nnz(U)`.
+    pub fn fill(&self) -> usize {
+        self.nnz_l() + self.nnz_u()
+    }
+
+    /// Whether `a` has exactly the sparsity pattern this analysis was
+    /// computed for.
+    pub fn matches_pattern(&self, a: &CsrMatrix) -> bool {
+        a.rows() == self.n
+            && a.cols() == self.n
+            && a.indptr() == &self.a_indptr[..]
+            && a.indices() == &self.a_indices[..]
+    }
+}
+
 /// A computed sparse LU factorization `P·A·Q = L·U`.
 ///
 /// `P` is the row permutation chosen by partial pivoting, `Q` the
 /// fill-reducing column ordering, `L` unit lower triangular and `U` upper
-/// triangular.
+/// triangular. The symbolic analysis is cached and shared, so factorizing a
+/// sequence of matrices with the same pattern costs one full factorization
+/// plus cheap numeric [`SparseLu::refactorize`] calls.
 ///
 /// # Examples
 ///
@@ -78,21 +203,13 @@ impl Default for LuOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
-    /// Columns of `L` (strictly below the diagonal), row indices in pivot positions.
-    l_colptr: Vec<usize>,
-    l_rows: Vec<usize>,
+    symbolic: Arc<SymbolicLu>,
     l_vals: Vec<f64>,
-    /// Columns of `U` (strictly above the diagonal), row indices in pivot positions.
-    u_colptr: Vec<usize>,
-    u_rows: Vec<usize>,
     u_vals: Vec<f64>,
     /// Diagonal of `U` in pivot positions.
     u_diag: Vec<f64>,
-    /// `pinv[original_row]` = pivot position of that row.
-    pinv: Vec<usize>,
-    /// Column ordering: position `k` factors original column `q.unmap(k)`.
-    q: Permutation,
+    /// Smallest pivot magnitude a refactorization accepts.
+    pivot_floor: f64,
 }
 
 impl SparseLu {
@@ -105,7 +222,9 @@ impl SparseLu {
         Self::factorize_with(a, &LuOptions::default())
     }
 
-    /// Factorizes `a` with explicit options.
+    /// Factorizes `a` with explicit options, performing the full symbolic
+    /// analysis (ordering, pivoting, reachability) plus the numeric
+    /// factorization.
     ///
     /// # Errors
     ///
@@ -114,14 +233,22 @@ impl SparseLu {
     /// * [`SparseError::FillBudgetExceeded`] if the configured fill budget is hit.
     pub fn factorize_with(a: &CsrMatrix, options: &LuOptions) -> SparseResult<Self> {
         if a.rows() != a.cols() {
-            return Err(SparseError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(SparseError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let q = compute_ordering(a, options.ordering);
-        let acsc = CscMatrix::from_csr(a);
 
-        // L columns with ORIGINAL row indices during factorization; remapped to
-        // pivot positions at the end.
+        // Column-wise access to `a` that remembers, for every entry, its
+        // index into `a.values()` — this becomes the refactorization scatter
+        // map once the pivot order is known.
+        let (csc_ptr, csc_rows, csc_src) = csc_pattern_with_sources(a);
+        let a_vals = a.values();
+
+        // L columns with ORIGINAL row indices during factorization; remapped
+        // to pivot positions at the end.
         let mut l_colptr = vec![0usize; n + 1];
         let mut l_rows: Vec<usize> = Vec::new();
         let mut l_vals: Vec<f64> = Vec::new();
@@ -139,7 +266,8 @@ impl SparseLu {
 
         for jj in 0..n {
             let j_orig = q.unmap(jj);
-            let (b_rows, b_vals) = acsc.col(j_orig);
+            let b_rows = &csc_rows[csc_ptr[j_orig]..csc_ptr[j_orig + 1]];
+            let b_srcs = &csc_src[csc_ptr[j_orig]..csc_ptr[j_orig + 1]];
 
             // --- Symbolic: pattern of x = L^{-1} * A[:, j] via DFS (reach). ---
             topo.clear();
@@ -188,8 +316,8 @@ impl SparseLu {
             // The workspace `x` is zero outside the previous pattern (it is
             // cleared when columns are stored), so only the right-hand side
             // needs to be scattered.
-            for (&r, &v) in b_rows.iter().zip(b_vals.iter()) {
-                x[r] = v;
+            for (&r, &src) in b_rows.iter().zip(b_srcs.iter()) {
+                x[r] = a_vals[src];
             }
             for &r in topo.iter() {
                 let k = pinv[r];
@@ -237,13 +365,13 @@ impl SparseLu {
             u_diag[jj] = pivot_val;
 
             // --- Store U column jj (pivotal rows) and L column jj (others). ---
+            // Structural zeros are kept: the stored pattern must be the pure
+            // symbolic reach so that a later refactorization with different
+            // values remains correct.
             for &r in topo.iter() {
                 let val = x[r];
                 x[r] = 0.0; // clear workspace for the next column
                 if r == pivot_row {
-                    continue;
-                }
-                if val == 0.0 {
                     continue;
                 }
                 let k = pinv[r];
@@ -261,7 +389,10 @@ impl SparseLu {
             if let Some(budget) = options.fill_budget {
                 let fill = l_rows.len() + u_rows.len() + n;
                 if fill > budget {
-                    return Err(SparseError::FillBudgetExceeded { reached: fill, budget });
+                    return Err(SparseError::FillBudgetExceeded {
+                        reached: fill,
+                        budget,
+                    });
                 }
             }
         }
@@ -271,38 +402,188 @@ impl SparseLu {
             *r = pinv[*r];
         }
 
-        Ok(SparseLu {
+        // Freeze the refactorization scatter map now that the full pivot
+        // order is known: factor column jj reads the entries of original
+        // column q.unmap(jj), targeting pivot-position workspace slots.
+        let mut acol_ptr = vec![0usize; n + 1];
+        let mut acol_pos = Vec::with_capacity(a.nnz());
+        let mut acol_src = Vec::with_capacity(a.nnz());
+        for jj in 0..n {
+            let j_orig = q.unmap(jj);
+            for t in csc_ptr[j_orig]..csc_ptr[j_orig + 1] {
+                acol_pos.push(pinv[csc_rows[t]]);
+                acol_src.push(csc_src[t]);
+            }
+            acol_ptr[jj + 1] = acol_pos.len();
+        }
+
+        let symbolic = SymbolicLu {
             n,
+            q,
+            pinv,
+            a_indptr: a.indptr().to_vec(),
+            a_indices: a.indices().to_vec(),
+            acol_ptr,
+            acol_pos,
+            acol_src,
             l_colptr,
             l_rows,
-            l_vals,
             u_colptr,
             u_rows,
+        };
+
+        Ok(SparseLu {
+            symbolic: Arc::new(symbolic),
+            l_vals,
             u_vals,
             u_diag,
-            pinv,
-            q,
+            pivot_floor: options.pivot_tolerance * options.zero_pivot_threshold,
         })
+    }
+
+    /// Recomputes the numeric factorization for a matrix `a` with the **same
+    /// sparsity pattern** as the one this factor was built from, reusing the
+    /// cached symbolic analysis (ordering, pivot order, factor patterns).
+    ///
+    /// This skips the fill-reducing ordering, the CSC conversion and the
+    /// per-column reachability DFS and performs no allocation; only the
+    /// floating-point elimination is replayed — in exactly the operation
+    /// order of the pilot factorization, so refactorizing with unchanged
+    /// values reproduces the factors bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::PatternMismatch`] if `a` does not have the analyzed
+    ///   pattern (the caller should fall back to
+    ///   [`SparseLu::factorize_with`]).
+    /// * [`SparseError::Singular`] if a frozen pivot became numerically zero.
+    /// * [`SparseError::UnstableRefactorization`] if element growth shows the
+    ///   frozen pivot order is no longer viable and fresh pivoting is needed.
+    ///
+    /// On error the numeric contents of the factor are unspecified; the
+    /// factor must be rebuilt before further solves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use exi_sparse::{LuWorkspace, SparseLu, TripletMatrix};
+    ///
+    /// # fn main() -> Result<(), exi_sparse::SparseError> {
+    /// let mut t = TripletMatrix::new(2, 2);
+    /// t.push(0, 0, 4.0);
+    /// t.push(1, 1, 3.0);
+    /// let a = t.to_csr();
+    /// let mut lu = SparseLu::factorize(&a)?;
+    ///
+    /// // Same pattern, new values: numeric-only refactorization.
+    /// let mut t = TripletMatrix::new(2, 2);
+    /// t.push(0, 0, 8.0);
+    /// t.push(1, 1, 6.0);
+    /// let mut ws = LuWorkspace::new();
+    /// lu.refactorize_with(&t.to_csr(), &mut ws)?;
+    /// let x = lu.solve(&[8.0, 6.0])?;
+    /// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn refactorize_with(&mut self, a: &CsrMatrix, ws: &mut LuWorkspace) -> SparseResult<()> {
+        let s = Arc::clone(&self.symbolic);
+        if !s.matches_pattern(a) {
+            return Err(SparseError::PatternMismatch {
+                expected_nnz: s.a_indices.len(),
+                found_nnz: a.nnz(),
+            });
+        }
+        let a_vals = a.values();
+        let x = ws.zeroed(s.n);
+        for jj in 0..s.n {
+            // Scatter A[:, q(jj)] into pivot-position slots.
+            for t in s.acol_ptr[jj]..s.acol_ptr[jj + 1] {
+                x[s.acol_pos[t]] = a_vals[s.acol_src[t]];
+            }
+            // Replay the left-looking update in the recorded elimination
+            // order: the U pattern of this column lists the update sources
+            // exactly as the pilot factorization visited them.
+            for t in s.u_colptr[jj]..s.u_colptr[jj + 1] {
+                let p = s.u_rows[t];
+                let xp = x[p];
+                if xp == 0.0 {
+                    continue;
+                }
+                for idx in s.l_colptr[p]..s.l_colptr[p + 1] {
+                    x[s.l_rows[idx]] -= self.l_vals[idx] * xp;
+                }
+            }
+            // Frozen pivot.
+            let pivot = x[jj];
+            if !pivot.is_finite() || pivot.abs() < self.pivot_floor {
+                return Err(SparseError::Singular { column: jj });
+            }
+            self.u_diag[jj] = pivot;
+            // Gather the column back out (and clear the workspace slots).
+            // U carries the matrix's own scale, so it is only checked for
+            // finiteness; L is dimensionless and additionally bounded by the
+            // growth limit. NaN must be caught explicitly (a plain
+            // `growth.max(..)` accumulator would swallow it).
+            for t in s.u_colptr[jj]..s.u_colptr[jj + 1] {
+                let p = s.u_rows[t];
+                let uv = x[p];
+                if !uv.is_finite() {
+                    return Err(SparseError::UnstableRefactorization {
+                        growth: f64::INFINITY,
+                    });
+                }
+                self.u_vals[t] = uv;
+                x[p] = 0.0;
+            }
+            x[jj] = 0.0;
+            for t in s.l_colptr[jj]..s.l_colptr[jj + 1] {
+                let p = s.l_rows[t];
+                let lv = x[p] / pivot;
+                let magnitude = lv.abs();
+                if magnitude > REFACTOR_GROWTH_LIMIT || magnitude.is_nan() {
+                    return Err(SparseError::UnstableRefactorization { growth: magnitude });
+                }
+                self.l_vals[t] = lv;
+                x[p] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// As [`SparseLu::refactorize_with`], with an internal scratch workspace.
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseLu::refactorize_with`].
+    pub fn refactorize(&mut self, a: &CsrMatrix) -> SparseResult<()> {
+        let mut ws = LuWorkspace::new();
+        self.refactorize_with(a, &mut ws)
+    }
+
+    /// The cached symbolic analysis backing this factorization.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.symbolic
     }
 
     /// Dimension of the factorized matrix.
     pub fn dim(&self) -> usize {
-        self.n
+        self.symbolic.n
     }
 
     /// Number of nonzeros in `L` (including the implicit unit diagonal).
     pub fn nnz_l(&self) -> usize {
-        self.l_vals.len() + self.n
+        self.symbolic.nnz_l()
     }
 
     /// Number of nonzeros in `U` (including the diagonal).
     pub fn nnz_u(&self) -> usize {
-        self.u_vals.len() + self.n
+        self.symbolic.nnz_u()
     }
 
     /// Total factor fill `nnz(L) + nnz(U)`.
     pub fn fill(&self) -> usize {
-        self.nnz_l() + self.nnz_u()
+        self.symbolic.fill()
     }
 
     /// Solves `A x = b` using the computed factorization.
@@ -312,45 +593,67 @@ impl SparseLu {
     /// Returns [`SparseError::DimensionMismatch`] if `b.len()` differs from the
     /// matrix dimension.
     pub fn solve(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
-        if b.len() != self.n {
+        let mut out = vec![0.0f64; self.symbolic.n];
+        let mut ws = LuWorkspace::new();
+        self.solve_into(b, &mut out, &mut ws)?;
+        Ok(out)
+    }
+
+    /// Solves `A x = b` into a caller-provided output buffer, using `ws` for
+    /// scratch space — the allocation-free variant of [`SparseLu::solve`] for
+    /// hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len()` or `out.len()`
+    /// differ from the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64], ws: &mut LuWorkspace) -> SparseResult<()> {
+        let s = &self.symbolic;
+        if b.len() != s.n {
             return Err(SparseError::DimensionMismatch {
                 op: "lu solve rhs",
-                expected: self.n,
+                expected: s.n,
                 found: b.len(),
             });
         }
-        let mut z = vec![0.0f64; self.n];
+        if out.len() != s.n {
+            return Err(SparseError::DimensionMismatch {
+                op: "lu solve output",
+                expected: s.n,
+                found: out.len(),
+            });
+        }
+        let z = ws.slice(s.n);
         // Apply the row permutation: z = P b.
         for (r, &br) in b.iter().enumerate() {
-            z[self.pinv[r]] = br;
+            z[s.pinv[r]] = br;
         }
         // Forward solve with unit lower triangular L (column oriented).
-        for j in 0..self.n {
+        for j in 0..s.n {
             let xj = z[j];
             if xj == 0.0 {
                 continue;
             }
-            for idx in self.l_colptr[j]..self.l_colptr[j + 1] {
-                z[self.l_rows[idx]] -= self.l_vals[idx] * xj;
+            for idx in s.l_colptr[j]..s.l_colptr[j + 1] {
+                z[s.l_rows[idx]] -= self.l_vals[idx] * xj;
             }
         }
         // Backward solve with U (column oriented).
-        for j in (0..self.n).rev() {
+        for j in (0..s.n).rev() {
             z[j] /= self.u_diag[j];
             let xj = z[j];
             if xj == 0.0 {
                 continue;
             }
-            for idx in self.u_colptr[j]..self.u_colptr[j + 1] {
-                z[self.u_rows[idx]] -= self.u_vals[idx] * xj;
+            for idx in s.u_colptr[j]..s.u_colptr[j + 1] {
+                z[s.u_rows[idx]] -= self.u_vals[idx] * xj;
             }
         }
         // Undo the column ordering: x[q(k)] = z[k].
-        let mut xout = vec![0.0f64; self.n];
-        for k in 0..self.n {
-            xout[self.q.unmap(k)] = z[k];
+        for k in 0..s.n {
+            out[s.q.unmap(k)] = z[k];
         }
-        Ok(xout)
+        Ok(())
     }
 
     /// Solves `A x = b` for several right-hand sides.
@@ -359,8 +662,42 @@ impl SparseLu {
     ///
     /// Same conditions as [`SparseLu::solve`], checked per right-hand side.
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> SparseResult<Vec<Vec<f64>>> {
-        rhs.iter().map(|b| self.solve(b)).collect()
+        let mut ws = LuWorkspace::new();
+        rhs.iter()
+            .map(|b| {
+                let mut out = vec![0.0f64; self.symbolic.n];
+                self.solve_into(b, &mut out, &mut ws)?;
+                Ok(out)
+            })
+            .collect()
     }
+}
+
+/// Column-wise view of a CSR pattern: for every column, the original row
+/// indices and the positions of the entries inside `a.values()`.
+fn csc_pattern_with_sources(a: &CsrMatrix) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n_cols = a.cols();
+    let mut colptr = vec![0usize; n_cols + 1];
+    for &c in a.indices() {
+        colptr[c + 1] += 1;
+    }
+    for j in 0..n_cols {
+        colptr[j + 1] += colptr[j];
+    }
+    let mut rows = vec![0usize; a.nnz()];
+    let mut src = vec![0usize; a.nnz()];
+    let mut next = colptr.clone();
+    for i in 0..a.rows() {
+        let (cols, _) = a.row(i);
+        let base = a.indptr()[i];
+        for (offset, &c) in cols.iter().enumerate() {
+            let pos = next[c];
+            rows[pos] = i;
+            src[pos] = base + offset;
+            next[c] += 1;
+        }
+    }
+    (colptr, rows, src)
 }
 
 /// Convenience function: factorize `a` and solve a single system.
@@ -381,7 +718,13 @@ pub fn solve_sparse(a: &CsrMatrix, b: &[f64]) -> SparseResult<Vec<f64>> {
 ///
 /// Propagates factorization errors from [`SparseLu`].
 pub fn factor_fill(a: &CsrMatrix, ordering: OrderingMethod) -> SparseResult<(usize, usize)> {
-    let lu = SparseLu::factorize_with(a, &LuOptions { ordering, ..LuOptions::default() })?;
+    let lu = SparseLu::factorize_with(
+        a,
+        &LuOptions {
+            ordering,
+            ..LuOptions::default()
+        },
+    )?;
     Ok((lu.nnz_l(), lu.nnz_u()))
 }
 
@@ -402,6 +745,18 @@ mod tests {
             if i + 1 < n {
                 t.push(i, i + 1, -1.0);
                 t.push(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn tridiag_scaled(n: usize, d: f64, off: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, d);
+            if i + 1 < n {
+                t.push(i, i + 1, off);
+                t.push(i + 1, i, off);
             }
         }
         t.to_csr()
@@ -438,10 +793,19 @@ mod tests {
         let a = tridiag(30);
         let b: Vec<f64> = (0..30).map(|i| i as f64 * 0.1 - 1.0).collect();
         let mut solutions = Vec::new();
-        for ordering in [OrderingMethod::Natural, OrderingMethod::Rcm, OrderingMethod::MinDegree] {
-            let lu =
-                SparseLu::factorize_with(&a, &LuOptions { ordering, ..LuOptions::default() })
-                    .unwrap();
+        for ordering in [
+            OrderingMethod::Natural,
+            OrderingMethod::Rcm,
+            OrderingMethod::MinDegree,
+        ] {
+            let lu = SparseLu::factorize_with(
+                &a,
+                &LuOptions {
+                    ordering,
+                    ..LuOptions::default()
+                },
+            )
+            .unwrap();
             solutions.push(lu.solve(&b).unwrap());
         }
         for s in &solutions[1..] {
@@ -468,7 +832,10 @@ mod tests {
         t.push(1, 0, 1.0);
         // Column 1 is entirely zero.
         let a = t.to_csr();
-        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::Singular { .. })));
+        assert!(matches!(
+            SparseLu::factorize(&a),
+            Err(SparseError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -479,25 +846,37 @@ mod tests {
         t.push(1, 0, 2.0);
         t.push(1, 1, 4.0);
         let a = t.to_csr();
-        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::Singular { .. })));
+        assert!(matches!(
+            SparseLu::factorize(&a),
+            Err(SparseError::Singular { .. })
+        ));
     }
 
     #[test]
     fn fill_budget_is_enforced() {
         let a = tridiag(100);
-        let opts = LuOptions { fill_budget: Some(50), ..LuOptions::default() };
+        let opts = LuOptions {
+            fill_budget: Some(50),
+            ..LuOptions::default()
+        };
         assert!(matches!(
             SparseLu::factorize_with(&a, &opts),
             Err(SparseError::FillBudgetExceeded { .. })
         ));
-        let opts = LuOptions { fill_budget: Some(10_000), ..LuOptions::default() };
+        let opts = LuOptions {
+            fill_budget: Some(10_000),
+            ..LuOptions::default()
+        };
         assert!(SparseLu::factorize_with(&a, &opts).is_ok());
     }
 
     #[test]
     fn non_square_is_rejected() {
         let a = CsrMatrix::zeros(2, 3);
-        assert!(matches!(SparseLu::factorize(&a), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            SparseLu::factorize(&a),
+            Err(SparseError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -507,6 +886,7 @@ mod tests {
         assert!(lu.nnz_l() >= 20);
         assert!(lu.nnz_u() >= 20);
         assert_eq!(lu.fill(), lu.nnz_l() + lu.nnz_u());
+        assert_eq!(lu.fill(), lu.symbolic().fill());
         let (l, u) = factor_fill(&a, OrderingMethod::Rcm).unwrap();
         assert_eq!((l, u), (lu.nnz_l(), lu.nnz_u()));
     }
@@ -514,8 +894,9 @@ mod tests {
     #[test]
     fn solve_many_matches_individual_solves() {
         let a = tridiag(15);
-        let rhs: Vec<Vec<f64>> =
-            (0..3).map(|k| (0..15).map(|i| (i + k) as f64).collect()).collect();
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..15).map(|i| (i + k) as f64).collect())
+            .collect();
         let lu = SparseLu::factorize(&a).unwrap();
         let xs = lu.solve_many(&rhs).unwrap();
         for (x, b) in xs.iter().zip(rhs.iter()) {
@@ -528,6 +909,25 @@ mod tests {
         let a = tridiag(4);
         let lu = SparseLu::factorize(&a).unwrap();
         assert!(lu.solve(&[1.0, 2.0]).is_err());
+        let mut out = vec![0.0; 3];
+        let mut ws = LuWorkspace::new();
+        assert!(lu.solve_into(&[1.0; 4], &mut out, &mut ws).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = tridiag(25);
+        let lu = SparseLu::factorize(&a).unwrap();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x1 = lu.solve(&b).unwrap();
+        let mut x2 = vec![0.0; 25];
+        let mut ws = LuWorkspace::new();
+        lu.solve_into(&b, &mut x2, &mut ws).unwrap();
+        assert_eq!(x1, x2);
+        // Reusing the workspace must not corrupt later solves.
+        let mut x3 = vec![0.0; 25];
+        lu.solve_into(&b, &mut x3, &mut ws).unwrap();
+        assert_eq!(x1, x3);
     }
 
     #[test]
@@ -554,5 +954,131 @@ mod tests {
             let x = solve_sparse(&a, &b).unwrap();
             assert!(dense_residual(&a, &x, &b) < 1e-9, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn refactorize_same_values_is_bit_identical() {
+        let a = tridiag(60);
+        let fresh = SparseLu::factorize(&a).unwrap();
+        let mut refac = fresh.clone();
+        let mut ws = LuWorkspace::new();
+        refac.refactorize_with(&a, &mut ws).unwrap();
+        assert_eq!(fresh.l_vals, refac.l_vals);
+        assert_eq!(fresh.u_vals, refac.u_vals);
+        assert_eq!(fresh.u_diag, refac.u_diag);
+    }
+
+    #[test]
+    fn refactorize_new_values_matches_fresh_factorization() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50;
+        // A random diagonally dominant pattern shared by two value sets.
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..(3 * n) {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                entries.push((i, j));
+            }
+        }
+        let build = |rng: &mut StdRng| {
+            let mut t = TripletMatrix::new(n, n);
+            for &(i, j) in &entries {
+                t.push(i, j, rng.gen_range(-1.0..1.0));
+            }
+            for i in 0..n {
+                t.push(i, i, 8.0 + rng.gen::<f64>());
+            }
+            t.to_csr()
+        };
+        let a0 = build(&mut rng);
+        let a1 = build(&mut rng);
+        assert_eq!(
+            a0.indices(),
+            a1.indices(),
+            "patterns must agree for this test"
+        );
+
+        let mut lu = SparseLu::factorize(&a0).unwrap();
+        let mut ws = LuWorkspace::new();
+        lu.refactorize_with(&a1, &mut ws).unwrap();
+        let fresh = SparseLu::factorize(&a1).unwrap();
+
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x_refac = lu.solve(&b).unwrap();
+        let x_fresh = fresh.solve(&b).unwrap();
+        assert!(vector::max_abs_diff(&x_refac, &x_fresh) < 1e-12);
+        assert!(dense_residual(&a1, &x_refac, &b) < 1e-9);
+    }
+
+    #[test]
+    fn refactorize_rejects_different_pattern() {
+        let a = tridiag(10);
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        let b = tridiag(12);
+        assert!(matches!(
+            lu.refactorize(&b),
+            Err(SparseError::PatternMismatch { .. })
+        ));
+        // Same size, different pattern.
+        let mut t = TripletMatrix::new(10, 10);
+        for i in 0..10 {
+            t.push(i, i, 1.0);
+        }
+        assert!(matches!(
+            lu.refactorize(&t.to_csr()),
+            Err(SparseError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactorize_detects_vanished_pivot() {
+        let a = tridiag_scaled(8, 3.0, -1.0);
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        // Same pattern, but numerically singular values (rank-deficient:
+        // every row sums the same entries so columns collapse).
+        let bad = tridiag_scaled(8, 1e-30, 1e-30);
+        assert!(lu.refactorize(&bad).is_err());
+    }
+
+    #[test]
+    fn refactorize_rejects_non_finite_values() {
+        // A NaN (or Inf) sneaking into the new values must surface as an
+        // error, never as a silently poisoned factor that later solves
+        // propagate into the state vector.
+        let a = tridiag(8);
+        for bad_value in [f64::NAN, f64::INFINITY] {
+            let mut vals = a.values().to_vec();
+            vals[3] = bad_value;
+            let bad = CsrMatrix::try_from_raw(
+                a.rows(),
+                a.cols(),
+                a.indptr().to_vec(),
+                a.indices().to_vec(),
+                vals,
+            )
+            .unwrap();
+            let mut lu = SparseLu::factorize(&a).unwrap();
+            assert!(
+                lu.refactorize(&bad).is_err(),
+                "refactorize must reject {bad_value} in the values"
+            );
+        }
+    }
+
+    #[test]
+    fn refactorize_after_scaling_matches_exactly() {
+        // Scaling the whole matrix by a power of two scales the factors
+        // exactly; this exercises the replay arithmetic deterministically.
+        let a = tridiag(30);
+        let scaled = a.scaled(4.0);
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        lu.refactorize(&scaled).unwrap();
+        let fresh = SparseLu::factorize(&scaled).unwrap();
+        assert_eq!(lu.u_diag, fresh.u_diag);
+        assert_eq!(lu.l_vals, fresh.l_vals);
+        assert_eq!(lu.u_vals, fresh.u_vals);
     }
 }

@@ -136,7 +136,8 @@ fn bfs_farthest(adj: &[Vec<usize>], start: usize, visited: &[bool]) -> (usize, u
             }
             dist[v] = dist[u] + 1;
             queue.push_back(v);
-            let better = dist[v] > best.1 || (dist[v] == best.1 && adj[v].len() < adj[best.0].len());
+            let better =
+                dist[v] > best.1 || (dist[v] == best.1 && adj[v].len() < adj[best.0].len());
             if better {
                 best = (v, dist[v]);
             }
@@ -170,7 +171,11 @@ fn minimum_degree(adj: &[Vec<usize>]) -> Permutation {
         eliminated[v] = true;
         order.push(v);
         // Form the elimination clique among v's remaining neighbors.
-        let nbrs: Vec<usize> = neighbors[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        let nbrs: Vec<usize> = neighbors[v]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u])
+            .collect();
         for (idx, &a) in nbrs.iter().enumerate() {
             neighbors[a].remove(&v);
             for &b in nbrs.iter().skip(idx + 1) {
@@ -251,7 +256,11 @@ mod tests {
         let a = star_matrix(6);
         let p = compute_ordering(&a, OrderingMethod::MinDegree);
         is_permutation(&p, 6);
-        assert!(p.map(0) >= 4, "hub should be eliminated near the end, got {}", p.map(0));
+        assert!(
+            p.map(0) >= 4,
+            "hub should be eliminated near the end, got {}",
+            p.map(0)
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Permutation {
     /// The identity permutation on `n` elements.
     pub fn identity(n: usize) -> Self {
         let order: Vec<usize> = (0..n).collect();
-        Permutation { position: order.clone(), order }
+        Permutation {
+            position: order.clone(),
+            order,
+        }
     }
 
     /// Builds a permutation from an ordering: `order[k]` is the original index
@@ -54,7 +57,10 @@ impl Permutation {
             }
             position[i] = k;
         }
-        Ok(Permutation { order: order.to_vec(), position })
+        Ok(Permutation {
+            order: order.to_vec(),
+            position,
+        })
     }
 
     /// Number of elements.
@@ -100,7 +106,11 @@ impl Permutation {
     ///
     /// Panics if `v.len() != self.len()`.
     pub fn apply_inverse(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.len(), "permutation apply_inverse: length mismatch");
+        assert_eq!(
+            v.len(),
+            self.len(),
+            "permutation apply_inverse: length mismatch"
+        );
         let mut out = vec![0.0; v.len()];
         for (k, &i) in self.order.iter().enumerate() {
             out[i] = v[k];
@@ -110,7 +120,10 @@ impl Permutation {
 
     /// Returns the inverse permutation as a new [`Permutation`].
     pub fn inverse(&self) -> Permutation {
-        Permutation { order: self.position.clone(), position: self.order.clone() }
+        Permutation {
+            order: self.position.clone(),
+            position: self.order.clone(),
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the sparse linear algebra substrate.
 
 use exi_sparse::{
-    vector, CscMatrix, CsrMatrix, LuOptions, OrderingMethod, SparseLu, TripletMatrix,
+    vector, CscMatrix, CsrMatrix, LuOptions, LuWorkspace, OrderingMethod, SparseLu, TripletMatrix,
 };
 use proptest::prelude::*;
 
@@ -9,10 +9,7 @@ use proptest::prelude::*;
 /// together with a right-hand side.
 fn dominant_system(max_n: usize) -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
     (2usize..max_n).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0..n, 0..n, -1.0f64..1.0f64),
-            0..(4 * n),
-        );
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0f64), 0..(4 * n));
         let rhs = proptest::collection::vec(-10.0f64..10.0f64, n);
         (entries, rhs).prop_map(move |(entries, rhs)| {
             let mut t = TripletMatrix::new(n, n);
@@ -83,6 +80,59 @@ proptest! {
         let mut rhs = a.mul_vec(&b);
         vector::scale(alpha + beta, &mut rhs);
         prop_assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    /// Numeric refactorization on perturbed values matches a fresh
+    /// factorization of the perturbed matrix: identical pivot order is still
+    /// numerically viable for small perturbations, so the solves must agree
+    /// to near machine precision.
+    #[test]
+    fn refactorize_matches_fresh_factorization(
+        (a, b) in dominant_system(40),
+        scale in 0.5f64..2.0,
+        wobble in -0.25f64..0.25,
+    ) {
+        // Perturb every value (pattern untouched): a blend of global scaling
+        // and an index-dependent wobble that keeps diagonal dominance.
+        let perturbed_vals: Vec<f64> = a
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * scale * (1.0 + wobble * (((k % 7) as f64 - 3.0) / 10.0)))
+            .collect();
+        let perturbed = CsrMatrix::try_from_raw(
+            a.rows(),
+            a.cols(),
+            a.indptr().to_vec(),
+            a.indices().to_vec(),
+            perturbed_vals,
+        )
+        .expect("pattern is unchanged");
+
+        let mut lu = SparseLu::factorize(&a).expect("pilot factorization");
+        let mut ws = LuWorkspace::new();
+        lu.refactorize_with(&perturbed, &mut ws).expect("refactorize");
+        let fresh = SparseLu::factorize(&perturbed).expect("fresh factorization");
+
+        let x_refac = lu.solve(&b).expect("solve via refactorization");
+        let x_fresh = fresh.solve(&b).expect("solve via fresh factors");
+        let diff = vector::max_abs_diff(&x_refac, &x_fresh);
+        prop_assert!(diff < 1e-12, "refactorized vs fresh solve differ by {diff}");
+        let residual = vector::max_abs_diff(&perturbed.mul_vec(&x_refac), &b);
+        prop_assert!(residual < 1e-8, "residual {residual}");
+    }
+
+    /// Refactorizing with *unchanged* values reproduces the original solve
+    /// bit for bit (same elimination, same operation order).
+    #[test]
+    fn refactorize_same_values_is_exact((a, b) in dominant_system(30)) {
+        let fresh = SparseLu::factorize(&a).expect("factorize");
+        let mut refac = fresh.clone();
+        let mut ws = LuWorkspace::new();
+        refac.refactorize_with(&a, &mut ws).expect("refactorize");
+        let x_fresh = fresh.solve(&b).expect("solve fresh");
+        let x_refac = refac.solve(&b).expect("solve refac");
+        prop_assert_eq!(x_fresh, x_refac);
     }
 
     /// Triplet accumulation order does not matter.

@@ -9,7 +9,10 @@ use exi_sim::{run_transient, Method, SimError, TransientOptions};
 
 fn main() -> Result<(), SimError> {
     let stages = 5;
-    let circuit = inverter_chain(&InverterChainSpec { stages, ..InverterChainSpec::default() })?;
+    let circuit = inverter_chain(&InverterChainSpec {
+        stages,
+        ..InverterChainSpec::default()
+    })?;
     let observed = format!("s{stages}");
     let probes = [observed.as_str()];
     let t_stop = 1e-9;

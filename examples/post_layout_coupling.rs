@@ -43,7 +43,9 @@ fn main() -> Result<(), SimError> {
             extra,
             eval.c.nnz(),
             eval.g.nnz(),
-            benr_fill.map(|f| f.to_string()).unwrap_or_else(|_| "-".into()),
+            benr_fill
+                .map(|f| f.to_string())
+                .unwrap_or_else(|_| "-".into()),
             g_fill,
             benr.stats.runtime_seconds(),
             er.stats.runtime_seconds(),

@@ -9,7 +9,12 @@ use exi_netlist::generators::{power_grid, PowerGridSpec};
 use exi_sim::{run_transient, Method, SimError, TransientOptions};
 
 fn main() -> Result<(), SimError> {
-    let spec = PowerGridSpec { rows: 10, cols: 10, num_sinks: 12, ..PowerGridSpec::default() };
+    let spec = PowerGridSpec {
+        rows: 10,
+        cols: 10,
+        num_sinks: 12,
+        ..PowerGridSpec::default()
+    };
     let circuit = power_grid(&spec)?;
     // Observe the grid node farthest from all four supply pads.
     let observed = format!("g_{}_{}", spec.rows / 2, spec.cols / 2);
@@ -37,10 +42,12 @@ fn main() -> Result<(), SimError> {
             .into_iter()
             .fold(spec.vdd, |acc, (_, v)| acc.min(v));
         println!(
-            "{:<5}: {} steps, {} LU factorizations, worst voltage at {} = {:.4} V (IR drop {:.1} mV)",
+            "{:<5}: {} steps, {} LU factorizations ({} symbolic, {} numeric-only), worst voltage at {} = {:.4} V (IR drop {:.1} mV)",
             method.label(),
             result.stats.accepted_steps,
             result.stats.lu_factorizations,
+            result.stats.symbolic_analyses,
+            result.stats.lu_refactorizations,
             observed,
             worst,
             (spec.vdd - worst) * 1e3

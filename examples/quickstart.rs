@@ -31,9 +31,15 @@ fn main() -> Result<(), SimError> {
     };
     let result = run_transient(&circuit, Method::ExponentialRosenbrock, &options, &["out"])?;
 
-    println!("# ER transient of an RC low-pass ({} accepted steps)", result.stats.accepted_steps);
+    println!(
+        "# ER transient of an RC low-pass ({} accepted steps)",
+        result.stats.accepted_steps
+    );
     println!("# LU factorizations: {}", result.stats.lu_factorizations);
-    println!("# average Krylov dimension: {:.1}", result.stats.avg_krylov_dimension());
+    println!(
+        "# average Krylov dimension: {:.1}",
+        result.stats.avg_krylov_dimension()
+    );
     println!("# time(s)      v(out)(V)");
     let p = result.probe_index("out").expect("probe");
     for (t, v) in result.waveform(p) {

@@ -6,7 +6,11 @@ use exi_netlist::generators::{inverter_chain, InverterChainSpec};
 use exi_sim::{run_transient, Method, TransientOptions};
 
 fn chain(stages: usize) -> exi_netlist::Circuit {
-    inverter_chain(&InverterChainSpec { stages, ..InverterChainSpec::default() }).unwrap()
+    inverter_chain(&InverterChainSpec {
+        stages,
+        ..InverterChainSpec::default()
+    })
+    .unwrap()
 }
 
 #[test]
@@ -24,7 +28,10 @@ fn er_and_erc_track_benr_on_a_switching_inverter_chain() {
     };
     let benr = run_transient(&ckt, Method::BackwardEuler, &options, &probes).unwrap();
     let p = benr.probe_index(&observed).unwrap();
-    for method in [Method::ExponentialRosenbrock, Method::ExponentialRosenbrockCorrected] {
+    for method in [
+        Method::ExponentialRosenbrock,
+        Method::ExponentialRosenbrockCorrected,
+    ] {
         let result = run_transient(&ckt, method, &options, &probes).unwrap();
         let err = result.max_error_vs(&benr, p);
         assert!(err < 0.15, "{method} deviates from BENR by {err} V");
@@ -95,10 +102,19 @@ fn erc_with_larger_steps_is_competitive_with_er() {
         error_budget: 5e-2,
         ..TransientOptions::default()
     };
-    let erc_options = TransientOptions { h_init: 4e-12, h_max: 4e-12, ..er_options.clone() };
+    let erc_options = TransientOptions {
+        h_init: 4e-12,
+        h_max: 4e-12,
+        ..er_options.clone()
+    };
     let er = run_transient(&ckt, Method::ExponentialRosenbrock, &er_options, &probes).unwrap();
-    let erc =
-        run_transient(&ckt, Method::ExponentialRosenbrockCorrected, &erc_options, &probes).unwrap();
+    let erc = run_transient(
+        &ckt,
+        Method::ExponentialRosenbrockCorrected,
+        &erc_options,
+        &probes,
+    )
+    .unwrap();
     let er_err = er.rms_error_vs(&reference, p);
     let erc_err = erc.rms_error_vs(&reference, p);
     assert!(er_err < 0.12, "er rms {er_err}");

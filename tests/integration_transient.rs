@@ -15,7 +15,8 @@ fn rc_charging_matches_analytic_solution_for_all_methods() {
     let vin = ckt.node("in");
     let out = ckt.node("out");
     let gnd = ckt.node("0");
-    ckt.add_voltage_source("V1", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (ramp, v)])).unwrap();
+    ckt.add_voltage_source("V1", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (ramp, v)]))
+        .unwrap();
     ckt.add_resistor("R1", vin, out, r).unwrap();
     ckt.add_capacitor("C1", out, gnd, c).unwrap();
 
@@ -79,9 +80,11 @@ fn dc_point_is_a_transient_fixed_point() {
     let a = ckt.node("a");
     let d = ckt.node("d");
     let gnd = ckt.node("0");
-    ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.5)).unwrap();
+    ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.5))
+        .unwrap();
     ckt.add_resistor("R1", a, d, 1e3).unwrap();
-    ckt.add_diode("D1", d, gnd, exi_netlist::DiodeModel::default()).unwrap();
+    ckt.add_diode("D1", d, gnd, exi_netlist::DiodeModel::default())
+        .unwrap();
     ckt.add_capacitor("C1", d, gnd, 1e-13).unwrap();
 
     let dc = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
@@ -96,6 +99,9 @@ fn dc_point_is_a_transient_fixed_point() {
     let p = result.probe_index("d").unwrap();
     let v0 = dc.state[ckt.unknown_of("d").unwrap()];
     for (_, v) in result.waveform(p) {
-        assert!((v - v0).abs() < 1e-3, "transient drifted from the DC point: {v} vs {v0}");
+        assert!(
+            (v - v0).abs() < 1e-3,
+            "transient drifted from the DC point: {v} vs {v0}"
+        );
     }
 }

@@ -59,7 +59,10 @@ fn er_completes_where_budgeted_benr_cannot() {
     options.fill_budget = Some(12 * n);
     let benr = run_transient(&ckt, Method::BackwardEuler, &options, &[]);
     assert!(
-        matches!(benr, Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. }))),
+        matches!(
+            benr,
+            Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. }))
+        ),
         "budgeted BENR should fail on the coupled case, got {benr:?}"
     );
     // ER with the same budget succeeds because it only factorizes G.
@@ -72,7 +75,12 @@ fn er_completes_where_budgeted_benr_cannot() {
 /// physical (between 0 and vdd plus a small overshoot margin).
 #[test]
 fn power_grid_transient_is_physical() {
-    let spec = PowerGridSpec { rows: 6, cols: 6, num_sinks: 6, ..PowerGridSpec::default() };
+    let spec = PowerGridSpec {
+        rows: 6,
+        cols: 6,
+        num_sinks: 6,
+        ..PowerGridSpec::default()
+    };
     let ckt = power_grid(&spec).unwrap();
     let observed = "g_3_3";
     for method in [Method::BackwardEuler, Method::ExponentialRosenbrock] {
@@ -87,6 +95,50 @@ fn power_grid_transient_is_physical() {
     }
 }
 
+/// Symbolic-reuse claim: over a whole power-grid transient the ER engine
+/// performs exactly one symbolic LU analysis (seeded by the DC solve); every
+/// later factorization of `G` is a numeric-only refactorization.
+#[test]
+fn er_power_grid_run_reuses_a_single_symbolic_analysis() {
+    let spec = PowerGridSpec {
+        rows: 8,
+        cols: 8,
+        num_sinks: 8,
+        ..PowerGridSpec::default()
+    };
+    let ckt = power_grid(&spec).unwrap();
+    let result = run_transient(
+        &ckt,
+        Method::ExponentialRosenbrock,
+        &quick_options(2e-9),
+        &["g_4_4"],
+    )
+    .unwrap();
+    let s = &result.stats;
+    assert!(s.accepted_steps > 5);
+    assert_eq!(s.symbolic_analyses, 1, "{s:?}");
+    assert_eq!(s.lu_refactorizations, s.lu_factorizations - 1, "{s:?}");
+    assert!(s.lu_refactorizations >= s.accepted_steps, "{s:?}");
+    // The Krylov workspace reaches a steady state: the number of fresh
+    // circuit-sized allocations is bounded by the deepest subspace plus the
+    // handful of vectors alive at once — not by the number of steps.
+    assert!(
+        s.krylov_workspace_allocations < 4 * (s.peak_krylov_dimension + 4),
+        "{s:?}"
+    );
+    // Waveform is still the physical one (cross-check against BENR).
+    let benr = run_transient(
+        &ckt,
+        Method::BackwardEuler,
+        &quick_options(2e-9),
+        &["g_4_4"],
+    )
+    .unwrap();
+    let p = result.probe_index("g_4_4").unwrap();
+    let err = result.rms_error_vs(&benr, p);
+    assert!(err < 1e-3, "ER vs BENR rms error {err}");
+}
+
 /// Determinism: the same seeded workload produces the same simulation result.
 #[test]
 fn seeded_workloads_are_reproducible() {
@@ -99,8 +151,13 @@ fn seeded_workloads_are_reproducible() {
     let run = || {
         let ckt = coupled_lines(&spec).unwrap();
         let node = "l0_7";
-        let r = run_transient(&ckt, Method::ExponentialRosenbrock, &quick_options(3e-10), &[node])
-            .unwrap();
+        let r = run_transient(
+            &ckt,
+            Method::ExponentialRosenbrock,
+            &quick_options(3e-10),
+            &[node],
+        )
+        .unwrap();
         r.final_state
     };
     let a = run();
