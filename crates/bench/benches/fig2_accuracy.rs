@@ -2,7 +2,7 @@
 //! the stiff inverter chain at the step sizes the figure compares.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use exi_sim::{run_transient, Method, TransientOptions};
+use exi_sim::{Method, Simulator, TransientOptions};
 
 fn bench_fig2_methods(c: &mut Criterion) {
     let circuit = exi_bench::fig2_circuit(4).expect("fig2 circuit");
@@ -21,11 +21,59 @@ fn bench_fig2_methods(c: &mut Criterion) {
         Method::ExponentialRosenbrockCorrected,
     ] {
         group.bench_function(method.label(), |b| {
-            b.iter(|| run_transient(&circuit, method, &options, &["s4"]).expect("transient run"))
+            b.iter(|| {
+                Simulator::new(&circuit)
+                    .transient(method, &options, &["s4"])
+                    .expect("transient run")
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2_methods);
+/// Cross-run cache reuse: a shared `Simulator` session amortizes the DC
+/// solve and the symbolic LU analysis across repeated ER runs; the
+/// `NullObserver` variant additionally strips all recording overhead.
+fn bench_session_reuse(c: &mut Criterion) {
+    let circuit = exi_bench::fig2_circuit(4).expect("fig2 circuit");
+    let options = TransientOptions {
+        t_stop: 4e-10,
+        h_init: 2e-12,
+        h_max: 2e-12,
+        error_budget: 5e-2,
+        ..TransientOptions::default()
+    };
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+    group.bench_function("fresh_session_per_run", |b| {
+        b.iter(|| {
+            Simulator::new(&circuit)
+                .transient(Method::ExponentialRosenbrock, &options, &["s4"])
+                .expect("transient run")
+        })
+    });
+    let mut shared = Simulator::new(&circuit);
+    group.bench_function("shared_session", |b| {
+        b.iter(|| {
+            shared
+                .transient(Method::ExponentialRosenbrock, &options, &["s4"])
+                .expect("transient run")
+        })
+    });
+    let mut throughput = Simulator::new(&circuit);
+    group.bench_function("shared_session_null_observer", |b| {
+        b.iter(|| {
+            throughput
+                .transient_observed(
+                    Method::ExponentialRosenbrock,
+                    &options,
+                    &mut exi_sim::NullObserver,
+                )
+                .expect("transient run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_methods, bench_session_reuse);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p exi-bench --bin fig2 [stages] [--gamma-sweep]`
 
 use exi_bench::TextTable;
-use exi_sim::{run_transient, Method, TransientOptions};
+use exi_sim::{Method, Simulator, TransientOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -43,7 +43,11 @@ fn main() {
     println!("Fig. 2 reproduction: accuracy on a {stages}-stage inverter chain (node {observed})");
     println!("reference: BENR @ h = {:.0e} s\n", reference_options.h_init);
 
-    let reference = run_transient(&circuit, Method::BackwardEuler, &reference_options, &probes)
+    // One session serves the reference, all compared methods and the gamma
+    // sweep: the DC solution and LU caches are shared across every run.
+    let mut sim = Simulator::new(&circuit);
+    let reference = sim
+        .transient(Method::BackwardEuler, &reference_options, &probes)
         .expect("reference run");
     let p = reference.probe_index(&observed).expect("observed probe");
 
@@ -59,7 +63,7 @@ fn main() {
         (Method::ExponentialRosenbrock, &compared_options),
         (Method::ExponentialRosenbrockCorrected, &erc_options),
     ] {
-        let result = run_transient(&circuit, method, options, &probes).expect("method run");
+        let result = sim.transient(method, options, &probes).expect("method run");
         let max_err = result.max_error_vs(&reference, p);
         let rms_err = result.rms_error_vs(&reference, p);
         table.add_row(vec![
@@ -83,13 +87,9 @@ fn main() {
                 correction_gamma: gamma,
                 ..erc_options.clone()
             };
-            let result = run_transient(
-                &circuit,
-                Method::ExponentialRosenbrockCorrected,
-                &options,
-                &probes,
-            )
-            .expect("gamma sweep run");
+            let result = sim
+                .transient(Method::ExponentialRosenbrockCorrected, &options, &probes)
+                .expect("gamma sweep run");
             table.add_row(vec![
                 format!("{gamma:.2}"),
                 format!("{:.4}", result.max_error_vs(&reference, p)),

@@ -19,5 +19,5 @@ pub mod runner;
 pub mod table;
 
 pub use cases::{fig1_circuit, fig2_circuit, table1_cases, CaseSpec};
-pub use runner::{run_case, CaseOutcome};
+pub use runner::{run_case, run_circuit, run_circuit_in, CaseOutcome};
 pub use table::TextTable;

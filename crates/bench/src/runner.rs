@@ -1,7 +1,7 @@
 //! Runs one benchmark case with one method and collects Table-I row data.
 
 use exi_netlist::Circuit;
-use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sim::{Method, SimError, Simulator, TransientOptions};
 use exi_sparse::SparseError;
 
 use crate::cases::CaseSpec;
@@ -112,14 +112,26 @@ pub fn run_case(case: &CaseSpec, method: Method, fill_budget: Option<usize>) -> 
     )
 }
 
-/// Runs `method` on an already-built circuit.
+/// Runs `method` on an already-built circuit (throwaway [`Simulator`]
+/// session; use [`run_circuit_in`] to share caches across runs).
 pub fn run_circuit(
     circuit: &Circuit,
     method: Method,
     options: &TransientOptions,
     probes: &[&str],
 ) -> CaseOutcome {
-    match run_transient(circuit, method, options, probes) {
+    run_circuit_in(&mut Simulator::new(circuit), method, options, probes)
+}
+
+/// Runs `method` inside an existing [`Simulator`] session, reusing its LU
+/// caches, Krylov workspaces and DC solution.
+pub fn run_circuit_in(
+    simulator: &mut Simulator<'_>,
+    method: Method,
+    options: &TransientOptions,
+    probes: &[&str],
+) -> CaseOutcome {
+    match simulator.transient(method, options, probes) {
         Ok(result) => CaseOutcome::Completed {
             steps: result.stats.accepted_steps,
             avg_newton: result.stats.avg_newton_iterations(),
@@ -164,6 +176,28 @@ mod tests {
             assert!(*symbolic_analyses < *lu_count / 2);
             assert_eq!(*lu_count, symbolic_analyses + lu_refactorizations);
         }
+    }
+
+    #[test]
+    fn shared_session_reuses_symbolic_analysis_across_methods() {
+        // tc3 is linear (no MOSFET drivers): the conductance pattern is fixed
+        // for the whole session, so the reuse guarantee is exact.
+        let cases = table1_cases(0.2);
+        let circuit = cases[2].build().unwrap();
+        let options = table1_options(cases[2].t_stop, None);
+        let mut sim = Simulator::new(&circuit);
+        let first = run_circuit_in(&mut sim, Method::ExponentialRosenbrock, &options, &[]);
+        let second = run_circuit_in(&mut sim, Method::ExponentialRosenbrock, &options, &[]);
+        assert!(first.is_completed() && second.is_completed());
+        if let CaseOutcome::Completed {
+            symbolic_analyses, ..
+        } = &second
+        {
+            // The second run reuses the session's cached symbolic analysis.
+            assert_eq!(*symbolic_analyses, 0, "{second:?}");
+        }
+        assert_eq!(sim.session_stats().symbolic_analyses, 1);
+        assert_eq!(sim.completed_runs(), 2);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! The Jacobian's sparsity pattern is fixed across Newton iterations (it only
 //! changes when the damping term switches on or off), so after the first
 //! iteration the LU factorization runs through the cached-symbolic
-//! refactorization path. The final factor is handed to the transient engines,
-//! which — for circuits whose conductance pattern matches — never pay for a
-//! second symbolic analysis.
+//! refactorization path. When driven by a [`crate::Simulator`] session the
+//! factorizations go through the session's conductance-matrix cache, so the
+//! final DC factor seeds every later transient run — circuits whose
+//! conductance pattern matches never pay for a second symbolic analysis.
 
 use exi_netlist::Circuit;
 use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu};
@@ -62,19 +63,24 @@ pub struct DcSolution {
 /// ```
 pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<DcSolution> {
     let mut stats = RunStats::new();
-    let (solution, _) = dc_operating_point_internal(circuit, options, &mut stats)?;
-    Ok(solution)
+    let mut lu_cache: Option<SparseLu> = None;
+    let mut lu_ws = LuWorkspace::new();
+    dc_operating_point_internal(circuit, options, &mut stats, &mut lu_cache, &mut lu_ws)
 }
 
 /// As [`dc_operating_point`], additionally accounting every device
 /// evaluation, Newton iteration and (re)factorization into `stats` and
-/// returning the final Jacobian factor so a transient engine can seed its own
-/// LU cache with the already-computed symbolic analysis.
+/// running the Jacobian factorizations through a caller-owned LU cache and
+/// workspace — the [`crate::Simulator`] session passes its conductance-matrix
+/// cache here, so the symbolic analysis the DC solve performs is reused by
+/// every later transient step (and every later run).
 pub(crate) fn dc_operating_point_internal(
     circuit: &Circuit,
     options: &DcOptions,
     stats: &mut RunStats,
-) -> SimResult<(DcSolution, Option<SparseLu>)> {
+    lu_cache: &mut Option<SparseLu>,
+    lu_ws: &mut LuWorkspace,
+) -> SimResult<DcSolution> {
     let n = circuit.num_unknowns();
     let b = circuit.input_matrix()?;
     let u0 = circuit.input_vector(0.0);
@@ -87,8 +93,6 @@ pub(crate) fn dc_operating_point_internal(
         ordering: options.ordering,
         ..LuOptions::default()
     };
-    let mut lu_cache: Option<SparseLu> = None;
-    let mut lu_ws = LuWorkspace::new();
     let mut rhs = vec![0.0; n];
     let mut delta = vec![0.0; n];
 
@@ -116,9 +120,9 @@ pub(crate) fn dc_operating_point_internal(
         } else {
             ev.g.clone()
         };
-        refresh_lu(&mut lu_cache, &jac, &lu_options, &mut lu_ws, stats)?;
+        refresh_lu(lu_cache, &jac, &lu_options, lu_ws, stats)?;
         let lu = lu_cache.as_ref().expect("refresh_lu populated the cache");
-        lu.solve_into(&rhs, &mut delta, &mut lu_ws)?;
+        lu.solve_into(&rhs, &mut delta, lu_ws)?;
         stats.linear_solves += 1;
         // Simple voltage limiting keeps exponential devices in range.
         for d in delta.iter_mut() {
@@ -137,12 +141,11 @@ pub(crate) fn dc_operating_point_internal(
             let ev = circuit.evaluate(&x)?;
             stats.device_evaluations += 1;
             let final_residual = vector::norm_inf(&vector::sub(&bu, &ev.f));
-            let solution = DcSolution {
+            return Ok(DcSolution {
                 state: x,
                 iterations: iter,
                 residual: final_residual,
-            };
-            return Ok((solution, lu_cache));
+            });
         }
     }
     Err(SimError::NewtonDidNotConverge {
@@ -234,8 +237,11 @@ mod tests {
         ckt.add_resistor("R1", a, d, 1e3).unwrap();
         ckt.add_diode("D1", d, gnd, DiodeModel::default()).unwrap();
         let mut stats = RunStats::new();
-        let (dc, lu) =
-            dc_operating_point_internal(&ckt, &DcOptions::default(), &mut stats).unwrap();
+        let mut lu: Option<SparseLu> = None;
+        let mut ws = LuWorkspace::new();
+        let dc =
+            dc_operating_point_internal(&ckt, &DcOptions::default(), &mut stats, &mut lu, &mut ws)
+                .unwrap();
         assert!(dc.iterations > 1);
         // At most one extra symbolic analysis when the Levenberg damping
         // kicks in and changes the Jacobian pattern; all other iterations

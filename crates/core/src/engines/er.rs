@@ -19,7 +19,12 @@
 //! seeds its cache with the factor the DC solve already computed. All
 //! triangular solves, matrix–vector products and Krylov subspace builds run
 //! through reusable workspaces, so the hot loop performs no circuit-sized
-//! allocation in steady state.
+//! allocation in steady state. The caches live in the
+//! [`Simulator`](crate::Simulator) session, so they also survive across runs.
+//!
+//! The engine is exposed as the incremental [`ErStepper`] (one accepted step
+//! per [`Engine::advance`] call); [`run_exponential_rosenbrock`] remains as a
+//! deprecated one-shot wrapper.
 //!
 //! All `C⁻¹` factors that appear in the paper's formulas cancel analytically
 //! against the φ denominators, so a singular capacitance matrix needs no
@@ -36,18 +41,399 @@ use std::time::Instant;
 
 use exi_krylov::{mevp_invert_krylov_with, KrylovDecomposition, MevpOptions, MevpWorkspace};
 use exi_netlist::Circuit;
-use exi_sparse::{vector, LuOptions, LuWorkspace, SparseLu};
+use exi_sparse::{vector, LuOptions, SparseLu};
 
-use crate::dc::dc_operating_point_internal;
-use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Recorder};
+use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Engine, StepOutcome};
 use crate::error::{SimError, SimResult};
-use crate::options::{DcOptions, TransientOptions};
+use crate::observer::Observer;
+use crate::options::TransientOptions;
 use crate::output::TransientResult;
+use crate::session::SessionCaches;
 use crate::stats::RunStats;
 
 /// Threshold below which a Krylov start vector is treated as zero (its
 /// contribution to the step is exactly representable as zero).
 const NEGLIGIBLE_NORM: f64 = 1e-300;
+
+/// Incremental exponential Rosenbrock–Euler stepper (ER, and ER-C with the
+/// φ₂ correction).
+///
+/// Created by [`Simulator::stepper`](crate::Simulator::stepper) with
+/// [`Method::ExponentialRosenbrock`](crate::Method::ExponentialRosenbrock) or
+/// [`Method::ExponentialRosenbrockCorrected`](crate::Method::ExponentialRosenbrockCorrected);
+/// driven through the [`Engine`] trait. Each [`Engine::advance`] performs one
+/// accepted step of Algorithm 2 (including its LU-free rejection loop). All
+/// hot-loop state lives in the struct, so a paused stepper resumes
+/// bit-identically.
+#[derive(Debug)]
+pub struct ErStepper<'a> {
+    circuit: &'a Circuit,
+    caches: &'a mut SessionCaches,
+    options: TransientOptions,
+    correction: bool,
+    lu_options: LuOptions,
+    mevp_options: MevpOptions,
+    breakpoints: Vec<f64>,
+    n: usize,
+    // Circuit-sized scratch buffers, allocated once per stepper.
+    bu_k: Vec<f64>,
+    rhs: Vec<f64>,
+    bdu: Vec<f64>,
+    w1: Vec<f64>,
+    w2: Vec<f64>,
+    w3: Vec<f64>,
+    candidate: Vec<f64>,
+    dx: Vec<f64>,
+    delta_f: Vec<f64>,
+    kry: Vec<f64>,
+    du: Vec<f64>,
+    x: Vec<f64>,
+    t: f64,
+    h: f64,
+    stats: RunStats,
+    finished: bool,
+    finalized: bool,
+    alloc_baseline: usize,
+}
+
+impl<'a> ErStepper<'a> {
+    /// Builds a stepper over the session caches; `dc_stats` is the DC cost
+    /// charged to this run (zeroed when the session reused a cached DC
+    /// solution).
+    pub(crate) fn new(
+        circuit: &'a Circuit,
+        caches: &'a mut SessionCaches,
+        correction: bool,
+        options: TransientOptions,
+        dc_stats: RunStats,
+    ) -> SimResult<Self> {
+        let breakpoints = prepare(circuit, &options)?;
+        let n = circuit.num_unknowns();
+        let lu_options = LuOptions {
+            ordering: options.ordering,
+            fill_budget: options.fill_budget,
+            ..LuOptions::default()
+        };
+        let mevp_options = MevpOptions {
+            tolerance: options.krylov_tolerance,
+            max_dimension: options.krylov_max_dimension,
+            min_dimension: 2,
+            allow_unconverged: true,
+        };
+        let du = vec![
+            0.0;
+            caches
+                .b
+                .as_ref()
+                .expect("session populated the input matrix")
+                .cols()
+        ];
+        let alloc_baseline = caches.mevp_ws.allocations();
+        Ok(ErStepper {
+            circuit,
+            caches,
+            options,
+            correction,
+            lu_options,
+            mevp_options,
+            breakpoints,
+            n,
+            bu_k: vec![0.0; n],
+            rhs: vec![0.0; n],
+            bdu: vec![0.0; n],
+            w1: vec![0.0; n],
+            w2: vec![0.0; n],
+            w3: vec![0.0; n],
+            candidate: vec![0.0; n],
+            dx: vec![0.0; n],
+            delta_f: vec![0.0; n],
+            kry: vec![0.0; n],
+            du,
+            x: vec![0.0; n],
+            t: 0.0,
+            h: 0.0,
+            stats: dc_stats,
+            finished: true, // until init() places the stepper
+            finalized: false,
+            alloc_baseline,
+        })
+    }
+}
+
+impl Engine for ErStepper<'_> {
+    fn init(&mut self, t0: f64, x0: &[f64], observer: &mut dyn Observer) -> SimResult<()> {
+        if x0.len() != self.n {
+            return Err(SimError::InvalidOptions {
+                message: format!(
+                    "initial state has {} entries, circuit has {} unknowns",
+                    x0.len(),
+                    self.n
+                ),
+            });
+        }
+        self.x.copy_from_slice(x0);
+        self.t = t0;
+        self.h = self.options.h_init;
+        self.finished = reached_end(t0, self.options.t_stop);
+        self.finalized = false;
+        self.stats.observer_callbacks += 1;
+        observer.on_dc(t0, &self.x);
+        Ok(())
+    }
+
+    fn advance(&mut self, observer: &mut dyn Observer) -> SimResult<StepOutcome> {
+        let started = Instant::now();
+        let mut dec1 = None;
+        let mut dec2 = None;
+        let mut dec3 = None;
+        let result = self.advance_step(observer, &mut dec1, &mut dec2, &mut dec3);
+        // On an error exit, return any outstanding subspace bases to the
+        // session arena (it outlives the run); the success path already
+        // recycled them in order and left the slots empty.
+        for dec in [dec1, dec2, dec3].into_iter().flatten() {
+            self.caches.mevp_ws.recycle(dec);
+        }
+        // Runtime accumulates only active solver time: pauses between
+        // advance() calls (checkpointing, co-simulation interleaves) and the
+        // idle life of the stepper are not charged.
+        self.stats.runtime += started.elapsed();
+        result
+    }
+
+    fn state(&self) -> &[f64] {
+        &self.x
+    }
+
+    fn time(&self) -> f64 {
+        self.t
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn finish(&mut self, observer: &mut dyn Observer) -> RunStats {
+        if !self.finalized {
+            self.finalized = true;
+            self.stats.krylov_workspace_allocations =
+                self.caches.mevp_ws.allocations() - self.alloc_baseline;
+            self.stats.observer_callbacks += 1;
+            observer.on_finish(&self.x, &self.stats);
+        }
+        self.stats.clone()
+    }
+}
+
+impl ErStepper<'_> {
+    /// One accepted step of Algorithm 2. The three Krylov decompositions are
+    /// handed in as caller-owned slots so [`Engine::advance`] can recycle
+    /// whatever is still checked out of the arena when an error unwinds.
+    fn advance_step(
+        &mut self,
+        observer: &mut dyn Observer,
+        dec1: &mut Option<KrylovDecomposition>,
+        dec2: &mut Option<KrylovDecomposition>,
+        dec3: &mut Option<KrylovDecomposition>,
+    ) -> SimResult<StepOutcome> {
+        if self.finished {
+            return Ok(StepOutcome::Finished);
+        }
+        let n = self.n;
+        let caches = &mut *self.caches;
+
+        // --- Algorithm 2 lines 4-6: linearize, factorize G, build subspaces. ---
+        let eval_k = self.circuit.evaluate(&self.x)?;
+        self.stats.device_evaluations += 1;
+        let b = caches
+            .b
+            .as_ref()
+            .expect("session populated the input matrix");
+        let u_k = self.circuit.input_vector(self.t);
+        b.mul_vec_into(&u_k, &mut self.bu_k);
+        refresh_lu(
+            &mut caches.g_lu,
+            &eval_k.g,
+            &self.lu_options,
+            &mut caches.lu_ws,
+            &mut self.stats,
+        )?;
+        let g_lu_ref = caches
+            .g_lu
+            .as_ref()
+            .expect("refresh_lu populated the cache");
+
+        // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
+        for i in 0..n {
+            self.rhs[i] = eval_k.f[i] - self.bu_k[i];
+        }
+        g_lu_ref.solve_into(&self.rhs, &mut self.w1, &mut caches.lu_ws)?;
+        self.stats.linear_solves += 1;
+        *dec1 = build_subspace(
+            &eval_k,
+            g_lu_ref,
+            &self.w1,
+            self.h,
+            &self.mevp_options,
+            &mut self.stats,
+            &mut caches.mevp_ws,
+        )?;
+
+        // The step-size loop (Algorithm 2 lines 8-21): no LU, no new w1 subspace.
+        let h_base = clamp_step(
+            self.t,
+            self.h.min(self.options.h_max),
+            self.options.t_stop,
+            &self.breakpoints,
+        );
+        if h_base < self.options.h_min {
+            return Err(SimError::StepSizeUnderflow {
+                time: self.t,
+                step: h_base,
+            });
+        }
+        let mut h_step = h_base;
+        // w2 is proportional to Δu = u(t+h) − u(t); within one breakpoint
+        // interval the input is piecewise linear, so when h shrinks the vector
+        // only scales and the subspace can be reused.
+        let u_next0 = self.circuit.input_vector(self.t + h_step);
+        for (d, (un, uk)) in self.du.iter_mut().zip(u_next0.iter().zip(u_k.iter())) {
+            *d = un - uk;
+        }
+        b.mul_vec_into(&self.du, &mut self.bdu);
+        g_lu_ref.solve_into(&self.bdu, &mut self.w2, &mut caches.lu_ws)?;
+        self.stats.linear_solves += 1;
+        vector::scale(-1.0, &mut self.w2);
+        *dec2 = build_subspace(
+            &eval_k,
+            g_lu_ref,
+            &self.w2,
+            h_step,
+            &self.mevp_options,
+            &mut self.stats,
+            &mut caches.mevp_ws,
+        )?;
+        let h_ref_for_w2 = h_step;
+
+        let mut rejections = 0usize;
+        let accepted_h = loop {
+            // --- Candidate x_{k+1} from Eq. (14). ---
+            self.candidate.copy_from_slice(&self.x);
+            if let Some(dec) = &dec1 {
+                dec.eval_expv_into(h_step, &mut self.kry)?;
+                for i in 0..n {
+                    self.candidate[i] += self.kry[i] - self.w1[i];
+                }
+            }
+            if let Some(dec) = &dec2 {
+                // Rescale w2 for the (possibly reduced) step: w2(h) = w2(h_ref)·h/h_ref.
+                let scale = h_step / h_ref_for_w2;
+                dec.eval_phi_into(1, h_step, &mut self.kry)?;
+                for i in 0..n {
+                    self.candidate[i] += scale * (self.kry[i] - self.w2[i]);
+                }
+            }
+
+            // --- Error estimator of Eq. (15)/(24). ---
+            let eval_next = self.circuit.evaluate(&self.candidate)?;
+            self.stats.device_evaluations += 1;
+            // ΔF_k = G_k·(x_{k+1} − x_k) − (f(x_{k+1}) − f(x_k)).
+            for i in 0..n {
+                self.dx[i] = self.candidate[i] - self.x[i];
+            }
+            eval_k.g.mul_vec_into(&self.dx, &mut self.delta_f);
+            for (i, df) in self.delta_f.iter_mut().enumerate() {
+                *df -= eval_next.f[i] - eval_k.f[i];
+            }
+            g_lu_ref.solve_into(&self.delta_f, &mut self.w3, &mut caches.lu_ws)?;
+            self.stats.linear_solves += 1;
+            *dec3 = build_subspace(
+                &eval_k,
+                g_lu_ref,
+                &self.w3,
+                h_step,
+                &self.mevp_options,
+                &mut self.stats,
+                &mut caches.mevp_ws,
+            )?;
+
+            let error_norm = match &*dec3 {
+                Some(dec) => {
+                    dec.eval_expv_into(h_step, &mut self.kry)?;
+                    let mut err = 0.0_f64;
+                    for i in 0..n {
+                        err = err.max((self.kry[i] - self.w3[i]).abs());
+                    }
+                    if self.correction && err <= self.options.error_budget {
+                        // D_k = −γ·(φ₁(hJ) − I)·w₃  (Eq. 25); x_{k+1,c} = x_{k+1} − D_k.
+                        dec.eval_phi_into(1, h_step, &mut self.kry)?;
+                        for i in 0..n {
+                            self.candidate[i] +=
+                                self.options.correction_gamma * (self.kry[i] - self.w3[i]);
+                        }
+                    }
+                    err
+                }
+                None => 0.0,
+            };
+            if let Some(dec) = dec3.take() {
+                caches.mevp_ws.recycle(dec);
+            }
+
+            if error_norm <= self.options.error_budget {
+                break h_step;
+            }
+            // Reject: shrink the step. No LU decomposition and no rebuild of
+            // the w1/w2 subspaces is needed (Algorithm 2 lines 20).
+            rejections += 1;
+            self.stats.rejected_steps += 1;
+            self.stats.observer_callbacks += 1;
+            observer.on_step_rejected(self.t, h_step);
+            h_step *= self.options.shrink_factor;
+            if h_step < self.options.h_min {
+                return Err(SimError::StepSizeUnderflow {
+                    time: self.t,
+                    step: h_step,
+                });
+            }
+        };
+
+        self.x.copy_from_slice(&self.candidate);
+        self.t += accepted_h;
+        self.stats.accepted_steps += 1;
+        self.stats.observer_callbacks += 1;
+        observer.on_step_accepted(self.t, &self.x);
+        // Hand the step's subspace bases back to the arena for the next step.
+        if let Some(dec) = dec1.take() {
+            caches.mevp_ws.recycle(dec);
+        }
+        if let Some(dec) = dec2.take() {
+            caches.mevp_ws.recycle(dec);
+        }
+
+        // Algorithm 2 lines 23-25: an easy step earns a larger next step.
+        if rejections <= self.options.easy_step_threshold {
+            self.h = (accepted_h * self.options.growth_factor).min(self.options.h_max);
+        } else {
+            self.h = accepted_h;
+        }
+
+        if reached_end(self.t, self.options.t_stop) {
+            self.finished = true;
+        }
+        Ok(StepOutcome::Advanced {
+            t: self.t,
+            h: accepted_h,
+        })
+    }
+}
 
 /// Runs an exponential Rosenbrock–Euler transient analysis.
 ///
@@ -61,222 +447,23 @@ const NEGLIGIBLE_NORM: f64 = 1e-300;
 ///   below the budget even at `h_min`.
 /// * [`SimError::Sparse`] / [`SimError::Krylov`] / [`SimError::Netlist`] for
 ///   kernel failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "create a `Simulator` and call `transient(Method::ExponentialRosenbrock[Corrected], …)` \
+            — a session reuses LU caches and workspaces across runs"
+)]
 pub fn run_exponential_rosenbrock(
     circuit: &Circuit,
     correction: bool,
     options: &TransientOptions,
     probe_names: &[&str],
 ) -> SimResult<TransientResult> {
-    let started = Instant::now();
-    let (probes, breakpoints) = prepare(circuit, options, probe_names)?;
-    let mut stats = RunStats::new();
-
-    let (dc, dc_lu) = dc_operating_point_internal(
-        circuit,
-        &DcOptions {
-            ordering: options.ordering,
-            ..DcOptions::default()
-        },
-        &mut stats,
-    )?;
-
-    let n = circuit.num_unknowns();
-    let b = circuit.input_matrix()?;
-    let lu_options = LuOptions {
-        ordering: options.ordering,
-        fill_budget: options.fill_budget,
-        ..LuOptions::default()
+    let method = if correction {
+        crate::Method::ExponentialRosenbrockCorrected
+    } else {
+        crate::Method::ExponentialRosenbrock
     };
-    let mevp_options = MevpOptions {
-        tolerance: options.krylov_tolerance,
-        max_dimension: options.krylov_max_dimension,
-        min_dimension: 2,
-        allow_unconverged: true,
-    };
-
-    // Hot-loop state: the cached factorization of `G` (seeded with the DC
-    // Jacobian factor, whose symbolic analysis usually carries over), the
-    // reusable kernel workspaces and all circuit-sized scratch buffers.
-    let mut g_lu: Option<SparseLu> = dc_lu;
-    let mut lu_ws = LuWorkspace::new();
-    let mut mevp_ws = MevpWorkspace::new();
-    let mut bu_k = vec![0.0; n];
-    let mut rhs = vec![0.0; n];
-    let mut bdu = vec![0.0; n];
-    let mut w1 = vec![0.0; n];
-    let mut w2 = vec![0.0; n];
-    let mut w3 = vec![0.0; n];
-    let mut candidate = vec![0.0; n];
-    let mut dx = vec![0.0; n];
-    let mut delta_f = vec![0.0; n];
-    let mut kry = vec![0.0; n];
-    let mut du = vec![0.0; b.cols()];
-
-    let mut recorder = Recorder::new(probes, options.record_full_states);
-    let mut x = dc.state;
-    let mut t = 0.0_f64;
-    recorder.record(t, &x);
-    let mut h = options.h_init;
-
-    while !reached_end(t, options.t_stop) {
-        // --- Algorithm 2 lines 4-6: linearize, factorize G, build subspaces. ---
-        let eval_k = circuit.evaluate(&x)?;
-        stats.device_evaluations += 1;
-        let u_k = circuit.input_vector(t);
-        b.mul_vec_into(&u_k, &mut bu_k);
-        refresh_lu(&mut g_lu, &eval_k.g, &lu_options, &mut lu_ws, &mut stats)?;
-        let g_lu_ref = g_lu.as_ref().expect("refresh_lu populated the cache");
-
-        // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
-        for i in 0..n {
-            rhs[i] = eval_k.f[i] - bu_k[i];
-        }
-        g_lu_ref.solve_into(&rhs, &mut w1, &mut lu_ws)?;
-        stats.linear_solves += 1;
-        let dec1 = build_subspace(
-            &eval_k,
-            g_lu_ref,
-            &w1,
-            h,
-            &mevp_options,
-            &mut stats,
-            &mut mevp_ws,
-        )?;
-
-        // The step-size loop (Algorithm 2 lines 8-21): no LU, no new w1 subspace.
-        let h_base = clamp_step(t, h.min(options.h_max), options.t_stop, &breakpoints);
-        if h_base < options.h_min {
-            return Err(SimError::StepSizeUnderflow {
-                time: t,
-                step: h_base,
-            });
-        }
-        let mut h_step = h_base;
-        // w2 is proportional to Δu = u(t+h) − u(t); within one breakpoint
-        // interval the input is piecewise linear, so when h shrinks the vector
-        // only scales and the subspace can be reused.
-        let u_next0 = circuit.input_vector(t + h_step);
-        for (d, (un, uk)) in du.iter_mut().zip(u_next0.iter().zip(u_k.iter())) {
-            *d = un - uk;
-        }
-        b.mul_vec_into(&du, &mut bdu);
-        g_lu_ref.solve_into(&bdu, &mut w2, &mut lu_ws)?;
-        stats.linear_solves += 1;
-        vector::scale(-1.0, &mut w2);
-        let dec2 = build_subspace(
-            &eval_k,
-            g_lu_ref,
-            &w2,
-            h_step,
-            &mevp_options,
-            &mut stats,
-            &mut mevp_ws,
-        )?;
-        let h_ref_for_w2 = h_step;
-
-        let mut rejections = 0usize;
-        let accepted_h = loop {
-            // --- Candidate x_{k+1} from Eq. (14). ---
-            candidate.copy_from_slice(&x);
-            if let Some(dec) = &dec1 {
-                dec.eval_expv_into(h_step, &mut kry)?;
-                for i in 0..n {
-                    candidate[i] += kry[i] - w1[i];
-                }
-            }
-            if let Some(dec) = &dec2 {
-                // Rescale w2 for the (possibly reduced) step: w2(h) = w2(h_ref)·h/h_ref.
-                let scale = h_step / h_ref_for_w2;
-                dec.eval_phi_into(1, h_step, &mut kry)?;
-                for i in 0..n {
-                    candidate[i] += scale * (kry[i] - w2[i]);
-                }
-            }
-
-            // --- Error estimator of Eq. (15)/(24). ---
-            let eval_next = circuit.evaluate(&candidate)?;
-            stats.device_evaluations += 1;
-            // ΔF_k = G_k·(x_{k+1} − x_k) − (f(x_{k+1}) − f(x_k)).
-            for i in 0..n {
-                dx[i] = candidate[i] - x[i];
-            }
-            eval_k.g.mul_vec_into(&dx, &mut delta_f);
-            for (i, df) in delta_f.iter_mut().enumerate() {
-                *df -= eval_next.f[i] - eval_k.f[i];
-            }
-            g_lu_ref.solve_into(&delta_f, &mut w3, &mut lu_ws)?;
-            stats.linear_solves += 1;
-            let dec3 = build_subspace(
-                &eval_k,
-                g_lu_ref,
-                &w3,
-                h_step,
-                &mevp_options,
-                &mut stats,
-                &mut mevp_ws,
-            )?;
-
-            let error_norm = match &dec3 {
-                Some(dec) => {
-                    dec.eval_expv_into(h_step, &mut kry)?;
-                    let mut err = 0.0_f64;
-                    for i in 0..n {
-                        err = err.max((kry[i] - w3[i]).abs());
-                    }
-                    if correction && err <= options.error_budget {
-                        // D_k = −γ·(φ₁(hJ) − I)·w₃  (Eq. 25); x_{k+1,c} = x_{k+1} − D_k.
-                        dec.eval_phi_into(1, h_step, &mut kry)?;
-                        for i in 0..n {
-                            candidate[i] += options.correction_gamma * (kry[i] - w3[i]);
-                        }
-                    }
-                    err
-                }
-                None => 0.0,
-            };
-            if let Some(dec) = dec3 {
-                mevp_ws.recycle(dec);
-            }
-
-            if error_norm <= options.error_budget {
-                break h_step;
-            }
-            // Reject: shrink the step. No LU decomposition and no rebuild of
-            // the w1/w2 subspaces is needed (Algorithm 2 lines 20).
-            rejections += 1;
-            stats.rejected_steps += 1;
-            h_step *= options.shrink_factor;
-            if h_step < options.h_min {
-                return Err(SimError::StepSizeUnderflow {
-                    time: t,
-                    step: h_step,
-                });
-            }
-        };
-
-        x.copy_from_slice(&candidate);
-        t += accepted_h;
-        stats.accepted_steps += 1;
-        recorder.record(t, &x);
-        // Hand the step's subspace bases back to the arena for the next step.
-        if let Some(dec) = dec1 {
-            mevp_ws.recycle(dec);
-        }
-        if let Some(dec) = dec2 {
-            mevp_ws.recycle(dec);
-        }
-
-        // Algorithm 2 lines 23-25: an easy step earns a larger next step.
-        if rejections <= options.easy_step_threshold {
-            h = (accepted_h * options.growth_factor).min(options.h_max);
-        } else {
-            h = accepted_h;
-        }
-    }
-
-    stats.krylov_workspace_allocations = mevp_ws.allocations();
-    stats.runtime = started.elapsed();
-    Ok(recorder.finish(x, stats))
+    crate::Simulator::new(circuit).transient(method, options, probe_names)
 }
 
 /// Builds an invert-Krylov subspace for vector `v`, or `None` when the vector
@@ -311,8 +498,37 @@ fn build_subspace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::implicit::{run_implicit, ImplicitScheme};
+    use crate::engines::implicit::ImplicitScheme;
+    use crate::session::Simulator;
+    use crate::transient::Method;
     use exi_netlist::{generators, Waveform};
+
+    fn run_er(
+        ckt: &Circuit,
+        correction: bool,
+        options: &TransientOptions,
+        probes: &[&str],
+    ) -> SimResult<TransientResult> {
+        let method = if correction {
+            Method::ExponentialRosenbrockCorrected
+        } else {
+            Method::ExponentialRosenbrock
+        };
+        Simulator::new(ckt).transient(method, options, probes)
+    }
+
+    fn run_implicit(
+        ckt: &Circuit,
+        scheme: ImplicitScheme,
+        options: &TransientOptions,
+        probes: &[&str],
+    ) -> SimResult<TransientResult> {
+        let method = match scheme {
+            ImplicitScheme::BackwardEuler => Method::BackwardEuler,
+            ImplicitScheme::Trapezoidal => Method::Trapezoidal,
+        };
+        Simulator::new(ckt).transient(method, options, probes)
+    }
 
     fn rc_ramp_circuit(r: f64, c: f64, v: f64, ramp: f64) -> Circuit {
         let mut ckt = Circuit::new();
@@ -342,7 +558,7 @@ mod tests {
             error_budget: 1e-3,
             ..TransientOptions::default()
         };
-        let result = run_exponential_rosenbrock(&ckt, false, &options, &["out"]).unwrap();
+        let result = run_er(&ckt, false, &options, &["out"]).unwrap();
         let p = result.probe_index("out").unwrap();
         // Compare at the accepted time points themselves (interpolating
         // between the deliberately huge steps would only measure the
@@ -387,7 +603,7 @@ mod tests {
             error_budget: 1e-3,
             ..TransientOptions::default()
         };
-        let result = run_exponential_rosenbrock(&ckt, false, &options, &["out"]).unwrap();
+        let result = run_er(&ckt, false, &options, &["out"]).unwrap();
         let s = &result.stats;
         assert_eq!(s.symbolic_analyses, 1, "{s:?}");
         assert_eq!(s.lu_refactorizations, s.lu_factorizations - 1);
@@ -414,7 +630,7 @@ mod tests {
             error_budget: 5e-3,
             ..TransientOptions::default()
         };
-        let er = run_exponential_rosenbrock(&ckt, false, &options, &["s3"]).unwrap();
+        let er = run_er(&ckt, false, &options, &["s3"]).unwrap();
         let benr = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["s3"]).unwrap();
         let p = 0;
         let err = er.max_error_vs(&benr, p);
@@ -447,8 +663,8 @@ mod tests {
             error_budget: 1e-2,
             ..TransientOptions::default()
         };
-        let er = run_exponential_rosenbrock(&ckt, false, &coarse, &["s2"]).unwrap();
-        let erc = run_exponential_rosenbrock(&ckt, true, &coarse, &["s2"]).unwrap();
+        let er = run_er(&ckt, false, &coarse, &["s2"]).unwrap();
+        let erc = run_er(&ckt, true, &coarse, &["s2"]).unwrap();
         let er_err = er.rms_error_vs(&reference, 0);
         let erc_err = erc.rms_error_vs(&reference, 0);
         // The correction must not make things worse by more than a hair, and
@@ -487,7 +703,7 @@ mod tests {
             error_budget: 1e-3,
             ..TransientOptions::default()
         };
-        let result = run_exponential_rosenbrock(&ckt, false, &options, &["mid", "out"]).unwrap();
+        let result = run_er(&ckt, false, &options, &["mid", "out"]).unwrap();
         assert!(result.final_state.iter().all(|v| v.is_finite()));
         // Final value approaches the resistive divider limit 0.5 as the cap charges.
         let p_out = result.probe_index("out").unwrap();
@@ -511,7 +727,25 @@ mod tests {
             ..generators::InverterChainSpec::default()
         };
         let inv = generators::inverter_chain(&spec).unwrap();
-        let err = run_exponential_rosenbrock(&inv, false, &options, &[]).unwrap_err();
+        let err = run_er(&inv, false, &options, &[]).unwrap_err();
         assert!(matches!(err, SimError::StepSizeUnderflow { .. }));
+    }
+
+    #[test]
+    fn deprecated_wrapper_still_runs() {
+        let ckt = rc_ramp_circuit(1e3, 1e-12, 1.0, 1e-14);
+        let options = TransientOptions {
+            t_stop: 2e-9,
+            h_init: 1e-12,
+            h_max: 1e-10,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        #[allow(deprecated)]
+        let wrapped = run_exponential_rosenbrock(&ckt, false, &options, &["out"]).unwrap();
+        let session = run_er(&ckt, false, &options, &["out"]).unwrap();
+        assert_eq!(wrapped.times, session.times);
+        assert_eq!(wrapped.samples, session.samples);
+        assert_eq!(wrapped.final_state, session.final_state);
     }
 }

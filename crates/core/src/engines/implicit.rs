@@ -11,17 +11,22 @@
 //! does not depend on `h`). The remaining per-iteration cost asymmetry
 //! against ER is the *numeric* elimination on the much denser factors, which
 //! is exactly the paper's argument.
+//!
+//! The engine is exposed as the incremental [`ImplicitStepper`] (one accepted
+//! step per [`Engine::advance`] call); [`run_implicit`] remains as a
+//! deprecated one-shot wrapper.
 
 use std::time::Instant;
 
 use exi_netlist::Circuit;
-use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu};
+use exi_sparse::{vector, CsrMatrix, LuOptions};
 
-use crate::dc::dc_operating_point_internal;
-use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Recorder};
+use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Engine, StepOutcome};
 use crate::error::{SimError, SimResult};
-use crate::options::{DcOptions, TransientOptions};
+use crate::observer::Observer;
+use crate::options::TransientOptions;
 use crate::output::TransientResult;
+use crate::session::SessionCaches;
 use crate::stats::RunStats;
 
 /// Implicit one-step discretization parameter.
@@ -42,6 +47,282 @@ impl ImplicitScheme {
     }
 }
 
+/// Incremental implicit (BE or TR) stepper with Newton–Raphson iterations and
+/// adaptive step control.
+///
+/// Created by [`Simulator::stepper`](crate::Simulator::stepper) with
+/// [`Method::BackwardEuler`](crate::Method::BackwardEuler) or
+/// [`Method::Trapezoidal`](crate::Method::Trapezoidal); driven through the
+/// [`Engine`] trait. Each [`Engine::advance`] performs one accepted step
+/// (with the full Newton/LTE retry loop inside). All hot-loop state lives in
+/// the struct, so a paused stepper resumes bit-identically.
+#[derive(Debug)]
+pub struct ImplicitStepper<'a> {
+    circuit: &'a Circuit,
+    caches: &'a mut SessionCaches,
+    options: TransientOptions,
+    theta: f64,
+    lu_options: LuOptions,
+    breakpoints: Vec<f64>,
+    n: usize,
+    residual: Vec<f64>,
+    delta: Vec<f64>,
+    /// Previous derivative estimate used by the forward-Euler predictor for
+    /// local-truncation-error control.
+    prev_derivative: Option<Vec<f64>>,
+    x: Vec<f64>,
+    t: f64,
+    h: f64,
+    stats: RunStats,
+    finished: bool,
+    finalized: bool,
+}
+
+impl<'a> ImplicitStepper<'a> {
+    /// Builds a stepper over the session caches; `dc_stats` is the DC cost
+    /// charged to this run (zeroed when the session reused a cached DC
+    /// solution).
+    pub(crate) fn new(
+        circuit: &'a Circuit,
+        caches: &'a mut SessionCaches,
+        scheme: ImplicitScheme,
+        options: TransientOptions,
+        dc_stats: RunStats,
+    ) -> SimResult<Self> {
+        let breakpoints = prepare(circuit, &options)?;
+        let n = circuit.num_unknowns();
+        let lu_options = LuOptions {
+            ordering: options.ordering,
+            fill_budget: options.fill_budget,
+            ..LuOptions::default()
+        };
+        Ok(ImplicitStepper {
+            circuit,
+            caches,
+            options,
+            theta: scheme.theta(),
+            lu_options,
+            breakpoints,
+            n,
+            residual: vec![0.0; n],
+            delta: vec![0.0; n],
+            prev_derivative: None,
+            x: vec![0.0; n],
+            t: 0.0,
+            h: 0.0,
+            stats: dc_stats,
+            finished: true, // until init() places the stepper
+            finalized: false,
+        })
+    }
+}
+
+impl Engine for ImplicitStepper<'_> {
+    fn init(&mut self, t0: f64, x0: &[f64], observer: &mut dyn Observer) -> SimResult<()> {
+        if x0.len() != self.n {
+            return Err(SimError::InvalidOptions {
+                message: format!(
+                    "initial state has {} entries, circuit has {} unknowns",
+                    x0.len(),
+                    self.n
+                ),
+            });
+        }
+        self.x.copy_from_slice(x0);
+        self.t = t0;
+        self.h = self.options.h_init;
+        self.prev_derivative = None;
+        self.finished = reached_end(t0, self.options.t_stop);
+        self.finalized = false;
+        self.stats.observer_callbacks += 1;
+        observer.on_dc(t0, &self.x);
+        Ok(())
+    }
+
+    fn advance(&mut self, observer: &mut dyn Observer) -> SimResult<StepOutcome> {
+        // Runtime accumulates only active solver time; pauses between
+        // advance() calls are not charged.
+        let started = Instant::now();
+        let result = self.advance_step(observer);
+        self.stats.runtime += started.elapsed();
+        result
+    }
+
+    fn state(&self) -> &[f64] {
+        &self.x
+    }
+
+    fn time(&self) -> f64 {
+        self.t
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn finish(&mut self, observer: &mut dyn Observer) -> RunStats {
+        if !self.finalized {
+            self.finalized = true;
+            self.stats.observer_callbacks += 1;
+            observer.on_finish(&self.x, &self.stats);
+        }
+        self.stats.clone()
+    }
+}
+
+impl ImplicitStepper<'_> {
+    /// One accepted step of the θ-method (with its Newton/LTE retry loop).
+    fn advance_step(&mut self, observer: &mut dyn Observer) -> SimResult<StepOutcome> {
+        if self.finished {
+            return Ok(StepOutcome::Finished);
+        }
+        let n = self.n;
+        let theta = self.theta;
+        let caches = &mut *self.caches;
+
+        let eval_k = self.circuit.evaluate(&self.x)?;
+        self.stats.device_evaluations += 1;
+        let b = caches
+            .b
+            .as_ref()
+            .expect("session populated the input matrix");
+        let u_k = self.circuit.input_vector(self.t);
+        let bu_k = b.mul_vec(&u_k);
+
+        loop {
+            let h_step = clamp_step(
+                self.t,
+                self.h.min(self.options.h_max),
+                self.options.t_stop,
+                &self.breakpoints,
+            );
+            if h_step < self.options.h_min {
+                return Err(SimError::StepSizeUnderflow {
+                    time: self.t,
+                    step: h_step,
+                });
+            }
+            let u_next = self.circuit.input_vector(self.t + h_step);
+            let bu_next = b.mul_vec(&u_next);
+
+            // --- Newton–Raphson iterations for the implicit step. ---
+            let mut xi = self.x.clone();
+            let mut converged = false;
+            let mut iterations = 0usize;
+            while iterations < self.options.newton_max_iterations {
+                iterations += 1;
+                let ev = self.circuit.evaluate(&xi)?;
+                self.stats.device_evaluations += 1;
+                // Residual T(x) of Eq. (2) generalized to the θ-method.
+                for i in 0..n {
+                    self.residual[i] = (ev.q[i] - eval_k.q[i]) / h_step
+                        + theta * (ev.f[i] - bu_next[i])
+                        + (1.0 - theta) * (eval_k.f[i] - bu_k[i]);
+                }
+                // Jacobian C/h + θ·G — this is the matrix whose LU dominates
+                // BENR's cost on densely coupled circuits.
+                let jac = CsrMatrix::linear_combination(1.0 / h_step, &ev.c, theta, &ev.g)?;
+                refresh_lu(
+                    &mut caches.jac_lu,
+                    &jac,
+                    &self.lu_options,
+                    &mut caches.lu_ws,
+                    &mut self.stats,
+                )?;
+                let lu = caches
+                    .jac_lu
+                    .as_ref()
+                    .expect("refresh_lu populated the cache");
+                lu.solve_into(&self.residual, &mut self.delta, &mut caches.lu_ws)?;
+                self.stats.linear_solves += 1;
+                vector::scale(-1.0, &mut self.delta);
+                let update = vector::norm_inf(&self.delta);
+                vector::axpy(1.0, &self.delta, &mut xi);
+                self.stats.newton_iterations += 1;
+                if !update.is_finite() {
+                    break;
+                }
+                if update < self.options.newton_tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+
+            if !converged {
+                self.stats.rejected_steps += 1;
+                self.stats.observer_callbacks += 1;
+                observer.on_step_rejected(self.t, h_step);
+                self.h *= self.options.shrink_factor;
+                if self.h < self.options.h_min {
+                    return Err(SimError::NewtonDidNotConverge {
+                        time: self.t,
+                        step: h_step,
+                        iterations: self.options.newton_max_iterations,
+                    });
+                }
+                continue;
+            }
+
+            // --- Local truncation error control via a forward-Euler predictor. ---
+            let lte = match &self.prev_derivative {
+                Some(dxdt) => {
+                    let mut err = 0.0_f64;
+                    for i in 0..n {
+                        let predicted = self.x[i] + h_step * dxdt[i];
+                        err = err.max((xi[i] - predicted).abs());
+                    }
+                    err * 0.5
+                }
+                None => 0.0,
+            };
+            if lte > self.options.error_budget && h_step > 2.0 * self.options.h_min {
+                self.stats.rejected_steps += 1;
+                self.stats.observer_callbacks += 1;
+                observer.on_step_rejected(self.t, h_step);
+                self.h = h_step * self.options.shrink_factor;
+                continue;
+            }
+
+            // Accept the step.
+            let mut derivative = self.prev_derivative.take().unwrap_or_else(|| vec![0.0; n]);
+            for i in 0..n {
+                derivative[i] = (xi[i] - self.x[i]) / h_step;
+            }
+            self.prev_derivative = Some(derivative);
+            self.x = xi;
+            self.t += h_step;
+            self.stats.accepted_steps += 1;
+            self.stats.observer_callbacks += 1;
+            observer.on_step_accepted(self.t, &self.x);
+
+            // Easy step: grow the step size for the next attempt.
+            if iterations <= self.options.easy_step_threshold + 1
+                && lte < 0.5 * self.options.error_budget
+            {
+                self.h = (h_step * self.options.growth_factor).min(self.options.h_max);
+            } else {
+                self.h = h_step;
+            }
+
+            if reached_end(self.t, self.options.t_stop) {
+                self.finished = true;
+            }
+            return Ok(StepOutcome::Advanced {
+                t: self.t,
+                h: h_step,
+            });
+        }
+    }
+}
+
 /// Runs an implicit (BE or TR) transient analysis with Newton–Raphson
 /// iterations and adaptive step control.
 ///
@@ -52,165 +333,43 @@ impl ImplicitScheme {
 ///   [`exi_sparse::SparseError::FillBudgetExceeded`] surfaces when the
 ///   configured fill budget is exhausted (the Table I "out of memory" cases).
 /// * Option-validation and netlist errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "create a `Simulator` and call `transient(Method::BackwardEuler | Method::Trapezoidal, …)` \
+            — a session reuses LU caches and workspaces across runs"
+)]
 pub fn run_implicit(
     circuit: &Circuit,
     scheme: ImplicitScheme,
     options: &TransientOptions,
     probe_names: &[&str],
 ) -> SimResult<TransientResult> {
-    let started = Instant::now();
-    let (probes, breakpoints) = prepare(circuit, options, probe_names)?;
-    let theta = scheme.theta();
-    let mut stats = RunStats::new();
-
-    let (dc, _) = dc_operating_point_internal(
-        circuit,
-        &DcOptions {
-            ordering: options.ordering,
-            ..DcOptions::default()
-        },
-        &mut stats,
-    )?;
-
-    let n = circuit.num_unknowns();
-    let b = circuit.input_matrix()?;
-    let lu_options = LuOptions {
-        ordering: options.ordering,
-        fill_budget: options.fill_budget,
-        ..LuOptions::default()
+    let method = match scheme {
+        ImplicitScheme::BackwardEuler => crate::Method::BackwardEuler,
+        ImplicitScheme::Trapezoidal => crate::Method::Trapezoidal,
     };
-
-    // The Jacobian C/h + θ·G keeps its sparsity pattern across iterations and
-    // step sizes; only the first factorization pays for the symbolic
-    // analysis. (The DC factor is of `G` alone — a different pattern — so the
-    // cache starts empty rather than seeded.)
-    let mut jac_lu: Option<SparseLu> = None;
-    let mut lu_ws = LuWorkspace::new();
-    let mut residual = vec![0.0; n];
-    let mut delta = vec![0.0; n];
-
-    let mut recorder = Recorder::new(probes, options.record_full_states);
-    let mut x = dc.state;
-    let mut t = 0.0_f64;
-    recorder.record(t, &x);
-
-    // Previous derivative estimate used by the forward-Euler predictor for
-    // local-truncation-error control.
-    let mut prev_derivative: Option<Vec<f64>> = None;
-    let mut h = options.h_init;
-
-    while !reached_end(t, options.t_stop) {
-        let eval_k = circuit.evaluate(&x)?;
-        stats.device_evaluations += 1;
-        let u_k = circuit.input_vector(t);
-        let bu_k = b.mul_vec(&u_k);
-
-        let mut accepted = false;
-        while !accepted {
-            let h_step = clamp_step(t, h.min(options.h_max), options.t_stop, &breakpoints);
-            if h_step < options.h_min {
-                return Err(SimError::StepSizeUnderflow {
-                    time: t,
-                    step: h_step,
-                });
-            }
-            let u_next = circuit.input_vector(t + h_step);
-            let bu_next = b.mul_vec(&u_next);
-
-            // --- Newton–Raphson iterations for the implicit step. ---
-            let mut xi = x.clone();
-            let mut converged = false;
-            let mut iterations = 0usize;
-            while iterations < options.newton_max_iterations {
-                iterations += 1;
-                let ev = circuit.evaluate(&xi)?;
-                stats.device_evaluations += 1;
-                // Residual T(x) of Eq. (2) generalized to the θ-method.
-                for i in 0..n {
-                    residual[i] = (ev.q[i] - eval_k.q[i]) / h_step
-                        + theta * (ev.f[i] - bu_next[i])
-                        + (1.0 - theta) * (eval_k.f[i] - bu_k[i]);
-                }
-                // Jacobian C/h + θ·G — this is the matrix whose LU dominates
-                // BENR's cost on densely coupled circuits.
-                let jac = CsrMatrix::linear_combination(1.0 / h_step, &ev.c, theta, &ev.g)?;
-                refresh_lu(&mut jac_lu, &jac, &lu_options, &mut lu_ws, &mut stats)?;
-                let lu = jac_lu.as_ref().expect("refresh_lu populated the cache");
-                lu.solve_into(&residual, &mut delta, &mut lu_ws)?;
-                stats.linear_solves += 1;
-                vector::scale(-1.0, &mut delta);
-                let update = vector::norm_inf(&delta);
-                vector::axpy(1.0, &delta, &mut xi);
-                stats.newton_iterations += 1;
-                if !update.is_finite() {
-                    break;
-                }
-                if update < options.newton_tolerance {
-                    converged = true;
-                    break;
-                }
-            }
-
-            if !converged {
-                stats.rejected_steps += 1;
-                h *= options.shrink_factor;
-                if h < options.h_min {
-                    return Err(SimError::NewtonDidNotConverge {
-                        time: t,
-                        step: h_step,
-                        iterations: options.newton_max_iterations,
-                    });
-                }
-                continue;
-            }
-
-            // --- Local truncation error control via a forward-Euler predictor. ---
-            let lte = match &prev_derivative {
-                Some(dxdt) => {
-                    let mut err = 0.0_f64;
-                    for i in 0..n {
-                        let predicted = x[i] + h_step * dxdt[i];
-                        err = err.max((xi[i] - predicted).abs());
-                    }
-                    err * 0.5
-                }
-                None => 0.0,
-            };
-            if lte > options.error_budget && h_step > 2.0 * options.h_min {
-                stats.rejected_steps += 1;
-                h = h_step * options.shrink_factor;
-                continue;
-            }
-
-            // Accept the step.
-            let mut derivative = prev_derivative.take().unwrap_or_else(|| vec![0.0; n]);
-            for i in 0..n {
-                derivative[i] = (xi[i] - x[i]) / h_step;
-            }
-            prev_derivative = Some(derivative);
-            x = xi;
-            t += h_step;
-            stats.accepted_steps += 1;
-            recorder.record(t, &x);
-            accepted = true;
-
-            // Easy step: grow the step size for the next attempt.
-            if iterations <= options.easy_step_threshold + 1 && lte < 0.5 * options.error_budget {
-                h = (h_step * options.growth_factor).min(options.h_max);
-            } else {
-                h = h_step;
-            }
-        }
-    }
-
-    stats.runtime = started.elapsed();
-    Ok(recorder.finish(x, stats))
+    crate::Simulator::new(circuit).transient(method, options, probe_names)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Simulator;
+    use crate::transient::Method;
     use exi_netlist::{generators, Waveform};
+
+    fn run_scheme(
+        ckt: &Circuit,
+        scheme: ImplicitScheme,
+        options: &TransientOptions,
+        probes: &[&str],
+    ) -> SimResult<TransientResult> {
+        let method = match scheme {
+            ImplicitScheme::BackwardEuler => Method::BackwardEuler,
+            ImplicitScheme::Trapezoidal => Method::Trapezoidal,
+        };
+        Simulator::new(ckt).transient(method, options, probes)
+    }
 
     #[test]
     fn backward_euler_matches_rc_analytic_solution() {
@@ -238,8 +397,7 @@ mod tests {
         .unwrap();
         ckt2.add_resistor("R1", vin, out, r).unwrap();
         ckt2.add_capacitor("C1", out, gnd, c).unwrap();
-        let result =
-            run_implicit(&ckt2, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        let result = run_scheme(&ckt2, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
         let p = result.probe_index("out").unwrap();
         let t_check = 2.0 * tau;
         let expected = v * (1.0 - (-(t_check - tau * 1e-3) / tau).exp());
@@ -280,8 +438,8 @@ mod tests {
             error_budget: 1.0, // effectively disable LTE rejection for this comparison
             ..TransientOptions::default()
         };
-        let be = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
-        let tr = run_implicit(&ckt, ImplicitScheme::Trapezoidal, &options, &["out"]).unwrap();
+        let be = run_scheme(&ckt, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        let tr = run_scheme(&ckt, ImplicitScheme::Trapezoidal, &options, &["out"]).unwrap();
         let exact = |t: f64| v * (1.0 - (-(t - tau * 1e-3) / tau).exp());
         let p = be.probe_index("out").unwrap();
         let t_check = tau;
@@ -305,7 +463,7 @@ mod tests {
             ..TransientOptions::default()
         };
         let result =
-            run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["s1", "s2"]).unwrap();
+            run_scheme(&ckt, ImplicitScheme::BackwardEuler, &options, &["s1", "s2"]).unwrap();
         assert!(result.stats.accepted_steps > 10);
         assert!(result.stats.avg_newton_iterations() >= 1.0);
         // Output of the first inverter should stay within the rails.
@@ -331,10 +489,40 @@ mod tests {
             fill_budget: Some(10),
             ..TransientOptions::default()
         };
-        let err = run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &[]).unwrap_err();
+        let err = run_scheme(&ckt, ImplicitScheme::BackwardEuler, &options, &[]).unwrap_err();
         assert!(matches!(
             err,
             SimError::Sparse(exi_sparse::SparseError::FillBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_session_run() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source(
+            "V1",
+            vin,
+            gnd,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, gnd, 1e-12).unwrap();
+        let options = TransientOptions {
+            t_stop: 2e-9,
+            h_init: 1e-12,
+            h_max: 1e-10,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        #[allow(deprecated)]
+        let wrapped =
+            run_implicit(&ckt, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        let session = run_scheme(&ckt, ImplicitScheme::BackwardEuler, &options, &["out"]).unwrap();
+        assert_eq!(wrapped.times, session.times);
+        assert_eq!(wrapped.samples, session.samples);
     }
 }

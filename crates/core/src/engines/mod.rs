@@ -6,6 +6,13 @@
 //! * [`er`] — the paper's contribution: exponential Rosenbrock–Euler (ER) and
 //!   its corrected variant (ER-C), with invert-Krylov MEVP evaluation and
 //!   LU-free step-size control (Algorithm 2).
+//!
+//! Both engines expose the same incremental [`Engine`] interface: a stepper
+//! is initialized at `(t0, x0)`, advanced one accepted step at a time, can be
+//! queried (and paused) between steps, and is finalized into a
+//! [`RunStats`]. Simulation events stream to an
+//! [`Observer`]. The [`Simulator`](crate::Simulator) session object
+//! owns the reusable caches the steppers borrow.
 
 pub mod er;
 pub mod implicit;
@@ -14,13 +21,142 @@ use exi_netlist::Circuit;
 use exi_sparse::{CsrMatrix, LuOptions, LuWorkspace, SparseError, SparseLu};
 
 use crate::error::{SimError, SimResult};
+use crate::observer::Observer;
 use crate::options::TransientOptions;
-use crate::output::{Probe, TransientResult};
+use crate::output::Probe;
 use crate::stats::RunStats;
 
 /// Relative tolerance used when deciding that the simulation reached `t_stop`
 /// or a breakpoint.
-const TIME_EPSILON: f64 = 1e-12;
+pub(crate) const TIME_EPSILON: f64 = 1e-12;
+
+/// Outcome of advancing (or driving) a stepper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// One step was accepted; the simulation advanced to time `t` with
+    /// accepted step size `h`.
+    Advanced {
+        /// New simulation time.
+        t: f64,
+        /// Size of the accepted step.
+        h: f64,
+    },
+    /// The stepper paused before `t_stop` (only produced by
+    /// [`Engine::run_until`]); it can be queried and resumed.
+    Paused {
+        /// Simulation time at the pause point.
+        t: f64,
+    },
+    /// The stepper reached `t_stop`; further calls are no-ops.
+    Finished,
+}
+
+/// Incremental time-integration interface shared by every engine (BENR, TRNR,
+/// ER and ER-C).
+///
+/// A stepper is created by [`crate::Simulator::stepper`] with all reusable
+/// caches wired up, then driven through this trait:
+///
+/// 1. [`Engine::init`] places the stepper at `(t0, x0)` — steppers obtained
+///    from a [`crate::Simulator`] also auto-initialize at the DC operating
+///    point on the first [`Engine::advance`];
+/// 2. [`Engine::advance`] performs exactly one accepted step (with its
+///    internal rejection/retry loop) and reports it to the observer;
+/// 3. [`Engine::state`] / [`Engine::time`] / [`Engine::stats`] can be queried
+///    at any step boundary — a paused stepper holds all its hot-loop state
+///    and resumes bit-identically;
+/// 4. [`Engine::finish`] finalizes the counters and emits
+///    [`Observer::on_finish`].
+pub trait Engine {
+    /// Initializes (or re-initializes, e.g. from a checkpoint) the stepper at
+    /// time `t0` with state `x0`, emitting [`Observer::on_dc`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for the built-in engines; the `Result` leaves
+    /// room for engines that must validate `x0`.
+    fn init(&mut self, t0: f64, x0: &[f64], observer: &mut dyn Observer) -> SimResult<()>;
+
+    /// Advances the simulation by one accepted step, or returns
+    /// [`StepOutcome::Finished`] when `t_stop` has been reached.
+    ///
+    /// # Errors
+    ///
+    /// Step-size underflow, Newton non-convergence and kernel failures, as
+    /// documented on the concrete engines.
+    fn advance(&mut self, observer: &mut dyn Observer) -> SimResult<StepOutcome>;
+
+    /// The current state vector (valid at any step boundary).
+    fn state(&self) -> &[f64];
+
+    /// The current simulation time.
+    fn time(&self) -> f64;
+
+    /// The statistics accumulated so far.
+    fn stats(&self) -> &RunStats;
+
+    /// Mutable access to the statistics (used by the provided driver methods
+    /// to account pauses and resumes).
+    fn stats_mut(&mut self) -> &mut RunStats;
+
+    /// Returns `true` once the stepper has reached `t_stop`.
+    fn is_finished(&self) -> bool;
+
+    /// Finalizes the run: fixes up the final counters (runtime, workspace
+    /// allocations), emits [`Observer::on_finish`] once, and returns the
+    /// statistics. Idempotent — later calls return the same statistics
+    /// without re-emitting the event.
+    fn finish(&mut self, observer: &mut dyn Observer) -> RunStats;
+
+    /// Drives the stepper until the simulation time reaches `t_pause` (or
+    /// `t_stop`, whichever comes first). Returns [`StepOutcome::Paused`] when
+    /// stopped short of `t_stop`.
+    ///
+    /// Calling `run_until` again on a stepper that already advanced counts as
+    /// a resume ([`RunStats::resumed_runs`]); the continuation is
+    /// bit-identical to an uninterrupted run because all hot-loop state is
+    /// retained across the pause.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::advance`] errors.
+    fn run_until(&mut self, t_pause: f64, observer: &mut dyn Observer) -> SimResult<StepOutcome> {
+        // Count a resume only when this call will actually advance the
+        // stepper — a no-op poll (t_pause already reached) is not a resume.
+        if self.stats().accepted_steps > 0
+            && !self.is_finished()
+            && self.time() < t_pause * (1.0 - TIME_EPSILON)
+        {
+            self.stats_mut().resumed_runs += 1;
+        }
+        while !self.is_finished() && self.time() < t_pause * (1.0 - TIME_EPSILON) {
+            if let StepOutcome::Finished = self.advance(observer)? {
+                return Ok(StepOutcome::Finished);
+            }
+        }
+        if self.is_finished() {
+            Ok(StepOutcome::Finished)
+        } else {
+            Ok(StepOutcome::Paused { t: self.time() })
+        }
+    }
+
+    /// Drives the stepper to `t_stop` and finalizes it.
+    ///
+    /// Like [`Engine::run_until`], continuing a stepper that already advanced
+    /// (and has not finished) counts as a resume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::advance`] errors.
+    fn run_to_end(&mut self, observer: &mut dyn Observer) -> SimResult<RunStats> {
+        if self.stats().accepted_steps > 0 && !self.is_finished() {
+            self.stats_mut().resumed_runs += 1;
+        }
+        while !matches!(self.advance(observer)?, StepOutcome::Finished) {}
+        Ok(self.finish(observer))
+    }
+}
 
 /// Resolves probe names to unknown indices.
 ///
@@ -45,50 +181,6 @@ pub(crate) fn resolve_probes(circuit: &Circuit, names: &[&str]) -> SimResult<Vec
         }
     }
     Ok(probes)
-}
-
-/// Accumulates accepted time points into a [`TransientResult`].
-#[derive(Debug)]
-pub(crate) struct Recorder {
-    probes: Vec<Probe>,
-    times: Vec<f64>,
-    samples: Vec<Vec<f64>>,
-    full_states: Vec<Vec<f64>>,
-    record_full: bool,
-}
-
-impl Recorder {
-    pub(crate) fn new(probes: Vec<Probe>, record_full: bool) -> Self {
-        Recorder {
-            probes,
-            times: Vec::new(),
-            samples: Vec::new(),
-            full_states: Vec::new(),
-            record_full,
-        }
-    }
-
-    /// Records an accepted state at time `t`.
-    pub(crate) fn record(&mut self, t: f64, x: &[f64]) {
-        self.times.push(t);
-        self.samples
-            .push(self.probes.iter().map(|p| x[p.unknown]).collect());
-        if self.record_full {
-            self.full_states.push(x.to_vec());
-        }
-    }
-
-    /// Finalizes the result.
-    pub(crate) fn finish(self, final_state: Vec<f64>, stats: RunStats) -> TransientResult {
-        TransientResult {
-            times: self.times,
-            probes: self.probes,
-            samples: self.samples,
-            full_states: self.full_states,
-            final_state,
-            stats,
-        }
-    }
 }
 
 /// Computes the largest step that may be taken from `t` without overshooting
@@ -153,16 +245,11 @@ pub(crate) fn refresh_lu(
     Ok(())
 }
 
-/// Validates options and resolves probes; shared preamble of every engine.
-pub(crate) fn prepare(
-    circuit: &Circuit,
-    options: &TransientOptions,
-    probe_names: &[&str],
-) -> SimResult<(Vec<Probe>, Vec<f64>)> {
+/// Validates options and computes waveform breakpoints; shared preamble of
+/// every engine.
+pub(crate) fn prepare(circuit: &Circuit, options: &TransientOptions) -> SimResult<Vec<f64>> {
     options.validate()?;
-    let probes = resolve_probes(circuit, probe_names)?;
-    let breakpoints = circuit.breakpoints(options.t_stop);
-    Ok((probes, breakpoints))
+    Ok(circuit.breakpoints(options.t_stop))
 }
 
 #[cfg(test)]
@@ -202,18 +289,5 @@ mod tests {
         let probes = resolve_probes(&ckt, &["a", "0"]).unwrap();
         assert_eq!(probes.len(), 1); // ground probe silently dropped
         assert!(resolve_probes(&ckt, &["nope"]).is_err());
-    }
-
-    #[test]
-    fn recorder_collects_samples() {
-        let probes = vec![Probe::new("a", 0)];
-        let mut rec = Recorder::new(probes, true);
-        rec.record(0.0, &[1.0, 2.0]);
-        rec.record(1.0, &[3.0, 4.0]);
-        let result = rec.finish(vec![3.0, 4.0], RunStats::new());
-        assert_eq!(result.len(), 2);
-        assert_eq!(result.samples[1][0], 3.0);
-        assert_eq!(result.full_states.len(), 2);
-        assert_eq!(result.final_state, vec![3.0, 4.0]);
     }
 }

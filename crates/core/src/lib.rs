@@ -11,26 +11,50 @@
 //! The crate ties together the three substrates of the workspace:
 //! [`exi_sparse`] (sparse LU and dense kernels), [`exi_netlist`] (devices,
 //! MNA stamping, workload generators) and [`exi_krylov`] (matrix exponential
-//! and Krylov subspaces), and exposes:
+//! and Krylov subspaces).
 //!
-//! * [`dc_operating_point`] — damped Newton DC analysis.
-//! * [`run_transient`] with a [`Method`] selector:
+//! # The session API
+//!
+//! The central type is the [`Simulator`] — a session bound to one circuit
+//! that owns every piece of reusable solver state: the cached symbolic LU
+//! analyses, the Krylov workspace arena and the DC operating point.
+//! Consecutive analyses on the same topology (method comparisons, parameter
+//! sweeps, resumed runs) therefore perform **exactly one symbolic analysis
+//! per matrix pattern** — one for `G`, plus one for `C/h + θ·G` when an
+//! implicit method runs — the cross-run extension of the paper's per-run
+//! amortization argument.
+//!
+//! * [`Simulator::dc`] — damped-Newton DC operating point (cached).
+//! * [`Simulator::transient`] with a [`Method`] selector — one full run,
+//!   returning the buffered [`TransientResult`]:
 //!   * [`Method::BackwardEuler`] / [`Method::Trapezoidal`] — the low-order
 //!     implicit baselines (the paper's BENR),
 //!   * [`Method::ExponentialRosenbrock`] /
 //!     [`Method::ExponentialRosenbrockCorrected`] — the paper's ER and ER-C
 //!     methods (Algorithm 2), which factorize only the conductance matrix `G`
 //!     and adapt the step size without any re-factorization.
-//! * [`TransientResult`] with probed waveforms, error metrics against a
-//!   reference run, and the Table-I style counters in [`RunStats`].
+//! * [`Simulator::transient_observed`] — the same run streaming through an
+//!   [`Observer`] instead of buffering: [`RecordingObserver`] reproduces
+//!   [`TransientResult`], [`StreamingObserver`] keeps a fixed-memory
+//!   decimated waveform, [`NullObserver`] measures raw solver throughput.
+//! * [`Simulator::stepper`] — an incremental [`Engine`] stepper: advance one
+//!   accepted step at a time, pause before `t_stop`, inspect
+//!   [`Engine::state`], and resume **bit-identically** — the substrate for
+//!   checkpointed long runs and interleaved co-simulation.
+//! * [`Simulator::sweep`] — several runs back to back on the shared caches.
+//!
+//! The free functions [`run_transient`] / [`dc_operating_point`] remain for
+//! one-shot use; `run_transient` is deprecated in favor of the session API
+//! (its waveforms are bit-identical to [`Simulator::transient`]).
 //!
 //! # Examples
 //!
-//! Simulate an RC low-pass and compare ER against BENR:
+//! Simulate an RC low-pass with ER and BENR in one session — the second run
+//! reuses the DC solution, and both reuse each other's workspaces:
 //!
 //! ```
 //! use exi_netlist::{Circuit, Waveform};
-//! use exi_sim::{run_transient, Method, TransientOptions};
+//! use exi_sim::{Method, Simulator, TransientOptions};
 //!
 //! # fn main() -> Result<(), exi_sim::SimError> {
 //! let mut ckt = Circuit::new();
@@ -41,10 +65,40 @@
 //! ckt.add_resistor("R1", vin, out, 1e3)?;
 //! ckt.add_capacitor("C1", out, gnd, 1e-13)?;
 //! let options = TransientOptions::new(1e-9, 1e-12);
-//! let er = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &["out"])?;
-//! let benr = run_transient(&ckt, Method::BackwardEuler, &options, &["out"])?;
+//!
+//! let mut sim = Simulator::new(&ckt);
+//! let er = sim.transient(Method::ExponentialRosenbrock, &options, &["out"])?;
+//! let benr = sim.transient(Method::BackwardEuler, &options, &["out"])?;
 //! let p = er.probe_index("out").unwrap();
 //! assert!(er.max_error_vs(&benr, p) < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Pause a long run, inspect it, and resume bit-identically:
+//!
+//! ```
+//! use exi_netlist::{Circuit, Waveform};
+//! use exi_sim::{Engine, Method, RecordingObserver, Simulator, StepOutcome, TransientOptions};
+//!
+//! # fn main() -> Result<(), exi_sim::SimError> {
+//! # let mut ckt = Circuit::new();
+//! # let vin = ckt.node("in");
+//! # let out = ckt.node("out");
+//! # let gnd = ckt.node("0");
+//! # ckt.add_voltage_source("Vin", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]))?;
+//! # ckt.add_resistor("R1", vin, out, 1e3)?;
+//! # ckt.add_capacitor("C1", out, gnd, 1e-13)?;
+//! let options = TransientOptions::new(1e-9, 1e-12);
+//! let mut sim = Simulator::new(&ckt);
+//! let mut observer = RecordingObserver::new(Vec::new(), false);
+//! let mut stepper = sim.stepper(Method::ExponentialRosenbrock, &options)?;
+//! let paused = stepper.run_until(5e-10, &mut observer)?;
+//! assert!(matches!(paused, StepOutcome::Paused { .. }));
+//! assert!(stepper.state().iter().all(|v| v.is_finite()));
+//! stepper.run_until(f64::INFINITY, &mut observer)?; // resume to t_stop
+//! let stats = stepper.finish(&mut observer);
+//! assert_eq!(stats.resumed_runs, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -54,16 +108,26 @@
 pub mod dc;
 pub mod engines;
 pub mod error;
+pub mod observer;
 pub mod options;
 pub mod output;
+pub mod session;
 pub mod stats;
 pub mod transient;
 
 pub use dc::{dc_operating_point, DcSolution};
+#[allow(deprecated)]
 pub use engines::er::run_exponential_rosenbrock;
-pub use engines::implicit::{run_implicit, ImplicitScheme};
+#[allow(deprecated)]
+pub use engines::implicit::run_implicit;
+pub use engines::implicit::ImplicitScheme;
+pub use engines::{Engine, StepOutcome};
 pub use error::{SimError, SimResult};
+pub use observer::{NullObserver, Observer, RecordingObserver, StreamingObserver};
 pub use options::{DcOptions, TransientOptions};
 pub use output::{Probe, TransientResult};
+pub use session::{SessionStepper, Simulator};
 pub use stats::RunStats;
-pub use transient::{run_transient, Method};
+#[allow(deprecated)]
+pub use transient::run_transient;
+pub use transient::Method;

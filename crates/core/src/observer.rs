@@ -1,0 +1,364 @@
+//! Streaming observation of transient runs.
+//!
+//! The steppers ([`crate::engines::Engine`]) report their progress through an
+//! [`Observer`] instead of buffering results internally. Three built-ins
+//! cover the common cases:
+//!
+//! * [`RecordingObserver`] — accumulates every accepted point and reproduces
+//!   the classic [`TransientResult`] (what [`crate::run_transient`] returns).
+//! * [`StreamingObserver`] — keeps a fixed-memory, progressively decimated
+//!   view of the probed waveform; suitable for arbitrarily long runs.
+//! * [`NullObserver`] — discards everything; measures pure solver throughput.
+//!
+//! Every callback invocation is counted into
+//! [`RunStats::observer_callbacks`](crate::RunStats::observer_callbacks) by
+//! the calling stepper.
+
+use crate::output::{Probe, TransientResult};
+use crate::stats::RunStats;
+
+/// Receives simulation events as a transient run progresses.
+///
+/// All methods have empty default implementations, so an observer only needs
+/// to override the events it cares about. The state slices are only valid for
+/// the duration of the call — copy what must be kept.
+pub trait Observer {
+    /// The run's starting point: time `t0` (the DC operating point for a
+    /// fresh run, the checkpoint time for a restarted one) and state `x0`.
+    fn on_dc(&mut self, t0: f64, x0: &[f64]) {
+        let _ = (t0, x0);
+    }
+
+    /// An accepted step advanced the simulation to time `t` with state `x`.
+    fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
+        let _ = (t, x);
+    }
+
+    /// A step attempt of size `h` at time `t` was rejected (error estimator
+    /// over budget or Newton non-convergence).
+    fn on_step_rejected(&mut self, t: f64, h: f64) {
+        let _ = (t, h);
+    }
+
+    /// The run finished (reached `t_stop` or was finalized early); receives
+    /// the final state and the run's statistics.
+    fn on_finish(&mut self, final_state: &[f64], stats: &RunStats) {
+        let _ = (final_state, stats);
+    }
+}
+
+/// An observer that ignores every event.
+///
+/// Useful for benchmarking the pure solver throughput without any recording
+/// overhead, and as the default observer for convenience entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Accumulates every accepted point and reproduces the classic
+/// [`TransientResult`].
+///
+/// Probed samples (and, when `record_full` is set, full state snapshots) are
+/// appended to flat, amortized-growth buffers — the hot loop performs no
+/// per-step allocation. The rows of [`TransientResult`] are materialized once
+/// in [`RecordingObserver::into_result`].
+#[derive(Debug)]
+pub struct RecordingObserver {
+    probes: Vec<Probe>,
+    record_full: bool,
+    times: Vec<f64>,
+    /// Probed values, row-major: `times.len() × probes.len()`.
+    samples_flat: Vec<f64>,
+    /// Full states, row-major: `times.len() × n` (empty unless `record_full`).
+    full_flat: Vec<f64>,
+    state_len: usize,
+    final_state: Vec<f64>,
+    stats: RunStats,
+}
+
+impl RecordingObserver {
+    /// Creates a recorder for the given probes; `record_full` additionally
+    /// snapshots the entire state vector at every accepted step.
+    pub fn new(probes: Vec<Probe>, record_full: bool) -> Self {
+        RecordingObserver {
+            probes,
+            record_full,
+            times: Vec::new(),
+            samples_flat: Vec::new(),
+            full_flat: Vec::new(),
+            state_len: 0,
+            final_state: Vec::new(),
+            stats: RunStats::new(),
+        }
+    }
+
+    fn record(&mut self, t: f64, x: &[f64]) {
+        self.state_len = x.len();
+        self.times.push(t);
+        for p in &self.probes {
+            self.samples_flat.push(x[p.unknown]);
+        }
+        if self.record_full {
+            self.full_flat.extend_from_slice(x);
+        }
+    }
+
+    /// Number of recorded time points so far.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Finalizes the recording into a [`TransientResult`].
+    ///
+    /// The statistics and final state are those delivered by
+    /// [`Observer::on_finish`]; if the run was never finalized the counters
+    /// are zeroed and the final state falls back to the last full snapshot
+    /// when `record_full` was set (empty otherwise) — the hot loop never
+    /// copies the full state speculatively.
+    pub fn into_result(mut self) -> TransientResult {
+        let p = self.probes.len();
+        let samples = if p == 0 {
+            self.times.iter().map(|_| Vec::new()).collect()
+        } else {
+            self.samples_flat.chunks(p).map(<[f64]>::to_vec).collect()
+        };
+        let full_states: Vec<Vec<f64>> = if self.record_full && self.state_len > 0 {
+            self.full_flat
+                .chunks(self.state_len)
+                .map(<[f64]>::to_vec)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if self.final_state.is_empty() {
+            if let Some(last) = full_states.last() {
+                self.final_state = last.clone();
+            }
+        }
+        TransientResult {
+            times: self.times,
+            probes: self.probes,
+            samples,
+            full_states,
+            final_state: self.final_state,
+            stats: self.stats,
+        }
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_dc(&mut self, t0: f64, x0: &[f64]) {
+        self.record(t0, x0);
+    }
+
+    fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
+        self.record(t, x);
+    }
+
+    fn on_finish(&mut self, final_state: &[f64], stats: &RunStats) {
+        self.final_state = final_state.to_vec();
+        self.stats = stats.clone();
+    }
+}
+
+/// A fixed-memory, progressively decimated view of the probed waveform.
+///
+/// At most `capacity` points are retained. Initially every accepted step is
+/// kept; whenever the buffer fills up, every other retained point is dropped
+/// and the sampling stride doubles, so an arbitrarily long run occupies a
+/// bounded amount of memory while preserving the overall waveform shape.
+#[derive(Debug)]
+pub struct StreamingObserver {
+    probes: Vec<Probe>,
+    capacity: usize,
+    stride: usize,
+    times: Vec<f64>,
+    /// Retained probe values, row-major: `times.len() × probes.len()`.
+    values: Vec<f64>,
+    observed: usize,
+}
+
+impl StreamingObserver {
+    /// Creates a streaming observer retaining at most `capacity` points
+    /// (minimum 2) for the given probes.
+    pub fn new(probes: Vec<Probe>, capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        StreamingObserver {
+            probes,
+            capacity,
+            stride: 1,
+            times: Vec::with_capacity(capacity),
+            values: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    fn record(&mut self, t: f64, x: &[f64]) {
+        let index = self.observed;
+        self.observed += 1;
+        // Points on the current stride grid are retained; the grid only ever
+        // coarsens (stride doubles), so decimation keeps exactly the
+        // points that remain on the new grid.
+        if !index.is_multiple_of(self.stride) {
+            return;
+        }
+        self.times.push(t);
+        for p in &self.probes {
+            self.values.push(x[p.unknown]);
+        }
+        if self.times.len() >= self.capacity {
+            self.decimate();
+        }
+    }
+
+    /// Drops every other retained point and doubles the stride.
+    fn decimate(&mut self) {
+        let p = self.probes.len();
+        let kept = self.times.len().div_ceil(2);
+        for k in 1..kept {
+            self.times[k] = self.times[2 * k];
+            for j in 0..p {
+                self.values[k * p + j] = self.values[2 * k * p + j];
+            }
+        }
+        self.times.truncate(kept);
+        self.values.truncate(kept * p);
+        self.stride *= 2;
+    }
+
+    /// Number of points currently retained (bounded by the capacity).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when no point has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Total number of accepted points observed (retained or not).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Current sampling stride (1 until the first decimation).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The retained (decimated) waveform of probe `p` as `(time, value)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn waveform(&self, p: usize) -> Vec<(f64, f64)> {
+        assert!(p < self.probes.len(), "probe index out of range");
+        let np = self.probes.len();
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, self.values[k * np + p]))
+            .collect()
+    }
+}
+
+impl Observer for StreamingObserver {
+    fn on_dc(&mut self, t0: f64, x0: &[f64]) {
+        self.record(t0, x0);
+    }
+
+    fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
+        self.record(t, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_reproduces_transient_result() {
+        let mut rec = RecordingObserver::new(vec![Probe::new("a", 0)], true);
+        rec.on_dc(0.0, &[1.0, 2.0]);
+        rec.on_step_accepted(1.0, &[3.0, 4.0]);
+        let mut stats = RunStats::new();
+        stats.accepted_steps = 1;
+        rec.on_finish(&[3.0, 4.0], &stats);
+        let result = rec.into_result();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.samples[1][0], 3.0);
+        assert_eq!(result.full_states.len(), 2);
+        assert_eq!(result.full_states[0], vec![1.0, 2.0]);
+        assert_eq!(result.final_state, vec![3.0, 4.0]);
+        assert_eq!(result.stats.accepted_steps, 1);
+    }
+
+    #[test]
+    fn recording_observer_without_probes_or_full_states() {
+        let mut rec = RecordingObserver::new(Vec::new(), false);
+        rec.on_dc(0.0, &[1.0]);
+        rec.on_step_accepted(1.0, &[2.0]);
+        let result = rec.into_result();
+        assert_eq!(result.len(), 2);
+        assert!(result.full_states.is_empty());
+        // Without on_finish (and without full snapshots) there is no final
+        // state to report — the hot loop does not copy it speculatively.
+        assert!(result.final_state.is_empty());
+    }
+
+    #[test]
+    fn unfinished_recording_falls_back_to_last_full_snapshot() {
+        let mut rec = RecordingObserver::new(Vec::new(), true);
+        rec.on_dc(0.0, &[1.0, 2.0]);
+        rec.on_step_accepted(1.0, &[3.0, 4.0]);
+        // No on_finish: the last full snapshot stands in for the final state.
+        let result = rec.into_result();
+        assert_eq!(result.final_state, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn streaming_observer_stays_within_capacity() {
+        let mut s = StreamingObserver::new(vec![Probe::new("a", 0)], 8);
+        for k in 0..1000 {
+            s.on_step_accepted(k as f64, &[k as f64]);
+        }
+        assert!(s.len() < 8, "len {} should stay under capacity", s.len());
+        assert_eq!(s.observed(), 1000);
+        assert!(s.stride() > 1);
+        let wf = s.waveform(0);
+        // The retained points are genuine (time, value) samples in order.
+        for w in wf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(t, v) in &wf {
+            assert_eq!(t, v);
+        }
+    }
+
+    #[test]
+    fn streaming_observer_keeps_everything_below_capacity() {
+        let mut s = StreamingObserver::new(vec![Probe::new("a", 0)], 64);
+        for k in 0..10 {
+            s.on_step_accepted(k as f64, &[2.0 * k as f64]);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.waveform(0)[3], (3.0, 6.0));
+    }
+
+    #[test]
+    fn null_observer_ignores_everything() {
+        let mut n = NullObserver;
+        n.on_dc(0.0, &[1.0]);
+        n.on_step_accepted(1.0, &[1.0]);
+        n.on_step_rejected(1.0, 0.5);
+        n.on_finish(&[1.0], &RunStats::new());
+    }
+}

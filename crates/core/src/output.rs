@@ -75,17 +75,20 @@ impl TransientResult {
         if t <= self.times[0] {
             return self.samples[0][p];
         }
-        for k in 1..self.times.len() {
-            if t <= self.times[k] {
-                let (t0, t1) = (self.times[k - 1], self.times[k]);
-                let (v0, v1) = (self.samples[k - 1][p], self.samples[k][p]);
-                if t1 <= t0 {
-                    return v1;
-                }
-                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
-            }
+        // Binary search for the first time point >= t; `times` is sorted by
+        // construction (accepted steps are monotone). A NaN query fails every
+        // comparison and clamps to the final sample, like the clauses above.
+        let k = self.times.partition_point(|&ti| ti < t);
+        if k == 0 || k >= self.times.len() {
+            // NaN or past the simulated interval: clamp to the final sample.
+            return self.samples[self.times.len() - 1][p];
         }
-        self.samples.last().map(|r| r[p]).unwrap_or(0.0)
+        let (t0, t1) = (self.times[k - 1], self.times[k]);
+        let (v0, v1) = (self.samples[k - 1][p], self.samples[k][p]);
+        if t1 <= t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
     }
 
     /// Finds the probe index with the given label.
@@ -158,6 +161,28 @@ mod tests {
         assert_eq!(r.sample_at(0, 5.0), 0.0);
         assert_eq!(r.probe_index("out"), Some(0));
         assert_eq!(r.probe_index("missing"), None);
+    }
+
+    #[test]
+    fn sample_at_clamps_out_of_range_times() {
+        let r = make_result(vec![0.0, 1.0, 2.0, 4.0], vec![1.0, 3.0, 5.0, 9.0]);
+        // Before the first point: clamp to the first sample.
+        assert_eq!(r.sample_at(0, -10.0), 1.0);
+        assert_eq!(r.sample_at(0, 0.0), 1.0);
+        // Past the last point: clamp to the final sample.
+        assert_eq!(r.sample_at(0, 4.0), 9.0);
+        assert_eq!(r.sample_at(0, 1e9), 9.0);
+        // Exact hits and interior interpolation still work.
+        assert_eq!(r.sample_at(0, 1.0), 3.0);
+        assert_eq!(r.sample_at(0, 3.0), 7.0);
+        // A NaN query clamps to the final sample instead of panicking.
+        assert_eq!(r.sample_at(0, f64::NAN), 9.0);
+        // Single-point result: every query returns that sample.
+        let single = make_result(vec![0.5], vec![2.5]);
+        assert_eq!(single.sample_at(0, 0.0), 2.5);
+        assert_eq!(single.sample_at(0, 0.5), 2.5);
+        assert_eq!(single.sample_at(0, 99.0), 2.5);
+        assert_eq!(single.sample_at(0, f64::NAN), 2.5);
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! The [`Simulator`] session object: circuit binding plus every reusable
+//! piece of solver state.
+//!
+//! The paper's headline win is amortization — one symbolic LU analysis and a
+//! reusable Krylov arena serve many exponential-Rosenbrock steps. A
+//! `Simulator` extends that amortization **across runs**: the LU caches, the
+//! Krylov workspace pool and the DC operating point survive from one
+//! transient analysis to the next, so consecutive runs on the same topology
+//! (parameter sweeps, method comparisons, resumed long runs) perform exactly
+//! one symbolic analysis **per matrix pattern** — one for the conductance
+//! matrix `G`, plus one for the denser `C/h + θ·G` if an implicit method is
+//! used — no matter how many runs the session performs (see
+//! [`Simulator::session_stats`]).
+//!
+//! ```
+//! use exi_netlist::{Circuit, Waveform};
+//! use exi_sim::{Method, Simulator, TransientOptions};
+//!
+//! # fn main() -> Result<(), exi_sim::SimError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! let gnd = ckt.node("0");
+//! ckt.add_voltage_source("Vin", vin, gnd, Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]))?;
+//! ckt.add_resistor("R1", vin, out, 1e3)?;
+//! ckt.add_capacitor("C1", out, gnd, 1e-13)?;
+//!
+//! let mut sim = Simulator::new(&ckt);
+//! let options = TransientOptions::new(1e-9, 1e-12);
+//! let first = sim.transient(Method::ExponentialRosenbrock, &options, &["out"])?;
+//! let second = sim.transient(Method::ExponentialRosenbrock, &options, &["out"])?;
+//! assert_eq!(first.times, second.times);
+//! // The whole session paid for one symbolic LU analysis.
+//! assert_eq!(sim.session_stats().symbolic_analyses, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::Instant;
+
+use exi_krylov::MevpWorkspace;
+use exi_netlist::Circuit;
+use exi_sparse::{CsrMatrix, LuWorkspace, OrderingMethod, SparseLu};
+
+use crate::dc::{dc_operating_point_internal, DcSolution};
+use crate::engines::er::ErStepper;
+use crate::engines::implicit::{ImplicitScheme, ImplicitStepper};
+use crate::engines::{resolve_probes, Engine, StepOutcome};
+use crate::error::SimResult;
+use crate::observer::{Observer, RecordingObserver};
+use crate::options::{DcOptions, TransientOptions};
+use crate::output::TransientResult;
+use crate::stats::RunStats;
+use crate::transient::Method;
+
+/// Reusable solver state owned by a [`Simulator`] and borrowed by its
+/// steppers.
+///
+/// * `g_lu` — cached factorization of the conductance matrix `G` (the DC
+///   Jacobian pattern); seeded by the DC solve, reused by every ER/ER-C step
+///   and every later run.
+/// * `jac_lu` — cached factorization of the implicit-method Jacobian
+///   `C/h + θ·G` (a different, denser pattern), reused across Newton
+///   iterations, step sizes and runs.
+/// * `lu_ws` / `mevp_ws` — allocation pools for triangular solves and Krylov
+///   subspace builds; pure scratch, shared by every engine.
+/// * `dc` — the DC operating point, computed once per topology.
+#[derive(Debug, Default)]
+pub(crate) struct SessionCaches {
+    pub(crate) g_lu: Option<SparseLu>,
+    pub(crate) jac_lu: Option<SparseLu>,
+    pub(crate) lu_ws: LuWorkspace,
+    pub(crate) mevp_ws: MevpWorkspace,
+    pub(crate) dc: Option<DcSolution>,
+    /// The MNA input (source-incidence) matrix `B` — a pure function of the
+    /// topology, assembled once per session.
+    pub(crate) b: Option<CsrMatrix>,
+    /// Fill-reducing ordering the cached factors were built with; a run
+    /// requesting a different one drops the caches first.
+    pub(crate) ordering: Option<OrderingMethod>,
+}
+
+/// A simulation session bound to one circuit.
+///
+/// Owns every piece of reusable solver state (LU caches with their symbolic
+/// analyses, Krylov workspace arena, DC solution) so that consecutive
+/// analyses on the same topology amortize all symbolic work. The circuit is
+/// held by shared reference — the borrow checker guarantees the topology
+/// cannot change under a live session, which is what makes cross-run cache
+/// reuse sound.
+///
+/// Entry points, from highest to lowest level:
+///
+/// * [`Simulator::transient`] — one full run, returns a [`TransientResult`]
+///   (the classic buffered waveform).
+/// * [`Simulator::sweep`] — several runs back to back, sharing all caches.
+/// * [`Simulator::transient_observed`] — one full run streaming to a caller
+///   [`Observer`] (fixed-memory recording, live dashboards, nothing at all).
+/// * [`Simulator::stepper`] — an incremental [`Engine`] stepper: advance step
+///   by step, pause before `t_stop`, inspect state, resume bit-identically —
+///   the substrate for checkpointed long runs and interleaved co-simulation
+///   of several circuits.
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    caches: SessionCaches,
+    session_stats: RunStats,
+    completed_runs: usize,
+}
+
+impl<'c> Simulator<'c> {
+    /// Creates a session for `circuit` with cold caches.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Simulator {
+            circuit,
+            caches: SessionCaches::default(),
+            session_stats: RunStats::new(),
+            completed_runs: 0,
+        }
+    }
+
+    /// The circuit this session is bound to.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Cumulative statistics over every run (and the shared DC solve) this
+    /// session performed. On an unchanged topology
+    /// `session_stats().symbolic_analyses` stays at the value the first run
+    /// reached — later runs only add numeric-only refactorizations.
+    pub fn session_stats(&self) -> &RunStats {
+        &self.session_stats
+    }
+
+    /// Number of transient runs completed by this session.
+    pub fn completed_runs(&self) -> usize {
+        self.completed_runs
+    }
+
+    /// Drops every cached factor, workspace and the DC solution. The next run
+    /// pays for a fresh symbolic analysis — call this after mutating the
+    /// circuit between sessions if node/device structure changed.
+    pub fn reset_caches(&mut self) {
+        self.caches = SessionCaches::default();
+    }
+
+    /// The DC operating point of the circuit, computed on first use and
+    /// cached for the lifetime of the session (default [`DcOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC Newton convergence and kernel errors.
+    pub fn dc(&mut self) -> SimResult<DcSolution> {
+        self.dc_with(&DcOptions::default())
+    }
+
+    /// As [`Simulator::dc`] with explicit options. The options only matter
+    /// for the first call of the session (a differing `ordering` drops the
+    /// caches, as on every entry point); later calls return the cached
+    /// solution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC Newton convergence and kernel errors.
+    pub fn dc_with(&mut self, options: &DcOptions) -> SimResult<DcSolution> {
+        self.ensure_ordering(options.ordering);
+        // No transient run will ever absorb this solve's counters, so they
+        // enter the session totals right here.
+        let stats = self.ensure_dc(options)?;
+        self.session_stats.absorb(&stats);
+        Ok(self
+            .caches
+            .dc
+            .clone()
+            .expect("ensure_dc populated the cache"))
+    }
+
+    /// Drops the caches whenever a run requests a different fill-reducing
+    /// ordering than the one the cached factors were built with — a cached
+    /// symbolic analysis silently carries its ordering into refactorizations,
+    /// which would make an ordering sweep measure nothing.
+    fn ensure_ordering(&mut self, ordering: OrderingMethod) {
+        if self.caches.ordering != Some(ordering) {
+            if self.caches.ordering.is_some() {
+                self.caches = SessionCaches::default();
+            }
+            self.caches.ordering = Some(ordering);
+        }
+    }
+
+    /// Computes (or reuses) the DC operating point, returning the statistics
+    /// of a fresh solve — zeroed when the cached solution was reused. The
+    /// caller decides where to charge them: [`Simulator::stepper`] folds them
+    /// into the triggering run's statistics (absorbed into the session when
+    /// that run is), [`Simulator::dc_with`] absorbs them directly.
+    fn ensure_dc(&mut self, options: &DcOptions) -> SimResult<RunStats> {
+        let mut stats = RunStats::new();
+        if self.caches.dc.is_none() {
+            let started = Instant::now();
+            let dc = dc_operating_point_internal(
+                self.circuit,
+                options,
+                &mut stats,
+                &mut self.caches.g_lu,
+                &mut self.caches.lu_ws,
+            )?;
+            stats.runtime = started.elapsed();
+            self.caches.dc = Some(dc);
+        }
+        Ok(stats)
+    }
+
+    /// Creates an incremental stepper for `method`, positioned (lazily) at
+    /// the DC operating point.
+    ///
+    /// The stepper auto-initializes on the first [`Engine::advance`] /
+    /// [`Engine::run_until`]; call [`SessionStepper::start`] (or
+    /// [`Engine::init`] with a custom `(t0, x0)` checkpoint) to control when
+    /// the initial [`Observer::on_dc`] event fires. While the stepper lives
+    /// it exclusively borrows the session's caches; drop it before starting
+    /// the next run.
+    ///
+    /// # Errors
+    ///
+    /// Option validation, DC solve and input-matrix assembly errors.
+    pub fn stepper(
+        &mut self,
+        method: Method,
+        options: &TransientOptions,
+    ) -> SimResult<SessionStepper<'_>> {
+        options.validate()?;
+        self.ensure_ordering(options.ordering);
+        // A fresh DC solve is charged to this run's statistics (dc_stats
+        // seeds the stepper below) and reaches the session totals when the
+        // run is absorbed; a cached solution contributes nothing.
+        let dc_stats = self.ensure_dc(&DcOptions {
+            ordering: options.ordering,
+            ..DcOptions::default()
+        })?;
+        if self.caches.b.is_none() {
+            self.caches.b = Some(self.circuit.input_matrix()?);
+        }
+        let x0 = self
+            .caches
+            .dc
+            .as_ref()
+            .expect("ensure_dc populated the cache")
+            .state
+            .clone();
+        let inner = match method {
+            Method::BackwardEuler => InnerStepper::Implicit(Box::new(ImplicitStepper::new(
+                self.circuit,
+                &mut self.caches,
+                ImplicitScheme::BackwardEuler,
+                options.clone(),
+                dc_stats,
+            )?)),
+            Method::Trapezoidal => InnerStepper::Implicit(Box::new(ImplicitStepper::new(
+                self.circuit,
+                &mut self.caches,
+                ImplicitScheme::Trapezoidal,
+                options.clone(),
+                dc_stats,
+            )?)),
+            Method::ExponentialRosenbrock => InnerStepper::Er(Box::new(ErStepper::new(
+                self.circuit,
+                &mut self.caches,
+                false,
+                options.clone(),
+                dc_stats,
+            )?)),
+            Method::ExponentialRosenbrockCorrected => InnerStepper::Er(Box::new(ErStepper::new(
+                self.circuit,
+                &mut self.caches,
+                true,
+                options.clone(),
+                dc_stats,
+            )?)),
+        };
+        Ok(SessionStepper {
+            inner,
+            x0,
+            initialized: false,
+        })
+    }
+
+    /// Runs one full transient analysis, recording every accepted point, and
+    /// returns the buffered [`TransientResult`] — the session equivalent of
+    /// the deprecated [`crate::run_transient`] free function (bit-identical
+    /// waveforms).
+    ///
+    /// # Errors
+    ///
+    /// Option-validation, probe-resolution, DC, step-control and kernel
+    /// errors (see [`crate::SimError`]).
+    pub fn transient(
+        &mut self,
+        method: Method,
+        options: &TransientOptions,
+        probe_names: &[&str],
+    ) -> SimResult<TransientResult> {
+        options.validate()?;
+        let probes = resolve_probes(self.circuit, probe_names)?;
+        let mut observer = RecordingObserver::new(probes, options.record_full_states);
+        self.transient_observed(method, options, &mut observer)?;
+        Ok(observer.into_result())
+    }
+
+    /// Runs one full transient analysis streaming events to `observer`
+    /// instead of buffering a result, and returns the run's statistics.
+    ///
+    /// Pair with [`crate::StreamingObserver`] for fixed-memory waveforms or
+    /// [`crate::NullObserver`] to measure pure solver throughput.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::transient`].
+    pub fn transient_observed(
+        &mut self,
+        method: Method,
+        options: &TransientOptions,
+        observer: &mut dyn Observer,
+    ) -> SimResult<RunStats> {
+        let outcome = {
+            let mut stepper = self.stepper(method, options)?;
+            match stepper
+                .start(observer)
+                .and_then(|()| stepper.run_to_end(observer))
+            {
+                Ok(stats) => Ok(stats),
+                // The failed run still did real work (and left its cache
+                // mutations in the session): finalize and keep its counters
+                // so the session totals stay truthful.
+                Err(e) => Err((e, stepper.finish(observer))),
+            }
+        };
+        match outcome {
+            Ok(stats) => {
+                self.absorb_run(&stats);
+                Ok(stats)
+            }
+            Err((e, partial)) => {
+                self.absorb_partial(&partial);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs several analyses back to back on the shared caches — a parameter
+    /// or method sweep. Only the first run of the session pays for symbolic
+    /// analysis and DC.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failing run.
+    pub fn sweep(
+        &mut self,
+        runs: &[(Method, TransientOptions)],
+        probe_names: &[&str],
+    ) -> SimResult<Vec<TransientResult>> {
+        runs.iter()
+            .map(|(method, options)| self.transient(*method, options, probe_names))
+            .collect()
+    }
+
+    /// Folds a finished run's statistics into the session totals.
+    ///
+    /// Steppers obtained via [`Simulator::stepper`] borrow the session
+    /// exclusively, so their statistics must be absorbed once the stepper is
+    /// dropped; [`Simulator::transient_observed`] does this automatically.
+    /// A run's statistics already include the DC share it triggered (and only
+    /// that run's do), so absorbing every run once keeps the totals exact.
+    pub fn absorb_run(&mut self, run: &RunStats) {
+        self.absorb_partial(run);
+        self.completed_runs += 1;
+    }
+
+    /// As [`Simulator::absorb_run`] for a run that errored out mid-way: its
+    /// counters still enter the session totals (the work happened and its
+    /// cache mutations persist), but it does not count as a completed run.
+    pub fn absorb_partial(&mut self, run: &RunStats) {
+        self.session_stats.absorb(run);
+    }
+}
+
+/// An engine-agnostic incremental stepper bound to a [`Simulator`] session.
+///
+/// Wraps the concrete per-method steppers behind the [`Engine`] trait and
+/// adds lazy initialization at the session's DC operating point. See
+/// [`Engine`] for the driving interface and the pause/resume contract.
+#[derive(Debug)]
+pub struct SessionStepper<'a> {
+    inner: InnerStepper<'a>,
+    x0: Vec<f64>,
+    initialized: bool,
+}
+
+#[derive(Debug)]
+enum InnerStepper<'a> {
+    Er(Box<ErStepper<'a>>),
+    Implicit(Box<ImplicitStepper<'a>>),
+}
+
+impl SessionStepper<'_> {
+    /// Initializes the stepper at the session's DC operating point (time 0),
+    /// emitting [`Observer::on_dc`]. Called automatically by the first
+    /// [`Engine::advance`] if omitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::init`] errors.
+    pub fn start(&mut self, observer: &mut dyn Observer) -> SimResult<()> {
+        let x0 = std::mem::take(&mut self.x0);
+        let r = match &mut self.inner {
+            InnerStepper::Er(s) => s.init(0.0, &x0, observer),
+            InnerStepper::Implicit(s) => s.init(0.0, &x0, observer),
+        };
+        self.x0 = x0;
+        self.initialized = r.is_ok();
+        r
+    }
+}
+
+impl Engine for SessionStepper<'_> {
+    fn init(&mut self, t0: f64, x0: &[f64], observer: &mut dyn Observer) -> SimResult<()> {
+        let r = match &mut self.inner {
+            InnerStepper::Er(s) => s.init(t0, x0, observer),
+            InnerStepper::Implicit(s) => s.init(t0, x0, observer),
+        };
+        // Only a successful init arms the stepper; a failed one leaves the
+        // DC auto-start available for the next advance.
+        self.initialized = r.is_ok();
+        r
+    }
+
+    fn advance(&mut self, observer: &mut dyn Observer) -> SimResult<StepOutcome> {
+        if !self.initialized {
+            self.start(observer)?;
+        }
+        match &mut self.inner {
+            InnerStepper::Er(s) => s.advance(observer),
+            InnerStepper::Implicit(s) => s.advance(observer),
+        }
+    }
+
+    fn state(&self) -> &[f64] {
+        if !self.initialized {
+            return &self.x0;
+        }
+        match &self.inner {
+            InnerStepper::Er(s) => s.state(),
+            InnerStepper::Implicit(s) => s.state(),
+        }
+    }
+
+    fn time(&self) -> f64 {
+        match &self.inner {
+            InnerStepper::Er(s) => s.time(),
+            InnerStepper::Implicit(s) => s.time(),
+        }
+    }
+
+    fn stats(&self) -> &RunStats {
+        match &self.inner {
+            InnerStepper::Er(s) => s.stats(),
+            InnerStepper::Implicit(s) => s.stats(),
+        }
+    }
+
+    fn stats_mut(&mut self) -> &mut RunStats {
+        match &mut self.inner {
+            InnerStepper::Er(s) => s.stats_mut(),
+            InnerStepper::Implicit(s) => s.stats_mut(),
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        // A not-yet-started stepper still has its whole run ahead (it
+        // auto-initializes on the first advance).
+        if !self.initialized {
+            return false;
+        }
+        match &self.inner {
+            InnerStepper::Er(s) => s.is_finished(),
+            InnerStepper::Implicit(s) => s.is_finished(),
+        }
+    }
+
+    fn finish(&mut self, observer: &mut dyn Observer) -> RunStats {
+        match &mut self.inner {
+            InnerStepper::Er(s) => s.finish(observer),
+            InnerStepper::Implicit(s) => s.finish(observer),
+        }
+    }
+}

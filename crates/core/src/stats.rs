@@ -42,7 +42,20 @@ pub struct RunStats {
     /// value that keeps climbing with the step count indicates a workspace
     /// reuse regression in the hot path.
     pub krylov_workspace_allocations: usize,
-    /// Wall-clock time of the analysis.
+    /// Number of [`Observer`](crate::Observer) callback invocations the
+    /// stepper performed (`on_dc` + accepted + rejected + `on_finish`).
+    /// Compares recording overhead between observers: a
+    /// [`NullObserver`](crate::NullObserver) run pays for the dispatch only.
+    pub observer_callbacks: usize,
+    /// Number of times a paused stepper was continued via
+    /// [`Engine::run_until`](crate::Engine::run_until). Zero for an
+    /// uninterrupted run; checkpointed long runs accumulate one per
+    /// continuation.
+    pub resumed_runs: usize,
+    /// Active wall-clock time of the analysis: the DC solve (for the run
+    /// that triggered it) plus time spent inside `advance()`. Idle time while
+    /// a stepper is paused (checkpointing, co-simulation interleaves) is not
+    /// charged.
     pub runtime: Duration,
 }
 
@@ -89,6 +102,26 @@ impl RunStats {
     pub fn runtime_seconds(&self) -> f64 {
         self.runtime.as_secs_f64()
     }
+
+    /// Folds another run's counters into these (session totals): counts add
+    /// up, peaks take the maximum, runtimes accumulate.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.accepted_steps += other.accepted_steps;
+        self.rejected_steps += other.rejected_steps;
+        self.newton_iterations += other.newton_iterations;
+        self.lu_factorizations += other.lu_factorizations;
+        self.symbolic_analyses += other.symbolic_analyses;
+        self.lu_refactorizations += other.lu_refactorizations;
+        self.linear_solves += other.linear_solves;
+        self.device_evaluations += other.device_evaluations;
+        self.krylov_subspaces += other.krylov_subspaces;
+        self.krylov_dimension_total += other.krylov_dimension_total;
+        self.peak_krylov_dimension = self.peak_krylov_dimension.max(other.peak_krylov_dimension);
+        self.krylov_workspace_allocations += other.krylov_workspace_allocations;
+        self.observer_callbacks += other.observer_callbacks;
+        self.resumed_runs += other.resumed_runs;
+        self.runtime += other.runtime;
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +165,39 @@ mod tests {
         assert_eq!(
             s.lu_factorizations,
             s.symbolic_analyses + s.lu_refactorizations
+        );
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_peaks() {
+        let a = RunStats {
+            accepted_steps: 10,
+            symbolic_analyses: 1,
+            lu_factorizations: 12,
+            lu_refactorizations: 11,
+            peak_krylov_dimension: 7,
+            observer_callbacks: 13,
+            resumed_runs: 2,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            accepted_steps: 5,
+            lu_factorizations: 5,
+            lu_refactorizations: 5,
+            peak_krylov_dimension: 9,
+            observer_callbacks: 6,
+            ..RunStats::default()
+        };
+        let mut total = a.clone();
+        total.absorb(&b);
+        assert_eq!(total.accepted_steps, 15);
+        assert_eq!(total.symbolic_analyses, 1);
+        assert_eq!(total.peak_krylov_dimension, 9);
+        assert_eq!(total.observer_callbacks, 19);
+        assert_eq!(total.resumed_runs, 2);
+        assert_eq!(
+            total.lu_factorizations,
+            a.lu_factorizations + b.lu_factorizations
         );
     }
 }

@@ -1,12 +1,12 @@
-//! Top-level transient analysis entry point.
+//! The [`Method`] selector and the deprecated one-shot [`run_transient`]
+//! entry point (use [`crate::Simulator`] instead).
 
 use exi_netlist::Circuit;
 
-use crate::engines::er::run_exponential_rosenbrock;
-use crate::engines::implicit::{run_implicit, ImplicitScheme};
 use crate::error::SimResult;
 use crate::options::TransientOptions;
 use crate::output::TransientResult;
+use crate::session::Simulator;
 
 /// The time-integration method used for a transient analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -50,10 +50,16 @@ impl std::fmt::Display for Method {
     }
 }
 
-/// Runs a transient analysis of `circuit` over `[0, options.t_stop]`.
+/// Runs a one-shot transient analysis of `circuit` over `[0, options.t_stop]`.
 ///
 /// `probe_names` selects the node voltages to record; unknown names are an
 /// error, ground is silently skipped.
+///
+/// This is a thin wrapper that creates a throwaway [`Simulator`] session and
+/// runs [`Simulator::transient`] once — waveforms are bit-identical to the
+/// session API. Prefer a [`Simulator`] directly: a session keeps the symbolic
+/// LU analyses, Krylov workspaces and DC solution alive across runs, which
+/// this wrapper rebuilds (and discards) on every call.
 ///
 /// # Errors
 ///
@@ -64,7 +70,7 @@ impl std::fmt::Display for Method {
 ///
 /// ```
 /// use exi_netlist::{Circuit, Waveform};
-/// use exi_sim::{run_transient, Method, TransientOptions};
+/// use exi_sim::{Method, Simulator, TransientOptions};
 ///
 /// # fn main() -> Result<(), exi_sim::SimError> {
 /// let mut ckt = Circuit::new();
@@ -75,31 +81,23 @@ impl std::fmt::Display for Method {
 /// ckt.add_resistor("R1", vin, out, 1e3)?;
 /// ckt.add_capacitor("C1", out, gnd, 1e-13)?;
 /// let options = TransientOptions::new(1e-9, 1e-12);
-/// let result = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &["out"])?;
+/// let result = Simulator::new(&ckt).transient(Method::ExponentialRosenbrock, &options, &["out"])?;
 /// assert!(result.len() > 1);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "create a `Simulator` session and call `transient` on it — consecutive runs then share \
+            one symbolic LU analysis, the Krylov workspace arena and the DC solution"
+)]
 pub fn run_transient(
     circuit: &Circuit,
     method: Method,
     options: &TransientOptions,
     probe_names: &[&str],
 ) -> SimResult<TransientResult> {
-    match method {
-        Method::BackwardEuler => {
-            run_implicit(circuit, ImplicitScheme::BackwardEuler, options, probe_names)
-        }
-        Method::Trapezoidal => {
-            run_implicit(circuit, ImplicitScheme::Trapezoidal, options, probe_names)
-        }
-        Method::ExponentialRosenbrock => {
-            run_exponential_rosenbrock(circuit, false, options, probe_names)
-        }
-        Method::ExponentialRosenbrockCorrected => {
-            run_exponential_rosenbrock(circuit, true, options, probe_names)
-        }
-    }
+    Simulator::new(circuit).transient(method, options, probe_names)
 }
 
 #[cfg(test)]
@@ -138,12 +136,43 @@ mod tests {
             error_budget: 1e-3,
             ..TransientOptions::default()
         };
+        // One session runs all four methods, sharing the DC solution.
+        let mut sim = Simulator::new(&ckt);
         for method in Method::all() {
-            let result = run_transient(&ckt, method, &options, &["out"]).unwrap();
+            let result = sim.transient(method, &options, &["out"]).unwrap();
             assert!(result.len() > 5, "{method} produced too few points");
             let p = result.probe_index("out").unwrap();
             let v_end = result.sample_at(p, 5e-10);
             assert!(v_end > 0.9, "{method}: final value {v_end}");
+        }
+        assert_eq!(sim.completed_runs(), 4);
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_session_run() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source(
+            "Vin",
+            vin,
+            gnd,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, gnd, 1e-13).unwrap();
+        let options = TransientOptions::new(5e-10, 1e-12);
+        for method in Method::all() {
+            #[allow(deprecated)]
+            let wrapped = run_transient(&ckt, method, &options, &["out"]).unwrap();
+            let session = Simulator::new(&ckt)
+                .transient(method, &options, &["out"])
+                .unwrap();
+            assert_eq!(wrapped.times, session.times, "{method}");
+            assert_eq!(wrapped.samples, session.samples, "{method}");
+            assert_eq!(wrapped.final_state, session.final_state, "{method}");
         }
     }
 
@@ -157,6 +186,8 @@ mod tests {
         ckt.add_resistor("R", a, gnd, 1.0).unwrap();
         ckt.add_capacitor("C", a, gnd, 1e-12).unwrap();
         let options = TransientOptions::new(1e-10, 1e-12);
-        assert!(run_transient(&ckt, Method::ExponentialRosenbrock, &options, &["zz"]).is_err());
+        assert!(Simulator::new(&ckt)
+            .transient(Method::ExponentialRosenbrock, &options, &["zz"])
+            .is_err());
     }
 }

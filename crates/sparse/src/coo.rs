@@ -3,7 +3,7 @@
 //! MNA stamping naturally produces `(row, col, value)` triplets with many
 //! duplicates (each device stamps a handful of entries, several devices touch
 //! the same node pair). [`TripletMatrix`] collects them and compresses into
-//! [`CsrMatrix`](crate::CsrMatrix), summing duplicates.
+//! [`CsrMatrix`] form, summing duplicates.
 
 use crate::csr::CsrMatrix;
 use crate::error::{SparseError, SparseResult};

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p exi-sim --example inverter_chain`
 
 use exi_netlist::generators::{inverter_chain, InverterChainSpec};
-use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sim::{Method, SimError, Simulator, TransientOptions};
 
 fn main() -> Result<(), SimError> {
     let stages = 5;
@@ -17,9 +17,11 @@ fn main() -> Result<(), SimError> {
     let probes = [observed.as_str()];
     let t_stop = 1e-9;
 
+    // One session for the reference and all four compared methods.
+    let mut sim = Simulator::new(&circuit);
+
     // Reference solution: backward Euler with a very small fixed step.
-    let reference = run_transient(
-        &circuit,
+    let reference = sim.transient(
         Method::BackwardEuler,
         &TransientOptions {
             t_stop,
@@ -47,7 +49,7 @@ fn main() -> Result<(), SimError> {
         Method::ExponentialRosenbrock,
         Method::ExponentialRosenbrockCorrected,
     ] {
-        let result = run_transient(&circuit, method, &compared, &probes)?;
+        let result = sim.transient(method, &compared, &probes)?;
         println!(
             "{:<6}  {:<5}  {:<4}  {:<5.1}  {:<9.1}  {:<9.4}  {:<9.4}",
             method.label(),

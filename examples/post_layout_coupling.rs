@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release -p exi-sim --example post_layout_coupling`
 
 use exi_netlist::generators::{coupled_lines, CoupledLinesSpec};
-use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sim::{Method, SimError, Simulator, TransientOptions};
 use exi_sparse::{factor_fill, CsrMatrix, OrderingMethod};
 
 fn main() -> Result<(), SimError> {
@@ -36,8 +36,10 @@ fn main() -> Result<(), SimError> {
             error_budget: 2e-3,
             ..TransientOptions::default()
         };
-        let benr = run_transient(&circuit, Method::BackwardEuler, &options, &[])?;
-        let er = run_transient(&circuit, Method::ExponentialRosenbrock, &options, &[])?;
+        // Both methods share one session per sweep point (one DC solve).
+        let mut sim = Simulator::new(&circuit);
+        let benr = sim.transient(Method::BackwardEuler, &options, &[])?;
+        let er = sim.transient(Method::ExponentialRosenbrock, &options, &[])?;
         println!(
             "{:<15}  {:<6}  {:<6}  {:<11}  {:<7}  {:<10.2}  {:<8.2}",
             extra,

@@ -1,10 +1,12 @@
-//! Quickstart: build a small RC circuit, run a transient analysis with the
-//! exponential Rosenbrock–Euler method and print the output waveform.
+//! Quickstart: build a small RC circuit, open a `Simulator` session, run a
+//! transient analysis with the exponential Rosenbrock–Euler method and print
+//! the output waveform — then run BENR on the same session, reusing the DC
+//! solution and the cached symbolic LU analysis.
 //!
 //! Run with: `cargo run -p exi-sim --example quickstart`
 
 use exi_netlist::{Circuit, Waveform};
-use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sim::{Method, SimError, Simulator, TransientOptions};
 
 fn main() -> Result<(), SimError> {
     // A 1 kΩ / 1 pF low-pass filter driven by a 1 V pulse.
@@ -21,6 +23,11 @@ fn main() -> Result<(), SimError> {
     circuit.add_resistor("R1", vin, out, 1e3)?;
     circuit.add_capacitor("C1", out, gnd, 1e-12)?;
 
+    // A session owns all reusable solver state: the DC operating point, the
+    // symbolic LU analyses and the Krylov workspace arena. Every run on this
+    // circuit shares them.
+    let mut sim = Simulator::new(&circuit);
+
     // Simulate 5 ns with the ER method and probe the output node.
     let options = TransientOptions {
         t_stop: 5e-9,
@@ -29,7 +36,7 @@ fn main() -> Result<(), SimError> {
         error_budget: 1e-4,
         ..TransientOptions::default()
     };
-    let result = run_transient(&circuit, Method::ExponentialRosenbrock, &options, &["out"])?;
+    let result = sim.transient(Method::ExponentialRosenbrock, &options, &["out"])?;
 
     println!(
         "# ER transient of an RC low-pass ({} accepted steps)",
@@ -45,5 +52,19 @@ fn main() -> Result<(), SimError> {
     for (t, v) in result.waveform(p) {
         println!("{t:.4e}  {v:.6}");
     }
+
+    // A second run on the same session — here with the BENR baseline — skips
+    // the DC solve entirely and reuses every cache the first run built.
+    let benr = sim.transient(Method::BackwardEuler, &options, &["out"])?;
+    println!(
+        "# BENR cross-check: {} steps, max deviation {:.2e} V",
+        benr.stats.accepted_steps,
+        benr.max_error_vs(&result, p)
+    );
+    println!(
+        "# session totals: {} runs, {} symbolic LU analyses",
+        sim.completed_runs(),
+        sim.session_stats().symbolic_analyses
+    );
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! transient analysis, checked against analytic solutions.
 
 use exi_netlist::{parse_netlist, Circuit, Waveform};
-use exi_sim::{dc_operating_point, run_transient, DcOptions, Method, TransientOptions};
+use exi_sim::{dc_operating_point, DcOptions, Method, Simulator, TransientOptions};
 
 /// RC charging through a ramp source, compared with the analytic response at
 /// the accepted time points of each method.
@@ -27,8 +27,9 @@ fn rc_charging_matches_analytic_solution_for_all_methods() {
         error_budget: 1e-3,
         ..TransientOptions::default()
     };
+    let mut sim = Simulator::new(&ckt);
     for method in Method::all() {
-        let result = run_transient(&ckt, method, &options, &["out"]).unwrap();
+        let result = sim.transient(method, &options, &["out"]).unwrap();
         let p = result.probe_index("out").unwrap();
         let mut worst = 0.0_f64;
         for (t, got) in result.waveform(p) {
@@ -64,8 +65,13 @@ fn parsed_netlist_simulates_end_to_end() {
         error_budget: 1e-4,
         ..TransientOptions::default()
     };
-    let er = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &["out"]).unwrap();
-    let benr = run_transient(&ckt, Method::BackwardEuler, &options, &["out"]).unwrap();
+    let mut sim = Simulator::new(&ckt);
+    let er = sim
+        .transient(Method::ExponentialRosenbrock, &options, &["out"])
+        .unwrap();
+    let benr = sim
+        .transient(Method::BackwardEuler, &options, &["out"])
+        .unwrap();
     let p = er.probe_index("out").unwrap();
     // Output follows the input pulse towards 1 V and the two methods agree.
     assert!(er.sample_at(p, 2e-9) > 0.9);
@@ -95,7 +101,9 @@ fn dc_point_is_a_transient_fixed_point() {
         error_budget: 1e-4,
         ..TransientOptions::default()
     };
-    let result = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &["d"]).unwrap();
+    let result = Simulator::new(&ckt)
+        .transient(Method::ExponentialRosenbrock, &options, &["d"])
+        .unwrap();
     let p = result.probe_index("d").unwrap();
     let v0 = dc.state[ckt.unknown_of("d").unwrap()];
     for (_, v) in result.waveform(p) {

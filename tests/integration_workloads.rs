@@ -2,7 +2,7 @@
 //! analogue circuits and the structural claims behind Fig. 1.
 
 use exi_netlist::generators::{coupled_lines, power_grid, CoupledLinesSpec, PowerGridSpec};
-use exi_sim::{run_transient, Method, SimError, TransientOptions};
+use exi_sim::{Method, SimError, Simulator, TransientOptions};
 use exi_sparse::{factor_fill, CsrMatrix, OrderingMethod, SparseError};
 
 fn quick_options(t_stop: f64) -> TransientOptions {
@@ -57,7 +57,7 @@ fn er_completes_where_budgeted_benr_cannot() {
     let n = ckt.num_unknowns();
     let mut options = quick_options(4e-10);
     options.fill_budget = Some(12 * n);
-    let benr = run_transient(&ckt, Method::BackwardEuler, &options, &[]);
+    let benr = Simulator::new(&ckt).transient(Method::BackwardEuler, &options, &[]);
     assert!(
         matches!(
             benr,
@@ -66,7 +66,9 @@ fn er_completes_where_budgeted_benr_cannot() {
         "budgeted BENR should fail on the coupled case, got {benr:?}"
     );
     // ER with the same budget succeeds because it only factorizes G.
-    let er = run_transient(&ckt, Method::ExponentialRosenbrock, &options, &[]).unwrap();
+    let er = Simulator::new(&ckt)
+        .transient(Method::ExponentialRosenbrock, &options, &[])
+        .unwrap();
     assert!(er.stats.accepted_steps > 5);
     assert!(er.final_state.iter().all(|v| v.is_finite()));
 }
@@ -83,8 +85,11 @@ fn power_grid_transient_is_physical() {
     };
     let ckt = power_grid(&spec).unwrap();
     let observed = "g_3_3";
+    let mut sim = Simulator::new(&ckt);
     for method in [Method::BackwardEuler, Method::ExponentialRosenbrock] {
-        let result = run_transient(&ckt, method, &quick_options(2e-9), &[observed]).unwrap();
+        let result = sim
+            .transient(method, &quick_options(2e-9), &[observed])
+            .unwrap();
         let p = result.probe_index(observed).unwrap();
         for (t, v) in result.waveform(p) {
             assert!(
@@ -107,13 +112,13 @@ fn er_power_grid_run_reuses_a_single_symbolic_analysis() {
         ..PowerGridSpec::default()
     };
     let ckt = power_grid(&spec).unwrap();
-    let result = run_transient(
-        &ckt,
-        Method::ExponentialRosenbrock,
-        &quick_options(2e-9),
-        &["g_4_4"],
-    )
-    .unwrap();
+    let result = Simulator::new(&ckt)
+        .transient(
+            Method::ExponentialRosenbrock,
+            &quick_options(2e-9),
+            &["g_4_4"],
+        )
+        .unwrap();
     let s = &result.stats;
     assert!(s.accepted_steps > 5);
     assert_eq!(s.symbolic_analyses, 1, "{s:?}");
@@ -127,13 +132,9 @@ fn er_power_grid_run_reuses_a_single_symbolic_analysis() {
         "{s:?}"
     );
     // Waveform is still the physical one (cross-check against BENR).
-    let benr = run_transient(
-        &ckt,
-        Method::BackwardEuler,
-        &quick_options(2e-9),
-        &["g_4_4"],
-    )
-    .unwrap();
+    let benr = Simulator::new(&ckt)
+        .transient(Method::BackwardEuler, &quick_options(2e-9), &["g_4_4"])
+        .unwrap();
     let p = result.probe_index("g_4_4").unwrap();
     let err = result.rms_error_vs(&benr, p);
     assert!(err < 1e-3, "ER vs BENR rms error {err}");
@@ -151,13 +152,13 @@ fn seeded_workloads_are_reproducible() {
     let run = || {
         let ckt = coupled_lines(&spec).unwrap();
         let node = "l0_7";
-        let r = run_transient(
-            &ckt,
-            Method::ExponentialRosenbrock,
-            &quick_options(3e-10),
-            &[node],
-        )
-        .unwrap();
+        let r = Simulator::new(&ckt)
+            .transient(
+                Method::ExponentialRosenbrock,
+                &quick_options(3e-10),
+                &[node],
+            )
+            .unwrap();
         r.final_state
     };
     let a = run();
