@@ -1,0 +1,84 @@
+//! Criterion bench for the batch-sweep subsystem: the same six-corner
+//! power-grid sweep executed as (a) isolated sequential sessions, (b) a
+//! one-worker batch (measures batch overhead + shared-cache benefit), and
+//! (c) a multi-worker batch (adds the parallel speedup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_netlist::generators::{power_grid, PowerGridSpec};
+use exi_sim::{BatchJob, BatchPlan, BatchRunner, Method, Simulator, TransientOptions};
+
+const JOBS: usize = 6;
+
+fn sweep_options(k: usize) -> TransientOptions {
+    TransientOptions {
+        t_stop: 4e-10,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        error_budget: 1e-3 / (1.0 + k as f64 * 0.2),
+        ..TransientOptions::default()
+    }
+}
+
+fn sweep_plan() -> BatchPlan {
+    let mut plan = BatchPlan::new();
+    for k in 0..JOBS {
+        let circuit = power_grid(&PowerGridSpec {
+            rows: 6,
+            cols: 6,
+            num_sinks: 6,
+            ..PowerGridSpec::default()
+        })
+        .expect("power grid builds");
+        plan.push(
+            BatchJob::new(
+                format!("corner{k}"),
+                circuit,
+                Method::ExponentialRosenbrock,
+                sweep_options(k),
+            )
+            .probe("g_3_3"),
+        );
+    }
+    plan
+}
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let plan = sweep_plan();
+    let mut group = c.benchmark_group("batch_sweep");
+    group.sample_size(10);
+
+    // Isolated sequential sessions: N symbolic analyses, no sharing.
+    group.bench_function("sequential_sessions", |b| {
+        b.iter(|| {
+            for job in plan.jobs() {
+                Simulator::new(&job.circuit)
+                    .transient(job.method, &job.options, &["g_3_3"])
+                    .expect("sequential run");
+            }
+        })
+    });
+
+    // One worker: same wall-clock shape as sequential, but the fleet shares
+    // one symbolic analysis through the cache.
+    group.bench_function("batch_1_worker", |b| {
+        b.iter(|| {
+            let result = BatchRunner::new().worker_threads(1).run(&plan);
+            assert!(result.all_ok());
+            result
+        })
+    });
+
+    // Multi-worker: shared analysis plus parallel execution.
+    group.bench_function("batch_4_workers", |b| {
+        b.iter(|| {
+            let result = BatchRunner::new().worker_threads(4).run(&plan);
+            assert!(result.all_ok());
+            result
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sweep);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Batch-sweep throughput harness: a Monte-Carlo corner sweep of one
+//! power-grid topology through the [`exi_sim::BatchRunner`], at one worker
+//! thread and at full parallelism.
+//!
+//! Reports the fleet-level amortization (one symbolic analysis for the whole
+//! sweep, `shared_symbolic_hits` for everything else) and the parallel
+//! speedup, and writes the machine-readable **`BENCH_sweep.json`** so
+//! successive revisions have a sweep-throughput trajectory to regress
+//! against (the batch analogue of `BENCH_table1.json`).
+//!
+//! Usage: `cargo run --release -p exi-bench --bin sweep [jobs] [threads]`
+//! (`jobs` defaults to 12, `threads` to the hardware parallelism)
+
+use exi_netlist::generators::{power_grid, PowerGridSpec};
+use exi_sim::{BatchPlan, BatchResult, BatchRunner, Method, TransientOptions};
+
+/// File the machine-readable results are written to (working directory).
+const JSON_OUTPUT: &str = "BENCH_sweep.json";
+
+fn sweep_plan(jobs: usize) -> BatchPlan {
+    let mut plan = BatchPlan::new();
+    for k in 0..jobs {
+        // Monte-Carlo corners: same 24x24 grid topology, varied sink load
+        // and placement — the regime where the shared symbolic cache turns N
+        // analyses into one.
+        let spec = PowerGridSpec {
+            rows: 24,
+            cols: 24,
+            num_sinks: 48,
+            sink_current: 4e-3 + 0.5e-3 * (k % 4) as f64,
+            seed: 100 + k as u64,
+            ..PowerGridSpec::default()
+        };
+        let circuit = power_grid(&spec).expect("power grid builds");
+        let options = TransientOptions {
+            t_stop: 4e-9,
+            h_init: 1e-12,
+            h_max: 2e-11,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        };
+        plan.push(
+            exi_sim::BatchJob::new(
+                format!(
+                    "mc{k} isink={:.1}mA seed={}",
+                    spec.sink_current * 1e3,
+                    spec.seed
+                ),
+                circuit,
+                Method::ExponentialRosenbrock,
+                options,
+            )
+            .probe("g_5_5"),
+        );
+    }
+    plan
+}
+
+fn jobs_json(result: &BatchResult) -> String {
+    let rows: Vec<String> = result
+        .jobs
+        .iter()
+        .map(|j| match &j.result {
+            Ok(_) => format!(
+                concat!(
+                    "    {{\"label\":\"{}\",\"status\":\"ok\",\"steps\":{},",
+                    "\"lu_factorizations\":{},\"shared_symbolic_hits\":{},\"runtime_s\":{:.6}}}"
+                ),
+                j.label,
+                j.stats.accepted_steps,
+                j.stats.lu_factorizations,
+                j.stats.shared_symbolic_hits,
+                j.stats.runtime_seconds()
+            ),
+            Err(e) => format!(
+                "    {{\"label\":\"{}\",\"status\":\"failed\",\"error\":\"{}\"}}",
+                j.label,
+                e.to_string().replace('"', "'")
+            ),
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+fn merged_json(result: &BatchResult) -> String {
+    let s = &result.stats;
+    format!(
+        concat!(
+            "{{\"batch_jobs\":{},\"worker_threads\":{},\"accepted_steps\":{},",
+            "\"lu_factorizations\":{},\"symbolic_analyses\":{},\"lu_refactorizations\":{},",
+            "\"shared_symbolic_hits\":{},\"active_solver_s\":{:.6},\"wall_s\":{:.6}}}"
+        ),
+        s.batch_jobs,
+        s.worker_threads,
+        s.accepted_steps,
+        s.lu_factorizations,
+        s.symbolic_analyses,
+        s.lu_refactorizations,
+        s.shared_symbolic_hits,
+        s.runtime_seconds(),
+        result.wall_time.as_secs_f64(),
+    )
+}
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let runner = BatchRunner::new().worker_threads(threads);
+    let threads = runner.effective_worker_threads();
+    println!("batch sweep: {jobs} Monte-Carlo corners, 24x24 power grid, ER\n");
+
+    // Baseline: the identical plan at one worker.
+    let baseline = BatchRunner::new().worker_threads(1).run(&sweep_plan(jobs));
+    let parallel = runner.run(&sweep_plan(jobs));
+    for (tag, result) in [("1 thread", &baseline), ("parallel", &parallel)] {
+        let s = &result.stats;
+        println!(
+            "{tag:>9} ({} workers): wall {:.3} s | {} steps | {} LU ({} symbolic, {} shared hits) | {} failed",
+            s.worker_threads,
+            result.wall_time.as_secs_f64(),
+            s.accepted_steps,
+            s.lu_factorizations,
+            s.symbolic_analyses,
+            s.shared_symbolic_hits,
+            result.failed(),
+        );
+    }
+    let speedup = baseline.wall_time.as_secs_f64() / parallel.wall_time.as_secs_f64().max(1e-9);
+    let throughput = jobs as f64 / parallel.wall_time.as_secs_f64().max(1e-9);
+    println!("\nspeedup: {speedup:.2}x | throughput: {throughput:.1} jobs/s");
+    println!(
+        "fleet amortization: {} symbolic analyses for {} jobs ({} shared hits)",
+        parallel.stats.symbolic_analyses, jobs, parallel.stats.shared_symbolic_hits
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"jobs\": {},\n  \"worker_threads\": {},\n",
+            "  \"wall_s\": {:.6},\n  \"baseline_wall_s\": {:.6},\n",
+            "  \"speedup\": {:.3},\n  \"throughput_jobs_per_s\": {:.3},\n",
+            "  \"merged\": {},\n  \"baseline_merged\": {},\n",
+            "  \"jobs_detail\": [\n{}\n  ]\n}}\n"
+        ),
+        jobs,
+        threads,
+        parallel.wall_time.as_secs_f64(),
+        baseline.wall_time.as_secs_f64(),
+        speedup,
+        throughput,
+        merged_json(&parallel),
+        merged_json(&baseline),
+        jobs_json(&parallel),
+    );
+    match std::fs::write(JSON_OUTPUT, &json) {
+        Ok(()) => println!("\nmachine-readable results written to {JSON_OUTPUT}"),
+        Err(e) => eprintln!("could not write {JSON_OUTPUT}: {e}"),
+    }
+}

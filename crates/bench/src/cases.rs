@@ -33,9 +33,12 @@ impl CaseSpec {
     ///
     /// # Errors
     ///
-    /// Propagates generator errors (invalid parameters).
+    /// Propagates generator errors (invalid parameters), wrapped with the
+    /// case name so sweep/batch failure reports name the offending case
+    /// (e.g. `while building spec 'tc6': while building spec
+    /// 'coupled_lines': …`).
     pub fn build(&self) -> Result<Circuit, NetlistError> {
-        coupled_lines(&self.spec)
+        coupled_lines(&self.spec).map_err(|e| e.in_spec(self.name))
     }
 
     /// The node observed when recording waveforms for this case.

@@ -11,8 +11,10 @@
 //!   row counters.
 //!
 //! The binaries `fig1`, `fig2`, `table1` and `krylov_ablation` print the
-//! corresponding artifact; the Criterion benches under `benches/` time the
-//! same kernels on reduced sizes.
+//! corresponding artifact; `sweep` runs a Monte-Carlo batch sweep through
+//! `exi_sim::BatchRunner` and writes `BENCH_sweep.json` (fleet-level
+//! symbolic-reuse counters plus parallel speedup). The Criterion benches
+//! under `benches/` time the same kernels on reduced sizes.
 
 pub mod cases;
 pub mod runner;

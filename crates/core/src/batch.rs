@@ -1,0 +1,828 @@
+//! Parallel batch execution of simulation jobs with fleet-wide symbolic
+//! reuse.
+//!
+//! The paper's headline win amortizes one symbolic LU analysis across an
+//! entire exponential-integrator run; the [`Simulator`] session extends that
+//! across consecutive runs on one topology. This module scales the same
+//! amortization across a **fleet of concurrent jobs**: a [`BatchPlan`]
+//! describes N independent analyses (parameter sweeps, Monte-Carlo corners,
+//! per-user requests), and a [`BatchRunner`] executes them over a pool of
+//! `std::thread` workers whose sessions all pool their symbolic analyses in
+//! one [`exi_sparse::SymbolicCache`]. Same-pattern jobs — no matter which
+//! thread they land on — perform **one** symbolic analysis total; the merged
+//! [`RunStats`] expose the effect through
+//! [`RunStats::shared_symbolic_hits`], [`RunStats::batch_jobs`] and
+//! [`RunStats::worker_threads`].
+//!
+//! # Determinism
+//!
+//! Batch output is deterministic and independent of the worker-thread count.
+//! Two mechanisms guarantee this:
+//!
+//! 1. **Deterministic pilots.** Jobs are grouped up front by the
+//!    fingerprints of every matrix pattern they will factorize — the
+//!    conductance pattern `G` for all jobs, plus the implicit-Jacobian
+//!    pattern (structural union of `C` and `G`) for BE/TR jobs — using the
+//!    same [`exi_sparse::pattern_fingerprint`] the shared cache keys its
+//!    slots by. The runner then executes barrier-separated waves: for each
+//!    pattern that lacks a published analysis, the lowest-index
+//!    not-yet-run job of its group runs as the pattern's pilot (a failed
+//!    pilot promotes the group's next candidate into a fresh wave), and
+//!    only once every pattern is published — or its group exhausted — does
+//!    the bulk wave run everything else. Which job pilots each pattern is
+//!    therefore a function of the plan, never of thread scheduling.
+//! 2. **Bit-exact numeric derivation.** A worker that hits the shared cache
+//!    derives its factor with [`exi_sparse::SparseLu::from_symbolic`], which
+//!    replays the pilot's elimination in the recorded operation order. For
+//!    jobs whose first-factorization values equal the pilot's (the
+//!    same-topology sweep case: every run's first factorization is the DC
+//!    Newton start at `x = 0`), the derived factor — and hence the entire
+//!    run — is bit-for-bit identical to an isolated sequential
+//!    [`Simulator`] run.
+//!
+//! Jobs that share a pattern but not matrix *values* (e.g. Monte-Carlo
+//! resistance corners) still run deterministically at any thread count, but
+//! their frozen-pivot numerics may differ from an isolated run's by
+//! round-off; `tests/proptest_batch.rs` pins down the exact contract.
+//!
+//! # Example
+//!
+//! ```
+//! use exi_netlist::generators::{rc_ladder, RcLadderSpec};
+//! use exi_sim::{BatchJob, BatchPlan, BatchRunner, Method, TransientOptions};
+//!
+//! # fn main() -> Result<(), exi_sim::SimError> {
+//! let mut plan = BatchPlan::new();
+//! for budget in [1e-3, 5e-4, 1e-4] {
+//!     let circuit = rc_ladder(&RcLadderSpec::default())?;
+//!     let options = TransientOptions {
+//!         error_budget: budget,
+//!         ..TransientOptions::new(1e-9, 1e-12)
+//!     };
+//!     plan.push(
+//!         BatchJob::new(format!("budget={budget:.0e}"), circuit, Method::default(), options)
+//!             .probe("n10"),
+//!     );
+//! }
+//! let result = BatchRunner::new().worker_threads(2).run(&plan);
+//! assert!(result.all_ok());
+//! // Three same-topology jobs, one symbolic analysis for the whole fleet.
+//! assert_eq!(result.stats.symbolic_analyses, 1);
+//! assert_eq!(result.stats.shared_symbolic_hits, 2);
+//! assert_eq!(result.stats.batch_jobs, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exi_netlist::Circuit;
+use exi_sparse::{pattern_fingerprint, CsrMatrix, OrderingMethod, SymbolicCache};
+
+use crate::engines::resolve_probes;
+use crate::error::SimResult;
+use crate::observer::{DecimatedWaveform, StreamingObserver};
+use crate::options::TransientOptions;
+use crate::output::TransientResult;
+use crate::session::Simulator;
+use crate::stats::RunStats;
+use crate::transient::Method;
+
+/// How a batch job captures its waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSink {
+    /// Record every accepted point into a [`TransientResult`] (the
+    /// [`crate::RecordingObserver`] path; memory grows with the step count).
+    Record,
+    /// Stream through a [`StreamingObserver`] retaining at most `capacity`
+    /// points with stride-doubling decimation — fixed memory for arbitrarily
+    /// long sweep members.
+    Stream {
+        /// Maximum number of retained points (minimum 2).
+        capacity: usize,
+    },
+}
+
+/// One entry of a [`BatchPlan`]: a circuit variant plus everything needed to
+/// run it.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Human-readable job label, carried into [`JobOutcome`] and failure
+    /// reports.
+    pub label: String,
+    /// The circuit to simulate (typically an [`exi_netlist::generators`]
+    /// variant; each job owns its circuit so workers never share mutable
+    /// state).
+    pub circuit: Circuit,
+    /// Integration method for this job.
+    pub method: Method,
+    /// Per-job transient options.
+    pub options: TransientOptions,
+    /// Node names to record.
+    pub probes: Vec<String>,
+    /// Waveform capture strategy.
+    pub sink: JobSink,
+}
+
+impl BatchJob {
+    /// Creates a job recording every accepted point and no probes.
+    pub fn new(
+        label: impl Into<String>,
+        circuit: Circuit,
+        method: Method,
+        options: TransientOptions,
+    ) -> Self {
+        BatchJob {
+            label: label.into(),
+            circuit,
+            method,
+            options,
+            probes: Vec::new(),
+            sink: JobSink::Record,
+        }
+    }
+
+    /// Adds a probed node name.
+    #[must_use]
+    pub fn probe(mut self, name: impl Into<String>) -> Self {
+        self.probes.push(name.into());
+        self
+    }
+
+    /// Switches the job to a fixed-memory streaming sink retaining at most
+    /// `capacity` points.
+    #[must_use]
+    pub fn streaming(mut self, capacity: usize) -> Self {
+        self.sink = JobSink::Stream { capacity };
+        self
+    }
+}
+
+/// An ordered collection of [`BatchJob`]s to execute together.
+#[derive(Debug, Clone, Default)]
+pub struct BatchPlan {
+    jobs: Vec<BatchJob>,
+}
+
+impl BatchPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        BatchPlan::default()
+    }
+
+    /// Appends a job; results come back in submission order regardless of
+    /// which worker runs what.
+    pub fn push(&mut self, job: BatchJob) -> &mut Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Number of jobs in the plan.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` when the plan holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in submission order.
+    pub fn jobs(&self) -> &[BatchJob] {
+        &self.jobs
+    }
+}
+
+/// The waveform a finished job produced, matching its [`JobSink`].
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Every accepted point ([`JobSink::Record`]).
+    Recorded(TransientResult),
+    /// The fixed-memory decimated view ([`JobSink::Stream`]).
+    Streamed(DecimatedWaveform),
+}
+
+/// Result of one batch job: per-job error isolation means a failed job
+/// carries its error (and the statistics of the work it did) without
+/// affecting any other entry.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's label.
+    pub label: String,
+    /// The method that ran.
+    pub method: Method,
+    /// The waveform, or the error that stopped the job.
+    pub result: SimResult<JobOutput>,
+    /// The job's session statistics — populated for failed jobs too (the
+    /// partial work happened and is part of the batch totals).
+    pub stats: RunStats,
+}
+
+impl JobOutcome {
+    /// Returns `true` when the job completed.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The recorded waveform, when the job completed with a
+    /// [`JobSink::Record`] sink.
+    pub fn recorded(&self) -> Option<&TransientResult> {
+        match &self.result {
+            Ok(JobOutput::Recorded(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The decimated waveform, when the job completed with a
+    /// [`JobSink::Stream`] sink.
+    pub fn streamed(&self) -> Option<&DecimatedWaveform> {
+        match &self.result {
+            Ok(JobOutput::Streamed(w)) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a finished batch produced, in submission order.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One outcome per submitted job, index-aligned with the plan.
+    pub jobs: Vec<JobOutcome>,
+    /// Merged statistics: per-job counters summed ([`RunStats::absorb`]) plus
+    /// the batch-level [`RunStats::batch_jobs`] and
+    /// [`RunStats::worker_threads`]. Note `stats.runtime` sums *active solver
+    /// time across workers*; see [`BatchResult::wall_time`] for elapsed time.
+    pub stats: RunStats,
+    /// Wall-clock duration of the whole batch (what a throughput number
+    /// should divide by).
+    pub wall_time: Duration,
+}
+
+impl BatchResult {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of failed jobs.
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.is_ok()).count()
+    }
+
+    /// Returns `true` when every job completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed() == 0
+    }
+}
+
+/// Batch-level progress hook, the fleet analogue of the per-step
+/// [`crate::Observer`]: callbacks fire from worker threads as jobs start and
+/// finish (hence `&self` + [`Sync`]), and per-job waveform streaming remains
+/// available through [`JobSink::Stream`].
+pub trait BatchObserver: Sync {
+    /// Job `index` (submission order) began executing on some worker.
+    fn on_job_started(&self, index: usize, label: &str) {
+        let _ = (index, label);
+    }
+
+    /// Job `index` finished (successfully or not).
+    fn on_job_finished(&self, index: usize, outcome: &JobOutcome) {
+        let _ = (index, outcome);
+    }
+
+    /// The whole batch finished; receives the merged statistics.
+    fn on_batch_finished(&self, stats: &RunStats) {
+        let _ = stats;
+    }
+}
+
+/// A [`BatchObserver`] that ignores every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullBatchObserver;
+
+impl BatchObserver for NullBatchObserver {}
+
+/// A lock-free counting [`BatchObserver`] for progress reporting: started,
+/// finished and failed job counts, readable from any thread while the batch
+/// runs.
+#[derive(Debug, Default)]
+pub struct BatchProgress {
+    started: AtomicUsize,
+    finished: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl BatchProgress {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        BatchProgress::default()
+    }
+
+    /// Jobs that have started executing.
+    pub fn started(&self) -> usize {
+        self.started.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Jobs that have finished (successfully or not).
+    pub fn finished(&self) -> usize {
+        self.finished.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Jobs that finished with an error.
+    pub fn failed(&self) -> usize {
+        self.failed.load(AtomicOrdering::Relaxed)
+    }
+}
+
+impl BatchObserver for BatchProgress {
+    fn on_job_started(&self, _index: usize, _label: &str) {
+        self.started.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    fn on_job_finished(&self, _index: usize, outcome: &JobOutcome) {
+        if !outcome.is_ok() {
+            self.failed.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        self.finished.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+}
+
+/// Executes a [`BatchPlan`] over a scoped worker pool with one shared
+/// symbolic cache (see the module docs for the determinism contract).
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    worker_threads: usize,
+    shared: Arc<SymbolicCache>,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// Creates a runner with a fresh shared cache and as many workers as the
+    /// machine offers (`std::thread::available_parallelism`).
+    pub fn new() -> Self {
+        BatchRunner {
+            worker_threads: 0,
+            shared: Arc::new(SymbolicCache::new()),
+        }
+    }
+
+    /// Sets the worker-thread count; `0` restores the hardware default.
+    /// Results are identical for every value — only wall-clock time changes.
+    #[must_use]
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Replaces the symbolic cache, pooling this batch's analyses with other
+    /// batches (or hand-rolled [`Simulator::with_shared_symbolic`] sessions)
+    /// holding the same cache.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<SymbolicCache>) -> Self {
+        self.shared = cache;
+        self
+    }
+
+    /// The symbolic cache this runner hands to its workers.
+    pub fn cache(&self) -> &Arc<SymbolicCache> {
+        &self.shared
+    }
+
+    /// The effective worker count [`BatchRunner::run`] will use.
+    pub fn effective_worker_threads(&self) -> usize {
+        if self.worker_threads > 0 {
+            self.worker_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Runs every job of `plan` and collects submission-ordered outcomes.
+    pub fn run(&self, plan: &BatchPlan) -> BatchResult {
+        self.run_observed(plan, &NullBatchObserver)
+    }
+
+    /// As [`BatchRunner::run`], reporting progress to `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (a panicking *simulation* is a
+    /// bug, not a job failure; job-level errors are isolated in
+    /// [`JobOutcome::result`]).
+    pub fn run_observed(&self, plan: &BatchPlan, observer: &dyn BatchObserver) -> BatchResult {
+        let started = Instant::now();
+        let threads = self.effective_worker_threads();
+        let jobs = plan.jobs();
+        let mut slots: Vec<Option<JobOutcome>> = jobs.iter().map(|_| None).collect();
+
+        // --- Pattern grouping (main thread, deterministic). ---
+        // Group jobs by the fingerprints of the matrix patterns they will
+        // factorize — the conductance pattern `G` for every job, plus the
+        // implicit-Jacobian pattern (structural union of `C` and `G`) for
+        // BE/TR jobs — so each pattern's pilot analysis is performed by a
+        // job chosen from the plan, never by whichever worker happens to
+        // reach the cache first. The fingerprints come from the same
+        // `exi_sparse::pattern_fingerprint` the cache keys its slots by.
+        let mut g_queues: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
+        let mut jac_queues: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
+        // Every job that would publish a key when it runs successfully —
+        // used by the satisfied-check, because a Jacobian pattern can
+        // coincide with a G pattern some earlier pilot already published.
+        let mut publishers: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match job_fingerprints(job) {
+                Ok(keys) => {
+                    g_queues.entry(keys.g).or_default().push(i);
+                    publishers.entry(keys.g).or_default().push(i);
+                    if let Some(jac) = keys.jac {
+                        jac_queues.entry(jac).or_default().push(i);
+                        if jac != keys.g {
+                            publishers.entry(jac).or_default().push(i);
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The circuit cannot even be evaluated: fail the job here
+                    // (error isolation) and keep it out of every wave.
+                    observer.on_job_started(i, &job.label);
+                    let outcome = JobOutcome {
+                        label: job.label.clone(),
+                        method: job.method,
+                        result: Err(e),
+                        stats: RunStats::new(),
+                    };
+                    observer.on_job_finished(i, &outcome);
+                    slots[i] = Some(outcome);
+                }
+            }
+        }
+
+        // --- Pilot waves, then the bulk wave, over the worker pool. ---
+        // Wave phase 1 elects one pilot per distinct G pattern (the
+        // lowest-index not-yet-run job of the group); phase 2 does the same
+        // per distinct implicit-Jacobian pattern. A failed pilot does not
+        // wedge its group: the next candidate is promoted into a fresh
+        // barrier-separated wave (still a function of the plan alone —
+        // whether a job fails is deterministic), so pilot identity never
+        // depends on thread scheduling. Phase 3 runs everything else; by
+        // then every pattern any job needs is published, so workers only
+        // read the cache.
+        for queues in [&g_queues, &jac_queues] {
+            loop {
+                let wave = elect_pilots(queues, &publishers, &slots);
+                if wave.is_empty() {
+                    break;
+                }
+                for (i, outcome) in self.run_wave(jobs, &wave, threads, observer) {
+                    slots[i] = Some(outcome);
+                }
+            }
+        }
+        let rest: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+        for (i, outcome) in self.run_wave(jobs, &rest, threads, observer) {
+            slots[i] = Some(outcome);
+        }
+
+        // --- Merge, in submission order. ---
+        let outcomes: Vec<JobOutcome> = slots
+            .into_iter()
+            .map(|s| s.expect("every job executed in exactly one wave"))
+            .collect();
+        let mut stats = RunStats::new();
+        for outcome in &outcomes {
+            stats.absorb(&outcome.stats);
+        }
+        stats.batch_jobs = outcomes.len();
+        stats.worker_threads = threads;
+        observer.on_batch_finished(&stats);
+        BatchResult {
+            jobs: outcomes,
+            stats,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    /// Runs one wave of job indices across up to `threads` scoped workers.
+    fn run_wave(
+        &self,
+        jobs: &[BatchJob],
+        indices: &[usize],
+        threads: usize,
+        observer: &dyn BatchObserver,
+    ) -> Vec<(usize, JobOutcome)> {
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        let workers = threads.min(indices.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let shared = &self.shared;
+        let mut results = Vec::with_capacity(indices.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                            let Some(&i) = indices.get(k) else { break };
+                            let job = &jobs[i];
+                            observer.on_job_started(i, &job.label);
+                            let outcome = execute_job(job, shared);
+                            observer.on_job_finished(i, &outcome);
+                            local.push((i, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("batch worker panicked"));
+            }
+        });
+        results
+    }
+}
+
+/// Grouping key for pilot election: the cache's own pattern fingerprint plus
+/// the fill-reducing ordering (a different ordering is a different cache
+/// slot). `Ord` so wave composition iterates in a stable order.
+type PatternKey = (u64, OrderingMethod);
+
+/// The matrix patterns one job will ask the shared cache for.
+#[derive(Debug, Clone, Copy)]
+struct JobKeys {
+    /// The conductance pattern `G` — factorized by every job (DC solve and
+    /// the ER step loop).
+    g: PatternKey,
+    /// The implicit-Jacobian pattern (structural union of `C` and `G`) for
+    /// BE/TR jobs. On circuits where `nnz(C) ⊆ nnz(G)` this equals `g` and
+    /// the same analysis serves both matrix roles.
+    jac: Option<PatternKey>,
+}
+
+/// Whether `method` factorizes the implicit Jacobian `C/h + θG` (a second
+/// matrix pattern beyond `G`).
+fn uses_implicit_jacobian(method: Method) -> bool {
+    matches!(method, Method::BackwardEuler | Method::Trapezoidal)
+}
+
+/// Fingerprints of the matrix patterns `job` will factorize, computed with
+/// [`exi_sparse::pattern_fingerprint`] — the exact grouping the shared cache
+/// uses. Costs one device evaluation at `x = 0` (plus one structural matrix
+/// add for implicit jobs) per job — negligible against a transient run.
+fn job_fingerprints(job: &BatchJob) -> SimResult<JobKeys> {
+    let x = vec![0.0; job.circuit.num_unknowns()];
+    let ev = job.circuit.evaluate(&x)?;
+    let ordering = job.options.ordering;
+    let jac = if uses_implicit_jacobian(job.method) {
+        let union = CsrMatrix::linear_combination(1.0, &ev.c, 1.0, &ev.g)?;
+        Some((pattern_fingerprint(&union), ordering))
+    } else {
+        None
+    };
+    Ok(JobKeys {
+        g: (pattern_fingerprint(&ev.g), ordering),
+        jac,
+    })
+}
+
+/// One pilot per pattern that still lacks a finished **successful**
+/// publisher: the lowest-index not-yet-run member of each such group.
+/// Returns an empty wave once every pattern is either published or out of
+/// candidates.
+fn elect_pilots(
+    queues: &BTreeMap<PatternKey, Vec<usize>>,
+    publishers: &BTreeMap<PatternKey, Vec<usize>>,
+    slots: &[Option<JobOutcome>],
+) -> Vec<usize> {
+    let mut wave = Vec::new();
+    for (key, members) in queues {
+        let satisfied = publishers.get(key).is_some_and(|all| {
+            all.iter()
+                .any(|&i| matches!(&slots[i], Some(outcome) if outcome.is_ok()))
+        });
+        if satisfied {
+            continue;
+        }
+        if let Some(&candidate) = members.iter().find(|&&i| slots[i].is_none()) {
+            wave.push(candidate);
+        }
+    }
+    // Two patterns may elect the same job (e.g. a BE job piloting both its G
+    // and its distinct Jacobian pattern); dedup keeps the wave a set.
+    wave.sort_unstable();
+    wave.dedup();
+    wave
+}
+
+/// Runs one job in its own pooled session.
+fn execute_job(job: &BatchJob, shared: &Arc<SymbolicCache>) -> JobOutcome {
+    let mut sim = Simulator::with_shared_symbolic(&job.circuit, Arc::clone(shared));
+    let probe_refs: Vec<&str> = job.probes.iter().map(String::as_str).collect();
+    let result = match job.sink {
+        JobSink::Record => sim
+            .transient(job.method, &job.options, &probe_refs)
+            .map(JobOutput::Recorded),
+        JobSink::Stream { capacity } => {
+            resolve_probes(&job.circuit, &probe_refs).and_then(|probes| {
+                let mut streaming = StreamingObserver::new(probes, capacity);
+                sim.transient_observed(job.method, &job.options, &mut streaming)?;
+                Ok(JobOutput::Streamed(streaming.into_waveform()))
+            })
+        }
+    };
+    JobOutcome {
+        label: job.label.clone(),
+        method: job.method,
+        result,
+        stats: sim.session_stats().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::Waveform;
+
+    fn rc_circuit(r: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source(
+            "Vin",
+            vin,
+            gnd,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-11, 1.0)]),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", vin, out, r).unwrap();
+        ckt.add_capacitor("C1", out, gnd, 1e-13).unwrap();
+        ckt
+    }
+
+    fn options() -> TransientOptions {
+        TransientOptions {
+            t_stop: 5e-10,
+            h_init: 1e-12,
+            h_max: 2e-11,
+            error_budget: 1e-3,
+            ..TransientOptions::default()
+        }
+    }
+
+    #[test]
+    fn batch_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchPlan>();
+        assert_send_sync::<BatchJob>();
+        assert_send_sync::<BatchRunner>();
+        assert_send_sync::<BatchResult>();
+        assert_send_sync::<JobOutcome>();
+        assert_send_sync::<BatchProgress>();
+        assert_send_sync::<Circuit>();
+        assert_send_sync::<TransientResult>();
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_result() {
+        let result = BatchRunner::new().worker_threads(4).run(&BatchPlan::new());
+        assert!(result.is_empty());
+        assert_eq!(result.len(), 0);
+        assert!(result.all_ok());
+        assert_eq!(result.stats.batch_jobs, 0);
+        assert_eq!(result.stats.worker_threads, 4);
+    }
+
+    #[test]
+    fn same_topology_jobs_share_one_symbolic_analysis() {
+        let mut plan = BatchPlan::new();
+        for k in 0..4 {
+            plan.push(
+                BatchJob::new(
+                    format!("job{k}"),
+                    rc_circuit(1e3),
+                    Method::ExponentialRosenbrock,
+                    options(),
+                )
+                .probe("out"),
+            );
+        }
+        let result = BatchRunner::new().worker_threads(2).run(&plan);
+        assert!(result.all_ok());
+        assert_eq!(result.stats.batch_jobs, 4);
+        assert_eq!(result.stats.worker_threads, 2);
+        assert_eq!(result.stats.symbolic_analyses, 1, "{:?}", result.stats);
+        assert_eq!(result.stats.shared_symbolic_hits, 3);
+    }
+
+    #[test]
+    fn failed_job_does_not_poison_the_batch() {
+        let mut plan = BatchPlan::new();
+        plan.push(
+            BatchJob::new(
+                "good",
+                rc_circuit(1e3),
+                Method::ExponentialRosenbrock,
+                options(),
+            )
+            .probe("out"),
+        );
+        // Invalid options: h_init > t_stop.
+        let bad = TransientOptions {
+            h_init: 1.0,
+            ..options()
+        };
+        plan.push(BatchJob::new(
+            "bad-options",
+            rc_circuit(1e3),
+            Method::ExponentialRosenbrock,
+            bad,
+        ));
+        // Unknown probe name.
+        plan.push(
+            BatchJob::new(
+                "bad-probe",
+                rc_circuit(1e3),
+                Method::ExponentialRosenbrock,
+                options(),
+            )
+            .probe("nope"),
+        );
+        let result = BatchRunner::new().worker_threads(3).run(&plan);
+        assert_eq!(result.len(), 3);
+        assert_eq!(result.failed(), 2);
+        assert!(result.jobs[0].is_ok());
+        assert!(!result.jobs[1].is_ok());
+        assert!(!result.jobs[2].is_ok());
+        assert!(result.jobs[0].recorded().is_some());
+        assert_eq!(result.stats.batch_jobs, 3);
+    }
+
+    #[test]
+    fn progress_observer_counts_every_job() {
+        let mut plan = BatchPlan::new();
+        for k in 0..5 {
+            plan.push(BatchJob::new(
+                format!("j{k}"),
+                rc_circuit(1e3 + k as f64),
+                Method::ExponentialRosenbrock,
+                options(),
+            ));
+        }
+        plan.push(BatchJob::new(
+            "fails",
+            rc_circuit(1e3),
+            Method::ExponentialRosenbrock,
+            TransientOptions {
+                h_init: 1.0,
+                ..options()
+            },
+        ));
+        let progress = BatchProgress::new();
+        let result = BatchRunner::new()
+            .worker_threads(2)
+            .run_observed(&plan, &progress);
+        assert_eq!(progress.started(), 6);
+        assert_eq!(progress.finished(), 6);
+        assert_eq!(progress.failed(), 1);
+        assert_eq!(result.failed(), 1);
+    }
+
+    #[test]
+    fn streaming_sink_bounds_memory() {
+        let mut plan = BatchPlan::new();
+        plan.push(
+            BatchJob::new(
+                "stream",
+                rc_circuit(1e3),
+                Method::ExponentialRosenbrock,
+                options(),
+            )
+            .probe("out")
+            .streaming(8),
+        );
+        let result = BatchRunner::new().worker_threads(1).run(&plan);
+        assert!(result.all_ok());
+        let streamed = result.jobs[0].streamed().expect("streamed output");
+        assert!(streamed.len() < 8);
+        assert!(streamed.observed >= streamed.len());
+        assert!(streamed.stride.is_power_of_two());
+        assert!(result.jobs[0].recorded().is_none());
+    }
+}

@@ -15,7 +15,7 @@
 //! conductance pattern matches never pay for a second symbolic analysis.
 
 use exi_netlist::Circuit;
-use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu};
+use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu, SymbolicCache};
 
 use crate::engines::refresh_lu;
 use crate::error::{SimError, SimResult};
@@ -65,7 +65,14 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
     let mut stats = RunStats::new();
     let mut lu_cache: Option<SparseLu> = None;
     let mut lu_ws = LuWorkspace::new();
-    dc_operating_point_internal(circuit, options, &mut stats, &mut lu_cache, &mut lu_ws)
+    dc_operating_point_internal(
+        circuit,
+        options,
+        &mut stats,
+        &mut lu_cache,
+        None,
+        &mut lu_ws,
+    )
 }
 
 /// As [`dc_operating_point`], additionally accounting every device
@@ -73,12 +80,15 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
 /// running the Jacobian factorizations through a caller-owned LU cache and
 /// workspace — the [`crate::Simulator`] session passes its conductance-matrix
 /// cache here, so the symbolic analysis the DC solve performs is reused by
-/// every later transient step (and every later run).
+/// every later transient step (and every later run). A `shared` symbolic
+/// cache, when provided, additionally pools the analysis across concurrent
+/// sessions (see [`crate::BatchRunner`]).
 pub(crate) fn dc_operating_point_internal(
     circuit: &Circuit,
     options: &DcOptions,
     stats: &mut RunStats,
     lu_cache: &mut Option<SparseLu>,
+    shared: Option<&SymbolicCache>,
     lu_ws: &mut LuWorkspace,
 ) -> SimResult<DcSolution> {
     let n = circuit.num_unknowns();
@@ -120,7 +130,7 @@ pub(crate) fn dc_operating_point_internal(
         } else {
             ev.g.clone()
         };
-        refresh_lu(lu_cache, &jac, &lu_options, lu_ws, stats)?;
+        refresh_lu(lu_cache, shared, &jac, &lu_options, lu_ws, stats)?;
         let lu = lu_cache.as_ref().expect("refresh_lu populated the cache");
         lu.solve_into(&rhs, &mut delta, lu_ws)?;
         stats.linear_solves += 1;
@@ -239,9 +249,15 @@ mod tests {
         let mut stats = RunStats::new();
         let mut lu: Option<SparseLu> = None;
         let mut ws = LuWorkspace::new();
-        let dc =
-            dc_operating_point_internal(&ckt, &DcOptions::default(), &mut stats, &mut lu, &mut ws)
-                .unwrap();
+        let dc = dc_operating_point_internal(
+            &ckt,
+            &DcOptions::default(),
+            &mut stats,
+            &mut lu,
+            None,
+            &mut ws,
+        )
+        .unwrap();
         assert!(dc.iterations > 1);
         // At most one extra symbolic analysis when the Levenberg damping
         // kicks in and changes the Jacobian pattern; all other iterations

@@ -260,6 +260,7 @@ impl ErStepper<'_> {
         b.mul_vec_into(&u_k, &mut self.bu_k);
         refresh_lu(
             &mut caches.g_lu,
+            caches.shared.as_deref(),
             &eval_k.g,
             &self.lu_options,
             &mut caches.lu_ws,

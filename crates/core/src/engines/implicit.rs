@@ -232,6 +232,7 @@ impl ImplicitStepper<'_> {
                 let jac = CsrMatrix::linear_combination(1.0 / h_step, &ev.c, theta, &ev.g)?;
                 refresh_lu(
                     &mut caches.jac_lu,
+                    caches.shared.as_deref(),
                     &jac,
                     &self.lu_options,
                     &mut caches.lu_ws,

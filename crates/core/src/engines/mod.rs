@@ -18,7 +18,9 @@ pub mod er;
 pub mod implicit;
 
 use exi_netlist::Circuit;
-use exi_sparse::{CsrMatrix, LuOptions, LuWorkspace, SparseError, SparseLu};
+use exi_sparse::{
+    CsrMatrix, FactorSource, LuOptions, LuWorkspace, SparseError, SparseLu, SymbolicCache,
+};
 
 use crate::error::{SimError, SimResult};
 use crate::observer::Observer;
@@ -208,12 +210,20 @@ pub(crate) fn reached_end(t: f64, t_stop: f64) -> bool {
 /// refactorization path when `cache` already holds a factor whose symbolic
 /// analysis matches `a`'s sparsity pattern.
 ///
+/// When the local cache cannot serve the pattern, `shared` (the cross-session
+/// [`SymbolicCache`] a [`crate::BatchRunner`] hands to its workers) is
+/// consulted next: a hit derives the numeric factor from the published
+/// analysis — counted as a refactorization plus a
+/// [`RunStats::shared_symbolic_hits`] — and only a miss (or an unshared
+/// session) runs a full symbolic analysis, publishing it for the fleet.
+///
 /// Falls back to a fresh factorization (with re-pivoting) whenever the
 /// refactorization is rejected — pattern change, vanished pivot or excessive
 /// element growth. Counts both paths into `stats` so runs expose how much
 /// symbolic work they actually reused.
 pub(crate) fn refresh_lu(
     cache: &mut Option<SparseLu>,
+    shared: Option<&SymbolicCache>,
     a: &CsrMatrix,
     options: &LuOptions,
     ws: &mut LuWorkspace,
@@ -239,9 +249,25 @@ pub(crate) fn refresh_lu(
         // Stale symbolic analysis: discard and re-pivot from scratch.
         *cache = None;
     }
-    *cache = Some(SparseLu::factorize_with(a, options)?);
-    stats.lu_factorizations += 1;
-    stats.symbolic_analyses += 1;
+    match shared {
+        Some(pool) => {
+            let (lu, source) = pool.factorize(a, options, ws)?;
+            stats.lu_factorizations += 1;
+            match source {
+                FactorSource::Shared => {
+                    stats.lu_refactorizations += 1;
+                    stats.shared_symbolic_hits += 1;
+                }
+                FactorSource::Analyzed => stats.symbolic_analyses += 1,
+            }
+            *cache = Some(lu);
+        }
+        None => {
+            *cache = Some(SparseLu::factorize_with(a, options)?);
+            stats.lu_factorizations += 1;
+            stats.symbolic_analyses += 1;
+        }
+    }
     Ok(())
 }
 

@@ -47,6 +47,44 @@
 //! one-shot use; `run_transient` is deprecated in favor of the session API
 //! (its waveforms are bit-identical to [`Simulator::transient`]).
 //!
+//! # Batch execution
+//!
+//! One level above sessions, the [`batch`] subsystem runs **fleets** of jobs
+//! (parameter sweeps, Monte-Carlo corners, per-user requests) over a pool of
+//! worker threads whose sessions share one
+//! [`exi_sparse::SymbolicCache`]: describe the jobs with a [`BatchPlan`] and
+//! execute with a [`BatchRunner`] — same-topology jobs perform exactly one
+//! symbolic LU analysis total, results come back in submission order with
+//! per-job error isolation, and output is bit-identical to sequential
+//! execution at any worker-thread count:
+//!
+//! ```
+//! use exi_netlist::generators::{power_grid, PowerGridSpec};
+//! use exi_sim::{BatchJob, BatchPlan, BatchRunner, Method, TransientOptions};
+//!
+//! # fn main() -> Result<(), exi_sim::SimError> {
+//! let mut plan = BatchPlan::new();
+//! for sinks in [4, 8] {
+//!     let spec = PowerGridSpec { rows: 4, cols: 4, num_sinks: sinks, ..Default::default() };
+//!     plan.push(
+//!         BatchJob::new(
+//!             format!("sinks={sinks}"),
+//!             power_grid(&spec)?,
+//!             Method::ExponentialRosenbrock,
+//!             TransientOptions::new(5e-10, 1e-12),
+//!         )
+//!         .probe("g_2_2"),
+//!     );
+//! }
+//! let result = BatchRunner::new().worker_threads(2).run(&plan);
+//! assert!(result.all_ok());
+//! // Two same-topology corners, one symbolic analysis for the whole fleet.
+//! assert_eq!(result.stats.symbolic_analyses, 1);
+//! assert_eq!(result.stats.shared_symbolic_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Examples
 //!
 //! Simulate an RC low-pass with ER and BENR in one session — the second run
@@ -105,6 +143,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dc;
 pub mod engines;
 pub mod error;
@@ -115,6 +154,10 @@ pub mod session;
 pub mod stats;
 pub mod transient;
 
+pub use batch::{
+    BatchJob, BatchObserver, BatchPlan, BatchProgress, BatchResult, BatchRunner, JobOutcome,
+    JobOutput, JobSink, NullBatchObserver,
+};
 pub use dc::{dc_operating_point, DcSolution};
 #[allow(deprecated)]
 pub use engines::er::run_exponential_rosenbrock;
@@ -123,7 +166,9 @@ pub use engines::implicit::run_implicit;
 pub use engines::implicit::ImplicitScheme;
 pub use engines::{Engine, StepOutcome};
 pub use error::{SimError, SimResult};
-pub use observer::{NullObserver, Observer, RecordingObserver, StreamingObserver};
+pub use observer::{
+    DecimatedWaveform, NullObserver, Observer, RecordingObserver, StreamingObserver,
+};
 pub use options::{DcOptions, TransientOptions};
 pub use output::{Probe, TransientResult};
 pub use session::{SessionStepper, Simulator};

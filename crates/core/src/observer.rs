@@ -267,6 +267,62 @@ impl StreamingObserver {
             .map(|(k, &t)| (t, self.values[k * np + p]))
             .collect()
     }
+
+    /// Finalizes the observer into its retained [`DecimatedWaveform`] — the
+    /// fixed-memory result a batch job with a
+    /// [`JobSink::Stream`](crate::JobSink::Stream) sink returns.
+    pub fn into_waveform(self) -> DecimatedWaveform {
+        DecimatedWaveform {
+            probes: self.probes,
+            times: self.times,
+            values: self.values,
+            stride: self.stride,
+            observed: self.observed,
+        }
+    }
+}
+
+/// The retained output of a [`StreamingObserver`]: at most `capacity` probed
+/// points on a power-of-two stride grid, however long the run was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecimatedWaveform {
+    /// The probes that were recorded (columns of `values`).
+    pub probes: Vec<Probe>,
+    /// Retained time points, in order.
+    pub times: Vec<f64>,
+    /// Retained probe values, row-major: `times.len() × probes.len()`.
+    pub values: Vec<f64>,
+    /// Final sampling stride (1 if the run never filled the buffer).
+    pub stride: usize,
+    /// Total accepted points observed, retained or not.
+    pub observed: usize,
+}
+
+impl DecimatedWaveform {
+    /// Number of retained time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when nothing was retained (an empty run).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The retained waveform of probe `p` as `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn waveform(&self, p: usize) -> Vec<(f64, f64)> {
+        assert!(p < self.probes.len(), "probe index out of range");
+        let np = self.probes.len();
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, self.values[k * np + p]))
+            .collect()
+    }
 }
 
 impl Observer for StreamingObserver {
@@ -351,6 +407,63 @@ mod tests {
         assert_eq!(s.len(), 10);
         assert_eq!(s.stride(), 1);
         assert_eq!(s.waveform(0)[3], (3.0, 6.0));
+    }
+
+    #[test]
+    fn streaming_observer_decimates_exactly_at_the_capacity_boundary() {
+        // capacity 4: indices 0..3 are retained verbatim; the moment the 4th
+        // point lands the buffer decimates to indices {0, 2} and the stride
+        // doubles, so index 4 (on the new grid) is retained and index 5 is
+        // not.
+        let mut s = StreamingObserver::new(vec![Probe::new("a", 0)], 4);
+        for k in 0..4 {
+            s.on_step_accepted(k as f64, &[k as f64]);
+        }
+        assert_eq!(s.stride(), 2, "filling to capacity must trigger decimation");
+        assert_eq!(s.waveform(0), vec![(0.0, 0.0), (2.0, 2.0)]);
+        s.on_step_accepted(4.0, &[4.0]);
+        s.on_step_accepted(5.0, &[5.0]);
+        assert_eq!(s.waveform(0), vec![(0.0, 0.0), (2.0, 2.0), (4.0, 4.0)]);
+        // The next boundary: index 6 fills the buffer to capacity again and
+        // the stride doubles to 4, keeping exactly the multiples of 4.
+        s.on_step_accepted(6.0, &[6.0]);
+        assert_eq!(s.stride(), 4);
+        assert_eq!(s.waveform(0), vec![(0.0, 0.0), (4.0, 4.0)]);
+        assert_eq!(s.observed(), 7);
+    }
+
+    #[test]
+    fn streaming_observer_empty_run_edge_case() {
+        // A run that never produces a point (or is never started) leaves a
+        // well-defined empty waveform with the initial stride.
+        let s = StreamingObserver::new(vec![Probe::new("a", 0)], 8);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.stride(), 1);
+        assert!(s.waveform(0).is_empty());
+        let w = s.into_waveform();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.observed, 0);
+        assert_eq!(w.stride, 1);
+        assert!(w.waveform(0).is_empty());
+    }
+
+    #[test]
+    fn into_waveform_preserves_the_retained_points() {
+        let mut s = StreamingObserver::new(vec![Probe::new("a", 0), Probe::new("b", 1)], 16);
+        for k in 0..5 {
+            s.on_step_accepted(k as f64, &[k as f64, -(k as f64)]);
+        }
+        let expected_a = s.waveform(0);
+        let expected_b = s.waveform(1);
+        let w = s.into_waveform();
+        assert_eq!(w.waveform(0), expected_a);
+        assert_eq!(w.waveform(1), expected_b);
+        assert_eq!(w.observed, 5);
+        assert_eq!(w.stride, 1);
+        assert_eq!(w.probes.len(), 2);
     }
 
     #[test]

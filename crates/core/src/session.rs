@@ -36,11 +36,12 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use exi_krylov::MevpWorkspace;
 use exi_netlist::Circuit;
-use exi_sparse::{CsrMatrix, LuWorkspace, OrderingMethod, SparseLu};
+use exi_sparse::{CsrMatrix, LuWorkspace, OrderingMethod, SparseLu, SymbolicCache};
 
 use crate::dc::{dc_operating_point_internal, DcSolution};
 use crate::engines::er::ErStepper;
@@ -78,6 +79,13 @@ pub(crate) struct SessionCaches {
     /// Fill-reducing ordering the cached factors were built with; a run
     /// requesting a different one drops the caches first.
     pub(crate) ordering: Option<OrderingMethod>,
+    /// Cross-session symbolic-analysis pool ([`exi_sparse::SymbolicCache`]).
+    /// `None` for a standalone session; a [`crate::BatchRunner`] hands every
+    /// worker session a clone of one shared cache so same-pattern jobs on
+    /// different threads perform one symbolic analysis total. Survives
+    /// [`Simulator::reset_caches`] — it is a handle to fleet-wide state, not
+    /// session state.
+    pub(crate) shared: Option<Arc<SymbolicCache>>,
 }
 
 /// A simulation session bound to one circuit.
@@ -119,6 +127,26 @@ impl<'c> Simulator<'c> {
         }
     }
 
+    /// Creates a session for `circuit` that pools its symbolic LU analyses
+    /// with every other session holding a clone of `shared`.
+    ///
+    /// The first session (on any thread) to factorize a given matrix pattern
+    /// publishes the analysis; all others derive their numeric factors from
+    /// it — counted as [`RunStats::shared_symbolic_hits`] instead of
+    /// [`RunStats::symbolic_analyses`]. This is the per-session entry point
+    /// behind [`crate::BatchRunner`]; use it directly to pool hand-rolled
+    /// concurrent sessions.
+    pub fn with_shared_symbolic(circuit: &'c Circuit, shared: Arc<SymbolicCache>) -> Self {
+        let mut sim = Simulator::new(circuit);
+        sim.caches.shared = Some(shared);
+        sim
+    }
+
+    /// The cross-session symbolic cache this session pools with, if any.
+    pub fn shared_symbolic(&self) -> Option<&Arc<SymbolicCache>> {
+        self.caches.shared.as_ref()
+    }
+
     /// The circuit this session is bound to.
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
@@ -139,9 +167,15 @@ impl<'c> Simulator<'c> {
 
     /// Drops every cached factor, workspace and the DC solution. The next run
     /// pays for a fresh symbolic analysis — call this after mutating the
-    /// circuit between sessions if node/device structure changed.
+    /// circuit between sessions if node/device structure changed. (A shared
+    /// symbolic cache attached via [`Simulator::with_shared_symbolic`] is a
+    /// fleet-wide handle and survives; it is keyed by pattern, so a changed
+    /// topology simply maps to a new entry.)
     pub fn reset_caches(&mut self) {
-        self.caches = SessionCaches::default();
+        self.caches = SessionCaches {
+            shared: self.caches.shared.take(),
+            ..SessionCaches::default()
+        };
     }
 
     /// The DC operating point of the circuit, computed on first use and
@@ -182,7 +216,7 @@ impl<'c> Simulator<'c> {
     fn ensure_ordering(&mut self, ordering: OrderingMethod) {
         if self.caches.ordering != Some(ordering) {
             if self.caches.ordering.is_some() {
-                self.caches = SessionCaches::default();
+                self.reset_caches();
             }
             self.caches.ordering = Some(ordering);
         }
@@ -197,12 +231,14 @@ impl<'c> Simulator<'c> {
         let mut stats = RunStats::new();
         if self.caches.dc.is_none() {
             let started = Instant::now();
+            let caches = &mut self.caches;
             let dc = dc_operating_point_internal(
                 self.circuit,
                 options,
                 &mut stats,
-                &mut self.caches.g_lu,
-                &mut self.caches.lu_ws,
+                &mut caches.g_lu,
+                caches.shared.as_deref(),
+                &mut caches.lu_ws,
             )?;
             stats.runtime = started.elapsed();
             self.caches.dc = Some(dc);

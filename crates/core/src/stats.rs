@@ -52,6 +52,20 @@ pub struct RunStats {
     /// uninterrupted run; checkpointed long runs accumulate one per
     /// continuation.
     pub resumed_runs: usize,
+    /// Number of batch jobs merged into these statistics by a
+    /// [`BatchRunner`](crate::BatchRunner) (zero for a single run; failed
+    /// jobs count — they did real work).
+    pub batch_jobs: usize,
+    /// Number of numeric factorizations seeded from a cross-session
+    /// [`SymbolicCache`](exi_sparse::SymbolicCache) hit. Such factorizations
+    /// also count into [`RunStats::lu_refactorizations`]; for an `N`-job
+    /// same-topology sweep the merged stats show `symbolic_analyses == 1` and
+    /// `shared_symbolic_hits == N − 1`.
+    pub shared_symbolic_hits: usize,
+    /// Worker threads the executing [`BatchRunner`](crate::BatchRunner) used
+    /// (zero for a plain run). [`RunStats::absorb`] keeps the maximum — for
+    /// merged totals this is the batch's actual concurrency, not a sum.
+    pub worker_threads: usize,
     /// Active wall-clock time of the analysis: the DC solve (for the run
     /// that triggered it) plus time spent inside `advance()`. Idle time while
     /// a stepper is paused (checkpointing, co-simulation interleaves) is not
@@ -120,6 +134,9 @@ impl RunStats {
         self.krylov_workspace_allocations += other.krylov_workspace_allocations;
         self.observer_callbacks += other.observer_callbacks;
         self.resumed_runs += other.resumed_runs;
+        self.batch_jobs += other.batch_jobs;
+        self.shared_symbolic_hits += other.shared_symbolic_hits;
+        self.worker_threads = self.worker_threads.max(other.worker_threads);
         self.runtime += other.runtime;
     }
 }
@@ -186,6 +203,9 @@ mod tests {
             lu_refactorizations: 5,
             peak_krylov_dimension: 9,
             observer_callbacks: 6,
+            batch_jobs: 3,
+            shared_symbolic_hits: 4,
+            worker_threads: 2,
             ..RunStats::default()
         };
         let mut total = a.clone();
@@ -195,6 +215,16 @@ mod tests {
         assert_eq!(total.peak_krylov_dimension, 9);
         assert_eq!(total.observer_callbacks, 19);
         assert_eq!(total.resumed_runs, 2);
+        // Batch counters: jobs and cache hits add up, concurrency maxes.
+        assert_eq!(total.batch_jobs, 3);
+        assert_eq!(total.shared_symbolic_hits, 4);
+        assert_eq!(total.worker_threads, 2);
+        let mut wide = total.clone();
+        wide.absorb(&RunStats {
+            worker_threads: 8,
+            ..RunStats::default()
+        });
+        assert_eq!(wide.worker_threads, 8);
         assert_eq!(
             total.lu_factorizations,
             a.lu_factorizations + b.lu_factorizations

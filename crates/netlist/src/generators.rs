@@ -49,8 +49,14 @@ impl Default for RcLadderSpec {
 ///
 /// # Errors
 ///
-/// Propagates device-construction errors (they indicate invalid spec values).
+/// Propagates device-construction errors (they indicate invalid spec values),
+/// wrapped with the generator's name ([`crate::NetlistError::Spec`]) so batch
+/// failure reports identify the offending sweep member.
 pub fn rc_ladder(spec: &RcLadderSpec) -> NetlistResult<Circuit> {
+    build_rc_ladder(spec).map_err(|e| e.in_spec("rc_ladder"))
+}
+
+fn build_rc_ladder(spec: &RcLadderSpec) -> NetlistResult<Circuit> {
     let mut ckt = Circuit::new();
     let gnd = ckt.node("0");
     let vin = ckt.node("in");
@@ -107,8 +113,13 @@ impl Default for InverterChainSpec {
 ///
 /// # Errors
 ///
-/// Propagates device-construction errors.
+/// Propagates device-construction errors, wrapped with the generator's name
+/// ([`crate::NetlistError::Spec`]).
 pub fn inverter_chain(spec: &InverterChainSpec) -> NetlistResult<Circuit> {
+    build_inverter_chain(spec).map_err(|e| e.in_spec("inverter_chain"))
+}
+
+fn build_inverter_chain(spec: &InverterChainSpec) -> NetlistResult<Circuit> {
     let mut ckt = Circuit::new();
     let gnd = ckt.node("0");
     let vdd = ckt.node("vdd");
@@ -177,8 +188,13 @@ impl Default for PowerGridSpec {
 ///
 /// # Errors
 ///
-/// Propagates device-construction errors.
+/// Propagates device-construction errors, wrapped with the generator's name
+/// ([`crate::NetlistError::Spec`]).
 pub fn power_grid(spec: &PowerGridSpec) -> NetlistResult<Circuit> {
+    build_power_grid(spec).map_err(|e| e.in_spec("power_grid"))
+}
+
+fn build_power_grid(spec: &PowerGridSpec) -> NetlistResult<Circuit> {
     let mut ckt = Circuit::new();
     let gnd = ckt.node("0");
     let vdd = ckt.node("vdd");
@@ -283,8 +299,13 @@ impl Default for CoupledLinesSpec {
 ///
 /// # Errors
 ///
-/// Propagates device-construction errors.
+/// Propagates device-construction errors, wrapped with the generator's name
+/// ([`crate::NetlistError::Spec`]).
 pub fn coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
+    build_coupled_lines(spec).map_err(|e| e.in_spec("coupled_lines"))
+}
+
+fn build_coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
     let mut ckt = Circuit::new();
     let gnd = ckt.node("0");
     let vdd = ckt.node("vdd");
@@ -467,6 +488,48 @@ mod tests {
         let eb = b.evaluate(&x).unwrap();
         assert_eq!(ea.c.nnz(), eb.c.nnz());
         assert_eq!(ea.g.values(), eb.g.values());
+    }
+
+    #[test]
+    fn generator_errors_carry_the_spec_name() {
+        let bad = RcLadderSpec {
+            segments: 3,
+            resistance: -5.0,
+            ..RcLadderSpec::default()
+        };
+        let err = rc_ladder(&bad).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("rc_ladder"), "{text}");
+        assert!(
+            matches!(
+                err.root_cause(),
+                crate::NetlistError::InvalidParameter { .. }
+            ),
+            "{err:?}"
+        );
+        let bad = InverterChainSpec {
+            stages: 2,
+            load_capacitance: -1.0,
+            ..InverterChainSpec::default()
+        };
+        let text = inverter_chain(&bad).unwrap_err().to_string();
+        assert!(text.contains("inverter_chain"), "{text}");
+        let bad = PowerGridSpec {
+            rows: 2,
+            cols: 2,
+            segment_resistance: -1.0,
+            ..PowerGridSpec::default()
+        };
+        let text = power_grid(&bad).unwrap_err().to_string();
+        assert!(text.contains("power_grid"), "{text}");
+        let bad = CoupledLinesSpec {
+            lines: 2,
+            segments: 3,
+            segment_resistance: -1.0,
+            ..CoupledLinesSpec::default()
+        };
+        let text = coupled_lines(&bad).unwrap_err().to_string();
+        assert!(text.contains("coupled_lines"), "{text}");
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   go through the cheap numeric [`SparseLu::refactorize`], and
 //!   [`SparseLu::solve_into`] + [`LuWorkspace`] make hot-loop triangular
 //!   solves allocation-free.
+//! * [`SymbolicCache`] — a thread-shared, blocking cache of symbolic
+//!   analyses keyed by (pattern, ordering), so concurrent solver sessions on
+//!   the same topology perform exactly one symbolic analysis total
+//!   ([`SparseLu::from_symbolic`] derives per-thread numeric factors).
 //! * [`DenseMatrix`] — small dense matrices for the projected Hessenberg
 //!   systems produced by Krylov subspace methods.
 //! * [`vector`] — BLAS-1 style helpers on `&[f64]`.
@@ -53,6 +57,7 @@ pub mod error;
 pub mod lu;
 pub mod ordering;
 pub mod permutation;
+pub mod shared;
 pub mod vector;
 
 pub use coo::TripletMatrix;
@@ -63,3 +68,4 @@ pub use error::{SparseError, SparseResult};
 pub use lu::{factor_fill, solve_sparse, LuOptions, LuWorkspace, SparseLu, SymbolicLu};
 pub use ordering::OrderingMethod;
 pub use permutation::Permutation;
+pub use shared::{pattern_fingerprint, FactorSource, SymbolicCache};

@@ -561,9 +561,68 @@ impl SparseLu {
         self.refactorize_with(a, &mut ws)
     }
 
+    /// Builds a numeric factorization of `a` from an **existing** symbolic
+    /// analysis — the cross-factor sibling of [`SparseLu::refactorize_with`].
+    ///
+    /// Where `refactorize_with` updates a factor in place, `from_symbolic`
+    /// creates a brand-new factor (fresh value storage) that shares the
+    /// symbolic analysis behind the [`Arc`]. This is what makes the analysis
+    /// shareable across threads: many workers can hold clones of one
+    /// `Arc<SymbolicLu>` and each build its own numeric factor without any
+    /// symbolic work and without synchronization (see
+    /// [`SymbolicCache`](crate::SymbolicCache)).
+    ///
+    /// For values identical to the ones the analysis was computed from, the
+    /// resulting factor is bit-for-bit the factor a fresh
+    /// [`SparseLu::factorize_with`] would produce (the elimination replays in
+    /// the recorded operation order).
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::PatternMismatch`] if `a` does not have the analyzed
+    ///   pattern.
+    /// * [`SparseError::FillBudgetExceeded`] if `options.fill_budget` is
+    ///   smaller than the analysis' fill.
+    /// * [`SparseError::Singular`] / [`SparseError::UnstableRefactorization`]
+    ///   if the frozen pivot order is not viable for `a`'s values — the
+    ///   caller should fall back to a fresh, re-pivoting
+    ///   [`SparseLu::factorize_with`].
+    pub fn from_symbolic(
+        symbolic: Arc<SymbolicLu>,
+        a: &CsrMatrix,
+        options: &LuOptions,
+        ws: &mut LuWorkspace,
+    ) -> SparseResult<Self> {
+        if let Some(budget) = options.fill_budget {
+            let fill = symbolic.fill();
+            if fill > budget {
+                return Err(SparseError::FillBudgetExceeded {
+                    reached: fill,
+                    budget,
+                });
+            }
+        }
+        let mut lu = SparseLu {
+            l_vals: vec![0.0; symbolic.l_rows.len()],
+            u_vals: vec![0.0; symbolic.u_rows.len()],
+            u_diag: vec![0.0; symbolic.n],
+            pivot_floor: options.pivot_tolerance * options.zero_pivot_threshold,
+            symbolic,
+        };
+        lu.refactorize_with(a, ws)?;
+        Ok(lu)
+    }
+
     /// The cached symbolic analysis backing this factorization.
     pub fn symbolic(&self) -> &SymbolicLu {
         &self.symbolic
+    }
+
+    /// A shareable handle to the cached symbolic analysis — cloning the
+    /// [`Arc`] lets other factors (including ones on other threads) reuse the
+    /// analysis through [`SparseLu::from_symbolic`].
+    pub fn shared_symbolic(&self) -> Arc<SymbolicLu> {
+        Arc::clone(&self.symbolic)
     }
 
     /// Dimension of the factorized matrix.
@@ -1066,6 +1125,64 @@ mod tests {
                 "refactorize must reject {bad_value} in the values"
             );
         }
+    }
+
+    #[test]
+    fn from_symbolic_same_values_is_bit_identical_to_fresh() {
+        let a = tridiag(40);
+        let fresh = SparseLu::factorize(&a).unwrap();
+        let mut ws = LuWorkspace::new();
+        let derived =
+            SparseLu::from_symbolic(fresh.shared_symbolic(), &a, &LuOptions::default(), &mut ws)
+                .unwrap();
+        assert_eq!(fresh.l_vals, derived.l_vals);
+        assert_eq!(fresh.u_vals, derived.u_vals);
+        assert_eq!(fresh.u_diag, derived.u_diag);
+        // Both factors share one symbolic analysis.
+        assert!(Arc::ptr_eq(&fresh.symbolic, &derived.symbolic));
+    }
+
+    #[test]
+    fn from_symbolic_new_values_solves_correctly() {
+        let a = tridiag_scaled(30, 2.5, -1.0);
+        let pilot = SparseLu::factorize(&a).unwrap();
+        let b_mat = tridiag_scaled(30, 4.0, -0.5);
+        let mut ws = LuWorkspace::new();
+        let lu = SparseLu::from_symbolic(
+            pilot.shared_symbolic(),
+            &b_mat,
+            &LuOptions::default(),
+            &mut ws,
+        )
+        .unwrap();
+        let rhs: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let x = lu.solve(&rhs).unwrap();
+        assert!(dense_residual(&b_mat, &x, &rhs) < 1e-10);
+    }
+
+    #[test]
+    fn from_symbolic_rejects_pattern_mismatch_and_fill_budget() {
+        let a = tridiag(12);
+        let pilot = SparseLu::factorize(&a).unwrap();
+        let mut ws = LuWorkspace::new();
+        let wrong = tridiag(13);
+        assert!(matches!(
+            SparseLu::from_symbolic(
+                pilot.shared_symbolic(),
+                &wrong,
+                &LuOptions::default(),
+                &mut ws
+            ),
+            Err(SparseError::PatternMismatch { .. })
+        ));
+        let tight = LuOptions {
+            fill_budget: Some(4),
+            ..LuOptions::default()
+        };
+        assert!(matches!(
+            SparseLu::from_symbolic(pilot.shared_symbolic(), &a, &tight, &mut ws),
+            Err(SparseError::FillBudgetExceeded { .. })
+        ));
     }
 
     #[test]

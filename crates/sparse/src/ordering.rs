@@ -14,7 +14,7 @@ use crate::csr::CsrMatrix;
 use crate::permutation::Permutation;
 
 /// Fill-reducing ordering strategy applied before LU factorization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum OrderingMethod {
     /// Keep the natural (netlist) ordering.
     Natural,

@@ -1,0 +1,314 @@
+//! A thread-shared cache of symbolic LU analyses keyed by (sparsity pattern,
+//! ordering).
+//!
+//! A transient run amortizes one symbolic analysis across all of its
+//! factorizations; a [`crate::SparseLu`] session extends that across runs on
+//! one topology. [`SymbolicCache`] lifts the amortization one more level:
+//! across **independent solver sessions running concurrently on different
+//! threads**. A fleet of parameter-sweep or Monte-Carlo jobs over the same
+//! matrix pattern performs exactly **one** symbolic analysis total — the
+//! first session to factorize a pattern publishes its [`SymbolicLu`] behind
+//! an [`Arc`], and every other session (on any thread) derives its numeric
+//! factors from it with [`SparseLu::from_symbolic`], paying only for the
+//! numeric elimination.
+//!
+//! Concurrency contract:
+//!
+//! * `factorize` is safe to call from any number of threads.
+//! * While a pattern's pilot analysis is in flight, other threads requesting
+//!   the same pattern **block** until it is published (instead of redundantly
+//!   analyzing it themselves) — this is what makes "exactly one analysis per
+//!   pattern" a guarantee rather than a fast path.
+//! * If the pilot fails (singular matrix, fill budget), the slot is released
+//!   and one of the waiters retries as the new pilot — an unlucky pilot never
+//!   wedges the cache.
+//!
+//! Patterns are keyed by a 64-bit fingerprint of `(n, indptr, indices)` plus
+//! the requested [`OrderingMethod`]; a (vanishingly unlikely) fingerprint
+//! collision is detected by an exact pattern comparison and degrades to an
+//! unshared fresh factorization, never to a wrong result.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseResult;
+use crate::lu::{LuOptions, LuWorkspace, SparseLu, SymbolicLu};
+use crate::ordering::OrderingMethod;
+
+/// How a [`SymbolicCache::factorize`] call obtained its factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorSource {
+    /// The call ran a full symbolic analysis (and published it to the cache
+    /// when it was the pattern's pilot).
+    Analyzed,
+    /// The call reused a cached analysis and performed numeric-only work.
+    Shared,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PatternKey {
+    fingerprint: u64,
+    ordering: OrderingMethod,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// A pilot factorization for this pattern is in flight on some thread.
+    InFlight,
+    /// The published analysis.
+    Ready(Arc<SymbolicLu>),
+}
+
+/// A shareable, blocking cache of symbolic LU analyses (see the module docs).
+///
+/// Cheap to share: wrap it in an [`Arc`] and hand clones to every session
+/// that should pool its symbolic work. The cache only ever grows; drop it to
+/// release the analyses.
+#[derive(Debug, Default)]
+pub struct SymbolicCache {
+    slots: Mutex<HashMap<PatternKey, Slot>>,
+    published: Condvar,
+}
+
+impl SymbolicCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SymbolicCache::default()
+    }
+
+    /// Number of patterns currently known to the cache (published or in
+    /// flight).
+    pub fn patterns(&self) -> usize {
+        self.slots.lock().expect("symbolic cache poisoned").len()
+    }
+
+    /// Returns `true` when no pattern has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.patterns() == 0
+    }
+
+    /// Factorizes `a`, reusing the cached symbolic analysis for its pattern
+    /// when one exists (numeric-only work) and publishing a fresh analysis
+    /// when it does not. Blocks while another thread is analyzing the same
+    /// pattern. Returns the factor plus how it was obtained.
+    ///
+    /// A cached pivot order that turns out not to be numerically viable for
+    /// `a`'s values (vanished pivot, excessive growth) falls back to a fresh,
+    /// re-pivoting factorization; the published analysis is left untouched so
+    /// the fallback stays a per-call event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SparseLu::factorize_with`] errors (singularity, fill
+    /// budget, non-square input).
+    pub fn factorize(
+        &self,
+        a: &CsrMatrix,
+        options: &LuOptions,
+        ws: &mut LuWorkspace,
+    ) -> SparseResult<(SparseLu, FactorSource)> {
+        let key = PatternKey {
+            fingerprint: pattern_fingerprint(a),
+            ordering: options.ordering,
+        };
+        loop {
+            let mut slots = self.slots.lock().expect("symbolic cache poisoned");
+            match slots.get(&key) {
+                Some(Slot::Ready(symbolic)) => {
+                    let symbolic = Arc::clone(symbolic);
+                    drop(slots);
+                    if !symbolic.matches_pattern(a) {
+                        // Fingerprint collision: do not share, do not poison.
+                        let lu = SparseLu::factorize_with(a, options)?;
+                        return Ok((lu, FactorSource::Analyzed));
+                    }
+                    return match SparseLu::from_symbolic(symbolic, a, options, ws) {
+                        Ok(lu) => Ok((lu, FactorSource::Shared)),
+                        // The frozen pivot order is not viable for these
+                        // values: re-pivot from scratch for this caller only.
+                        Err(_) => {
+                            let lu = SparseLu::factorize_with(a, options)?;
+                            Ok((lu, FactorSource::Analyzed))
+                        }
+                    };
+                }
+                Some(Slot::InFlight) => {
+                    // Another thread is running the pilot analysis; wait for
+                    // it to publish (or release) the slot and re-check.
+                    let _guard = self.published.wait(slots).expect("symbolic cache poisoned");
+                    continue;
+                }
+                None => {
+                    slots.insert(key, Slot::InFlight);
+                    drop(slots);
+                    // Release the slot on every exit path: publish on
+                    // success, remove on failure so a waiter can retry.
+                    let result = SparseLu::factorize_with(a, options);
+                    let mut slots = self.slots.lock().expect("symbolic cache poisoned");
+                    match result {
+                        Ok(lu) => {
+                            slots.insert(key, Slot::Ready(lu.shared_symbolic()));
+                            drop(slots);
+                            self.published.notify_all();
+                            return Ok((lu, FactorSource::Analyzed));
+                        }
+                        Err(e) => {
+                            slots.remove(&key);
+                            drop(slots);
+                            self.published.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 64-bit fingerprint of a matrix's sparsity pattern (dimension + CSR
+/// structure, not values).
+///
+/// This is the hash [`SymbolicCache`] keys its slots by (collisions are
+/// verified against the exact pattern before any sharing happens). It is
+/// public so schedulers that group work by pattern — e.g. the batch runner's
+/// deterministic pilot election — use the **same** grouping the cache will,
+/// instead of maintaining a parallel hash that could silently drift.
+pub fn pattern_fingerprint(a: &CsrMatrix) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    a.rows().hash(&mut hasher);
+    a.cols().hash(&mut hasher);
+    a.indptr().hash(&mut hasher);
+    a.indices().hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn tridiag(n: usize, d: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, d);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn first_call_analyzes_second_call_shares() {
+        let cache = SymbolicCache::new();
+        let a = tridiag(20, 3.0);
+        let mut ws = LuWorkspace::new();
+        let (lu1, src1) = cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        assert_eq!(src1, FactorSource::Analyzed);
+        assert_eq!(cache.patterns(), 1);
+        let b = tridiag(20, 5.0);
+        let (lu2, src2) = cache.factorize(&b, &LuOptions::default(), &mut ws).unwrap();
+        assert_eq!(src2, FactorSource::Shared);
+        assert_eq!(cache.patterns(), 1);
+        // The derived factor solves its own matrix, not the pilot's.
+        let rhs = vec![1.0; 20];
+        let x1 = lu1.solve(&rhs).unwrap();
+        let x2 = lu2.solve(&rhs).unwrap();
+        assert!(x1.iter().zip(&x2).any(|(p, q)| (p - q).abs() > 1e-6));
+    }
+
+    #[test]
+    fn shared_factor_with_identical_values_is_bit_identical() {
+        let cache = SymbolicCache::new();
+        let a = tridiag(30, 2.5);
+        let mut ws = LuWorkspace::new();
+        let (pilot, _) = cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        let (derived, src) = cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        assert_eq!(src, FactorSource::Shared);
+        let rhs: Vec<f64> = (0..30).map(|i| (i as f64).cos()).collect();
+        assert_eq!(pilot.solve(&rhs).unwrap(), derived.solve(&rhs).unwrap());
+    }
+
+    #[test]
+    fn distinct_patterns_get_distinct_slots() {
+        let cache = SymbolicCache::new();
+        let mut ws = LuWorkspace::new();
+        cache
+            .factorize(&tridiag(10, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        cache
+            .factorize(&tridiag(11, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(cache.patterns(), 2);
+        // A different ordering is a different key even for the same pattern.
+        let opts = LuOptions {
+            ordering: OrderingMethod::MinDegree,
+            ..LuOptions::default()
+        };
+        let (_, src) = cache.factorize(&tridiag(10, 3.0), &opts, &mut ws).unwrap();
+        assert_eq!(src, FactorSource::Analyzed);
+        assert_eq!(cache.patterns(), 3);
+    }
+
+    #[test]
+    fn failed_pilot_releases_the_slot() {
+        let cache = SymbolicCache::new();
+        let mut ws = LuWorkspace::new();
+        // Structurally singular: an empty column.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        let singular = t.to_csr();
+        assert!(cache
+            .factorize(&singular, &LuOptions::default(), &mut ws)
+            .is_err());
+        assert!(cache.is_empty(), "failed pilot must not leave a slot");
+        // A well-posed matrix with the same pattern can now pilot the slot.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        let still_singular = t.to_csr();
+        assert!(cache
+            .factorize(&still_singular, &LuOptions::default(), &mut ws)
+            .is_err());
+    }
+
+    #[test]
+    fn concurrent_same_pattern_callers_share_one_analysis() {
+        let cache = Arc::new(SymbolicCache::new());
+        let mut handles = Vec::new();
+        for k in 0..8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                let a = tridiag(64, 3.0 + k as f64 * 0.1);
+                let mut ws = LuWorkspace::new();
+                let (lu, src) = cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+                let x = lu.solve(&vec![1.0; 64]).unwrap();
+                assert!(x.iter().all(|v| v.is_finite()));
+                src
+            }));
+        }
+        let sources: Vec<FactorSource> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let analyzed = sources
+            .iter()
+            .filter(|s| **s == FactorSource::Analyzed)
+            .count();
+        assert_eq!(analyzed, 1, "exactly one pilot analysis: {sources:?}");
+        assert_eq!(cache.patterns(), 1);
+    }
+
+    #[test]
+    fn cache_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SymbolicCache>();
+        assert_send_sync::<Arc<SymbolicCache>>();
+        assert_send_sync::<SymbolicLu>();
+        assert_send_sync::<SparseLu>();
+        assert_send_sync::<LuWorkspace>();
+        assert_send_sync::<CsrMatrix>();
+    }
+}
