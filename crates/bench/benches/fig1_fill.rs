@@ -9,7 +9,10 @@ fn bench_factorizations(c: &mut Criterion) {
     let circuit = exi_bench::fig1_circuit(0.5).expect("fig1 circuit");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
-    let eval = circuit.evaluate(&x).expect("evaluation");
+    let eval = circuit
+        .compile_plan()
+        .and_then(|plan| plan.evaluate(&x))
+        .expect("evaluation");
     let h = 1e-12;
     let benr_matrix =
         CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g).expect("C/h + G");

@@ -32,7 +32,11 @@ fn power_grid_conductance() -> CsrMatrix {
     };
     let circuit = power_grid(&spec).expect("power grid circuit");
     let x = vec![0.0; circuit.num_unknowns()];
-    circuit.evaluate(&x).expect("evaluation").g
+    circuit
+        .compile_plan()
+        .and_then(|plan| plan.evaluate(&x))
+        .expect("evaluation")
+        .g
 }
 
 fn bench_lu_refactorize(c: &mut Criterion) {
@@ -81,7 +85,10 @@ fn bench_mevp_kernels(c: &mut Criterion) {
     let circuit = exi_bench::fig1_circuit(0.4).expect("circuit");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
-    let eval = circuit.evaluate(&x).expect("evaluation");
+    let eval = circuit
+        .compile_plan()
+        .and_then(|plan| plan.evaluate(&x))
+        .expect("evaluation");
     let g_lu = SparseLu::factorize(&eval.g).expect("LU of G");
     let c_lu = SparseLu::factorize(&eval.c).ok();
     let v: Vec<f64> = (0..n).map(|i| ((i % 5) as f64 - 2.0) / 2.0).collect();
@@ -126,5 +133,59 @@ fn bench_mevp_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lu_refactorize, bench_mevp_kernels);
+/// SpMV kernel comparison: the sequential `mul_vec_into` (the engines' hot
+/// path — its summation order is pinned by the golden-waveform suite)
+/// against the 4-wide-accumulator `mul_vec_into_unrolled` variant (which
+/// reassociates the sum and is offered for throughput-first consumers).
+fn bench_spmv(c: &mut Criterion) {
+    let g = power_grid_conductance();
+    let n = g.rows();
+    let x: Vec<f64> = (0..n).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
+    let mut y = vec![0.0; n];
+
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    group.bench_function("scalar", |b| b.iter(|| g.mul_vec_into(&x, &mut y)));
+    group.bench_function("unrolled_4wide", |b| {
+        b.iter(|| g.mul_vec_into_unrolled(&x, &mut y))
+    });
+    group.finish();
+
+    // Head-to-head ratio plus a drift check: the variants agree to
+    // round-off, never bitwise by contract.
+    let reps = 200;
+    let start = Instant::now();
+    for _ in 0..reps {
+        g.mul_vec_into(&x, &mut y);
+    }
+    let scalar = start.elapsed().as_secs_f64() / reps as f64;
+    let mut y2 = vec![0.0; n];
+    let start = Instant::now();
+    for _ in 0..reps {
+        g.mul_vec_into_unrolled(&x, &mut y2);
+    }
+    let unrolled = start.elapsed().as_secs_f64() / reps as f64;
+    let max_drift = y
+        .iter()
+        .zip(&y2)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "spmv: scalar {:.3} us vs 4-wide {:.3} us -> {:.2}x (n = {}, nnz = {}, max |drift| = {:.1e})",
+        scalar * 1e6,
+        unrolled * 1e6,
+        scalar / unrolled,
+        g.rows(),
+        g.nnz(),
+        max_drift
+    );
+    assert!(max_drift < 1e-12, "unrolled SpMV drifted: {max_drift:e}");
+}
+
+criterion_group!(
+    benches,
+    bench_lu_refactorize,
+    bench_mevp_kernels,
+    bench_spmv
+);
 criterion_main!(benches);

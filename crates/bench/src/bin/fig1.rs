@@ -20,7 +20,10 @@ fn main() {
     let circuit = fig1_circuit(scale).expect("fig1 circuit generation");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
-    let eval = circuit.evaluate(&x).expect("circuit evaluation");
+    let eval = circuit
+        .compile_plan()
+        .and_then(|plan| plan.evaluate(&x))
+        .expect("circuit evaluation");
     let h = 1e-12;
     let benr_matrix =
         CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g).expect("C/h + G assembly");

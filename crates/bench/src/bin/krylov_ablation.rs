@@ -20,7 +20,10 @@ fn main() {
     let circuit = exi_bench::fig1_circuit(scale.min(0.6)).expect("ablation circuit");
     let n = circuit.num_unknowns();
     let x = vec![0.0; n];
-    let eval = circuit.evaluate(&x).expect("evaluation");
+    let eval = circuit
+        .compile_plan()
+        .and_then(|plan| plan.evaluate(&x))
+        .expect("evaluation");
     // Make C non-singular for the *standard* Krylov baseline by keeping only
     // rows that already have capacitance; the invert method does not need this.
     let g_lu = SparseLu::factorize(&eval.g).expect("LU of G");

@@ -97,7 +97,21 @@ fn main() {
         let circuit = case.build().expect("case circuit");
         let n = circuit.num_unknowns();
         let x = vec![0.0; n];
-        let eval = circuit.evaluate(&x).expect("case evaluation");
+        let plan = circuit.compile_plan().expect("case plan");
+        let eval = plan.evaluate(&x).expect("case evaluation");
+        // Per-case device-evaluation cost through the stamping plan: the
+        // steady-state restamp the engines pay per step / Newton iteration.
+        let mut ws = plan.new_workspace();
+        let mut scratch_eval = plan.new_evaluation();
+        let evaluate_restamp_s = {
+            let reps = 50;
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                plan.evaluate_into(&x, &mut ws, &mut scratch_eval)
+                    .expect("restamp");
+            }
+            start.elapsed().as_secs_f64() / reps as f64
+        };
         let budget = Some(BENR_FILL_PER_UNKNOWN * n);
 
         let benr = run_case(case, Method::BackwardEuler, budget);
@@ -112,7 +126,8 @@ fn main() {
         json_cases.push(format!(
             concat!(
                 "    {{\"name\":\"{}\",\"mirrors\":\"{}\",\"unknowns\":{},",
-                "\"nonlinear_devices\":{},\"nnz_c\":{},\"nnz_g\":{},\"methods\":{{",
+                "\"nonlinear_devices\":{},\"nnz_c\":{},\"nnz_g\":{},",
+                "\"nonlinear_stamps\":{},\"evaluate_restamp_us\":{:.3},\"methods\":{{",
                 "\"BENR\":{},\"ER\":{},\"ER-C\":{}}}}}"
             ),
             case.name,
@@ -121,6 +136,8 @@ fn main() {
             circuit.num_nonlinear_devices(),
             eval.c.nnz(),
             eval.g.nnz(),
+            plan.nonlinear_stamp_count(),
+            evaluate_restamp_s * 1e6,
             benr.to_json(),
             er.to_json(),
             erc.to_json(),

@@ -238,7 +238,8 @@ mod tests {
         let nnz = |c: &CaseSpec| {
             let ckt = c.build().unwrap();
             let x = vec![0.0; ckt.num_unknowns()];
-            ckt.evaluate(&x).unwrap().c.nnz() as f64 / ckt.num_unknowns() as f64
+            ckt.compile_plan().unwrap().evaluate(&x).unwrap().c.nnz() as f64
+                / ckt.num_unknowns() as f64
         };
         let sparse = nnz(&cases[2]);
         let dense = nnz(&cases[7]);

@@ -23,6 +23,12 @@ pub enum CaseOutcome {
         symbolic_analyses: usize,
         /// Number of numeric-only refactorizations among them.
         lu_refactorizations: usize,
+        /// Number of full device evaluations performed.
+        device_evaluations: usize,
+        /// Number of stamping-plan compilations (one per topology).
+        plan_compilations: usize,
+        /// Total nonlinear matrix entries rewritten across all evaluations.
+        restamped_entries: usize,
         /// Wall-clock runtime in seconds.
         runtime: f64,
     },
@@ -58,12 +64,16 @@ impl CaseOutcome {
                 lu_count,
                 symbolic_analyses,
                 lu_refactorizations,
+                device_evaluations,
+                plan_compilations,
+                restamped_entries,
                 runtime,
             } => format!(
                 concat!(
                     "{{\"status\":\"completed\",\"steps\":{},\"avg_newton\":{:.3},",
                     "\"avg_krylov\":{:.3},\"lu_factorizations\":{},\"symbolic_analyses\":{},",
-                    "\"lu_refactorizations\":{},\"runtime_s\":{:.6}}}"
+                    "\"lu_refactorizations\":{},\"device_evaluations\":{},",
+                    "\"plan_compilations\":{},\"restamped_entries\":{},\"runtime_s\":{:.6}}}"
                 ),
                 steps,
                 avg_newton,
@@ -71,6 +81,9 @@ impl CaseOutcome {
                 lu_count,
                 symbolic_analyses,
                 lu_refactorizations,
+                device_evaluations,
+                plan_compilations,
+                restamped_entries,
                 runtime
             ),
             CaseOutcome::OutOfMemory => "{\"status\":\"out_of_memory\"}".to_string(),
@@ -139,6 +152,9 @@ pub fn run_circuit_in(
             lu_count: result.stats.lu_factorizations,
             symbolic_analyses: result.stats.symbolic_analyses,
             lu_refactorizations: result.stats.lu_refactorizations,
+            device_evaluations: result.stats.device_evaluations,
+            plan_compilations: result.stats.plan_compilations,
+            restamped_entries: result.stats.restamped_entries,
             runtime: result.stats.runtime_seconds(),
         },
         Err(SimError::Sparse(SparseError::FillBudgetExceeded { .. })) => CaseOutcome::OutOfMemory,
@@ -218,11 +234,16 @@ mod tests {
             lu_count: 12,
             symbolic_analyses: 1,
             lu_refactorizations: 11,
+            device_evaluations: 31,
+            plan_compilations: 1,
+            restamped_entries: 62,
             runtime: 0.25,
         };
         let json = done.to_json();
         assert!(json.contains("\"status\":\"completed\""));
         assert!(json.contains("\"lu_refactorizations\":11"));
+        assert!(json.contains("\"plan_compilations\":1"));
+        assert!(json.contains("\"restamped_entries\":62"));
         assert_eq!(
             CaseOutcome::OutOfMemory.to_json(),
             "{\"status\":\"out_of_memory\"}"

@@ -87,7 +87,7 @@ use crate::error::SimResult;
 use crate::observer::{DecimatedWaveform, StreamingObserver};
 use crate::options::TransientOptions;
 use crate::output::TransientResult;
-use crate::session::Simulator;
+use crate::session::{PlanCache, Simulator};
 use crate::stats::RunStats;
 use crate::transient::Method;
 
@@ -197,6 +197,10 @@ impl BatchPlan {
 }
 
 /// The waveform a finished job produced, matching its [`JobSink`].
+// The `Recorded` variant is the common case; boxing it to appease
+// `large_enum_variant` would cost an indirection on every recorded job for
+// a type that lives once per job, not per step.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum JobOutput {
     /// Every accepted point ([`JobSink::Record`]).
@@ -361,6 +365,7 @@ impl BatchObserver for BatchProgress {
 pub struct BatchRunner {
     worker_threads: usize,
     shared: Arc<SymbolicCache>,
+    plans: Arc<PlanCache>,
 }
 
 impl Default for BatchRunner {
@@ -376,6 +381,7 @@ impl BatchRunner {
         BatchRunner {
             worker_threads: 0,
             shared: Arc::new(SymbolicCache::new()),
+            plans: Arc::new(PlanCache::new()),
         }
     }
 
@@ -399,6 +405,20 @@ impl BatchRunner {
     /// The symbolic cache this runner hands to its workers.
     pub fn cache(&self) -> &Arc<SymbolicCache> {
         &self.shared
+    }
+
+    /// Replaces the evaluation-plan cache, pooling compiled
+    /// [`exi_netlist::EvalPlan`]s with other batches (or hand-rolled
+    /// [`Simulator::with_plan_cache`] sessions) holding the same cache.
+    #[must_use]
+    pub fn shared_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plans = cache;
+        self
+    }
+
+    /// The evaluation-plan cache this runner hands to its workers.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 
     /// The effective worker count [`BatchRunner::run`] will use.
@@ -444,8 +464,13 @@ impl BatchRunner {
         // used by the satisfied-check, because a Jacobian pattern can
         // coincide with a G pattern some earlier pilot already published.
         let mut publishers: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
+        // Fingerprinting warms the shared plan cache deterministically on
+        // the main thread (one compile per distinct structure); the compiles
+        // are charged to the merged batch stats below, while each worker
+        // session records a `shared_plan_hits` when it fetches its plan.
+        let mut precompiled_plans = 0usize;
         for (i, job) in jobs.iter().enumerate() {
-            match job_fingerprints(job) {
+            match job_fingerprints(job, &self.plans, &mut precompiled_plans) {
                 Ok(keys) => {
                     g_queues.entry(keys.g).or_default().push(i);
                     publishers.entry(keys.g).or_default().push(i);
@@ -507,6 +532,7 @@ impl BatchRunner {
         for outcome in &outcomes {
             stats.absorb(&outcome.stats);
         }
+        stats.plan_compilations += precompiled_plans;
         stats.batch_jobs = outcomes.len();
         stats.worker_threads = threads;
         observer.on_batch_finished(&stats);
@@ -531,6 +557,7 @@ impl BatchRunner {
         let workers = threads.min(indices.len()).max(1);
         let cursor = AtomicUsize::new(0);
         let shared = &self.shared;
+        let plans = &self.plans;
         let mut results = Vec::with_capacity(indices.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -542,7 +569,7 @@ impl BatchRunner {
                             let Some(&i) = indices.get(k) else { break };
                             let job = &jobs[i];
                             observer.on_job_started(i, &job.label);
-                            let outcome = execute_job(job, shared);
+                            let outcome = execute_job(job, shared, plans);
                             observer.on_job_finished(i, &outcome);
                             local.push((i, outcome));
                         }
@@ -583,11 +610,21 @@ fn uses_implicit_jacobian(method: Method) -> bool {
 
 /// Fingerprints of the matrix patterns `job` will factorize, computed with
 /// [`exi_sparse::pattern_fingerprint`] — the exact grouping the shared cache
-/// uses. Costs one device evaluation at `x = 0` (plus one structural matrix
-/// add for implicit jobs) per job — negligible against a transient run.
-fn job_fingerprints(job: &BatchJob) -> SimResult<JobKeys> {
+/// uses. Costs one plan fetch (compiled once per distinct structure, counted
+/// into `precompiled`) and one device evaluation at `x = 0` (plus one
+/// structural matrix add for implicit jobs) per job — negligible against a
+/// transient run.
+fn job_fingerprints(
+    job: &BatchJob,
+    plans: &PlanCache,
+    precompiled: &mut usize,
+) -> SimResult<JobKeys> {
+    let (plan, compiled) = plans.get_or_compile(&job.circuit)?;
+    if compiled {
+        *precompiled += 1;
+    }
     let x = vec![0.0; job.circuit.num_unknowns()];
-    let ev = job.circuit.evaluate(&x)?;
+    let ev = plan.evaluate(&x)?;
     let ordering = job.options.ordering;
     let jac = if uses_implicit_jacobian(job.method) {
         let union = CsrMatrix::linear_combination(1.0, &ev.c, 1.0, &ev.g)?;
@@ -631,8 +668,9 @@ fn elect_pilots(
 }
 
 /// Runs one job in its own pooled session.
-fn execute_job(job: &BatchJob, shared: &Arc<SymbolicCache>) -> JobOutcome {
-    let mut sim = Simulator::with_shared_symbolic(&job.circuit, Arc::clone(shared));
+fn execute_job(job: &BatchJob, shared: &Arc<SymbolicCache>, plans: &Arc<PlanCache>) -> JobOutcome {
+    let mut sim = Simulator::with_shared_symbolic(&job.circuit, Arc::clone(shared))
+        .with_plan_cache(Arc::clone(plans));
     let probe_refs: Vec<&str> = job.probes.iter().map(String::as_str).collect();
     let result = match job.sink {
         JobSink::Record => sim

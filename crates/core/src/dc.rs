@@ -14,7 +14,7 @@
 //! final DC factor seeds every later transient run — circuits whose
 //! conductance pattern matches never pay for a second symbolic analysis.
 
-use exi_netlist::Circuit;
+use exi_netlist::{Circuit, EvalPlan, EvalWorkspace};
 use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu, SymbolicCache};
 
 use crate::engines::refresh_lu;
@@ -65,13 +65,18 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
     let mut stats = RunStats::new();
     let mut lu_cache: Option<SparseLu> = None;
     let mut lu_ws = LuWorkspace::new();
+    let plan = circuit.compile_plan()?;
+    stats.plan_compilations += 1;
+    let mut eval_ws = plan.new_workspace();
     dc_operating_point_internal(
         circuit,
+        &plan,
         options,
         &mut stats,
         &mut lu_cache,
         None,
         &mut lu_ws,
+        &mut eval_ws,
     )
 }
 
@@ -83,16 +88,19 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
 /// every later transient step (and every later run). A `shared` symbolic
 /// cache, when provided, additionally pools the analysis across concurrent
 /// sessions (see [`crate::BatchRunner`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dc_operating_point_internal(
     circuit: &Circuit,
+    plan: &EvalPlan,
     options: &DcOptions,
     stats: &mut RunStats,
     lu_cache: &mut Option<SparseLu>,
     shared: Option<&SymbolicCache>,
     lu_ws: &mut LuWorkspace,
+    eval_ws: &mut EvalWorkspace,
 ) -> SimResult<DcSolution> {
     let n = circuit.num_unknowns();
-    let b = circuit.input_matrix()?;
+    let b = plan.input_matrix();
     let u0 = circuit.input_vector(0.0);
     let bu = b.mul_vec(&u0);
     let mut x = vec![0.0; n];
@@ -105,9 +113,10 @@ pub(crate) fn dc_operating_point_internal(
     };
     let mut rhs = vec![0.0; n];
     let mut delta = vec![0.0; n];
+    let mut ev = plan.new_evaluation();
 
     for iter in 1..=options.max_iterations {
-        let ev = circuit.evaluate(&x)?;
+        stats.restamped_entries += plan.evaluate_into(&x, eval_ws, &mut ev)?;
         stats.device_evaluations += 1;
         for i in 0..n {
             rhs[i] = bu[i] - ev.f[i];
@@ -124,13 +133,17 @@ pub(crate) fn dc_operating_point_internal(
         }
         previous_residual = residual_norm.min(previous_residual);
 
+        // The cold Levenberg fallback allocates its damped Jacobian; the
+        // common path factorizes the restamped `G` directly.
+        let damped;
         let jac = if damping > 0.0 {
             let scaled_identity = CsrMatrix::identity(n).scaled(damping);
-            CsrMatrix::linear_combination(1.0, &ev.g, 1.0, &scaled_identity)?
+            damped = CsrMatrix::linear_combination(1.0, &ev.g, 1.0, &scaled_identity)?;
+            &damped
         } else {
-            ev.g.clone()
+            &ev.g
         };
-        refresh_lu(lu_cache, shared, &jac, &lu_options, lu_ws, stats)?;
+        refresh_lu(lu_cache, shared, jac, &lu_options, lu_ws, stats)?;
         let lu = lu_cache.as_ref().expect("refresh_lu populated the cache");
         lu.solve_into(&rhs, &mut delta, lu_ws)?;
         stats.linear_solves += 1;
@@ -148,7 +161,7 @@ pub(crate) fn dc_operating_point_internal(
         stats.newton_iterations += 1;
         if update_norm < options.tolerance && residual_norm.is_finite() {
             // Recompute the residual at the converged point for reporting.
-            let ev = circuit.evaluate(&x)?;
+            stats.restamped_entries += plan.evaluate_into(&x, eval_ws, &mut ev)?;
             stats.device_evaluations += 1;
             let final_residual = vector::norm_inf(&vector::sub(&bu, &ev.f));
             return Ok(DcSolution {
@@ -249,13 +262,17 @@ mod tests {
         let mut stats = RunStats::new();
         let mut lu: Option<SparseLu> = None;
         let mut ws = LuWorkspace::new();
+        let plan = ckt.compile_plan().unwrap();
+        let mut eval_ws = plan.new_workspace();
         let dc = dc_operating_point_internal(
             &ckt,
+            &plan,
             &DcOptions::default(),
             &mut stats,
             &mut lu,
             None,
             &mut ws,
+            &mut eval_ws,
         )
         .unwrap();
         assert!(dc.iterations > 1);

@@ -17,10 +17,12 @@
 //! search, reachability DFS) — every later step reuses it through the
 //! numeric-only [`SparseLu::refactorize_with`] path, and the engine even
 //! seeds its cache with the factor the DC solve already computed. All
-//! triangular solves, matrix–vector products and Krylov subspace builds run
-//! through reusable workspaces, so the hot loop performs no circuit-sized
-//! allocation in steady state. The caches live in the
-//! [`Simulator`](crate::Simulator) session, so they also survive across runs.
+//! triangular solves, matrix–vector products, Krylov subspace builds **and
+//! device evaluations** (restamped through the session's precompiled
+//! [`EvalPlan`] — no COO assembly, no sort) run through reusable
+//! workspaces, so the hot loop performs no circuit-sized allocation in
+//! steady state. The caches live in the [`Simulator`](crate::Simulator)
+//! session, so they also survive across runs.
 //!
 //! The engine is exposed as the incremental [`ErStepper`] (one accepted step
 //! per [`Engine::advance`] call); [`run_exponential_rosenbrock`] remains as a
@@ -37,10 +39,11 @@
 //! D_k     = −γ·(φ₁(hJ) − I)·w₃                  (ER-C correction)
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use exi_krylov::{mevp_invert_krylov_with, KrylovDecomposition, MevpOptions, MevpWorkspace};
-use exi_netlist::Circuit;
+use exi_netlist::{Circuit, EvalPlan, Evaluation};
 use exi_sparse::{vector, LuOptions, SparseLu};
 
 use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Engine, StepOutcome};
@@ -69,6 +72,9 @@ const NEGLIGIBLE_NORM: f64 = 1e-300;
 pub struct ErStepper<'a> {
     circuit: &'a Circuit,
     caches: &'a mut SessionCaches,
+    /// The session's compiled stamping plan (shared handle; the per-step
+    /// restamps go through it instead of COO assembly).
+    plan: Arc<EvalPlan>,
     options: TransientOptions,
     correction: bool,
     lu_options: LuOptions,
@@ -76,6 +82,10 @@ pub struct ErStepper<'a> {
     breakpoints: Vec<f64>,
     n: usize,
     // Circuit-sized scratch buffers, allocated once per stepper.
+    eval_k: Evaluation,
+    eval_next: Evaluation,
+    u_k: Vec<f64>,
+    u_next: Vec<f64>,
     bu_k: Vec<f64>,
     rhs: Vec<f64>,
     bdu: Vec<f64>,
@@ -94,6 +104,7 @@ pub struct ErStepper<'a> {
     finished: bool,
     finalized: bool,
     alloc_baseline: usize,
+    assembly_alloc_baseline: usize,
 }
 
 impl<'a> ErStepper<'a> {
@@ -120,15 +131,16 @@ impl<'a> ErStepper<'a> {
             min_dimension: 2,
             allow_unconverged: true,
         };
-        let du = vec![
-            0.0;
+        let plan = Arc::clone(
             caches
-                .b
+                .plan
                 .as_ref()
-                .expect("session populated the input matrix")
-                .cols()
-        ];
+                .expect("session compiled the evaluation plan"),
+        );
+        let input_dim = plan.input_matrix().cols();
+        let du = vec![0.0; input_dim];
         let alloc_baseline = caches.mevp_ws.allocations();
+        let assembly_alloc_baseline = caches.eval_ws.allocations();
         Ok(ErStepper {
             circuit,
             caches,
@@ -138,6 +150,11 @@ impl<'a> ErStepper<'a> {
             mevp_options,
             breakpoints,
             n,
+            eval_k: plan.new_evaluation(),
+            eval_next: plan.new_evaluation(),
+            u_k: vec![0.0; input_dim],
+            u_next: vec![0.0; input_dim],
+            plan,
             bu_k: vec![0.0; n],
             rhs: vec![0.0; n],
             bdu: vec![0.0; n],
@@ -156,6 +173,7 @@ impl<'a> ErStepper<'a> {
             finished: true, // until init() places the stepper
             finalized: false,
             alloc_baseline,
+            assembly_alloc_baseline,
         })
     }
 }
@@ -225,6 +243,8 @@ impl Engine for ErStepper<'_> {
             self.finalized = true;
             self.stats.krylov_workspace_allocations =
                 self.caches.mevp_ws.allocations() - self.alloc_baseline;
+            self.stats.assembly_workspace_allocations =
+                self.caches.eval_ws.allocations() - self.assembly_alloc_baseline;
             self.stats.observer_callbacks += 1;
             observer.on_finish(&self.x, &self.stats);
         }
@@ -248,20 +268,19 @@ impl ErStepper<'_> {
         }
         let n = self.n;
         let caches = &mut *self.caches;
+        let plan = Arc::clone(&self.plan);
 
         // --- Algorithm 2 lines 4-6: linearize, factorize G, build subspaces. ---
-        let eval_k = self.circuit.evaluate(&self.x)?;
+        self.stats.restamped_entries +=
+            plan.evaluate_into(&self.x, &mut caches.eval_ws, &mut self.eval_k)?;
         self.stats.device_evaluations += 1;
-        let b = caches
-            .b
-            .as_ref()
-            .expect("session populated the input matrix");
-        let u_k = self.circuit.input_vector(self.t);
-        b.mul_vec_into(&u_k, &mut self.bu_k);
+        let b = plan.input_matrix();
+        self.circuit.input_vector_into(self.t, &mut self.u_k);
+        b.mul_vec_into(&self.u_k, &mut self.bu_k);
         refresh_lu(
             &mut caches.g_lu,
             caches.shared.as_deref(),
-            &eval_k.g,
+            &self.eval_k.g,
             &self.lu_options,
             &mut caches.lu_ws,
             &mut self.stats,
@@ -273,12 +292,12 @@ impl ErStepper<'_> {
 
         // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
         for i in 0..n {
-            self.rhs[i] = eval_k.f[i] - self.bu_k[i];
+            self.rhs[i] = self.eval_k.f[i] - self.bu_k[i];
         }
         g_lu_ref.solve_into(&self.rhs, &mut self.w1, &mut caches.lu_ws)?;
         self.stats.linear_solves += 1;
         *dec1 = build_subspace(
-            &eval_k,
+            &self.eval_k,
             g_lu_ref,
             &self.w1,
             self.h,
@@ -304,8 +323,13 @@ impl ErStepper<'_> {
         // w2 is proportional to Δu = u(t+h) − u(t); within one breakpoint
         // interval the input is piecewise linear, so when h shrinks the vector
         // only scales and the subspace can be reused.
-        let u_next0 = self.circuit.input_vector(self.t + h_step);
-        for (d, (un, uk)) in self.du.iter_mut().zip(u_next0.iter().zip(u_k.iter())) {
+        self.circuit
+            .input_vector_into(self.t + h_step, &mut self.u_next);
+        for (d, (un, uk)) in self
+            .du
+            .iter_mut()
+            .zip(self.u_next.iter().zip(self.u_k.iter()))
+        {
             *d = un - uk;
         }
         b.mul_vec_into(&self.du, &mut self.bdu);
@@ -313,7 +337,7 @@ impl ErStepper<'_> {
         self.stats.linear_solves += 1;
         vector::scale(-1.0, &mut self.w2);
         *dec2 = build_subspace(
-            &eval_k,
+            &self.eval_k,
             g_lu_ref,
             &self.w2,
             h_step,
@@ -343,20 +367,21 @@ impl ErStepper<'_> {
             }
 
             // --- Error estimator of Eq. (15)/(24). ---
-            let eval_next = self.circuit.evaluate(&self.candidate)?;
+            self.stats.restamped_entries +=
+                plan.evaluate_into(&self.candidate, &mut caches.eval_ws, &mut self.eval_next)?;
             self.stats.device_evaluations += 1;
             // ΔF_k = G_k·(x_{k+1} − x_k) − (f(x_{k+1}) − f(x_k)).
             for i in 0..n {
                 self.dx[i] = self.candidate[i] - self.x[i];
             }
-            eval_k.g.mul_vec_into(&self.dx, &mut self.delta_f);
+            self.eval_k.g.mul_vec_into(&self.dx, &mut self.delta_f);
             for (i, df) in self.delta_f.iter_mut().enumerate() {
-                *df -= eval_next.f[i] - eval_k.f[i];
+                *df -= self.eval_next.f[i] - self.eval_k.f[i];
             }
             g_lu_ref.solve_into(&self.delta_f, &mut self.w3, &mut caches.lu_ws)?;
             self.stats.linear_solves += 1;
             *dec3 = build_subspace(
-                &eval_k,
+                &self.eval_k,
                 g_lu_ref,
                 &self.w3,
                 h_step,

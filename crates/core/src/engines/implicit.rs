@@ -16,9 +16,10 @@
 //! step per [`Engine::advance`] call); [`run_implicit`] remains as a
 //! deprecated one-shot wrapper.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use exi_netlist::Circuit;
+use exi_netlist::{Circuit, EvalPlan, Evaluation};
 use exi_sparse::{vector, CsrMatrix, LuOptions};
 
 use crate::engines::{clamp_step, prepare, reached_end, refresh_lu, Engine, StepOutcome};
@@ -60,11 +61,25 @@ impl ImplicitScheme {
 pub struct ImplicitStepper<'a> {
     circuit: &'a Circuit,
     caches: &'a mut SessionCaches,
+    /// The session's compiled stamping plan (shared handle; every Newton
+    /// iteration restamps through it instead of COO assembly).
+    plan: Arc<EvalPlan>,
     options: TransientOptions,
     theta: f64,
     lu_options: LuOptions,
     breakpoints: Vec<f64>,
     n: usize,
+    // Circuit-sized scratch buffers, allocated once per stepper.
+    eval_k: Evaluation,
+    eval_i: Evaluation,
+    /// Reusable buffer for the implicit Jacobian `C/h + θ·G`, combined
+    /// value-wise over the evaluation's patterns without allocation.
+    jac: CsrMatrix,
+    u_k: Vec<f64>,
+    u_next: Vec<f64>,
+    bu_k: Vec<f64>,
+    bu_next: Vec<f64>,
+    xi: Vec<f64>,
     residual: Vec<f64>,
     delta: Vec<f64>,
     /// Previous derivative estimate used by the forward-Euler predictor for
@@ -76,6 +91,7 @@ pub struct ImplicitStepper<'a> {
     stats: RunStats,
     finished: bool,
     finalized: bool,
+    assembly_alloc_baseline: usize,
 }
 
 impl<'a> ImplicitStepper<'a> {
@@ -96,6 +112,14 @@ impl<'a> ImplicitStepper<'a> {
             fill_budget: options.fill_budget,
             ..LuOptions::default()
         };
+        let plan = Arc::clone(
+            caches
+                .plan
+                .as_ref()
+                .expect("session compiled the evaluation plan"),
+        );
+        let input_dim = plan.input_matrix().cols();
+        let assembly_alloc_baseline = caches.eval_ws.allocations();
         Ok(ImplicitStepper {
             circuit,
             caches,
@@ -104,6 +128,15 @@ impl<'a> ImplicitStepper<'a> {
             lu_options,
             breakpoints,
             n,
+            eval_k: plan.new_evaluation(),
+            eval_i: plan.new_evaluation(),
+            jac: CsrMatrix::zeros(0, 0),
+            u_k: vec![0.0; input_dim],
+            u_next: vec![0.0; input_dim],
+            bu_k: vec![0.0; n],
+            bu_next: vec![0.0; n],
+            xi: vec![0.0; n],
+            plan,
             residual: vec![0.0; n],
             delta: vec![0.0; n],
             prev_derivative: None,
@@ -113,6 +146,7 @@ impl<'a> ImplicitStepper<'a> {
             stats: dc_stats,
             finished: true, // until init() places the stepper
             finalized: false,
+            assembly_alloc_baseline,
         })
     }
 }
@@ -171,6 +205,8 @@ impl Engine for ImplicitStepper<'_> {
     fn finish(&mut self, observer: &mut dyn Observer) -> RunStats {
         if !self.finalized {
             self.finalized = true;
+            self.stats.assembly_workspace_allocations =
+                self.caches.eval_ws.allocations() - self.assembly_alloc_baseline;
             self.stats.observer_callbacks += 1;
             observer.on_finish(&self.x, &self.stats);
         }
@@ -187,15 +223,14 @@ impl ImplicitStepper<'_> {
         let n = self.n;
         let theta = self.theta;
         let caches = &mut *self.caches;
+        let plan = Arc::clone(&self.plan);
 
-        let eval_k = self.circuit.evaluate(&self.x)?;
+        self.stats.restamped_entries +=
+            plan.evaluate_into(&self.x, &mut caches.eval_ws, &mut self.eval_k)?;
         self.stats.device_evaluations += 1;
-        let b = caches
-            .b
-            .as_ref()
-            .expect("session populated the input matrix");
-        let u_k = self.circuit.input_vector(self.t);
-        let bu_k = b.mul_vec(&u_k);
+        let b = plan.input_matrix();
+        self.circuit.input_vector_into(self.t, &mut self.u_k);
+        b.mul_vec_into(&self.u_k, &mut self.bu_k);
 
         loop {
             let h_step = clamp_step(
@@ -210,30 +245,41 @@ impl ImplicitStepper<'_> {
                     step: h_step,
                 });
             }
-            let u_next = self.circuit.input_vector(self.t + h_step);
-            let bu_next = b.mul_vec(&u_next);
+            self.circuit
+                .input_vector_into(self.t + h_step, &mut self.u_next);
+            b.mul_vec_into(&self.u_next, &mut self.bu_next);
 
             // --- Newton–Raphson iterations for the implicit step. ---
-            let mut xi = self.x.clone();
+            self.xi.copy_from_slice(&self.x);
             let mut converged = false;
             let mut iterations = 0usize;
             while iterations < self.options.newton_max_iterations {
                 iterations += 1;
-                let ev = self.circuit.evaluate(&xi)?;
+                self.stats.restamped_entries +=
+                    plan.evaluate_into(&self.xi, &mut caches.eval_ws, &mut self.eval_i)?;
                 self.stats.device_evaluations += 1;
+                let ev = &self.eval_i;
                 // Residual T(x) of Eq. (2) generalized to the θ-method.
                 for i in 0..n {
-                    self.residual[i] = (ev.q[i] - eval_k.q[i]) / h_step
-                        + theta * (ev.f[i] - bu_next[i])
-                        + (1.0 - theta) * (eval_k.f[i] - bu_k[i]);
+                    self.residual[i] = (ev.q[i] - self.eval_k.q[i]) / h_step
+                        + theta * (ev.f[i] - self.bu_next[i])
+                        + (1.0 - theta) * (self.eval_k.f[i] - self.bu_k[i]);
                 }
                 // Jacobian C/h + θ·G — this is the matrix whose LU dominates
-                // BENR's cost on densely coupled circuits.
-                let jac = CsrMatrix::linear_combination(1.0 / h_step, &ev.c, theta, &ev.g)?;
+                // BENR's cost on densely coupled circuits. Combined
+                // value-wise into the reusable buffer over the evaluation's
+                // patterns (bit-identical to the allocating form).
+                CsrMatrix::linear_combination_into(
+                    1.0 / h_step,
+                    &ev.c,
+                    theta,
+                    &ev.g,
+                    &mut self.jac,
+                )?;
                 refresh_lu(
                     &mut caches.jac_lu,
                     caches.shared.as_deref(),
-                    &jac,
+                    &self.jac,
                     &self.lu_options,
                     &mut caches.lu_ws,
                     &mut self.stats,
@@ -246,7 +292,7 @@ impl ImplicitStepper<'_> {
                 self.stats.linear_solves += 1;
                 vector::scale(-1.0, &mut self.delta);
                 let update = vector::norm_inf(&self.delta);
-                vector::axpy(1.0, &self.delta, &mut xi);
+                vector::axpy(1.0, &self.delta, &mut self.xi);
                 self.stats.newton_iterations += 1;
                 if !update.is_finite() {
                     break;
@@ -276,9 +322,9 @@ impl ImplicitStepper<'_> {
             let lte = match &self.prev_derivative {
                 Some(dxdt) => {
                     let mut err = 0.0_f64;
-                    for i in 0..n {
-                        let predicted = self.x[i] + h_step * dxdt[i];
-                        err = err.max((xi[i] - predicted).abs());
+                    for (i, d) in dxdt.iter().enumerate() {
+                        let predicted = self.x[i] + h_step * d;
+                        err = err.max((self.xi[i] - predicted).abs());
                     }
                     err * 0.5
                 }
@@ -294,11 +340,11 @@ impl ImplicitStepper<'_> {
 
             // Accept the step.
             let mut derivative = self.prev_derivative.take().unwrap_or_else(|| vec![0.0; n]);
-            for i in 0..n {
-                derivative[i] = (xi[i] - self.x[i]) / h_step;
+            for (i, d) in derivative.iter_mut().enumerate() {
+                *d = (self.xi[i] - self.x[i]) / h_step;
             }
             self.prev_derivative = Some(derivative);
-            self.x = xi;
+            std::mem::swap(&mut self.x, &mut self.xi);
             self.t += h_step;
             self.stats.accepted_steps += 1;
             self.stats.observer_callbacks += 1;

@@ -17,7 +17,9 @@
 //!
 //! The central type is the [`Simulator`] — a session bound to one circuit
 //! that owns every piece of reusable solver state: the cached symbolic LU
-//! analyses, the Krylov workspace arena and the DC operating point.
+//! analyses, the compiled stamping plan ([`exi_netlist::EvalPlan`], the
+//! allocation-free device-restamping path), the Krylov workspace arena and
+//! the DC operating point.
 //! Consecutive analyses on the same topology (method comparisons, parameter
 //! sweeps, resumed runs) therefore perform **exactly one symbolic analysis
 //! per matrix pattern** — one for `G`, plus one for `C/h + θ·G` when an
@@ -171,7 +173,7 @@ pub use observer::{
 };
 pub use options::{DcOptions, TransientOptions};
 pub use output::{Probe, TransientResult};
-pub use session::{SessionStepper, Simulator};
+pub use session::{PlanCache, SessionStepper, Simulator};
 pub use stats::RunStats;
 #[allow(deprecated)]
 pub use transient::run_transient;

@@ -36,12 +36,13 @@
 //! # }
 //! ```
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use exi_krylov::MevpWorkspace;
-use exi_netlist::Circuit;
-use exi_sparse::{CsrMatrix, LuWorkspace, OrderingMethod, SparseLu, SymbolicCache};
+use exi_netlist::{circuit_fingerprint, Circuit, EvalPlan, EvalWorkspace};
+use exi_sparse::{LuWorkspace, OrderingMethod, SparseLu, SymbolicCache};
 
 use crate::dc::{dc_operating_point_internal, DcSolution};
 use crate::engines::er::ErStepper;
@@ -73,9 +74,13 @@ pub(crate) struct SessionCaches {
     pub(crate) lu_ws: LuWorkspace,
     pub(crate) mevp_ws: MevpWorkspace,
     pub(crate) dc: Option<DcSolution>,
-    /// The MNA input (source-incidence) matrix `B` — a pure function of the
-    /// topology, assembled once per session.
-    pub(crate) b: Option<CsrMatrix>,
+    /// The compiled stamping plan: fixed CSR patterns, the linear baseline,
+    /// the nonlinear scatter slots and the constant input matrix `B` —
+    /// compiled once per topology (or fetched from a shared [`PlanCache`])
+    /// and reused by the DC solve and every stepper.
+    pub(crate) plan: Option<Arc<EvalPlan>>,
+    /// Scratch buffers for plan evaluations, pre-sized by the plan.
+    pub(crate) eval_ws: EvalWorkspace,
     /// Fill-reducing ordering the cached factors were built with; a run
     /// requesting a different one drops the caches first.
     pub(crate) ordering: Option<OrderingMethod>,
@@ -86,6 +91,61 @@ pub(crate) struct SessionCaches {
     /// [`Simulator::reset_caches`] — it is a handle to fleet-wide state, not
     /// session state.
     pub(crate) shared: Option<Arc<SymbolicCache>>,
+    /// Cross-session evaluation-plan pool; fleet-wide state like `shared`,
+    /// surviving [`Simulator::reset_caches`].
+    pub(crate) shared_plans: Option<Arc<PlanCache>>,
+}
+
+/// A thread-shared cache of compiled [`EvalPlan`]s keyed by the circuit's
+/// structural+parametric fingerprint
+/// ([`exi_netlist::circuit_fingerprint`]) — the stamping-plan analogue of
+/// [`exi_sparse::SymbolicCache`].
+///
+/// A [`crate::BatchRunner`] hands a clone to every worker session, so
+/// same-structure jobs (e.g. a corner sweep varying only source waveforms)
+/// compile exactly one plan total; the merged statistics expose the effect
+/// as `plan_compilations == distinct structures` plus one
+/// [`RunStats::shared_plan_hits`] per pooled session.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<HashMap<Vec<u8>, Arc<EvalPlan>>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of distinct circuit structures cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Returns `true` when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached plan for `circuit`'s structure, compiling and
+    /// publishing it on a miss. The second component is `true` when this
+    /// call performed the compilation. The cache lock is held across the
+    /// compile, so concurrent same-structure requests block instead of
+    /// duplicating the work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalPlan::compile`] errors (e.g. an empty circuit).
+    pub fn get_or_compile(&self, circuit: &Circuit) -> SimResult<(Arc<EvalPlan>, bool)> {
+        let key = circuit_fingerprint(circuit);
+        let mut map = self.inner.lock().expect("plan cache poisoned");
+        if let Some(plan) = map.get(&key) {
+            return Ok((Arc::clone(plan), false));
+        }
+        let plan = Arc::new(EvalPlan::compile(circuit)?);
+        map.insert(key, Arc::clone(&plan));
+        Ok((plan, true))
+    }
 }
 
 /// A simulation session bound to one circuit.
@@ -142,9 +202,24 @@ impl<'c> Simulator<'c> {
         sim
     }
 
+    /// Pools this session's compiled evaluation plan with every other
+    /// session holding a clone of `cache` (see [`PlanCache`]); the
+    /// [`crate::BatchRunner`] wires this up for its workers.
+    #[must_use]
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.caches.shared_plans = Some(cache);
+        self
+    }
+
     /// The cross-session symbolic cache this session pools with, if any.
     pub fn shared_symbolic(&self) -> Option<&Arc<SymbolicCache>> {
         self.caches.shared.as_ref()
+    }
+
+    /// The cross-session evaluation-plan cache this session pools with, if
+    /// any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.caches.shared_plans.as_ref()
     }
 
     /// The circuit this session is bound to.
@@ -174,6 +249,7 @@ impl<'c> Simulator<'c> {
     pub fn reset_caches(&mut self) {
         self.caches = SessionCaches {
             shared: self.caches.shared.take(),
+            shared_plans: self.caches.shared_plans.take(),
             ..SessionCaches::default()
         };
     }
@@ -222,6 +298,31 @@ impl<'c> Simulator<'c> {
         }
     }
 
+    /// Compiles (or fetches from the shared [`PlanCache`]) the session's
+    /// evaluation plan, charging the compile to `stats`.
+    fn ensure_plan(&mut self, stats: &mut RunStats) -> SimResult<()> {
+        if self.caches.plan.is_none() {
+            let plan = match &self.caches.shared_plans {
+                Some(pool) => {
+                    let (plan, compiled) = pool.get_or_compile(self.circuit)?;
+                    if compiled {
+                        stats.plan_compilations += 1;
+                    } else {
+                        stats.shared_plan_hits += 1;
+                    }
+                    plan
+                }
+                None => {
+                    stats.plan_compilations += 1;
+                    Arc::new(EvalPlan::compile(self.circuit)?)
+                }
+            };
+            self.caches.eval_ws = plan.new_workspace();
+            self.caches.plan = Some(plan);
+        }
+        Ok(())
+    }
+
     /// Computes (or reuses) the DC operating point, returning the statistics
     /// of a fresh solve — zeroed when the cached solution was reused. The
     /// caller decides where to charge them: [`Simulator::stepper`] folds them
@@ -229,16 +330,23 @@ impl<'c> Simulator<'c> {
     /// that run is), [`Simulator::dc_with`] absorbs them directly.
     fn ensure_dc(&mut self, options: &DcOptions) -> SimResult<RunStats> {
         let mut stats = RunStats::new();
+        self.ensure_plan(&mut stats)?;
         if self.caches.dc.is_none() {
             let started = Instant::now();
             let caches = &mut self.caches;
+            let plan = caches
+                .plan
+                .as_ref()
+                .expect("ensure_plan populated the cache");
             let dc = dc_operating_point_internal(
                 self.circuit,
+                plan,
                 options,
                 &mut stats,
                 &mut caches.g_lu,
                 caches.shared.as_deref(),
                 &mut caches.lu_ws,
+                &mut caches.eval_ws,
             )?;
             stats.runtime = started.elapsed();
             self.caches.dc = Some(dc);
@@ -273,9 +381,6 @@ impl<'c> Simulator<'c> {
             ordering: options.ordering,
             ..DcOptions::default()
         })?;
-        if self.caches.b.is_none() {
-            self.caches.b = Some(self.circuit.input_matrix()?);
-        }
         let x0 = self
             .caches
             .dc

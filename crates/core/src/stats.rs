@@ -31,6 +31,32 @@ pub struct RunStats {
     pub linear_solves: usize,
     /// Number of full device evaluations.
     pub device_evaluations: usize,
+    /// Number of [`exi_netlist::EvalPlan`] compilations performed (the
+    /// one-time topology analysis of the stamping-plan path). A run on a
+    /// fixed topology needs exactly one — per session, or per distinct
+    /// circuit structure when a [`crate::PlanCache`] pools plans across a
+    /// batch; a counter that scales with the step or run count means the
+    /// plan reuse regressed.
+    pub plan_compilations: usize,
+    /// Number of times a session obtained its evaluation plan from a shared
+    /// [`crate::PlanCache`] instead of compiling it. For an `N`-job
+    /// same-structure batch the merged stats show `plan_compilations == 1`
+    /// and `shared_plan_hits == N`.
+    pub shared_plan_hits: usize,
+    /// Total nonlinear matrix entries rewritten by
+    /// [`exi_netlist::EvalPlan::evaluate_into`] across all device
+    /// evaluations. Per evaluation this is exactly the circuit's nonlinear
+    /// stamp count ([`exi_netlist::EvalPlan::nonlinear_stamp_count`]) — the
+    /// linear baseline is restored by flat copies and never re-stamped, so
+    /// `restamped_entries == device_evaluations × nonlinear_stamp_count`
+    /// (zero for linear circuits such as power grids and RC ladders).
+    pub restamped_entries: usize,
+    /// Number of times the stamping-plan path had to grow an assembly
+    /// buffer (`Evaluation` storage or [`exi_netlist::EvalWorkspace`]
+    /// scratch). Plans pre-size every buffer, so this stays at zero in
+    /// steady state; a climbing counter is a hot-loop allocation
+    /// regression.
+    pub assembly_workspace_allocations: usize,
     /// Number of Krylov subspaces built.
     pub krylov_subspaces: usize,
     /// Sum of the dimensions of all Krylov subspaces built.
@@ -128,6 +154,10 @@ impl RunStats {
         self.lu_refactorizations += other.lu_refactorizations;
         self.linear_solves += other.linear_solves;
         self.device_evaluations += other.device_evaluations;
+        self.plan_compilations += other.plan_compilations;
+        self.shared_plan_hits += other.shared_plan_hits;
+        self.restamped_entries += other.restamped_entries;
+        self.assembly_workspace_allocations += other.assembly_workspace_allocations;
         self.krylov_subspaces += other.krylov_subspaces;
         self.krylov_dimension_total += other.krylov_dimension_total;
         self.peak_krylov_dimension = self.peak_krylov_dimension.max(other.peak_krylov_dimension);
@@ -225,6 +255,22 @@ mod tests {
             ..RunStats::default()
         });
         assert_eq!(wide.worker_threads, 8);
+        // Plan-path counters are plain sums.
+        let mut planned = RunStats {
+            plan_compilations: 1,
+            restamped_entries: 40,
+            assembly_workspace_allocations: 1,
+            ..RunStats::default()
+        };
+        planned.absorb(&RunStats {
+            shared_plan_hits: 3,
+            restamped_entries: 2,
+            ..RunStats::default()
+        });
+        assert_eq!(planned.plan_compilations, 1);
+        assert_eq!(planned.shared_plan_hits, 3);
+        assert_eq!(planned.restamped_entries, 42);
+        assert_eq!(planned.assembly_workspace_allocations, 1);
         assert_eq!(
             total.lu_factorizations,
             a.lu_factorizations + b.lu_factorizations

@@ -330,14 +330,49 @@ impl Circuit {
         Ok(())
     }
 
+    /// Compiles a precompiled evaluation plan for this topology — the
+    /// allocation-free restamping entry point of the hot loop (see
+    /// [`crate::plan`] for the full story).
+    ///
+    /// The plan snapshots the devices and `gmin`: recompile after any
+    /// mutation of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::EmptyCircuit`] for a circuit with no unknowns.
+    pub fn compile_plan(&self) -> NetlistResult<crate::plan::EvalPlan> {
+        crate::plan::EvalPlan::compile(self)
+    }
+
     /// Evaluates all devices at state `x`, producing the matrices and vectors
     /// of the linearized MNA system.
+    ///
+    /// This compiles a throwaway [`crate::plan::EvalPlan`] per call; hot
+    /// loops must compile once and restamp with
+    /// [`EvalPlan::evaluate_into`](crate::plan::EvalPlan::evaluate_into)
+    /// instead (bit-identical results).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::EmptyCircuit`] for a circuit with no unknowns
     /// and an error if `x` has the wrong length.
+    #[deprecated(
+        since = "0.4.0",
+        note = "compile an `EvalPlan` once per topology (`Circuit::compile_plan`) and restamp \
+                with `EvalPlan::evaluate_into` — the plan path assembles without COO buffers, \
+                sorting or steady-state allocation"
+    )]
     pub fn evaluate(&self, x: &[f64]) -> NetlistResult<Evaluation> {
+        self.compile_plan()?.evaluate(x)
+    }
+
+    /// The legacy COO-assembly evaluation path, retained verbatim as the
+    /// differential-testing and benchmarking reference for the plan path
+    /// ([`Circuit::compile_plan`]). `tests/proptest_plan.rs` asserts the two
+    /// are bit-identical on randomized circuits; the `assembly` bench group
+    /// measures the gap.
+    #[doc(hidden)]
+    pub fn evaluate_reference(&self, x: &[f64]) -> NetlistResult<Evaluation> {
         let n = self.num_unknowns();
         if n == 0 {
             return Err(NetlistError::EmptyCircuit);
@@ -384,7 +419,19 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`NetlistError::EmptyCircuit`] for a circuit with no unknowns.
+    #[deprecated(
+        since = "0.4.0",
+        note = "compile an `EvalPlan` once per topology (`Circuit::compile_plan`) and borrow \
+                `EvalPlan::input_matrix` — `B` is a pure function of the topology"
+    )]
     pub fn input_matrix(&self) -> NetlistResult<CsrMatrix> {
+        Ok(self.compile_plan()?.input_matrix().clone())
+    }
+
+    /// The legacy stamping-pass construction of `B`, retained as the
+    /// differential-testing reference for the plan path.
+    #[doc(hidden)]
+    pub fn input_matrix_reference(&self) -> NetlistResult<CsrMatrix> {
         let n = self.num_unknowns();
         if n == 0 {
             return Err(NetlistError::EmptyCircuit);
@@ -413,12 +460,41 @@ impl Circuit {
         Ok(b.to_csr())
     }
 
+    /// Number of entries of the input vector `u(t)` — the column count of
+    /// the incidence matrix `B` (`num_sources`, or 1 for a source-free
+    /// circuit so the matrix stays well-formed).
+    pub fn input_dim(&self) -> usize {
+        self.sources.len().max(1)
+    }
+
     /// Evaluates all independent sources at time `t`.
     pub fn input_vector(&self, t: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.input_dim()];
+        self.input_vector_into(t, &mut out);
+        out
+    }
+
+    /// Evaluates all independent sources at time `t` into a caller buffer of
+    /// [`Circuit::input_dim`] entries — the allocation-free form the
+    /// transient engines call per step. For a source-free circuit the single
+    /// padding entry is set to `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.input_dim()`.
+    pub fn input_vector_into(&self, t: f64, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.input_dim(),
+            "input_vector_into: buffer dimension mismatch"
+        );
         if self.sources.is_empty() {
-            return vec![0.0];
+            out[0] = 0.0;
+            return;
         }
-        self.sources.iter().map(|(_, w)| w.value(t)).collect()
+        for (o, (_, w)) in out.iter_mut().zip(self.sources.iter()) {
+            *o = w.value(t);
+        }
     }
 
     /// All waveform breakpoints in `[0, t_end]`, sorted and deduplicated.
@@ -438,6 +514,15 @@ impl Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Plan-path evaluation shorthand for the stamp tests.
+    fn eval(ckt: &Circuit, x: &[f64]) -> Evaluation {
+        ckt.compile_plan().unwrap().evaluate(x).unwrap()
+    }
+
+    fn input_matrix(ckt: &Circuit) -> CsrMatrix {
+        ckt.compile_plan().unwrap().input_matrix().clone()
+    }
 
     fn rc_divider() -> Circuit {
         // V1 -- R1 -- out -- C1 -- gnd
@@ -471,7 +556,7 @@ mod tests {
     fn resistor_and_capacitor_stamps() {
         let ckt = rc_divider();
         let x = vec![1.0, 0.25, -0.75e-3]; // in, out, branch current
-        let ev = ckt.evaluate(&x).unwrap();
+        let ev = eval(&ckt, &x);
         // G row for "out": conductance 1e-3 to "in" and itself.
         assert!((ev.g.get(1, 1) - 1e-3).abs() < 1e-15);
         assert!((ev.g.get(1, 0) + 1e-3).abs() < 1e-15);
@@ -489,7 +574,7 @@ mod tests {
     #[test]
     fn input_matrix_and_vector() {
         let ckt = rc_divider();
-        let b = ckt.input_matrix().unwrap();
+        let b = input_matrix(&ckt);
         assert_eq!(b.rows(), 3);
         assert_eq!(b.cols(), 1);
         assert_eq!(b.get(2, 0), 1.0);
@@ -504,11 +589,11 @@ mod tests {
         ckt.add_resistor("R1", a, gnd, 100.0).unwrap();
         ckt.add_current_source("I1", gnd, a, Waveform::Dc(0.01))
             .unwrap();
-        let b = ckt.input_matrix().unwrap();
+        let b = input_matrix(&ckt);
         // Current is injected into node a.
         assert_eq!(b.get(0, 0), 1.0);
         // Steady state: v_a = I*R = 1 V, so f(x) - B u = 0 at v_a = 1.
-        let ev = ckt.evaluate(&[1.0]).unwrap();
+        let ev = eval(&ckt, &[1.0]);
         let bu = b.mul_vec(&ckt.input_vector(0.0));
         assert!((ev.f[0] - bu[0]).abs() < 1e-15);
     }
@@ -521,7 +606,7 @@ mod tests {
         ckt.add_inductor("L1", a, gnd, 1e-9).unwrap();
         ckt.add_resistor("R1", a, gnd, 50.0).unwrap();
         let x = vec![2.0, 0.04];
-        let ev = ckt.evaluate(&x).unwrap();
+        let ev = eval(&ckt, &x);
         // Branch flux q = L*i.
         assert!((ev.q[1] - 1e-9 * 0.04).abs() < 1e-20);
         // Branch equation residual f = -(v_a - 0).
@@ -541,7 +626,7 @@ mod tests {
         ckt.add_mosfet("M1", a, g, gnd, MosfetModel::nmos())
             .unwrap();
         assert_eq!(ckt.num_nonlinear_devices(), 2);
-        let ev = ckt.evaluate(&[0.6, 1.0]).unwrap();
+        let ev = eval(&ckt, &[0.6, 1.0]);
         // Diode forward current appears at node a.
         assert!(ev.f[0] > 0.0);
         // MOSFET is on (vgs = 1.0 > vt), adding conductance at node a.
@@ -551,6 +636,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated wrappers' error parity
     fn validation_errors() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
@@ -580,6 +666,41 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_plan_path_bitwise() {
+        let ckt = rc_divider();
+        let x = vec![0.9, 0.4, -5e-4];
+        let wrapped = ckt.evaluate(&x).unwrap();
+        let planned = eval(&ckt, &x);
+        assert_eq!(wrapped.g, planned.g);
+        assert_eq!(wrapped.c, planned.c);
+        assert_eq!(wrapped.f, planned.f);
+        assert_eq!(wrapped.q, planned.q);
+        assert_eq!(ckt.input_matrix().unwrap(), input_matrix(&ckt));
+        // And the plan path agrees with the retained COO reference.
+        let reference = ckt.evaluate_reference(&x).unwrap();
+        assert_eq!(reference.g, planned.g);
+        assert_eq!(reference.f, planned.f);
+    }
+
+    #[test]
+    fn input_vector_into_matches_the_allocating_form() {
+        let ckt = rc_divider();
+        let mut buf = vec![42.0; ckt.input_dim()];
+        ckt.input_vector_into(0.0, &mut buf);
+        assert_eq!(buf, ckt.input_vector(0.0));
+        // Source-free circuit: single zero padding entry.
+        let mut lone = Circuit::new();
+        let a = lone.node("a");
+        let gnd = lone.node("0");
+        lone.add_resistor("R", a, gnd, 1.0).unwrap();
+        assert_eq!(lone.input_dim(), 1);
+        let mut pad = vec![7.0];
+        lone.input_vector_into(1.0, &mut pad);
+        assert_eq!(pad, vec![0.0]);
+    }
+
+    #[test]
     fn breakpoints_are_merged() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
@@ -606,7 +727,7 @@ mod tests {
         ckt.add_diode("D1", a, gnd, DiodeModel::default()).unwrap();
         ckt.set_gmin(1e-9);
         assert_eq!(ckt.gmin(), 1e-9);
-        let ev = ckt.evaluate(&[-1.0]).unwrap();
+        let ev = eval(&ckt, &[-1.0]);
         // Reverse-biased diode: conductance is dominated by gmin.
         assert!(ev.g.get(0, 0) >= 1e-9);
     }

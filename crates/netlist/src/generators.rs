@@ -397,6 +397,11 @@ fn build_coupled_lines(spec: &CoupledLinesSpec) -> NetlistResult<Circuit> {
 mod tests {
     use super::*;
 
+    /// Plan-path evaluation shorthand.
+    fn eval(ckt: &Circuit, x: &[f64]) -> crate::circuit::Evaluation {
+        ckt.compile_plan().unwrap().evaluate(x).unwrap()
+    }
+
     #[test]
     fn rc_ladder_structure() {
         let ckt = rc_ladder(&RcLadderSpec {
@@ -422,7 +427,7 @@ mod tests {
         assert!(ckt.unknown_of("s1").is_some());
         // in, vdd, s1..s4, w1..w3 plus 2 branch currents.
         assert_eq!(ckt.num_unknowns(), 2 + 4 + 3 + 2);
-        let ev = ckt.evaluate(&vec![0.0; ckt.num_unknowns()]).unwrap();
+        let ev = eval(&ckt, &vec![0.0; ckt.num_unknowns()]);
         assert!(ev.c.nnz() > 0);
         assert!(ev.g.nnz() > 0);
     }
@@ -461,8 +466,8 @@ mod tests {
         let dense = coupled_lines(&dense_spec).unwrap();
         let xs = vec![0.0; sparse.num_unknowns()];
         let xd = vec![0.0; dense.num_unknowns()];
-        let es = sparse.evaluate(&xs).unwrap();
-        let ed = dense.evaluate(&xd).unwrap();
+        let es = eval(&sparse, &xs);
+        let ed = eval(&dense, &xd);
         assert_eq!(sparse.num_unknowns(), dense.num_unknowns());
         assert!(
             ed.c.nnz() > 2 * es.c.nnz(),
@@ -484,8 +489,8 @@ mod tests {
         let b = coupled_lines(&spec).unwrap();
         assert_eq!(a.num_devices(), b.num_devices());
         let x = vec![0.0; a.num_unknowns()];
-        let ea = a.evaluate(&x).unwrap();
-        let eb = b.evaluate(&x).unwrap();
+        let ea = eval(&a, &x);
+        let eb = eval(&b, &x);
         assert_eq!(ea.c.nnz(), eb.c.nnz());
         assert_eq!(ea.g.values(), eb.g.values());
     }

@@ -31,7 +31,9 @@
 //! ckt.add_voltage_source("Vin", vin, gnd, Waveform::single_pulse(0.0, 1.0, 0.0, 1e-11, 1e-11, 5e-9))?;
 //! ckt.add_resistor("R1", vin, out, 1e3)?;
 //! ckt.add_capacitor("C1", out, gnd, 1e-12)?;
-//! let eval = ckt.evaluate(&vec![0.0; ckt.num_unknowns()])?;
+//! // Compile the stamping plan once per topology, then restamp per state.
+//! let plan = ckt.compile_plan()?;
+//! let eval = plan.evaluate(&vec![0.0; ckt.num_unknowns()])?;
 //! assert_eq!(eval.g.rows(), 3);
 //! # Ok(())
 //! # }
@@ -47,6 +49,7 @@ pub mod error;
 pub mod generators;
 pub mod node;
 pub mod parser;
+pub mod plan;
 pub mod waveform;
 
 pub use circuit::{Circuit, Evaluation};
@@ -54,4 +57,5 @@ pub use devices::{Device, DiodeModel, MosfetModel, MosfetPolarity};
 pub use error::{NetlistError, NetlistResult};
 pub use node::NodeId;
 pub use parser::{parse_netlist, parse_value};
+pub use plan::{circuit_fingerprint, EvalPlan, EvalWorkspace};
 pub use waveform::Waveform;

@@ -194,6 +194,72 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix directly from its raw components without
+    /// validating them.
+    ///
+    /// This is the reassembly half of the allocation-free stamping path: a
+    /// caller that obtained buffers via [`CsrMatrix::take_parts`] refills
+    /// them and hands them back here, so the steady-state hot loop performs
+    /// no allocation and no structural re-validation. The caller must uphold
+    /// the CSR invariants checked by [`CsrMatrix::try_from_raw`] (correct
+    /// `indptr` length and terminator, sorted unique in-range column indices
+    /// per row); they are `debug_assert`ed, and a violating matrix makes
+    /// later queries return wrong results or panic.
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1, "csr indptr length");
+        debug_assert_eq!(indices.len(), values.len(), "csr indices/values length");
+        debug_assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "csr indptr terminator"
+        );
+        #[cfg(debug_assertions)]
+        {
+            for r in 0..rows {
+                debug_assert!(indptr[r] <= indptr[r + 1], "csr indptr monotonicity");
+                let row = &indices[indptr[r]..indptr[r + 1]];
+                debug_assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "csr columns sorted and unique in row {r}"
+                );
+                debug_assert!(row.iter().all(|&c| c < cols), "csr column range in row {r}");
+            }
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Takes the raw `(indptr, indices, values)` buffers out of the matrix
+    /// (previous contents included — clear before refilling), leaving it
+    /// **dismantled**: a `0 × 0` placeholder whose `indptr` is empty rather
+    /// than the canonical `[0]`. The dismantled state answers size queries
+    /// (`rows`/`cols`/`nnz`) and compares unequal to any real matrix, but
+    /// must not be used for element access; callers are expected to
+    /// overwrite it via [`CsrMatrix::from_parts_unchecked`] right away.
+    /// Deliberately no allocation happens on either side of the round trip —
+    /// this is the storage-recycling half of the stamping-plan hot path, and
+    /// the buffers keep their capacity.
+    pub fn take_parts(&mut self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        self.rows = 0;
+        self.cols = 0;
+        (
+            std::mem::take(&mut self.indptr),
+            std::mem::take(&mut self.indices),
+            std::mem::take(&mut self.values),
+        )
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -222,6 +288,15 @@ impl CsrMatrix {
     /// Value array.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Mutable access to the value array.
+    ///
+    /// The sparsity structure (`indptr`/`indices`) is immutable; rewriting
+    /// values in place is exactly what the pattern-locked stamping path does
+    /// per evaluation.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Returns the stored columns and values of row `i`.
@@ -276,6 +351,46 @@ impl CsrMatrix {
                 acc += self.values[k] * x[self.indices[k]];
             }
             *yi = acc;
+        }
+    }
+
+    /// Sparse matrix - dense vector product with 4-wide accumulator
+    /// chunking (`y = A x`).
+    ///
+    /// Splits each row's dot product over four independent accumulators so
+    /// the compiler can keep multiple FMA chains in flight, then reduces
+    /// them pairwise. **This reassociates the floating-point sum**: results
+    /// can differ from [`CsrMatrix::mul_vec_into`] in the last bits. The
+    /// engines' hot path deliberately keeps the sequential kernel — the
+    /// golden-waveform suite pins its summation order — so this variant is
+    /// for throughput-first consumers that tolerate reassociation; the
+    /// `krylov_kernels` bench `spmv` group compares the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn mul_vec_into_unrolled(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec: y dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let s = self.indptr[i];
+            let e = self.indptr[i + 1];
+            let vals = &self.values[s..e];
+            let cols = &self.indices[s..e];
+            let mut acc = [0.0f64; 4];
+            let mut chunks_v = vals.chunks_exact(4);
+            let mut chunks_c = cols.chunks_exact(4);
+            for (v4, c4) in (&mut chunks_v).zip(&mut chunks_c) {
+                acc[0] += v4[0] * x[c4[0]];
+                acc[1] += v4[1] * x[c4[1]];
+                acc[2] += v4[2] * x[c4[2]];
+                acc[3] += v4[3] * x[c4[3]];
+            }
+            let mut tail = 0.0;
+            for (v, c) in chunks_v.remainder().iter().zip(chunks_c.remainder()) {
+                tail += v * x[*c];
+            }
+            *yi = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
         }
     }
 
@@ -356,6 +471,31 @@ impl CsrMatrix {
         beta: f64,
         b: &CsrMatrix,
     ) -> SparseResult<CsrMatrix> {
+        let mut out = CsrMatrix::zeros(0, 0);
+        Self::linear_combination_into(alpha, a, beta, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// As [`CsrMatrix::linear_combination`], rebuilding the result inside
+    /// `out`'s existing buffers — the allocation-free form the implicit
+    /// engines use to re-form `C/h + θ·G` at every Newton iteration. `out`'s
+    /// previous contents are discarded; its buffer capacity is reused, so a
+    /// steady-state caller allocates nothing. The merge runs the exact same
+    /// row-merge loop as the allocating form, producing bit-identical
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the shapes differ (and
+    /// leaves `out` empty).
+    pub fn linear_combination_into(
+        alpha: f64,
+        a: &CsrMatrix,
+        beta: f64,
+        b: &CsrMatrix,
+        out: &mut CsrMatrix,
+    ) -> SparseResult<()> {
+        let (mut indptr, mut indices, mut values) = out.take_parts();
         if a.rows != b.rows || a.cols != b.cols {
             return Err(SparseError::DimensionMismatch {
                 op: "linear_combination shape",
@@ -364,9 +504,12 @@ impl CsrMatrix {
             });
         }
         let rows = a.rows;
-        let mut indptr = vec![0usize; rows + 1];
-        let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
-        let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+        indptr.clear();
+        indptr.resize(rows + 1, 0);
+        indices.clear();
+        indices.reserve(a.nnz() + b.nnz());
+        values.clear();
+        values.reserve(a.nnz() + b.nnz());
         for i in 0..rows {
             let (ac, av) = a.row(i);
             let (bc, bv) = b.row(i);
@@ -393,13 +536,8 @@ impl CsrMatrix {
             }
             indptr[i + 1] = indices.len();
         }
-        Ok(CsrMatrix {
-            rows,
-            cols: a.cols,
-            indptr,
-            indices,
-            values,
-        })
+        *out = CsrMatrix::from_parts_unchecked(rows, a.cols, indptr, indices, values);
+        Ok(())
     }
 
     /// Returns the main diagonal as a dense vector.
@@ -556,5 +694,83 @@ mod tests {
     fn norm_inf_is_max_row_sum() {
         let a = sample();
         assert_eq!(a.norm_inf(), 5.0);
+    }
+
+    #[test]
+    fn take_parts_round_trips_and_reuses_buffers() {
+        let mut a = sample();
+        let (expected_ip, expected_ix, expected_v) = (
+            a.indptr().to_vec(),
+            a.indices().to_vec(),
+            a.values().to_vec(),
+        );
+        let (ip, ix, v) = a.take_parts();
+        // The emptied matrix is a valid 0x0.
+        assert_eq!(a.rows(), 0);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(ip, expected_ip);
+        let cap = ix.capacity();
+        let b = CsrMatrix::from_parts_unchecked(3, 3, ip, ix, v);
+        assert_eq!(b, sample());
+        assert_eq!(b.indices().to_vec(), expected_ix);
+        assert_eq!(b.values().to_vec(), expected_v);
+        assert!(b.indices.capacity() >= cap);
+    }
+
+    #[test]
+    fn values_mut_rewrites_in_place() {
+        let mut a = sample();
+        for v in a.values_mut() {
+            *v *= 2.0;
+        }
+        assert_eq!(a.get(0, 0), 8.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn linear_combination_into_matches_allocating_form_bitwise() {
+        let g = sample();
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.5);
+        t.push(1, 2, 2.0);
+        t.push(2, 1, -4.0);
+        let c = t.to_csr();
+        let fresh = CsrMatrix::linear_combination(1.0 / 0.3, &c, 0.5, &g).unwrap();
+        // Seed the reusable buffer with unrelated garbage structure.
+        let mut out = sample();
+        CsrMatrix::linear_combination_into(1.0 / 0.3, &c, 0.5, &g, &mut out).unwrap();
+        assert_eq!(out.indptr(), fresh.indptr());
+        assert_eq!(out.indices(), fresh.indices());
+        for (a, b) in out.values().iter().zip(fresh.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shape mismatch errors and empties the output.
+        let bad = CsrMatrix::zeros(2, 2);
+        assert!(CsrMatrix::linear_combination_into(1.0, &bad, 1.0, &g, &mut out).is_err());
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn unrolled_spmv_matches_scalar_within_roundoff() {
+        // A wider matrix so rows exercise both the 4-chunks and the tail.
+        let mut t = TripletMatrix::new(6, 11);
+        let mut v = 0.37;
+        for i in 0..6 {
+            for j in 0..11 {
+                if (i + j) % 2 == 0 {
+                    t.push(i, j, v);
+                    v = -1.1 * v + 0.21;
+                }
+            }
+        }
+        let a = t.to_csr();
+        let x: Vec<f64> = (0..11).map(|k| (k as f64 - 4.3) * 0.77).collect();
+        let mut y_scalar = vec![0.0; 6];
+        let mut y_unrolled = vec![0.0; 6];
+        a.mul_vec_into(&x, &mut y_scalar);
+        a.mul_vec_into_unrolled(&x, &mut y_unrolled);
+        for (s, u) in y_scalar.iter().zip(&y_unrolled) {
+            assert!((s - u).abs() <= 1e-12 * s.abs().max(1.0), "{s} vs {u}");
+        }
     }
 }

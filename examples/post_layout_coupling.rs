@@ -23,7 +23,7 @@ fn main() -> Result<(), SimError> {
         let circuit = coupled_lines(&spec)?;
         let n = circuit.num_unknowns();
         let x = vec![0.0; n];
-        let eval = circuit.evaluate(&x)?;
+        let eval = circuit.compile_plan()?.evaluate(&x)?;
         let h = 1e-12;
         let benr_matrix = CsrMatrix::linear_combination(1.0 / h, &eval.c, 1.0, &eval.g)?;
         let benr_fill = factor_fill(&benr_matrix, OrderingMethod::Rcm).map(|(l, u)| l + u);

@@ -28,7 +28,7 @@ fn benr_matrix_fill_exceeds_g_fill_on_coupled_circuits() {
     })
     .unwrap();
     let x = vec![0.0; ckt.num_unknowns()];
-    let eval = ckt.evaluate(&x).unwrap();
+    let eval = ckt.compile_plan().unwrap().evaluate(&x).unwrap();
     let benr_matrix = CsrMatrix::linear_combination(1e12, &eval.c, 1.0, &eval.g).unwrap();
     let (gl, gu) = factor_fill(&eval.g, OrderingMethod::Rcm).unwrap();
     let (bl, bu) = factor_fill(&benr_matrix, OrderingMethod::Rcm).unwrap();
