@@ -1,0 +1,578 @@
+//! # exi-cli
+//!
+//! Command-line front-end for the `exi-sim` exponential-integrator circuit
+//! simulator: parses SPICE decks through [`exi_netlist::deck`] and drives
+//! them through the [`exi_sim::Simulator`] session and
+//! [`exi_sim::BatchRunner`] batch machinery.
+//!
+//! Two subcommands:
+//!
+//! ```text
+//! exi-cli run <deck.sp> [--method er|erc|be|tr] [--out csv|tsv]
+//!                       [--output FILE] [--stream N] [--probe NODE]...
+//! exi-cli sweep <deck.sp> --param NAME=v1,v2,... [--method ...] [--out ...]
+//!                       [--threads N] [--output-dir DIR] [--stream N]
+//!                       [--probe NODE]...
+//! ```
+//!
+//! `run` executes every analysis card of the deck in one simulator session
+//! (one symbolic LU analysis per matrix pattern, however many cards there
+//! are) and streams the waveform as CSV/TSV — through
+//! [`exi_sim::CsvObserver`] row by row, or via [`exi_sim::StreamingObserver`]
+//! with `--stream N` for fixed-memory decimated output. `sweep` re-reads a
+//! `.param`-templated deck once per parameter value and fans the members
+//! across a [`exi_sim::BatchRunner`] worker pool, so same-structure members
+//! share one compiled stamping plan and one symbolic analysis fleet-wide.
+//!
+//! The library surface mirrors the binary so everything is callable (and
+//! doc-tested) in-process:
+//!
+//! ```
+//! use exi_cli::{run_deck, OutputFormat, RunConfig};
+//! use exi_netlist::parse_deck;
+//!
+//! # fn main() -> Result<(), exi_cli::CliError> {
+//! let deck = parse_deck(
+//!     "Vin in 0 PULSE(0 1 0 10p 10p 200p)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1f\n\
+//!      .tran 1p 500p\n\
+//!      .print v(out)\n",
+//! )?;
+//! let mut csv = Vec::new();
+//! let summary = run_deck(&deck, &RunConfig::default(), &mut csv)?;
+//! assert!(summary.rows > 5);
+//! assert!(String::from_utf8(csv).unwrap().starts_with("time,out\n"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod run;
+pub mod sweep;
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+use exi_netlist::NetlistError;
+use exi_sim::{Method, SimError};
+
+pub use run::{analysis_options, effective_probes, run_deck, tran_options, RunConfig, RunSummary};
+pub use sweep::{
+    build_sweep_plan, expand_param_grid, member_label, members_from_template, run_sweep,
+    write_job_waveform, SweepConfig, SweepSummary,
+};
+
+/// Errors surfaced by the command-line front-end.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is malformed; the message explains how.
+    Usage(String),
+    /// Deck parsing failed.
+    Netlist(NetlistError),
+    /// A simulation failed.
+    Sim(SimError),
+    /// File or stream I/O failed.
+    Io(std::io::Error),
+    /// The deck is well-formed but cannot be driven as requested
+    /// (no analysis cards, unknown probe, every sweep member failed, …).
+    Deck(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Netlist(e) => write!(f, "deck error: {e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Deck(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Netlist(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CliError {
+    fn from(e: NetlistError) -> Self {
+        CliError::Netlist(e)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type CliResult<T> = Result<T, CliError>;
+
+/// Waveform output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Comma-separated values.
+    #[default]
+    Csv,
+    /// Tab-separated values.
+    Tsv,
+}
+
+impl OutputFormat {
+    /// The column delimiter of this format.
+    pub fn delimiter(self) -> char {
+        match self {
+            OutputFormat::Csv => ',',
+            OutputFormat::Tsv => '\t',
+        }
+    }
+
+    /// Parses `csv` / `tsv`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for anything else.
+    pub fn parse(s: &str) -> CliResult<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "csv" => Ok(OutputFormat::Csv),
+            "tsv" => Ok(OutputFormat::Tsv),
+            other => Err(CliError::Usage(format!(
+                "unknown output format '{other}' (expected csv or tsv)"
+            ))),
+        }
+    }
+}
+
+/// Parses a `--method` value: `er`, `erc`/`er-c`, `be`/`benr`, `tr`/`trnr`.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown method name.
+pub fn parse_method(s: &str) -> CliResult<Method> {
+    match s.to_ascii_lowercase().as_str() {
+        "er" => Ok(Method::ExponentialRosenbrock),
+        "erc" | "er-c" => Ok(Method::ExponentialRosenbrockCorrected),
+        "be" | "benr" => Ok(Method::BackwardEuler),
+        "tr" | "trnr" | "trap" => Ok(Method::Trapezoidal),
+        other => Err(CliError::Usage(format!(
+            "unknown method '{other}' (expected er, erc, be or tr)"
+        ))),
+    }
+}
+
+/// The usage text printed on `--help` and usage errors.
+pub const USAGE: &str = "\
+exi-cli — SPICE-deck front-end for the exi-sim circuit simulator
+
+USAGE:
+    exi-cli run <deck.sp> [OPTIONS]
+    exi-cli sweep <deck.sp> --param NAME=v1,v2,... [OPTIONS]
+
+COMMON OPTIONS:
+    --method <er|erc|be|tr>   integration method (default er)
+    --out <csv|tsv>           waveform format (default csv)
+    --stream <N>              fixed-memory decimated output, at most N points
+    --probe <NODE>            record NODE (repeatable; default: the deck's
+                              .print cards, else every node)
+
+run OPTIONS:
+    --output <FILE>           write the waveform to FILE instead of stdout
+
+sweep OPTIONS:
+    --param NAME=v1,v2,...    sweep values for a .param (repeatable; the
+                              cartesian product of all lists is run)
+    --threads <N>             batch worker threads (default: all cores)
+    --output-dir <DIR>        one waveform file per member (default '.')
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `exi-cli run`.
+    Run {
+        /// Deck path.
+        deck: PathBuf,
+        /// Execution settings.
+        config: RunConfig,
+        /// Waveform destination; `None` writes to stdout.
+        output: Option<PathBuf>,
+    },
+    /// `exi-cli sweep`.
+    Sweep {
+        /// Deck path.
+        deck: PathBuf,
+        /// Execution settings.
+        config: SweepConfig,
+        /// Directory receiving one waveform file per sweep member.
+        output_dir: PathBuf,
+    },
+    /// `exi-cli --help`.
+    Help,
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] describing the first problem found.
+pub fn parse_args(args: &[String]) -> CliResult<Command> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Err(CliError::Usage("missing subcommand (run or sweep)".into()));
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "run" => parse_run_args(&mut it),
+        "sweep" => parse_sweep_args(&mut it),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}' (expected run or sweep)"
+        ))),
+    }
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> CliResult<&'a String> {
+    it.next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+fn parse_stream(value: &str) -> CliResult<usize> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--stream: bad point count '{value}'")))?;
+    if n < 2 {
+        return Err(CliError::Usage(
+            "--stream requires at least 2 points".into(),
+        ));
+    }
+    Ok(n)
+}
+
+fn parse_run_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
+    let mut deck: Option<PathBuf> = None;
+    let mut config = RunConfig::default();
+    let mut output = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => config.method = parse_method(next_value(it, "--method")?)?,
+            "--out" => config.format = OutputFormat::parse(next_value(it, "--out")?)?,
+            "--output" => output = Some(PathBuf::from(next_value(it, "--output")?)),
+            "--stream" => config.stream = Some(parse_stream(next_value(it, "--stream")?)?),
+            "--probe" => config.probes.push(next_value(it, "--probe")?.clone()),
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option '{flag}' for run")))
+            }
+            path if deck.is_none() => deck = Some(PathBuf::from(path)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{extra}'"
+                )))
+            }
+        }
+    }
+    let deck = deck.ok_or_else(|| CliError::Usage("run: missing <deck.sp> path".into()))?;
+    Ok(Command::Run {
+        deck,
+        config,
+        output,
+    })
+}
+
+fn parse_sweep_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
+    let mut deck: Option<PathBuf> = None;
+    let mut config = SweepConfig::default();
+    let mut output_dir = PathBuf::from(".");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => config.method = parse_method(next_value(it, "--method")?)?,
+            "--out" => config.format = OutputFormat::parse(next_value(it, "--out")?)?,
+            "--threads" => {
+                let v = next_value(it, "--threads")?;
+                config.threads = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--threads: bad count '{v}'")))?;
+            }
+            "--output-dir" => output_dir = PathBuf::from(next_value(it, "--output-dir")?),
+            "--stream" => config.stream = Some(parse_stream(next_value(it, "--stream")?)?),
+            "--probe" => config.probes.push(next_value(it, "--probe")?.clone()),
+            "--param" => {
+                let v = next_value(it, "--param")?;
+                let Some((name, values)) = v.split_once('=') else {
+                    return Err(CliError::Usage(format!(
+                        "--param: expected NAME=v1,v2,..., got '{v}'"
+                    )));
+                };
+                let values: Vec<String> = values
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if name.trim().is_empty() || values.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "--param: expected NAME=v1,v2,..., got '{v}'"
+                    )));
+                }
+                let name = name.trim().to_string();
+                // A repeated name would cross itself in the cartesian
+                // product and the last value would silently win.
+                if config
+                    .params
+                    .iter()
+                    .any(|(existing, _)| existing.eq_ignore_ascii_case(&name))
+                {
+                    return Err(CliError::Usage(format!(
+                        "--param: '{name}' given more than once; list its values as \
+                         --param {name}=v1,v2,..."
+                    )));
+                }
+                config.params.push((name, values));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option '{flag}' for sweep"
+                )))
+            }
+            path if deck.is_none() => deck = Some(PathBuf::from(path)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{extra}'"
+                )))
+            }
+        }
+    }
+    let deck = deck.ok_or_else(|| CliError::Usage("sweep: missing <deck.sp> path".into()))?;
+    if config.params.is_empty() {
+        return Err(CliError::Usage(
+            "sweep: at least one --param NAME=v1,v2,... is required".into(),
+        ));
+    }
+    Ok(Command::Sweep {
+        deck,
+        config,
+        output_dir,
+    })
+}
+
+/// Executes a parsed command: `status` receives human-readable progress and
+/// summaries (stdout in the binary); waveforms go to `--output`/
+/// `--output-dir` files, or to `status` when `run` has no `--output`.
+///
+/// # Errors
+///
+/// Any [`CliError`]; partial sweep outputs may already be on disk.
+pub fn execute(command: &Command, status: &mut dyn Write) -> CliResult<()> {
+    match command {
+        Command::Help => {
+            status.write_all(USAGE.as_bytes())?;
+            Ok(())
+        }
+        Command::Run {
+            deck,
+            config,
+            output,
+        } => {
+            let parsed = exi_netlist::parse_deck_file(deck)?;
+            let summary = match output {
+                Some(path) => {
+                    let mut file = std::io::BufWriter::new(File::create(path)?);
+                    let summary = run_deck(&parsed, config, &mut file)?;
+                    file.flush()?;
+                    writeln!(
+                        status,
+                        "{}: {} analyses, {} rows -> {} ({} accepted steps, {} symbolic LU analyses)",
+                        deck.display(),
+                        summary.analyses,
+                        summary.rows,
+                        path.display(),
+                        summary.stats.accepted_steps,
+                        summary.stats.symbolic_analyses,
+                    )?;
+                    summary
+                }
+                None => run_deck(&parsed, config, status)?,
+            };
+            let _ = summary;
+            Ok(())
+        }
+        Command::Sweep {
+            deck,
+            config,
+            output_dir,
+        } => {
+            let summary = run_sweep(deck, config, output_dir)?;
+            writeln!(
+                status,
+                "sweep of {}: {} members, {} failed, {} worker threads, {:.3} s wall",
+                deck.display(),
+                summary.members,
+                summary.failed,
+                summary.stats.worker_threads,
+                summary.wall_time.as_secs_f64(),
+            )?;
+            writeln!(
+                status,
+                "cache reuse: {} symbolic analyses + {} shared hits, {} plan compilations + {} shared hits",
+                summary.stats.symbolic_analyses,
+                summary.stats.shared_symbolic_hits,
+                summary.stats.plan_compilations,
+                summary.stats.shared_plan_hits,
+            )?;
+            for line in &summary.member_lines {
+                writeln!(status, "  {line}")?;
+            }
+            if summary.failed > 0 {
+                return Err(CliError::Deck(format!(
+                    "{} of {} sweep members failed",
+                    summary.failed, summary.members
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Binary entry point: parses and executes, mapping errors to exit codes
+/// (`2` for usage errors, `1` for everything else).
+pub fn run_main(args: &[String]) -> i32 {
+    let command = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("exi-cli: {e}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match execute(&command, &mut out) {
+        Ok(()) => 0,
+        // A closed stdout (piping into `head`) is a normal way to stop
+        // consuming a waveform, not an error.
+        Err(CliError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+        Err(e) => {
+            eprintln!("exi-cli: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn method_aliases_map_to_the_paper_methods() {
+        assert_eq!(parse_method("er").unwrap(), Method::ExponentialRosenbrock);
+        assert_eq!(
+            parse_method("ERC").unwrap(),
+            Method::ExponentialRosenbrockCorrected
+        );
+        assert_eq!(parse_method("er-c").unwrap(), parse_method("erc").unwrap());
+        assert_eq!(parse_method("be").unwrap(), Method::BackwardEuler);
+        assert_eq!(parse_method("benr").unwrap(), Method::BackwardEuler);
+        assert_eq!(parse_method("tr").unwrap(), Method::Trapezoidal);
+        assert_eq!(parse_method("trnr").unwrap(), Method::Trapezoidal);
+        assert!(parse_method("rk4").is_err());
+    }
+
+    #[test]
+    fn run_arguments_parse() {
+        let cmd = parse_args(&s(&[
+            "run", "deck.sp", "--method", "be", "--out", "tsv", "--stream", "64", "--probe", "out",
+            "--probe", "mid", "--output", "wave.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                deck,
+                config,
+                output,
+            } => {
+                assert_eq!(deck, PathBuf::from("deck.sp"));
+                assert_eq!(config.method, Method::BackwardEuler);
+                assert_eq!(config.format, OutputFormat::Tsv);
+                assert_eq!(config.stream, Some(64));
+                assert_eq!(config.probes, vec!["out", "mid"]);
+                assert_eq!(output, Some(PathBuf::from("wave.tsv")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_arguments_parse() {
+        let cmd = parse_args(&s(&[
+            "sweep",
+            "deck.sp",
+            "--param",
+            "rload=1k,2k,5k",
+            "--param",
+            "cap=1p,2p",
+            "--threads",
+            "2",
+            "--output-dir",
+            "out",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                config, output_dir, ..
+            } => {
+                assert_eq!(config.params.len(), 2);
+                assert_eq!(config.params[0].0, "rload");
+                assert_eq!(config.params[0].1, vec!["1k", "2k", "5k"]);
+                assert_eq!(config.threads, 2);
+                assert_eq!(output_dir, PathBuf::from("out"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors() {
+        for bad in [
+            vec!["frobnicate"],
+            vec!["run"],
+            vec!["run", "deck.sp", "--method", "rk4"],
+            vec!["run", "deck.sp", "--stream", "one"],
+            vec!["run", "deck.sp", "--stream", "1"],
+            vec!["run", "deck.sp", "--wat"],
+            vec!["run", "a.sp", "b.sp"],
+            vec!["sweep", "deck.sp"],
+            vec!["sweep", "deck.sp", "--param", "broken"],
+            vec!["sweep", "deck.sp", "--param", "r="],
+            // A repeated name would cross itself in the cartesian product.
+            vec!["sweep", "deck.sp", "--param", "r=1k", "--param", "R=2k"],
+            vec![],
+        ] {
+            let args = s(&bad);
+            match parse_args(&args) {
+                Err(CliError::Usage(_)) => {}
+                other => panic!("{bad:?}: expected usage error, got {other:?}"),
+            }
+        }
+        assert_eq!(parse_args(&s(&["--help"])).unwrap(), Command::Help);
+    }
+}

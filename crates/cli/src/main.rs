@@ -1,0 +1,6 @@
+//! The `exi-cli` binary: a thin shell around [`exi_cli::run_main`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(exi_cli::run_main(&args));
+}

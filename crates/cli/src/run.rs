@@ -1,0 +1,343 @@
+//! The `run` subcommand: drive every analysis card of one deck through a
+//! [`Simulator`] session.
+
+use std::io::Write;
+
+use exi_netlist::{Analysis, Deck};
+use exi_sim::{
+    resolve_probes, CsvObserver, Method, RunStats, Simulator, StreamingObserver, TransientOptions,
+};
+
+use crate::{CliError, CliResult, OutputFormat};
+
+/// Settings of one `exi-cli run` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Integration method for `.tran` analyses.
+    pub method: Method,
+    /// Waveform format.
+    pub format: OutputFormat,
+    /// `Some(n)` streams through a fixed-memory decimated buffer of at most
+    /// `n` points ([`StreamingObserver`]); `None` writes every accepted point
+    /// as it is computed ([`CsvObserver`]).
+    pub stream: Option<usize>,
+    /// Probe overrides; empty means "the deck's `.print` cards, else every
+    /// node".
+    pub probes: Vec<String>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            method: Method::ExponentialRosenbrock,
+            format: OutputFormat::Csv,
+            stream: None,
+            probes: Vec::new(),
+        }
+    }
+}
+
+/// What one [`run_deck`] call did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Number of analysis cards executed.
+    pub analyses: usize,
+    /// Total waveform data rows written (headers not counted).
+    pub rows: usize,
+    /// The session's cumulative statistics.
+    pub stats: RunStats,
+}
+
+/// Maps a `.tran <step> <stop> [hmax]` card to [`TransientOptions`]: `step`
+/// becomes the initial step, `stop` the interval end, and `hmax` (when
+/// given) overrides the default `stop / 10` step ceiling. All other knobs
+/// keep their defaults — the deck-vs-generator bit-identity tests rely on
+/// this mapping being the single source of truth.
+pub fn tran_options(step: f64, stop: f64, h_max: Option<f64>) -> TransientOptions {
+    let mut options = TransientOptions::new(stop, step);
+    if let Some(h) = h_max {
+        options.h_max = h;
+    }
+    options
+}
+
+/// The [`TransientOptions`] a deck's analysis card runs with: the
+/// [`tran_options`] card mapping plus the deck's `.options reltol` as the
+/// error budget. `None` for non-transient cards. Every deck driver (`run`,
+/// `sweep`, the round-trip tests) goes through this one function, which is
+/// what makes deck-vs-generator bit-identity checkable.
+pub fn analysis_options(deck: &Deck, analysis: &Analysis) -> Option<TransientOptions> {
+    match analysis {
+        Analysis::Tran { step, stop, h_max } => {
+            let mut options = tran_options(*step, *stop, *h_max);
+            if let Some(reltol) = deck.reltol {
+                options.error_budget = reltol;
+            }
+            Some(options)
+        }
+        Analysis::OperatingPoint => None,
+    }
+}
+
+/// The probe names a run of `deck` records: the explicit `overrides` when
+/// non-empty, else the deck's `.print` cards, else every non-ground node in
+/// unknown order.
+pub fn effective_probes(deck: &Deck, overrides: &[String]) -> Vec<String> {
+    if !overrides.is_empty() {
+        return overrides.to_vec();
+    }
+    if !deck.prints.is_empty() {
+        return deck.prints.clone();
+    }
+    deck.circuit
+        .node_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Runs every analysis card of `deck` in one [`Simulator`] session, writing
+/// the waveform(s) to `waveform` in the configured format.
+///
+/// `.tran` cards run with [`RunConfig::method`]; `.op` cards write a
+/// `node,voltage` table of the (cached) DC operating point. When the deck
+/// holds several analyses each block is preceded by a `# analysis …`
+/// comment line; all of them share the session's symbolic-LU, plan and
+/// Krylov caches.
+///
+/// # Errors
+///
+/// [`CliError::Deck`] when the deck has no analysis cards;
+/// [`CliError::Sim`] for unknown probe names and engine failures;
+/// [`CliError::Io`] when the waveform sink fails.
+///
+/// # Examples
+///
+/// ```
+/// use exi_cli::{run_deck, RunConfig};
+/// use exi_netlist::parse_deck;
+///
+/// # fn main() -> Result<(), exi_cli::CliError> {
+/// let deck = parse_deck(
+///     "V1 a 0 DC 1\n\
+///      R1 a b 1k\n\
+///      R2 b 0 1k\n\
+///      C1 b 0 1f\n\
+///      .op\n\
+///      .print v(b)\n",
+/// )?;
+/// let mut out = Vec::new();
+/// run_deck(&deck, &RunConfig::default(), &mut out)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("node,voltage\n"));
+/// assert!(text.contains("b,"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_deck(
+    deck: &Deck,
+    config: &RunConfig,
+    waveform: &mut dyn Write,
+) -> CliResult<RunSummary> {
+    if deck.analyses.is_empty() {
+        return Err(CliError::Deck(
+            "deck has no analysis cards (.tran or .op)".to_string(),
+        ));
+    }
+    let probe_names = effective_probes(deck, &config.probes);
+    let probe_refs: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    let probes = resolve_probes(&deck.circuit, &probe_refs)?;
+    let delimiter = config.format.delimiter();
+    let mut sim = Simulator::new(&deck.circuit);
+    let mut rows = 0usize;
+    for (index, analysis) in deck.analyses.iter().enumerate() {
+        if deck.analyses.len() > 1 {
+            writeln!(waveform, "# analysis {}: {}", index + 1, describe(analysis))?;
+        }
+        match analysis {
+            Analysis::OperatingPoint => {
+                let dc = sim.dc()?;
+                writeln!(waveform, "node{delimiter}voltage")?;
+                for p in &probes {
+                    writeln!(
+                        waveform,
+                        "{}{delimiter}{:.17e}",
+                        p.label, dc.state[p.unknown]
+                    )?;
+                    rows += 1;
+                }
+            }
+            Analysis::Tran { .. } => {
+                let options = analysis_options(deck, analysis).expect("transient card");
+                rows += match config.stream {
+                    Some(capacity) => {
+                        let mut streaming = StreamingObserver::new(probes.clone(), capacity);
+                        sim.transient_observed(config.method, &options, &mut streaming)?;
+                        let wave = streaming.into_waveform();
+                        let labels: Vec<&str> =
+                            wave.probes.iter().map(|p| p.label.as_str()).collect();
+                        let np = wave.probes.len();
+                        write_waveform_rows(
+                            &labels,
+                            wave.times
+                                .iter()
+                                .enumerate()
+                                .map(|(k, &t)| (t, &wave.values[k * np..(k + 1) * np])),
+                            delimiter,
+                            waveform,
+                        )?
+                    }
+                    None => {
+                        let mut csv =
+                            CsvObserver::new(&mut *waveform, probes.clone()).delimiter(delimiter);
+                        sim.transient_observed(config.method, &options, &mut csv)?;
+                        let written = csv.rows();
+                        csv.finish()?;
+                        written
+                    }
+                };
+            }
+        }
+    }
+    Ok(RunSummary {
+        analyses: deck.analyses.len(),
+        rows,
+        stats: sim.session_stats().clone(),
+    })
+}
+
+/// Writes a header plus one delimiter-separated row per `(time, values)`
+/// pair with 17-significant-digit values, returning the data-row count —
+/// the single waveform serializer behind the `run` stream path and the
+/// sweep member files.
+pub(crate) fn write_waveform_rows<'a>(
+    labels: &[&str],
+    rows: impl Iterator<Item = (f64, &'a [f64])>,
+    delimiter: char,
+    out: &mut dyn Write,
+) -> CliResult<usize> {
+    write!(out, "time")?;
+    for label in labels {
+        write!(out, "{delimiter}{label}")?;
+    }
+    writeln!(out)?;
+    let mut written = 0;
+    for (t, values) in rows {
+        write!(out, "{t:.17e}")?;
+        for v in values {
+            write!(out, "{delimiter}{v:.17e}")?;
+        }
+        writeln!(out)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+fn describe(analysis: &Analysis) -> String {
+    match analysis {
+        Analysis::Tran { step, stop, h_max } => match h_max {
+            Some(h) => format!(".tran {step:e} {stop:e} {h:e}"),
+            None => format!(".tran {step:e} {stop:e}"),
+        },
+        Analysis::OperatingPoint => ".op".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::parse_deck;
+
+    fn rc_deck(extra_cards: &str) -> Deck {
+        parse_deck(&format!(
+            "Vin in 0 PULSE(0 1 0 10p 10p 200p)\n\
+             R1 in out 1k\n\
+             C1 out 0 1f\n\
+             {extra_cards}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn tran_options_mapping_matches_the_session_constructor() {
+        let plain = tran_options(1e-12, 5e-10, None);
+        assert_eq!(plain, TransientOptions::new(5e-10, 1e-12));
+        let capped = tran_options(1e-12, 5e-10, Some(2e-11));
+        assert_eq!(capped.h_max, 2e-11);
+        assert_eq!(
+            TransientOptions {
+                h_max: 2e-11,
+                ..TransientOptions::new(5e-10, 1e-12)
+            },
+            capped
+        );
+    }
+
+    #[test]
+    fn probe_defaults_cascade() {
+        let deck = rc_deck(".tran 1p 500p\n.print v(out)\n");
+        assert_eq!(effective_probes(&deck, &[]), vec!["out"]);
+        assert_eq!(
+            effective_probes(&deck, &["in".to_string()]),
+            vec!["in".to_string()]
+        );
+        let no_prints = rc_deck(".tran 1p 500p\n");
+        assert_eq!(effective_probes(&no_prints, &[]), vec!["in", "out"]);
+    }
+
+    #[test]
+    fn run_writes_one_row_per_accepted_point() {
+        let deck = rc_deck(".tran 1p 500p\n.print v(out)\n");
+        let mut out = Vec::new();
+        let summary = run_deck(&deck, &RunConfig::default(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(summary.analyses, 1);
+        assert!(summary.rows > 5);
+        // header + rows
+        assert_eq!(text.lines().count(), summary.rows + 1);
+        assert_eq!(summary.stats.accepted_steps + 1, summary.rows);
+        assert_eq!(summary.stats.symbolic_analyses, 1);
+    }
+
+    #[test]
+    fn streamed_run_stays_within_capacity() {
+        let deck = rc_deck(".tran 1p 500p\n.print v(out) v(in)\n");
+        let mut out = Vec::new();
+        let config = RunConfig {
+            stream: Some(8),
+            ..RunConfig::default()
+        };
+        let summary = run_deck(&deck, &config, &mut out).unwrap();
+        assert!(summary.rows < 8, "rows {}", summary.rows);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("time,out,in\n"));
+    }
+
+    #[test]
+    fn multiple_analyses_share_one_session() {
+        let deck = rc_deck(".op\n.tran 1p 200p\n.tran 1p 200p\n.print v(out)\n");
+        let mut out = Vec::new();
+        let summary = run_deck(&deck, &RunConfig::default(), &mut out).unwrap();
+        assert_eq!(summary.analyses, 3);
+        // One symbolic analysis for the DC solve and both transients.
+        assert_eq!(summary.stats.symbolic_analyses, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# analysis 1: .op"));
+        assert!(text.contains("# analysis 2: .tran"));
+        assert!(text.contains("node,voltage"));
+    }
+
+    #[test]
+    fn deck_problems_are_reported() {
+        let no_analysis = rc_deck("");
+        let e = run_deck(&no_analysis, &RunConfig::default(), &mut Vec::new()).unwrap_err();
+        assert!(matches!(e, CliError::Deck(_)), "{e:?}");
+        let deck = rc_deck(".tran 1p 500p\n");
+        let config = RunConfig {
+            probes: vec!["nope".to_string()],
+            ..RunConfig::default()
+        };
+        let e = run_deck(&deck, &config, &mut Vec::new()).unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e:?}");
+    }
+}

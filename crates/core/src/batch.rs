@@ -162,6 +162,29 @@ impl BatchJob {
 }
 
 /// An ordered collection of [`BatchJob`]s to execute together.
+///
+/// # Examples
+///
+/// ```
+/// use exi_netlist::generators::{rc_ladder, RcLadderSpec};
+/// use exi_sim::{BatchJob, BatchPlan, Method, TransientOptions};
+///
+/// # fn main() -> Result<(), exi_sim::SimError> {
+/// let mut plan = BatchPlan::new();
+/// for segments in [5, 10] {
+///     let spec = RcLadderSpec { segments, ..RcLadderSpec::default() };
+///     plan.push(BatchJob::new(
+///         format!("segments={segments}"),
+///         rc_ladder(&spec)?,
+///         Method::ExponentialRosenbrock,
+///         TransientOptions::new(1e-9, 1e-12),
+///     ));
+/// }
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.jobs()[0].label, "segments=5");
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct BatchPlan {
     jobs: Vec<BatchJob>,

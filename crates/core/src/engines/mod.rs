@@ -160,13 +160,15 @@ pub trait Engine {
     }
 }
 
-/// Resolves probe names to unknown indices.
+/// Resolves probe names to [`Probe`]s over the circuit's unknown indices —
+/// what [`crate::Simulator::transient`] does with its `probe_names` argument,
+/// exposed for front-ends driving an [`crate::Observer`] directly.
 ///
 /// # Errors
 ///
 /// Returns a netlist error if a probe name does not exist (ground probes are
 /// silently skipped, their value is identically zero).
-pub(crate) fn resolve_probes(circuit: &Circuit, names: &[&str]) -> SimResult<Vec<Probe>> {
+pub fn resolve_probes(circuit: &Circuit, names: &[&str]) -> SimResult<Vec<Probe>> {
     let mut probes = Vec::with_capacity(names.len());
     for name in names {
         match circuit.find_node(name) {

@@ -38,7 +38,9 @@
 //! * [`Simulator::transient_observed`] — the same run streaming through an
 //!   [`Observer`] instead of buffering: [`RecordingObserver`] reproduces
 //!   [`TransientResult`], [`StreamingObserver`] keeps a fixed-memory
-//!   decimated waveform, [`NullObserver`] measures raw solver throughput.
+//!   decimated waveform, [`CsvObserver`] writes delimiter-separated rows to
+//!   any sink as steps are accepted (the `exi-cli` waveform path), and
+//!   [`NullObserver`] measures raw solver throughput.
 //! * [`Simulator::stepper`] — an incremental [`Engine`] stepper: advance one
 //!   accepted step at a time, pause before `t_stop`, inspect
 //!   [`Engine::state`], and resume **bit-identically** — the substrate for
@@ -143,7 +145,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod dc;
@@ -166,10 +168,10 @@ pub use engines::er::run_exponential_rosenbrock;
 #[allow(deprecated)]
 pub use engines::implicit::run_implicit;
 pub use engines::implicit::ImplicitScheme;
-pub use engines::{Engine, StepOutcome};
+pub use engines::{resolve_probes, Engine, StepOutcome};
 pub use error::{SimError, SimResult};
 pub use observer::{
-    DecimatedWaveform, NullObserver, Observer, RecordingObserver, StreamingObserver,
+    CsvObserver, DecimatedWaveform, NullObserver, Observer, RecordingObserver, StreamingObserver,
 };
 pub use options::{DcOptions, TransientOptions};
 pub use output::{Probe, TransientResult};

@@ -8,11 +8,16 @@
 //!   the classic [`TransientResult`] (what [`crate::run_transient`] returns).
 //! * [`StreamingObserver`] — keeps a fixed-memory, progressively decimated
 //!   view of the probed waveform; suitable for arbitrarily long runs.
+//! * [`CsvObserver`] — writes every accepted point as a CSV/TSV row to any
+//!   [`std::io::Write`] sink as the run progresses (the `exi-cli` waveform
+//!   path); memory use is fixed regardless of run length.
 //! * [`NullObserver`] — discards everything; measures pure solver throughput.
 //!
 //! Every callback invocation is counted into
 //! [`RunStats::observer_callbacks`](crate::RunStats::observer_callbacks) by
 //! the calling stepper.
+
+use std::io::Write;
 
 use crate::output::{Probe, TransientResult};
 use crate::stats::RunStats;
@@ -335,6 +340,125 @@ impl Observer for StreamingObserver {
     }
 }
 
+/// Streams accepted points as delimiter-separated rows (`time` plus one
+/// column per probe) into any [`std::io::Write`] sink — the waveform path of
+/// the `exi-cli` front-end.
+///
+/// A header row is written with the run's starting point, then one data row
+/// per accepted step, so the sink holds the complete waveform the moment the
+/// run finishes — no buffering, fixed memory for arbitrarily long runs.
+/// Values are printed with 17 significant digits, so every `f64` survives a
+/// parse round-trip bit-for-bit (the same contract as the golden-waveform
+/// fixtures).
+///
+/// [`Observer`] callbacks cannot fail, so I/O errors are latched: the first
+/// error stops further writing and is surfaced by [`CsvObserver::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use exi_sim::{CsvObserver, Observer, Probe};
+///
+/// let mut csv = CsvObserver::new(Vec::new(), vec![Probe::new("out", 1)]);
+/// csv.on_dc(0.0, &[0.0, 0.25]);
+/// csv.on_step_accepted(1e-12, &[0.0, 0.5]);
+/// assert_eq!(csv.rows(), 2);
+/// let bytes = csv.finish().unwrap();
+/// let text = String::from_utf8(bytes).unwrap();
+/// assert!(text.starts_with("time,out\n"));
+/// assert_eq!(text.lines().count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct CsvObserver<W: Write> {
+    writer: W,
+    probes: Vec<Probe>,
+    delimiter: char,
+    rows: usize,
+    wrote_header: bool,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> CsvObserver<W> {
+    /// Creates a comma-separated observer recording the given probes into
+    /// `writer`.
+    pub fn new(writer: W, probes: Vec<Probe>) -> Self {
+        CsvObserver {
+            writer,
+            probes,
+            delimiter: ',',
+            rows: 0,
+            wrote_header: false,
+            error: None,
+        }
+    }
+
+    /// Replaces the column delimiter (e.g. `'\t'` for TSV output).
+    #[must_use]
+    pub fn delimiter(mut self, delimiter: char) -> Self {
+        self.delimiter = delimiter;
+        self
+    }
+
+    /// Number of data rows written so far (the header is not counted).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The first I/O error the sink reported, if any. Once set, no further
+    /// rows are written.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes the sink and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first latched write error, or the flush error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn write_row(&mut self, t: f64, x: &[f64]) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = (|| -> std::io::Result<()> {
+            if !self.wrote_header {
+                write!(self.writer, "time")?;
+                for p in &self.probes {
+                    write!(self.writer, "{}{}", self.delimiter, p.label)?;
+                }
+                writeln!(self.writer)?;
+                self.wrote_header = true;
+            }
+            write!(self.writer, "{t:.17e}")?;
+            for p in &self.probes {
+                write!(self.writer, "{}{:.17e}", self.delimiter, x[p.unknown])?;
+            }
+            writeln!(self.writer)
+        })();
+        match result {
+            Ok(()) => self.rows += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> Observer for CsvObserver<W> {
+    fn on_dc(&mut self, t0: f64, x0: &[f64]) {
+        self.write_row(t0, x0);
+    }
+
+    fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
+        self.write_row(t, x);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +588,56 @@ mod tests {
         assert_eq!(w.observed, 5);
         assert_eq!(w.stride, 1);
         assert_eq!(w.probes.len(), 2);
+    }
+
+    #[test]
+    fn csv_observer_streams_bit_exact_rows() {
+        let mut csv = CsvObserver::new(Vec::new(), vec![Probe::new("a", 0), Probe::new("b", 1)]);
+        let rows = [
+            (0.0, [1.0, -0.0]),
+            (1.5e-12, [0.12345678901234567, 2.0]),
+            (3.0e-12, [-3.123456789012345e-7, 4.0]),
+        ];
+        csv.on_dc(rows[0].0, &rows[0].1);
+        for (t, x) in &rows[1..] {
+            csv.on_step_accepted(*t, x);
+        }
+        assert_eq!(csv.rows(), 3);
+        assert!(csv.io_error().is_none());
+        let text = String::from_utf8(csv.finish().unwrap()).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("time,a,b"));
+        for ((t, x), line) in rows.iter().zip(lines) {
+            let cols: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
+            assert_eq!(cols[0].to_bits(), t.to_bits());
+            assert_eq!(cols[1].to_bits(), x[0].to_bits());
+            assert_eq!(cols[2].to_bits(), x[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn csv_observer_supports_tsv_and_latches_io_errors() {
+        let mut tsv = CsvObserver::new(Vec::new(), vec![Probe::new("a", 0)]).delimiter('\t');
+        tsv.on_step_accepted(1.0, &[2.0]);
+        let text = String::from_utf8(tsv.finish().unwrap()).unwrap();
+        assert!(text.starts_with("time\ta\n"));
+
+        /// A sink that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut bad = CsvObserver::new(Broken, vec![Probe::new("a", 0)]);
+        bad.on_dc(0.0, &[1.0]);
+        bad.on_step_accepted(1.0, &[1.0]);
+        assert_eq!(bad.rows(), 0);
+        assert!(bad.io_error().is_some());
+        assert!(bad.finish().is_err());
     }
 
     #[test]

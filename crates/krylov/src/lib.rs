@@ -50,7 +50,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arnoldi;
 pub mod decomposition;

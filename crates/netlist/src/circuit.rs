@@ -93,6 +93,19 @@ impl Circuit {
         self.nodes.num_nodes()
     }
 
+    /// Names of every non-ground node, ordered by voltage-unknown index —
+    /// the default probe set of front-ends that were not told what to
+    /// record.
+    pub fn node_names(&self) -> Vec<&str> {
+        let mut pairs: Vec<(usize, &str)> = self
+            .nodes
+            .iter()
+            .filter_map(|(name, id)| id.unknown().map(|u| (u, name)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.into_iter().map(|(_, name)| name).collect()
+    }
+
     /// Number of branch-current unknowns (voltage sources and inductors).
     pub fn num_branches(&self) -> usize {
         self.num_branches

@@ -39,11 +39,32 @@
 //! # }
 //! ```
 //!
-//! Or parse a SPICE-like netlist with [`parse_netlist`].
+//! Or parse a SPICE deck — subcircuits, `.param` substitution and analysis
+//! cards included — with [`deck::parse_deck`] / [`deck::parse_deck_file`]
+//! (the plain [`parse_netlist`] returns just the flattened [`Circuit`]):
+//!
+//! ```
+//! use exi_netlist::deck::parse_deck;
+//!
+//! # fn main() -> Result<(), exi_netlist::NetlistError> {
+//! let deck = parse_deck(
+//!     ".param c=1p\n\
+//!      Vin in 0 PULSE(0 1 0 1n 1n 5n)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 {c}\n\
+//!      .tran 1p 5n\n\
+//!      .print v(out)\n",
+//! )?;
+//! assert_eq!(deck.circuit.num_unknowns(), 3);
+//! assert_eq!(deck.analyses.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod circuit;
+pub mod deck;
 pub mod devices;
 pub mod error;
 pub mod generators;
@@ -53,6 +74,10 @@ pub mod plan;
 pub mod waveform;
 
 pub use circuit::{Circuit, Evaluation};
+pub use deck::{
+    parse_deck, parse_deck_file, parse_deck_file_with_params, parse_deck_with_params, Analysis,
+    Deck,
+};
 pub use devices::{Device, DiodeModel, MosfetModel, MosfetPolarity};
 pub use error::{NetlistError, NetlistResult};
 pub use node::NodeId;

@@ -101,7 +101,7 @@ impl NodeMap {
     }
 }
 
-fn is_ground_name(name: &str) -> bool {
+pub(crate) fn is_ground_name(name: &str) -> bool {
     matches!(name, "0") || name.eq_ignore_ascii_case("gnd") || name.eq_ignore_ascii_case("ground")
 }
 

@@ -1,27 +1,39 @@
-//! A small SPICE-like netlist parser.
+//! Low-level SPICE-line parsing: values, element cards and source
+//! specifications.
 //!
-//! The supported subset covers what the examples and generators need:
+//! This module owns the token-level pieces of the deck front-end (see
+//! [`crate::deck`] for the full deck grammar — subcircuits, parameters,
+//! includes and analysis cards). The supported element subset:
 //!
 //! ```text
-//! * comment
 //! R<name> <n+> <n-> <value>
 //! C<name> <n+> <n-> <value>
 //! L<name> <n+> <n-> <value>
-//! V<name> <n+> <n-> DC <value> | PULSE(v1 v2 td tr tf pw per) | PWL(t1 v1 t2 v2 ...) | SIN(off ampl freq [td [damp]])
+//! V<name> <n+> <n-> DC <value> | PULSE(v1 v2 td tr tf pw [per]) | PWL(t1 v1 t2 v2 ...) | SIN(off ampl freq [td [damp]])
 //! I<name> <n+> <n-> <same source syntax as V>
-//! D<name> <anode> <cathode> [IS=<v>] [N=<v>] [CJ=<v>]
-//! M<name> <drain> <gate> <source> <nmos|pmos> [W=<v>] [L=<v>] [VT=<v>] [KP=<v>] [LAMBDA=<v>]
-//! .end
+//! D<name> <anode> <cathode> [IS=<v>] [N=<v>] [VT=<v>] [CJ=<v>]
+//! M<name> <drain> <gate> <source> <nmos|pmos> [W=<v>] [L=<v>] [VT=<v>] [KP=<v>] [LAMBDA=<v>] [CGS=<v>] [CGD=<v>]
 //! ```
 //!
 //! Values accept SPICE magnitude suffixes (`f p n u m k meg g t`).
 
+use std::collections::HashMap;
+
 use crate::circuit::Circuit;
+use crate::deck::parse_deck;
 use crate::devices::{DiodeModel, MosfetModel};
 use crate::error::{NetlistError, NetlistResult};
+use crate::node::is_ground_name;
 use crate::waveform::Waveform;
 
-/// Parses a netlist string into a [`Circuit`].
+/// Parses a netlist string into a [`Circuit`], ignoring analysis cards.
+///
+/// This is the historical entry point, kept as a thin wrapper over the full
+/// deck front-end: it accepts everything [`crate::deck::parse_deck`] accepts
+/// (including `.subckt`/`.ends` definitions with `X` instantiation and
+/// `.param` substitution) and returns only the flattened circuit, discarding
+/// `.tran`/`.op`/`.print` cards. Use [`crate::deck::parse_deck`] when the
+/// analysis cards matter (the `exi-cli` front-end does).
 ///
 /// # Errors
 ///
@@ -46,42 +58,83 @@ use crate::waveform::Waveform;
 /// # }
 /// ```
 pub fn parse_netlist(text: &str) -> NetlistResult<Circuit> {
-    let mut circuit = Circuit::new();
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw_line.trim();
-        if line.is_empty() || line.starts_with('*') || line.starts_with("//") {
-            continue;
-        }
-        let lower = line.to_ascii_lowercase();
-        if lower.starts_with(".end") || lower.starts_with(".tran") || lower.starts_with(".title") {
-            continue;
-        }
-        parse_line(&mut circuit, line, line_no)?;
-    }
-    Ok(circuit)
+    Ok(parse_deck(text)?.circuit)
 }
 
-fn parse_line(circuit: &mut Circuit, line: &str, line_no: usize) -> NetlistResult<()> {
-    let tokens = tokenize(line);
+/// Name-resolution scope for element lines expanded from a subcircuit body.
+///
+/// `path` is the dotted instance path (`X1`, `X1.X2`, …); `ports` maps a
+/// port name as declared on the `.subckt` card to the fully resolved outer
+/// node it is connected to. Nodes that are neither ports nor ground become
+/// `path.node`, and device names become `path.name`, so two instances of one
+/// subcircuit never collide.
+#[derive(Debug)]
+pub(crate) struct ElementScope {
+    pub(crate) path: String,
+    pub(crate) ports: HashMap<String, String>,
+}
+
+impl ElementScope {
+    /// Resolves a node token from a subcircuit body to its flat name.
+    pub(crate) fn resolve_node(&self, token: &str) -> String {
+        if is_ground_name(token) {
+            return token.to_string();
+        }
+        if let Some(outer) = self.ports.get(token) {
+            return outer.clone();
+        }
+        format!("{}.{}", self.path, token)
+    }
+
+    /// Resolves a device name from a subcircuit body to its flat name.
+    pub(crate) fn resolve_device(&self, name: &str) -> String {
+        format!("{}.{}", self.path, name)
+    }
+}
+
+fn scoped_node(circuit: &mut Circuit, token: &str, scope: Option<&ElementScope>) -> crate::NodeId {
+    match scope {
+        Some(s) => {
+            let resolved = s.resolve_node(token);
+            circuit.node(&resolved)
+        }
+        None => circuit.node(token),
+    }
+}
+
+/// Parses one element line (already tokenized) into `circuit`.
+///
+/// `scope` is `None` for top-level lines; subcircuit expansion passes the
+/// instance scope so nodes and device names are flattened hierarchically.
+pub(crate) fn parse_element(
+    circuit: &mut Circuit,
+    tokens: &[String],
+    line_no: usize,
+    scope: Option<&ElementScope>,
+) -> NetlistResult<()> {
     if tokens.is_empty() {
         return Ok(());
     }
-    let name = tokens[0].as_str();
-    let kind = name.chars().next().unwrap_or(' ').to_ascii_uppercase();
+    let raw_name = tokens[0].as_str();
+    let kind = raw_name.chars().next().unwrap_or(' ').to_ascii_uppercase();
+    let name = match scope {
+        Some(s) => s.resolve_device(raw_name),
+        None => raw_name.to_string(),
+    };
+    let name = name.as_str();
     let err = |message: String| NetlistError::Parse {
         line: line_no,
         message,
     };
     match kind {
         'R' | 'C' | 'L' => {
-            if tokens.len() < 4 {
-                return Err(err(format!("{name}: expected <n+> <n-> <value>")));
+            if tokens.len() != 4 {
+                return Err(err(format!("{raw_name}: expected <n+> <n-> <value>")));
             }
-            let a = circuit.node(&tokens[1]);
-            let b = circuit.node(&tokens[2]);
+            let a = scoped_node(circuit, &tokens[1], scope);
+            let b = scoped_node(circuit, &tokens[2], scope);
             let value = parse_value(&tokens[3])
-                .ok_or_else(|| err(format!("{name}: bad value '{}'", tokens[3])))?;
+                .ok_or_else(|| err(format!("{raw_name}: bad value '{}'", tokens[3])))?;
             match kind {
                 'R' => circuit.add_resistor(name, a, b, value)?,
                 'C' => circuit.add_capacitor(name, a, b, value)?,
@@ -91,12 +144,12 @@ fn parse_line(circuit: &mut Circuit, line: &str, line_no: usize) -> NetlistResul
         }
         'V' | 'I' => {
             if tokens.len() < 4 {
-                return Err(err(format!("{name}: expected <n+> <n-> <source>")));
+                return Err(err(format!("{raw_name}: expected <n+> <n-> <source>")));
             }
-            let a = circuit.node(&tokens[1]);
-            let b = circuit.node(&tokens[2]);
+            let a = scoped_node(circuit, &tokens[1], scope);
+            let b = scoped_node(circuit, &tokens[2], scope);
             let wave = parse_source(&tokens[3..])
-                .ok_or_else(|| err(format!("{name}: bad source specification")))?;
+                .ok_or_else(|| err(format!("{raw_name}: bad source specification")))?;
             if kind == 'V' {
                 circuit.add_voltage_source(name, a, b, wave)?;
             } else {
@@ -108,19 +161,20 @@ fn parse_line(circuit: &mut Circuit, line: &str, line_no: usize) -> NetlistResul
         }
         'D' => {
             if tokens.len() < 3 {
-                return Err(err(format!("{name}: expected <anode> <cathode>")));
+                return Err(err(format!("{raw_name}: expected <anode> <cathode>")));
             }
-            let a = circuit.node(&tokens[1]);
-            let c = circuit.node(&tokens[2]);
+            let a = scoped_node(circuit, &tokens[1], scope);
+            let c = scoped_node(circuit, &tokens[2], scope);
             let mut model = DiodeModel::default();
             for t in &tokens[3..] {
-                if let Some((key, val)) = parse_assignment(t) {
-                    match key.as_str() {
-                        "is" => model.saturation_current = val,
-                        "n" => model.emission_coefficient = val,
-                        "cj" => model.junction_capacitance = val,
-                        _ => return Err(err(format!("{name}: unknown diode parameter '{key}'"))),
-                    }
+                let (key, val) = parse_assignment(t)
+                    .ok_or_else(|| err(format!("{raw_name}: expected key=value, got '{t}'")))?;
+                match key.as_str() {
+                    "is" => model.saturation_current = val,
+                    "n" => model.emission_coefficient = val,
+                    "vt" => model.thermal_voltage = val,
+                    "cj" => model.junction_capacitance = val,
+                    _ => return Err(err(format!("{raw_name}: unknown diode parameter '{key}'"))),
                 }
             }
             circuit.add_diode(name, a, c, model)?;
@@ -128,39 +182,39 @@ fn parse_line(circuit: &mut Circuit, line: &str, line_no: usize) -> NetlistResul
         }
         'M' => {
             if tokens.len() < 5 {
-                return Err(err(format!("{name}: expected <d> <g> <s> <nmos|pmos>")));
+                return Err(err(format!("{raw_name}: expected <d> <g> <s> <nmos|pmos>")));
             }
-            let d = circuit.node(&tokens[1]);
-            let g = circuit.node(&tokens[2]);
-            let s = circuit.node(&tokens[3]);
+            let d = scoped_node(circuit, &tokens[1], scope);
+            let g = scoped_node(circuit, &tokens[2], scope);
+            let s = scoped_node(circuit, &tokens[3], scope);
             let mut model = match tokens[4].to_ascii_lowercase().as_str() {
                 "nmos" => MosfetModel::nmos(),
                 "pmos" => MosfetModel::pmos(),
-                other => return Err(err(format!("{name}: unknown mosfet type '{other}'"))),
+                other => return Err(err(format!("{raw_name}: unknown mosfet type '{other}'"))),
             };
             for t in &tokens[5..] {
-                if let Some((key, val)) = parse_assignment(t) {
-                    match key.as_str() {
-                        "w" => model.width = val,
-                        "l" => model.length = val,
-                        "vt" => model.threshold = val,
-                        "kp" => model.transconductance = val,
-                        "lambda" => model.lambda = val,
-                        "cgs" => model.cgs = val,
-                        "cgd" => model.cgd = val,
-                        _ => return Err(err(format!("{name}: unknown mosfet parameter '{key}'"))),
-                    }
+                let (key, val) = parse_assignment(t)
+                    .ok_or_else(|| err(format!("{raw_name}: expected key=value, got '{t}'")))?;
+                match key.as_str() {
+                    "w" => model.width = val,
+                    "l" => model.length = val,
+                    "vt" => model.threshold = val,
+                    "kp" => model.transconductance = val,
+                    "lambda" => model.lambda = val,
+                    "cgs" => model.cgs = val,
+                    "cgd" => model.cgd = val,
+                    _ => return Err(err(format!("{raw_name}: unknown mosfet parameter '{key}'"))),
                 }
             }
             circuit.add_mosfet(name, d, g, s, model)?;
             Ok(())
         }
-        _ => Err(err(format!("unsupported element '{name}'"))),
+        _ => Err(err(format!("unsupported element '{raw_name}'"))),
     }
 }
 
 /// Splits a line into tokens, keeping `FUNC(a b c)` groups together.
-fn tokenize(line: &str) -> Vec<String> {
+pub(crate) fn tokenize(line: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     let mut depth = 0usize;
@@ -188,7 +242,8 @@ fn tokenize(line: &str) -> Vec<String> {
     tokens
 }
 
-fn parse_assignment(token: &str) -> Option<(String, f64)> {
+/// Splits a `key=value` token, lower-casing the key and parsing the value.
+pub(crate) fn parse_assignment(token: &str) -> Option<(String, f64)> {
     let (key, value) = token.split_once('=')?;
     Some((key.trim().to_ascii_lowercase(), parse_value(value.trim())?))
 }
@@ -244,9 +299,10 @@ fn parse_source(tokens: &[String]) -> Option<Waveform> {
     }
     if let Some(args) = function_args(&tokens[0], "pulse") {
         let v: Vec<f64> = args.iter().filter_map(|a| parse_value(a)).collect();
-        if v.len() < 7 {
+        if v.len() < 6 {
             return None;
         }
+        // A 6-argument PULSE omits the period: a single, non-repeating pulse.
         return Some(Waveform::Pulse {
             v1: v[0],
             v2: v[1],
@@ -254,7 +310,7 @@ fn parse_source(tokens: &[String]) -> Option<Waveform> {
             rise: v[3],
             fall: v[4],
             width: v[5],
-            period: v[6],
+            period: v.get(6).copied().unwrap_or(f64::INFINITY),
         });
     }
     if let Some(args) = function_args(&tokens[0], "pwl") {
@@ -311,6 +367,23 @@ mod tests {
     }
 
     #[test]
+    fn full_precision_values_round_trip() {
+        // The deck writer emits `{:.17e}`; the parser must read every bit
+        // back (the deck round-trip fixtures depend on it).
+        for v in [
+            1.0,
+            -3.123456789012345e-7,
+            5e-10,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = format!("{v:.17e}");
+            let back = parse_value(&text).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
     fn parses_rc_with_pulse_source() {
         let ckt = parse_netlist(
             "* test\nVin in 0 PULSE(0 1 0 1n 1n 5n 20n)\nR1 in out 1k\nC1 out 0 1p\n.end\n",
@@ -320,6 +393,17 @@ mod tests {
         assert_eq!(ckt.num_unknowns(), 3);
         assert_eq!(ckt.num_sources(), 1);
         assert!((ckt.input_vector(3e-9)[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_argument_pulse_is_a_single_pulse() {
+        let ckt = parse_netlist("V1 a 0 PULSE(0 1 0 1n 1n 5n)\nR1 a 0 1k\n").unwrap();
+        match &ckt.sources()[0].1 {
+            Waveform::Pulse { period, .. } => assert!(period.is_infinite()),
+            other => panic!("unexpected waveform {other:?}"),
+        }
+        // Five arguments are still rejected.
+        assert!(parse_netlist("V1 a 0 PULSE(0 1 0 1n 1n)\nR1 a 0 1k\n").is_err());
     }
 
     #[test]
@@ -344,6 +428,15 @@ mod tests {
     }
 
     #[test]
+    fn diode_thermal_voltage_is_settable() {
+        let ckt = parse_netlist("D1 a 0 VT=0.03\nR1 a 0 1k\n").unwrap();
+        match &ckt.devices()[0] {
+            crate::Device::Diode { model, .. } => assert_eq!(model.thermal_voltage, 0.03),
+            other => panic!("unexpected device {other:?}"),
+        }
+    }
+
+    #[test]
     fn bare_value_source_is_dc() {
         let ckt = parse_netlist("V1 a 0 2.5\nR1 a 0 1k\n").unwrap();
         assert_eq!(ckt.input_vector(0.0), vec![2.5]);
@@ -351,7 +444,7 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        let e = parse_netlist("R1 a 0 1k\nX1 foo bar\n").unwrap_err();
+        let e = parse_netlist("R1 a 0 1k\nQ1 foo bar baz\n").unwrap_err();
         match e {
             NetlistError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
@@ -360,6 +453,18 @@ mod tests {
         assert!(parse_netlist("V1 a 0 PULSE(0 1)\n").is_err());
         assert!(parse_netlist("M1 a b c weird\n").is_err());
         assert!(parse_netlist("D1 a 0 XX=3\n").is_err());
+    }
+
+    #[test]
+    fn stray_non_assignment_device_parameters_are_rejected() {
+        // Previously silently ignored; now a parse error with the offending
+        // token in the message.
+        let e = parse_netlist("D1 a 0 garbage\nR1 a 0 1k\n").unwrap_err();
+        assert!(e.to_string().contains("garbage"), "{e}");
+        let e = parse_netlist("M1 a b 0 nmos stray\n").unwrap_err();
+        assert!(e.to_string().contains("stray"), "{e}");
+        // Extra tokens on an R/C/L line are rejected too.
+        assert!(parse_netlist("R1 a 0 1k extra\n").is_err());
     }
 
     #[test]

@@ -221,6 +221,32 @@ fn reset_vec<T: Copy>(v: &mut Vec<T>, len: usize, fill: T, allocs: &mut usize) {
 /// after adding devices or changing parameters. See the [module
 /// docs](self) for the linear-baseline / nonlinear-delta split and the
 /// bit-compatibility contract.
+///
+/// # Examples
+///
+/// ```
+/// use exi_netlist::{Circuit, Waveform};
+///
+/// # fn main() -> Result<(), exi_netlist::NetlistError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let gnd = ckt.node("0");
+/// ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0))?;
+/// ckt.add_resistor("R1", a, gnd, 1e3)?;
+/// ckt.add_capacitor("C1", a, gnd, 1e-12)?;
+/// // Analyze the topology once…
+/// let plan = ckt.compile_plan()?;
+/// let mut ws = plan.new_workspace();
+/// let mut eval = plan.new_evaluation();
+/// // …then restamp per state in the hot loop, allocation-free.
+/// for x in [[0.0, 0.0], [1.0, -1e-3]] {
+///     plan.evaluate_into(&x, &mut ws, &mut eval)?;
+/// }
+/// assert_eq!(ws.allocations(), 0);
+/// assert!(eval.g.get(0, 0) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct EvalPlan {
     n: usize,

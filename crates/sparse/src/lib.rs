@@ -47,7 +47,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coo;
 pub mod csc;

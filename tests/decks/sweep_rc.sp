@@ -1,0 +1,9 @@
+* template deck for `exi-cli sweep`: rload is overridden per sweep member
+* (exi-cli sweep tests/decks/sweep_rc.sp --param rload=1k,2k,5k)
+.param rload=1k
+Vin in 0 PULSE(0 1 0 10p 10p 200p)
+R1 in out {rload}
+C1 out 0 1f
+.tran 1p 400p
+.print v(out)
+.end
