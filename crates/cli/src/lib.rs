@@ -94,6 +94,32 @@ impl fmt::Display for CliError {
     }
 }
 
+impl CliError {
+    /// Stable process exit code for this error class (documented in
+    /// [`USAGE`]): `2` usage, `3` parse, `4` simulation/convergence, `5`
+    /// i/o, `1` everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Netlist(_) => 3,
+            CliError::Sim(_) => 4,
+            CliError::Io(_) => 5,
+            CliError::Deck(_) => 1,
+        }
+    }
+
+    /// Machine-readable failure class, used by `--error-format json`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::Netlist(_) => "parse",
+            CliError::Sim(_) => "convergence",
+            CliError::Io(_) => "io",
+            CliError::Deck(_) => "internal",
+        }
+    }
+}
+
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -102,6 +128,65 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+/// How `run_main` reports errors on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorFormat {
+    /// `exi-cli: <message>` lines.
+    #[default]
+    Text,
+    /// One JSON object per error:
+    /// `{"error":{"class":…,"message":…,"exit_code":…}}`.
+    Json,
+}
+
+impl ErrorFormat {
+    /// Parses `text` / `json`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for anything else.
+    pub fn parse(s: &str) -> CliResult<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(ErrorFormat::Text),
+            "json" => Ok(ErrorFormat::Json),
+            other => Err(CliError::Usage(format!(
+                "unknown error format '{other}' (expected text or json)"
+            ))),
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `error` for stderr in the requested format. The JSON form is a
+/// single line so scripts can parse it with one `json.loads`.
+pub fn render_error(error: &CliError, format: ErrorFormat) -> String {
+    match format {
+        ErrorFormat::Text => format!("exi-cli: {error}"),
+        ErrorFormat::Json => format!(
+            "{{\"error\":{{\"class\":\"{}\",\"message\":\"{}\",\"exit_code\":{}}}}}",
+            error.class(),
+            json_escape(&error.to_string()),
+            error.exit_code(),
+        ),
     }
 }
 
@@ -192,6 +277,9 @@ COMMON OPTIONS:
     --stream <N>              fixed-memory decimated output, at most N points
     --probe <NODE>            record NODE (repeatable; default: the deck's
                               .print cards, else every node)
+    --error-format <text|json>
+                              stderr error rendering (default text); json
+                              emits {\"error\":{\"class\",\"message\",\"exit_code\"}}
 
 run OPTIONS:
     --output <FILE>           write the waveform to FILE instead of stdout
@@ -201,6 +289,13 @@ sweep OPTIONS:
                               cartesian product of all lists is run)
     --threads <N>             batch worker threads (default: all cores)
     --output-dir <DIR>        one waveform file per member (default '.')
+    --keep-going              exit 0 even when members failed; default exits
+                              nonzero after writing the successful members
+
+EXIT CODES:
+    0  success                3  deck parse error
+    1  internal error         4  simulation/convergence error
+    2  usage error            5  i/o error
 ";
 
 /// A parsed command line.
@@ -276,6 +371,11 @@ fn parse_run_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
             "--output" => output = Some(PathBuf::from(next_value(it, "--output")?)),
             "--stream" => config.stream = Some(parse_stream(next_value(it, "--stream")?)?),
             "--probe" => config.probes.push(next_value(it, "--probe")?.clone()),
+            // Validated here, applied by `run_main`'s pre-scan (errors of
+            // this very parse must already render in the requested format).
+            "--error-format" => {
+                ErrorFormat::parse(next_value(it, "--error-format")?)?;
+            }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option '{flag}' for run")))
             }
@@ -312,6 +412,10 @@ fn parse_sweep_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command>
             "--output-dir" => output_dir = PathBuf::from(next_value(it, "--output-dir")?),
             "--stream" => config.stream = Some(parse_stream(next_value(it, "--stream")?)?),
             "--probe" => config.probes.push(next_value(it, "--probe")?.clone()),
+            "--keep-going" => config.keep_going = true,
+            "--error-format" => {
+                ErrorFormat::parse(next_value(it, "--error-format")?)?;
+            }
             "--param" => {
                 let v = next_value(it, "--param")?;
                 let Some((name, values)) = v.split_once('=') else {
@@ -439,25 +543,48 @@ pub fn execute(command: &Command, status: &mut dyn Write) -> CliResult<()> {
                 writeln!(status, "  {line}")?;
             }
             if summary.failed > 0 {
-                return Err(CliError::Deck(format!(
-                    "{} of {} sweep members failed",
-                    summary.failed, summary.members
-                )));
+                if config.keep_going {
+                    writeln!(
+                        status,
+                        "continuing past {} failed member(s) (--keep-going); \
+                         successful waveforms are on disk",
+                        summary.failed
+                    )?;
+                } else {
+                    return Err(CliError::Deck(format!(
+                        "{} of {} sweep members failed",
+                        summary.failed, summary.members
+                    )));
+                }
             }
             Ok(())
         }
     }
 }
 
-/// Binary entry point: parses and executes, mapping errors to exit codes
-/// (`2` for usage errors, `1` for everything else).
+/// Extracts the `--error-format` choice before full parsing, so parse
+/// errors themselves render in the requested format. An invalid value is
+/// left for [`parse_args`] to report.
+fn detect_error_format(args: &[String]) -> ErrorFormat {
+    args.windows(2)
+        .find(|w| w[0] == "--error-format")
+        .and_then(|w| ErrorFormat::parse(&w[1]).ok())
+        .unwrap_or_default()
+}
+
+/// Binary entry point: parses and executes, mapping each error class to its
+/// stable exit code (see [`CliError::exit_code`] and the `EXIT CODES`
+/// section of [`USAGE`]).
 pub fn run_main(args: &[String]) -> i32 {
+    let error_format = detect_error_format(args);
     let command = match parse_args(args) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("exi-cli: {e}");
-            eprintln!("{USAGE}");
-            return 2;
+            eprintln!("{}", render_error(&e, error_format));
+            if error_format == ErrorFormat::Text {
+                eprintln!("{USAGE}");
+            }
+            return e.exit_code();
         }
     };
     let stdout = std::io::stdout();
@@ -468,8 +595,8 @@ pub fn run_main(args: &[String]) -> i32 {
         // consuming a waveform, not an error.
         Err(CliError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
         Err(e) => {
-            eprintln!("exi-cli: {e}");
-            1
+            eprintln!("{}", render_error(&e, error_format));
+            e.exit_code()
         }
     }
 }
@@ -574,5 +701,181 @@ mod tests {
             }
         }
         assert_eq!(parse_args(&s(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn exit_codes_and_classes_are_stable() {
+        let cases: Vec<(CliError, i32, &str)> = vec![
+            (CliError::Usage("x".into()), 2, "usage"),
+            (CliError::Netlist(NetlistError::EmptyCircuit), 3, "parse"),
+            (
+                CliError::Sim(SimError::StepSizeUnderflow {
+                    time: 0.0,
+                    step: 1e-20,
+                }),
+                4,
+                "convergence",
+            ),
+            (CliError::Io(std::io::Error::other("disk on fire")), 5, "io"),
+            (CliError::Deck("x".into()), 1, "internal"),
+        ];
+        for (error, code, class) in cases {
+            assert_eq!(error.exit_code(), code, "{error}");
+            assert_eq!(error.class(), class, "{error}");
+        }
+    }
+
+    #[test]
+    fn render_error_json_is_one_escaped_line() {
+        let error = CliError::Deck("bad \"quote\"\nsecond line\ttab".into());
+        let json = render_error(&error, ErrorFormat::Json);
+        assert_eq!(json.lines().count(), 1, "{json}");
+        assert!(
+            json.starts_with("{\"error\":{\"class\":\"internal\""),
+            "{json}"
+        );
+        assert!(json.contains("\\\"quote\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\\t"), "{json}");
+        assert!(json.ends_with("\"exit_code\":1}}"), "{json}");
+        let text = render_error(&error, ErrorFormat::Text);
+        assert!(text.starts_with("exi-cli: "), "{text}");
+    }
+
+    #[test]
+    fn error_format_parses_and_is_detected_pre_parse() {
+        assert_eq!(ErrorFormat::parse("text").unwrap(), ErrorFormat::Text);
+        assert_eq!(ErrorFormat::parse("JSON").unwrap(), ErrorFormat::Json);
+        assert!(matches!(
+            ErrorFormat::parse("yaml"),
+            Err(CliError::Usage(_))
+        ));
+        // The pre-scan sees the flag no matter where it sits, so even
+        // usage errors render in the requested format.
+        assert_eq!(
+            detect_error_format(&s(&["run", "x.sp", "--error-format", "json"])),
+            ErrorFormat::Json
+        );
+        assert_eq!(detect_error_format(&s(&["run", "x.sp"])), ErrorFormat::Text);
+        // An invalid value falls back to text here and is reported as a
+        // usage error by the full parse.
+        assert_eq!(
+            detect_error_format(&s(&["run", "x.sp", "--error-format", "yaml"])),
+            ErrorFormat::Text
+        );
+        assert!(matches!(
+            parse_args(&s(&["run", "x.sp", "--error-format", "yaml"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn keep_going_flag_parses() {
+        let with =
+            parse_args(&s(&["sweep", "d.sp", "--param", "r=1k,2k", "--keep-going"])).unwrap();
+        match with {
+            Command::Sweep { config, .. } => assert!(config.keep_going),
+            other => panic!("unexpected {other:?}"),
+        }
+        let without = parse_args(&s(&["sweep", "d.sp", "--param", "r=1k,2k"])).unwrap();
+        match without {
+            Command::Sweep { config, .. } => assert!(!config.keep_going),
+            other => panic!("unexpected {other:?}"),
+        }
+        // run does not take --keep-going.
+        assert!(matches!(
+            parse_args(&s(&["run", "d.sp", "--keep-going"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// A scratch directory under the target-adjacent temp dir, unique per
+    /// test to keep parallel runs apart.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exi-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn run_main_maps_failures_to_their_exit_codes() {
+        // Usage error: 2.
+        assert_eq!(run_main(&s(&["frobnicate"])), 2);
+        // Unreadable/parse-failing deck: 3.
+        assert_eq!(run_main(&s(&["run", "/nonexistent/deck.sp"])), 3);
+        let dir = scratch("exit-codes");
+        // Parse error in a real file: 3.
+        let bad = dir.join("bad.sp");
+        std::fs::write(&bad, "R1 in out\n.end\n").unwrap();
+        assert_eq!(run_main(&s(&["run", bad.to_str().unwrap()])), 3);
+        // Convergence/simulation error (floating node): 4, in both formats.
+        let singular = dir.join("singular.sp");
+        std::fs::write(
+            &singular,
+            "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\nCf float 0 1p\n.tran 1p 50p\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(run_main(&s(&["run", singular.to_str().unwrap()])), 4);
+        assert_eq!(
+            run_main(&s(&[
+                "run",
+                singular.to_str().unwrap(),
+                "--error-format",
+                "json"
+            ])),
+            4
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_keep_going_salvages_the_surviving_members() {
+        let dir = scratch("keep-going");
+        let deck = dir.join("sweep.sp");
+        // Member step=100p violates h_init <= t_stop at simulation time —
+        // a per-member failure that must not abort the whole sweep.
+        std::fs::write(
+            &deck,
+            ".param step=1p\n\
+             V1 in 0 DC 1\n\
+             R1 in out 1k\n\
+             C1 out 0 1p\n\
+             .tran {step} 50p\n\
+             .print v(out)\n\
+             .end\n",
+        )
+        .unwrap();
+        let out_strict = dir.join("strict");
+        assert_eq!(
+            run_main(&s(&[
+                "sweep",
+                deck.to_str().unwrap(),
+                "--param",
+                "step=1p,100p",
+                "--output-dir",
+                out_strict.to_str().unwrap(),
+            ])),
+            1,
+            "a failed member is a nonzero exit by default"
+        );
+        let out_keep = dir.join("keep");
+        assert_eq!(
+            run_main(&s(&[
+                "sweep",
+                deck.to_str().unwrap(),
+                "--param",
+                "step=1p,100p",
+                "--keep-going",
+                "--output-dir",
+                out_keep.to_str().unwrap(),
+            ])),
+            0,
+            "--keep-going turns member failures into a success exit"
+        );
+        // The surviving member's waveform landed on disk; the failed one
+        // produced no file.
+        assert!(out_keep.join("step=1p.csv").exists());
+        assert!(!out_keep.join("step=100p.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,6 +27,10 @@ pub struct SweepConfig {
     pub stream: Option<usize>,
     /// Probe overrides (same cascade as `run`).
     pub probes: Vec<String>,
+    /// Exit successfully even when members failed (their waveforms are
+    /// simply absent; failures stay listed in the member lines). The default
+    /// reports a nonzero exit when any member failed.
+    pub keep_going: bool,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +42,7 @@ impl Default for SweepConfig {
             threads: 0,
             stream: None,
             probes: Vec::new(),
+            keep_going: false,
         }
     }
 }

@@ -75,18 +75,19 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use exi_netlist::Circuit;
 use exi_sparse::{pattern_fingerprint, CsrMatrix, OrderingMethod, SymbolicCache};
 
-use crate::engines::resolve_probes;
-use crate::error::SimResult;
-use crate::observer::{DecimatedWaveform, StreamingObserver};
+use crate::engines::{resolve_probes, Engine, StepOutcome};
+use crate::error::{SimError, SimResult};
+use crate::observer::{DecimatedWaveform, RecordingObserver, StreamingObserver};
 use crate::options::TransientOptions;
 use crate::output::TransientResult;
+use crate::recovery::RecoveryPolicy;
 use crate::session::{PlanCache, Simulator};
 use crate::stats::RunStats;
 use crate::transient::Method;
@@ -104,6 +105,51 @@ pub enum JobSink {
         /// Maximum number of retained points (minimum 2).
         capacity: usize,
     },
+}
+
+/// A cooperative cancellation handle shared between a job's submitter and
+/// the worker running it.
+///
+/// Cancellation is checked **between accepted steps** (on the
+/// [`Engine`] pause/resume contract), never mid-step, so a cancelled job's
+/// partial waveform is a bit-exact prefix of what the uncancelled run would
+/// have produced.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; the owning job stops at its next step boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Acquire)
+    }
+}
+
+/// Why a job was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Its [`CancelToken`] was triggered.
+    Token,
+    /// Its per-job deadline ([`BatchJob::deadline`]) expired.
+    Deadline,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Token => write!(f, "cancellation token"),
+            CancelReason::Deadline => write!(f, "deadline expired"),
+        }
+    }
 }
 
 /// One entry of a [`BatchPlan`]: a circuit variant plus everything needed to
@@ -125,6 +171,11 @@ pub struct BatchJob {
     pub probes: Vec<String>,
     /// Waveform capture strategy.
     pub sink: JobSink,
+    /// Wall-clock budget, measured from the moment a worker picks the job
+    /// up; past it the job is cancelled at the next step boundary.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation handle, checked between steps.
+    pub cancel: Option<CancelToken>,
 }
 
 impl BatchJob {
@@ -142,6 +193,8 @@ impl BatchJob {
             options,
             probes: Vec::new(),
             sink: JobSink::Record,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -158,6 +211,27 @@ impl BatchJob {
     pub fn streaming(mut self, capacity: usize) -> Self {
         self.sink = JobSink::Stream { capacity };
         self
+    }
+
+    /// Caps the job's wall-clock time; a job past its deadline reports
+    /// [`JobError::Cancelled`] with the partial waveform it produced.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`].
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this job must be driven step-by-step with cancellation checks
+    /// (any deadline or token present).
+    fn is_cancellable(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
     }
 }
 
@@ -232,6 +306,73 @@ pub enum JobOutput {
     Streamed(DecimatedWaveform),
 }
 
+/// Why a batch job produced no (complete) waveform. The three variants are
+/// the partial-results partition of a [`BatchResult`]: simulation errors,
+/// isolated panics, and cooperative cancellations.
+// `Cancelled` carries the partial waveform inline: job errors are
+// constructed at most once per job (cold path), and boxing would push the
+// indirection onto every caller that pattern-matches the partial out.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum JobError {
+    /// The simulation itself failed (already attributed to a circuit
+    /// node/device where the error supports it).
+    Sim(SimError),
+    /// The job panicked; `catch_unwind` isolated it so the rest of the batch
+    /// completed untouched.
+    Panicked {
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+    /// The job was cancelled between steps by its token or deadline.
+    Cancelled {
+        /// What triggered the cancellation.
+        reason: CancelReason,
+        /// Simulation time reached when the job stopped.
+        at_time: f64,
+        /// The bit-exact prefix waveform produced before cancellation —
+        /// every point equals the corresponding point of an uncancelled run.
+        partial: Option<JobOutput>,
+    },
+}
+
+impl JobError {
+    /// The underlying simulation error, for [`JobError::Sim`].
+    pub fn sim(&self) -> Option<&SimError> {
+        match self {
+            JobError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Sim(e) => write!(f, "{e}"),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::Cancelled {
+                reason, at_time, ..
+            } => write!(f, "job cancelled ({reason}) at t = {at_time:.3e} s"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for JobError {
+    fn from(e: SimError) -> Self {
+        JobError::Sim(e)
+    }
+}
+
 /// Result of one batch job: per-job error isolation means a failed job
 /// carries its error (and the statistics of the work it did) without
 /// affecting any other entry.
@@ -242,7 +383,7 @@ pub struct JobOutcome {
     /// The method that ran.
     pub method: Method,
     /// The waveform, or the error that stopped the job.
-    pub result: SimResult<JobOutput>,
+    pub result: Result<JobOutput, JobError>,
     /// The job's session statistics — populated for failed jobs too (the
     /// partial work happened and is part of the batch totals).
     pub stats: RunStats,
@@ -252,6 +393,16 @@ impl JobOutcome {
     /// Returns `true` when the job completed.
     pub fn is_ok(&self) -> bool {
         self.result.is_ok()
+    }
+
+    /// Returns `true` when the job was cancelled (token or deadline).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.result, Err(JobError::Cancelled { .. }))
+    }
+
+    /// The error that stopped the job, if any.
+    pub fn error(&self) -> Option<&JobError> {
+        self.result.as_ref().err()
     }
 
     /// The recorded waveform, when the job completed with a
@@ -299,9 +450,31 @@ impl BatchResult {
         self.jobs.is_empty()
     }
 
-    /// Number of failed jobs.
+    /// Number of jobs that did not complete — simulation errors, isolated
+    /// panics **and** cancellations alike.
     pub fn failed(&self) -> usize {
         self.jobs.iter().filter(|j| !j.is_ok()).count()
+    }
+
+    /// Number of jobs that completed with a waveform.
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_ok()).count()
+    }
+
+    /// Number of jobs cancelled by token or deadline (a subset of
+    /// [`BatchResult::failed`]).
+    pub fn cancelled(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_cancelled()).count()
+    }
+
+    /// The failed jobs with their errors, in submission order — the partial
+    /// results contract: everything not listed here carries a complete
+    /// waveform in [`BatchResult::jobs`].
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &JobOutcome, &JobError)> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.error().map(|e| (i, j, e)))
     }
 
     /// Returns `true` when every job completed.
@@ -389,6 +562,7 @@ pub struct BatchRunner {
     worker_threads: usize,
     shared: Arc<SymbolicCache>,
     plans: Arc<PlanCache>,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for BatchRunner {
@@ -405,7 +579,20 @@ impl BatchRunner {
             worker_threads: 0,
             shared: Arc::new(SymbolicCache::new()),
             plans: Arc::new(PlanCache::new()),
+            recovery: RecoveryPolicy::off(),
         }
+    }
+
+    /// Installs a [`RecoveryPolicy`] on every worker session (DC homotopy
+    /// and the transient retry ladder) and allows up to
+    /// [`RecoveryPolicy::max_job_retries`] whole-job re-runs of a job that
+    /// failed with a retryable numerical error. The default
+    /// ([`RecoveryPolicy::off`]) keeps all output bit-identical to previous
+    /// releases.
+    #[must_use]
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// Sets the worker-thread count; `0` restores the hardware default.
@@ -462,11 +649,11 @@ impl BatchRunner {
 
     /// As [`BatchRunner::run`], reporting progress to `observer`.
     ///
-    /// # Panics
-    ///
-    /// Propagates panics from worker threads (a panicking *simulation* is a
-    /// bug, not a job failure; job-level errors are isolated in
-    /// [`JobOutcome::result`]).
+    /// A panicking job is caught (`catch_unwind`) on its worker and reported
+    /// as [`JobError::Panicked`] — it never takes the batch, or any other
+    /// job, down with it. A panicking simulation is still a bug worth
+    /// reporting; the isolation is about blast radius, not about making
+    /// panics part of the API.
     pub fn run_observed(&self, plan: &BatchPlan, observer: &dyn BatchObserver) -> BatchResult {
         let started = Instant::now();
         let threads = self.effective_worker_threads();
@@ -511,7 +698,7 @@ impl BatchRunner {
                     let outcome = JobOutcome {
                         label: job.label.clone(),
                         method: job.method,
-                        result: Err(e),
+                        result: Err(JobError::Sim(e.attributed(&job.circuit))),
                         stats: RunStats::new(),
                     };
                     observer.on_job_finished(i, &outcome);
@@ -547,9 +734,29 @@ impl BatchRunner {
         }
 
         // --- Merge, in submission order. ---
+        // A slot can be empty when its worker thread died outside the
+        // per-job panic shield (e.g. a panicking `BatchObserver` callback
+        // took the whole thread down before the job reported back). Those
+        // jobs get an explicit Panicked outcome instead of poisoning the
+        // merge.
         let outcomes: Vec<JobOutcome> = slots
             .into_iter()
-            .map(|s| s.expect("every job executed in exactly one wave"))
+            .enumerate()
+            .map(|(i, s)| {
+                s.unwrap_or_else(|| {
+                    let outcome = JobOutcome {
+                        label: jobs[i].label.clone(),
+                        method: jobs[i].method,
+                        result: Err(JobError::Panicked {
+                            message: "worker thread terminated before the job reported an outcome"
+                                .to_string(),
+                        }),
+                        stats: RunStats::new(),
+                    };
+                    observer.on_job_finished(i, &outcome);
+                    outcome
+                })
+            })
             .collect();
         let mut stats = RunStats::new();
         for outcome in &outcomes {
@@ -581,6 +788,7 @@ impl BatchRunner {
         let cursor = AtomicUsize::new(0);
         let shared = &self.shared;
         let plans = &self.plans;
+        let recovery = &self.recovery;
         let mut results = Vec::with_capacity(indices.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -592,7 +800,7 @@ impl BatchRunner {
                             let Some(&i) = indices.get(k) else { break };
                             let job = &jobs[i];
                             observer.on_job_started(i, &job.label);
-                            let outcome = execute_job(job, shared, plans);
+                            let outcome = execute_job(job, shared, plans, recovery);
                             observer.on_job_finished(i, &outcome);
                             local.push((i, outcome));
                         }
@@ -601,7 +809,14 @@ impl BatchRunner {
                 })
                 .collect();
             for handle in handles {
-                results.extend(handle.join().expect("batch worker panicked"));
+                // Job panics are caught inside `execute_job`; a join error
+                // here means the worker died outside that shield (e.g. in a
+                // `BatchObserver` callback). Its finished jobs are lost with
+                // its local buffer — the merge backfills their slots with
+                // Panicked outcomes instead of propagating the panic.
+                if let Ok(local) = handle.join() {
+                    results.extend(local);
+                }
             }
         });
         results
@@ -690,21 +905,110 @@ fn elect_pilots(
     wave
 }
 
+/// Runs one job, with panic isolation and bounded whole-job retries under
+/// the runner's recovery policy. The deadline clock starts here — when a
+/// worker picks the job up, not when the batch was submitted.
+fn execute_job(
+    job: &BatchJob,
+    shared: &Arc<SymbolicCache>,
+    plans: &Arc<PlanCache>,
+    recovery: &RecoveryPolicy,
+) -> JobOutcome {
+    let deadline = job.deadline.map(|budget| Instant::now() + budget);
+    let retries = if recovery.is_off() {
+        0
+    } else {
+        recovery.max_job_retries
+    };
+    let mut total = RunStats::new();
+    let mut attempt = 0usize;
+    loop {
+        let mut outcome = execute_job_shielded(job, shared, plans, recovery, deadline);
+        total.absorb(&outcome.stats);
+        let retryable = matches!(
+            &outcome.result,
+            Err(JobError::Sim(e)) if RecoveryPolicy::transient_retryable(e)
+        );
+        if retryable && attempt < retries {
+            attempt += 1;
+            total.recovery_attempts += 1;
+            continue;
+        }
+        outcome.stats = total;
+        return outcome;
+    }
+}
+
+/// One attempt at a job, wrapped in `catch_unwind` so a panicking
+/// simulation (or observer) is reported as [`JobError::Panicked`] instead
+/// of taking the worker — and with it the whole batch — down.
+fn execute_job_shielded(
+    job: &BatchJob,
+    shared: &Arc<SymbolicCache>,
+    plans: &Arc<PlanCache>,
+    recovery: &RecoveryPolicy,
+    deadline: Option<Instant>,
+) -> JobOutcome {
+    #[cfg(feature = "fault-injection")]
+    crate::fault::install(&job.label);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job_body(job, shared, plans, recovery, deadline)
+    }));
+    #[cfg(feature = "fault-injection")]
+    crate::fault::uninstall();
+    // The shared caches stay safe to reuse after a caught panic: both the
+    // symbolic cache and the plan cache only publish fully constructed
+    // entries, and their locks are recovered from poisoning.
+    result.unwrap_or_else(|payload| JobOutcome {
+        label: job.label.clone(),
+        method: job.method,
+        result: Err(JobError::Panicked {
+            message: panic_message(payload),
+        }),
+        stats: RunStats::new(),
+    })
+}
+
+/// The text carried by a panic payload, when it has one.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs one job in its own pooled session.
-fn execute_job(job: &BatchJob, shared: &Arc<SymbolicCache>, plans: &Arc<PlanCache>) -> JobOutcome {
+#[allow(clippy::result_large_err)] // cold path, once per job
+fn run_job_body(
+    job: &BatchJob,
+    shared: &Arc<SymbolicCache>,
+    plans: &Arc<PlanCache>,
+    recovery: &RecoveryPolicy,
+    deadline: Option<Instant>,
+) -> JobOutcome {
     let mut sim = Simulator::with_shared_symbolic(&job.circuit, Arc::clone(shared))
-        .with_plan_cache(Arc::clone(plans));
+        .with_plan_cache(Arc::clone(plans))
+        .with_recovery_policy(recovery.clone());
     let probe_refs: Vec<&str> = job.probes.iter().map(String::as_str).collect();
-    let result = match job.sink {
-        JobSink::Record => sim
-            .transient(job.method, &job.options, &probe_refs)
-            .map(JobOutput::Recorded),
-        JobSink::Stream { capacity } => {
-            resolve_probes(&job.circuit, &probe_refs).and_then(|probes| {
-                let mut streaming = StreamingObserver::new(probes, capacity);
-                sim.transient_observed(job.method, &job.options, &mut streaming)?;
-                Ok(JobOutput::Streamed(streaming.into_waveform()))
-            })
+    let result = if job.is_cancellable() {
+        run_cancellable(&mut sim, job, &probe_refs, deadline)
+    } else {
+        match job.sink {
+            JobSink::Record => sim
+                .transient(job.method, &job.options, &probe_refs)
+                .map(JobOutput::Recorded)
+                .map_err(JobError::Sim),
+            JobSink::Stream { capacity } => resolve_probes(&job.circuit, &probe_refs)
+                .map_err(JobError::Sim)
+                .and_then(|probes| {
+                    let mut streaming = StreamingObserver::new(probes, capacity);
+                    sim.transient_observed(job.method, &job.options, &mut streaming)
+                        .map_err(JobError::Sim)?;
+                    Ok(JobOutput::Streamed(streaming.into_waveform()))
+                }),
         }
     };
     JobOutcome {
@@ -712,6 +1016,109 @@ fn execute_job(job: &BatchJob, shared: &Arc<SymbolicCache>, plans: &Arc<PlanCach
         method: job.method,
         result,
         stats: sim.session_stats().clone(),
+    }
+}
+
+/// Drives a cancellable job step-by-step on the [`Engine`] contract: the
+/// token and deadline are checked **between** accepted steps, so the partial
+/// waveform of a cancelled job is a bit-exact prefix of the uncancelled run.
+#[allow(clippy::result_large_err)] // cold path, once per job
+fn run_cancellable(
+    sim: &mut Simulator<'_>,
+    job: &BatchJob,
+    probe_refs: &[&str],
+    deadline: Option<Instant>,
+) -> Result<JobOutput, JobError> {
+    job.options.validate().map_err(JobError::Sim)?;
+    let probes = resolve_probes(&job.circuit, probe_refs).map_err(JobError::Sim)?;
+    match job.sink {
+        JobSink::Record => {
+            let mut observer = RecordingObserver::new(probes, job.options.record_full_states);
+            let cancelled = drive_cancellable(sim, job, &mut observer, deadline)?;
+            let output = JobOutput::Recorded(observer.into_result());
+            wrap_cancellation(output, cancelled)
+        }
+        JobSink::Stream { capacity } => {
+            let mut observer = StreamingObserver::new(probes, capacity);
+            let cancelled = drive_cancellable(sim, job, &mut observer, deadline)?;
+            let output = JobOutput::Streamed(observer.into_waveform());
+            wrap_cancellation(output, cancelled)
+        }
+    }
+}
+
+/// Packages a driven job's output: complete on `None`, a
+/// [`JobError::Cancelled`] carrying the partial waveform otherwise.
+#[allow(clippy::result_large_err)] // cold path, once per job
+fn wrap_cancellation(
+    output: JobOutput,
+    cancelled: Option<(CancelReason, f64)>,
+) -> Result<JobOutput, JobError> {
+    match cancelled {
+        None => Ok(output),
+        Some((reason, at_time)) => Err(JobError::Cancelled {
+            reason,
+            at_time,
+            partial: Some(output),
+        }),
+    }
+}
+
+/// The step loop of a cancellable job. Returns `Ok(None)` on normal
+/// completion, `Ok(Some((reason, time)))` on cancellation, and the
+/// (attributed) simulation error otherwise; the run's statistics are
+/// absorbed into the session either way.
+#[allow(clippy::result_large_err)] // cold path, once per job
+fn drive_cancellable(
+    sim: &mut Simulator<'_>,
+    job: &BatchJob,
+    observer: &mut dyn crate::Observer,
+    deadline: Option<Instant>,
+) -> Result<Option<(CancelReason, f64)>, JobError> {
+    let (outcome, stats) = {
+        let mut stepper = match sim.stepper(job.method, &job.options) {
+            Ok(stepper) => stepper,
+            Err(e) => return Err(JobError::Sim(e.attributed(&job.circuit))),
+        };
+        // Start explicitly (DC solve + `on_dc`) before the first cancellation
+        // check: even a job cancelled on arrival yields its DC point as the
+        // partial result.
+        let outcome = match stepper.start(observer) {
+            Err(e) => Err(e),
+            Ok(()) => loop {
+                let cancel = if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    Some(CancelReason::Token)
+                } else if deadline.is_some_and(|limit| Instant::now() >= limit) {
+                    Some(CancelReason::Deadline)
+                } else {
+                    None
+                };
+                if let Some(reason) = cancel {
+                    break Ok(Some((reason, stepper.time())));
+                }
+                match stepper.advance(observer) {
+                    Ok(StepOutcome::Finished) => break Ok(None),
+                    Ok(_) => {}
+                    Err(e) => break Err(e),
+                }
+            },
+        };
+        let stats = stepper.finish(observer);
+        (outcome, stats)
+    };
+    match outcome {
+        Ok(None) => {
+            sim.absorb_run(&stats);
+            Ok(None)
+        }
+        Ok(cancelled) => {
+            sim.absorb_partial(&stats);
+            Ok(cancelled)
+        }
+        Err(e) => {
+            sim.absorb_partial(&stats);
+            Err(JobError::Sim(e.attributed(&job.circuit)))
+        }
     }
 }
 

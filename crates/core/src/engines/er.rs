@@ -274,6 +274,8 @@ impl ErStepper<'_> {
         self.stats.restamped_entries +=
             plan.evaluate_into(&self.x, &mut caches.eval_ws, &mut self.eval_k)?;
         self.stats.device_evaluations += 1;
+        #[cfg(feature = "fault-injection")]
+        crate::fault::on_device_eval(&mut self.eval_k);
         let b = plan.input_matrix();
         self.circuit.input_vector_into(self.t, &mut self.u_k);
         b.mul_vec_into(&self.u_k, &mut self.bu_k);
@@ -300,6 +302,7 @@ impl ErStepper<'_> {
             &self.eval_k,
             g_lu_ref,
             &self.w1,
+            self.t,
             self.h,
             &self.mevp_options,
             &mut self.stats,
@@ -340,6 +343,7 @@ impl ErStepper<'_> {
             &self.eval_k,
             g_lu_ref,
             &self.w2,
+            self.t,
             h_step,
             &self.mevp_options,
             &mut self.stats,
@@ -384,6 +388,7 @@ impl ErStepper<'_> {
                 &self.eval_k,
                 g_lu_ref,
                 &self.w3,
+                self.t,
                 h_step,
                 &self.mevp_options,
                 &mut self.stats,
@@ -433,8 +438,18 @@ impl ErStepper<'_> {
 
         self.x.copy_from_slice(&self.candidate);
         self.t += accepted_h;
+        // Solution-boundary guard: a non-finite accepted state means a
+        // matrix-exponential evaluation overflowed past the w-vector checks.
+        if self.x.iter().any(|v| !v.is_finite()) {
+            return Err(SimError::NonFinite {
+                time: self.t,
+                device: None,
+            });
+        }
         self.stats.accepted_steps += 1;
         self.stats.observer_callbacks += 1;
+        #[cfg(feature = "fault-injection")]
+        crate::fault::maybe_panic_on_accept();
         observer.on_step_accepted(self.t, &self.x);
         // Hand the step's subspace bases back to the arena for the next step.
         if let Some(dec) = dec1.take() {
@@ -499,6 +514,7 @@ fn build_subspace(
     eval: &exi_netlist::Evaluation,
     g_lu: &SparseLu,
     v: &[f64],
+    t: f64,
     h: f64,
     mevp_options: &MevpOptions,
     stats: &mut RunStats,
@@ -509,7 +525,16 @@ fn build_subspace(
     }
     if v.iter().any(|x| !x.is_finite()) {
         // A non-finite vector here means an upstream evaluation overflowed.
-        return Err(SimError::Krylov(exi_krylov::KrylovError::ZeroStartVector));
+        return Err(SimError::NonFinite {
+            time: t,
+            device: None,
+        });
+    }
+    #[cfg(feature = "fault-injection")]
+    if crate::fault::krylov_breakdown_due() {
+        return Err(SimError::Krylov(exi_krylov::KrylovError::Breakdown {
+            dimension: 0,
+        }));
     }
     let outcome = mevp_invert_krylov_with(&eval.c, &eval.g, g_lu, v, h, mevp_options, ws)?;
     stats.krylov_subspaces += 1;

@@ -228,6 +228,8 @@ impl ImplicitStepper<'_> {
         self.stats.restamped_entries +=
             plan.evaluate_into(&self.x, &mut caches.eval_ws, &mut self.eval_k)?;
         self.stats.device_evaluations += 1;
+        #[cfg(feature = "fault-injection")]
+        crate::fault::on_device_eval(&mut self.eval_k);
         let b = plan.input_matrix();
         self.circuit.input_vector_into(self.t, &mut self.u_k);
         b.mul_vec_into(&self.u_k, &mut self.bu_k);
@@ -346,8 +348,18 @@ impl ImplicitStepper<'_> {
             self.prev_derivative = Some(derivative);
             std::mem::swap(&mut self.x, &mut self.xi);
             self.t += h_step;
+            // Solution-boundary guard: a converged-but-non-finite Newton
+            // state must surface as NonFinite, not propagate silently.
+            if self.x.iter().any(|v| !v.is_finite()) {
+                return Err(SimError::NonFinite {
+                    time: self.t,
+                    device: None,
+                });
+            }
             self.stats.accepted_steps += 1;
             self.stats.observer_callbacks += 1;
+            #[cfg(feature = "fault-injection")]
+            crate::fault::maybe_panic_on_accept();
             observer.on_step_accepted(self.t, &self.x);
 
             // Easy step: grow the step size for the next attempt.

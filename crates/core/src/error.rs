@@ -42,6 +42,52 @@ pub enum SimError {
         /// Description of the inconsistency.
         message: String,
     },
+    /// A device evaluation or a solver update produced a NaN/Inf value.
+    /// Detected at the stamp and solution boundaries so the offending state
+    /// never propagates into the waveform.
+    NonFinite {
+        /// Simulation time at which the non-finite value appeared (`0.0` for
+        /// the DC solve).
+        time: f64,
+        /// Label of the circuit object whose value went non-finite (node,
+        /// branch device, or device instance), when it could be attributed.
+        device: Option<String>,
+    },
+    /// The MNA system is singular — attributed form of
+    /// [`SparseError::Singular`] that names the circuit unknown. Produced by
+    /// [`SimError::attributed`] at the run entry points.
+    SingularSystem {
+        /// MNA unknown index (original column order), when known.
+        unknown: Option<usize>,
+        /// Column in factorization order at which the pivot failed.
+        column: usize,
+        /// Circuit-level label of the unknown (e.g. `node 'out'` or
+        /// `branch current of 'V1'`).
+        label: Option<String>,
+    },
+}
+
+impl SimError {
+    /// Attributes low-level failures to circuit objects: a
+    /// [`SparseError::Singular`] whose original-column index is known becomes
+    /// [`SimError::SingularSystem`] carrying the node or branch-device label.
+    /// Other errors pass through unchanged. Run entry points call this so the
+    /// error a user sees names `node 'out'`, not "factorization column 17".
+    #[must_use]
+    pub fn attributed(self, circuit: &exi_netlist::Circuit) -> SimError {
+        let (column, unknown) = match &self {
+            SimError::Sparse(SparseError::Singular { column, unknown })
+            | SimError::Krylov(KrylovError::Sparse(SparseError::Singular { column, unknown })) => {
+                (*column, *unknown)
+            }
+            _ => return self,
+        };
+        SimError::SingularSystem {
+            unknown,
+            column,
+            label: unknown.and_then(|j| circuit.unknown_label(j)),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +104,26 @@ impl fmt::Display for SimError {
                 write!(f, "step size underflow at t = {time:.3e} s (h = {step:.3e} s)")
             }
             SimError::InvalidOptions { message } => write!(f, "invalid options: {message}"),
+            SimError::NonFinite { time, device } => match device {
+                Some(d) => write!(
+                    f,
+                    "non-finite value (NaN/Inf) at t = {time:.3e} s near {d}"
+                ),
+                None => write!(f, "non-finite value (NaN/Inf) at t = {time:.3e} s"),
+            },
+            SimError::SingularSystem {
+                unknown,
+                column,
+                label,
+            } => {
+                write!(f, "singular MNA system: no viable pivot")?;
+                if let Some(l) = label {
+                    write!(f, " for {l}")?;
+                } else if let Some(j) = unknown {
+                    write!(f, " for unknown {j}")?;
+                }
+                write!(f, " (factorization column {column})")
+            }
         }
     }
 }
@@ -103,7 +169,11 @@ mod tests {
         let e: SimError = NetlistError::EmptyCircuit.into();
         assert!(e.to_string().contains("netlist"));
         assert!(e.source().is_some());
-        let e: SimError = SparseError::Singular { column: 0 }.into();
+        let e: SimError = SparseError::Singular {
+            column: 0,
+            unknown: None,
+        }
+        .into();
         assert!(e.to_string().contains("singular"));
         let e: SimError = KrylovError::ZeroStartVector.into();
         assert!(e.to_string().contains("krylov"));
@@ -123,6 +193,60 @@ mod tests {
         };
         assert!(e.to_string().contains("t_stop"));
         assert!(e.source().is_none());
+        let e = SimError::NonFinite {
+            time: 1e-9,
+            device: Some("node 'out'".into()),
+        };
+        assert!(e.to_string().contains("node 'out'"), "{e}");
+        let e = SimError::SingularSystem {
+            unknown: Some(2),
+            column: 0,
+            label: Some("node 'mid'".into()),
+        };
+        assert!(e.to_string().contains("node 'mid'"), "{e}");
+    }
+
+    #[test]
+    fn attributed_names_the_circuit_node() {
+        use exi_netlist::Waveform;
+        let mut ckt = exi_netlist::Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let gnd = ckt.node("0");
+        ckt.add_voltage_source("V1", a, gnd, Waveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, gnd, 1e-12).unwrap();
+        // Unknown 1 is node 'out'; unknown 2 is V1's branch current.
+        let e: SimError = SparseError::Singular {
+            column: 0,
+            unknown: Some(1),
+        }
+        .into();
+        let attributed = e.attributed(&ckt);
+        assert!(
+            attributed.to_string().contains("node 'out'"),
+            "{attributed}"
+        );
+        let e: SimError = SparseError::Singular {
+            column: 0,
+            unknown: Some(2),
+        }
+        .into();
+        assert!(
+            e.attributed(&ckt)
+                .to_string()
+                .contains("branch current of 'V1'"),
+            "branch attribution"
+        );
+        // Non-singular errors pass through untouched.
+        let e = SimError::InvalidOptions {
+            message: "x".into(),
+        };
+        assert!(matches!(
+            e.attributed(&ckt),
+            SimError::InvalidOptions { .. }
+        ));
     }
 
     #[test]

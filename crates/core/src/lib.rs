@@ -154,13 +154,17 @@ pub mod error;
 pub mod observer;
 pub mod options;
 pub mod output;
+pub mod recovery;
 pub mod session;
 pub mod stats;
 pub mod transient;
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+
 pub use batch::{
-    BatchJob, BatchObserver, BatchPlan, BatchProgress, BatchResult, BatchRunner, JobOutcome,
-    JobOutput, JobSink, NullBatchObserver,
+    BatchJob, BatchObserver, BatchPlan, BatchProgress, BatchResult, BatchRunner, CancelReason,
+    CancelToken, JobError, JobOutcome, JobOutput, JobSink, NullBatchObserver,
 };
 pub use dc::{dc_operating_point, DcSolution};
 #[allow(deprecated)]
@@ -175,6 +179,7 @@ pub use observer::{
 };
 pub use options::{DcOptions, TransientOptions};
 pub use output::{Probe, TransientResult};
+pub use recovery::{RecoveryEvent, RecoveryPolicy};
 pub use session::{PlanCache, SessionStepper, Simulator};
 pub use stats::RunStats;
 #[allow(deprecated)]

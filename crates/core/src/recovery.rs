@@ -1,0 +1,238 @@
+//! Convergence recovery: DC homotopy and the transient retry ladder.
+//!
+//! The paper frames method choice around failure modes (Table I's BENR
+//! "out of memory" rows); this module makes the remaining failures —
+//! Newton non-convergence, step-size underflow, non-finite blow-ups —
+//! survivable. A [`RecoveryPolicy`] drives two mechanisms:
+//!
+//! * **DC homotopy** (in [`crate::dc`]): when the plain damped-Newton solve
+//!   fails, a gmin-stepping continuation solves a sequence of easier systems
+//!   with a shunt conductance added to every diagonal, stepping it down
+//!   geometrically and warm-starting each stage from the last; if even the
+//!   largest gmin fails, a source-stepping ramp scales the independent
+//!   sources from a fraction up to full strength.
+//! * **Transient retry ladder** (in [`crate::Simulator::transient_observed`]):
+//!   a failed run is retried with (1) the step floor cut back past the
+//!   nominal `h_min`, then (2) an enlarged Newton budget on top, then (3) a
+//!   method fallback ER/ER-C/TRNR → BENR.
+//!
+//! Every escalation is counted into [`RunStats`](crate::RunStats)
+//! (`recovery_attempts`, `gmin_steps`, `source_steps`, `method_fallbacks`)
+//! and surfaced through [`Observer::on_recovery`](crate::Observer::on_recovery).
+//!
+//! The policy defaults to [`RecoveryPolicy::off`]: healthy runs execute the
+//! exact instruction stream they always did (bit-identical waveforms), and
+//! recovery only engages where the run would otherwise return an error.
+
+use crate::transient::Method;
+
+/// A recovery escalation, reported through
+/// [`Observer::on_recovery`](crate::Observer::on_recovery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// DC Newton failed; a gmin-homotopy stage ran with this shunt
+    /// conductance on the diagonal.
+    GminStep {
+        /// Shunt conductance of the stage (S).
+        gmin: f64,
+    },
+    /// DC gmin homotopy was not enough; a source-stepping stage ran with the
+    /// independent sources scaled to this fraction.
+    SourceStep {
+        /// Source scale in `(0, 1]`.
+        scale: f64,
+    },
+    /// The transient run failed at `time`; retrying with the step floor cut
+    /// back to `h_min`.
+    StepCutback {
+        /// Time of the failed run's error.
+        time: f64,
+        /// The emergency step floor used for the retry.
+        h_min: f64,
+    },
+    /// Retrying with an enlarged Newton iteration budget.
+    NewtonTightened {
+        /// The retry's per-step Newton iteration limit.
+        max_iterations: usize,
+    },
+    /// Retrying with a fallback integration method.
+    MethodFallback {
+        /// The method that failed.
+        from: Method,
+        /// The method used for the retry.
+        to: Method,
+    },
+}
+
+/// Configuration of the recovery ladder.
+///
+/// The default ([`RecoveryPolicy::off`]) disables every mechanism; use
+/// [`RecoveryPolicy::standard`] for sensible escalation settings. Healthy
+/// runs are unaffected either way — recovery only engages after a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch. When `false` every run behaves exactly as without this
+    /// module (bit-identical waveforms, zero recovery counters).
+    pub enabled: bool,
+    /// Largest shunt conductance of the gmin-stepping homotopy (S).
+    pub gmin_max: f64,
+    /// Smallest gmin stage before the final gmin-free solve (S).
+    pub gmin_min: f64,
+    /// Geometric factor between gmin stages (e.g. `0.1` steps by decades).
+    pub gmin_shrink: f64,
+    /// Number of stages in the source-stepping ramp.
+    pub source_ramp_steps: usize,
+    /// Factor applied to `h_min` (and `h_init`) on the first transient
+    /// retry — the cutback *past* the nominal floor.
+    pub step_cutback: f64,
+    /// Multiplier on `newton_max_iterations` for the second retry rung.
+    pub newton_budget_factor: usize,
+    /// Whether the last rung falls back to backward Euler.
+    pub method_fallback: bool,
+    /// Bounded number of whole-job retries a
+    /// [`BatchRunner`](crate::BatchRunner) may apply per failed job.
+    pub max_job_retries: usize,
+}
+
+impl RecoveryPolicy {
+    /// Recovery disabled — the default. Healthy and failing runs alike
+    /// behave exactly as if this subsystem did not exist.
+    pub fn off() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            gmin_max: 0.0,
+            gmin_min: 0.0,
+            gmin_shrink: 0.0,
+            source_ramp_steps: 0,
+            step_cutback: 1.0,
+            newton_budget_factor: 1,
+            method_fallback: false,
+            max_job_retries: 0,
+        }
+    }
+
+    /// Sensible escalation settings: gmin stepping from `1e-2` S down by
+    /// decades to `1e-12` S, a 10-stage source ramp, a `1e-3` step cutback,
+    /// a doubled Newton budget, method fallback on, and one batch retry.
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            gmin_max: 1e-2,
+            gmin_min: 1e-12,
+            gmin_shrink: 0.1,
+            source_ramp_steps: 10,
+            step_cutback: 1e-3,
+            newton_budget_factor: 2,
+            method_fallback: true,
+            max_job_retries: 1,
+        }
+    }
+
+    /// `true` when the policy will never engage.
+    pub fn is_off(&self) -> bool {
+        !self.enabled
+    }
+
+    /// The gmin stages of the DC homotopy, largest first, ending **above**
+    /// `gmin_min`. Empty when the policy is off or misconfigured.
+    pub(crate) fn gmin_stages(&self) -> Vec<f64> {
+        let mut stages = Vec::new();
+        if !self.enabled
+            || self.gmin_max <= 0.0
+            || !(self.gmin_shrink > 0.0 && self.gmin_shrink < 1.0)
+        {
+            return stages;
+        }
+        let mut g = self.gmin_max;
+        while g >= self.gmin_min && g > 0.0 && stages.len() < 64 {
+            stages.push(g);
+            g *= self.gmin_shrink;
+        }
+        stages
+    }
+
+    /// Whether a transient error is worth retrying: numerical failures that
+    /// smaller steps, more Newton iterations, or a sturdier method may cure.
+    pub(crate) fn transient_retryable(err: &crate::SimError) -> bool {
+        matches!(
+            err,
+            crate::SimError::NewtonDidNotConverge { .. }
+                | crate::SimError::StepSizeUnderflow { .. }
+                | crate::SimError::NonFinite { .. }
+        )
+    }
+
+    /// The fallback method for the last ladder rung, or `None` when `from`
+    /// is already the sturdiest choice.
+    pub(crate) fn fallback_method(from: Method) -> Option<Method> {
+        match from {
+            Method::BackwardEuler => None,
+            _ => Some(Method::BackwardEuler),
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimError;
+
+    #[test]
+    fn default_policy_is_off_and_has_no_stages() {
+        let p = RecoveryPolicy::default();
+        assert!(p.is_off());
+        assert!(p.gmin_stages().is_empty());
+    }
+
+    #[test]
+    fn standard_policy_steps_gmin_down_by_decades() {
+        let p = RecoveryPolicy::standard();
+        assert!(!p.is_off());
+        let stages = p.gmin_stages();
+        assert_eq!(stages.len(), 11, "{stages:?}");
+        assert!((stages[0] - 1e-2).abs() < 1e-15);
+        assert!(stages.windows(2).all(|w| w[1] < w[0]));
+        assert!(*stages.last().unwrap() >= p.gmin_min * 0.99);
+    }
+
+    #[test]
+    fn retryable_errors_are_the_numerical_ones() {
+        assert!(RecoveryPolicy::transient_retryable(
+            &SimError::StepSizeUnderflow {
+                time: 0.0,
+                step: 1e-20
+            }
+        ));
+        assert!(RecoveryPolicy::transient_retryable(
+            &SimError::NewtonDidNotConverge {
+                time: 0.0,
+                step: 0.0,
+                iterations: 30
+            }
+        ));
+        assert!(!RecoveryPolicy::transient_retryable(
+            &SimError::InvalidOptions {
+                message: "x".into()
+            }
+        ));
+    }
+
+    #[test]
+    fn fallback_ladder_ends_at_backward_euler() {
+        assert_eq!(
+            RecoveryPolicy::fallback_method(Method::ExponentialRosenbrock),
+            Some(Method::BackwardEuler)
+        );
+        assert_eq!(
+            RecoveryPolicy::fallback_method(Method::Trapezoidal),
+            Some(Method::BackwardEuler)
+        );
+        assert_eq!(RecoveryPolicy::fallback_method(Method::BackwardEuler), None);
+    }
+}

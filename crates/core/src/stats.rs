@@ -92,6 +92,18 @@ pub struct RunStats {
     /// (zero for a plain run). [`RunStats::absorb`] keeps the maximum — for
     /// merged totals this is the batch's actual concurrency, not a sum.
     pub worker_threads: usize,
+    /// Number of recovery escalations taken by the
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy) ladder (DC homotopy stages
+    /// and transient retries alike). Zero on every healthy run — the policy
+    /// only engages where the run would otherwise error.
+    pub recovery_attempts: usize,
+    /// Gmin-stepping homotopy solves performed during DC recovery.
+    pub gmin_steps: usize,
+    /// Source-stepping homotopy solves performed during DC recovery.
+    pub source_steps: usize,
+    /// Number of times the transient retry ladder fell back to another
+    /// integration method (ER → BENR, TRNR → BENR).
+    pub method_fallbacks: usize,
     /// Active wall-clock time of the analysis: the DC solve (for the run
     /// that triggered it) plus time spent inside `advance()`. Idle time while
     /// a stepper is paused (checkpointing, co-simulation interleaves) is not
@@ -167,6 +179,10 @@ impl RunStats {
         self.batch_jobs += other.batch_jobs;
         self.shared_symbolic_hits += other.shared_symbolic_hits;
         self.worker_threads = self.worker_threads.max(other.worker_threads);
+        self.recovery_attempts += other.recovery_attempts;
+        self.gmin_steps += other.gmin_steps;
+        self.source_steps += other.source_steps;
+        self.method_fallbacks += other.method_fallbacks;
         self.runtime += other.runtime;
     }
 }
@@ -265,8 +281,16 @@ mod tests {
         planned.absorb(&RunStats {
             shared_plan_hits: 3,
             restamped_entries: 2,
+            recovery_attempts: 2,
+            gmin_steps: 5,
+            source_steps: 3,
+            method_fallbacks: 1,
             ..RunStats::default()
         });
+        assert_eq!(planned.recovery_attempts, 2);
+        assert_eq!(planned.gmin_steps, 5);
+        assert_eq!(planned.source_steps, 3);
+        assert_eq!(planned.method_fallbacks, 1);
         assert_eq!(planned.plan_compilations, 1);
         assert_eq!(planned.shared_plan_hits, 3);
         assert_eq!(planned.restamped_entries, 42);

@@ -58,6 +58,16 @@ impl ArnoldiProcess {
 
     /// Starts the process from vector `v`, drawing storage from `ws`.
     pub(crate) fn new_in(v: &[f64], max_m: usize, ws: &mut MevpWorkspace) -> KrylovResult<Self> {
+        if max_m == 0 {
+            // A zero-dimensional subspace can represent nothing; erroring here
+            // keeps the front-ends from finalizing an empty decomposition
+            // (whose constructor would panic on its invariants).
+            return Err(KrylovError::NotConverged {
+                max_dimension: 0,
+                residual: f64::NAN,
+                tolerance: 0.0,
+            });
+        }
         let beta = vector::norm2(v);
         if beta == 0.0 || !beta.is_finite() {
             return Err(KrylovError::ZeroStartVector);
@@ -177,6 +187,11 @@ impl ArnoldiProcess {
             hnext = vector::norm2(&self.w);
         }
         self.m += 1;
+        if !hnext.is_finite() {
+            // The operator application overflowed: report it instead of
+            // normalizing by NaN and poisoning every later basis vector.
+            return Err(KrylovError::Breakdown { dimension: self.m });
+        }
         if hnext <= BREAKDOWN_TOLERANCE {
             self.breakdown = true;
             return Ok(0.0);

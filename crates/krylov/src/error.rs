@@ -37,6 +37,14 @@ pub enum KrylovError {
     },
     /// The starting vector of a Krylov process is (numerically) zero.
     ZeroStartVector,
+    /// The Arnoldi process produced a non-finite basis vector — the operator
+    /// application overflowed (typically a solve against a nearly singular
+    /// matrix). Surfaced as an error instead of letting NaN poison the
+    /// Hessenberg matrix and panic downstream dense kernels.
+    Breakdown {
+        /// Subspace dimension reached when the breakdown was detected.
+        dimension: usize,
+    },
 }
 
 impl fmt::Display for KrylovError {
@@ -54,6 +62,10 @@ impl fmt::Display for KrylovError {
                 write!(f, "vector length {found} does not match operator dimension {expected}")
             }
             KrylovError::ZeroStartVector => write!(f, "krylov start vector is zero"),
+            KrylovError::Breakdown { dimension } => write!(
+                f,
+                "krylov basis became non-finite at dimension {dimension} (operator overflow)"
+            ),
         }
     }
 }
@@ -82,7 +94,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = KrylovError::from(SparseError::Singular { column: 1 });
+        let e = KrylovError::from(SparseError::Singular {
+            column: 1,
+            unknown: None,
+        });
         assert!(e.to_string().contains("singular"));
         assert!(std::error::Error::source(&e).is_some());
         let e = KrylovError::NotConverged {
@@ -94,6 +109,8 @@ mod tests {
         assert!(std::error::Error::source(&e).is_none());
         let e = KrylovError::ZeroStartVector;
         assert!(e.to_string().contains("zero"));
+        let e = KrylovError::Breakdown { dimension: 4 };
+        assert!(e.to_string().contains("non-finite"), "{e}");
     }
 
     #[test]

@@ -106,6 +106,35 @@ impl Circuit {
         pairs.into_iter().map(|(_, name)| name).collect()
     }
 
+    /// Human-readable label for an MNA unknown index: `node 'out'` for a
+    /// voltage unknown, `branch current of 'V1'` for a branch unknown.
+    /// Failure reports use this to turn a singular pivot's column index into
+    /// something a circuit author can act on. Returns `None` for indices
+    /// outside the MNA system.
+    pub fn unknown_label(&self, index: usize) -> Option<String> {
+        let num_nodes = self.num_nodes();
+        if index < num_nodes {
+            // Voltage unknown `index` belongs to NodeId(index + 1).
+            return Some(format!(
+                "node '{}'",
+                self.nodes.name(crate::node::NodeId(index + 1))
+            ));
+        }
+        let branch = index.checked_sub(num_nodes)?;
+        if branch >= self.num_branches {
+            return None;
+        }
+        self.devices.iter().find_map(|d| match d {
+            Device::Inductor {
+                name, branch: b, ..
+            }
+            | Device::VoltageSource {
+                name, branch: b, ..
+            } if *b == branch => Some(format!("branch current of '{name}'")),
+            _ => None,
+        })
+    }
+
     /// Number of branch-current unknowns (voltage sources and inductors).
     pub fn num_branches(&self) -> usize {
         self.num_branches

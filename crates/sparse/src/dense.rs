@@ -323,7 +323,10 @@ impl DenseMatrix {
                 }
             }
             if piv_val < 1e-300 {
-                return Err(SparseError::Singular { column: k });
+                return Err(SparseError::Singular {
+                    column: k,
+                    unknown: None,
+                });
             }
             if piv != k {
                 for j in 0..n {

@@ -36,6 +36,12 @@ pub enum SparseError {
     Singular {
         /// Column (in factorization order) at which no acceptable pivot was found.
         column: usize,
+        /// The same column mapped back through the fill-reducing ordering to
+        /// the **original** matrix column — for an MNA system this is the
+        /// index of the unknown (node voltage or branch current) whose
+        /// equation has no viable pivot. `None` when the factorization has no
+        /// ordering to invert (dense kernels).
+        unknown: Option<usize>,
     },
     /// The factorization exceeded the configured fill (memory) budget.
     FillBudgetExceeded {
@@ -85,9 +91,13 @@ impl fmt::Display for SparseError {
             SparseError::IndexOutOfBounds { row, col, rows, cols } => {
                 write!(f, "index ({row}, {col}) out of bounds for {rows}x{cols} matrix")
             }
-            SparseError::Singular { column } => {
-                write!(f, "matrix is singular (no pivot found at column {column})")
-            }
+            SparseError::Singular { column, unknown } => match unknown {
+                Some(j) => write!(
+                    f,
+                    "matrix is singular (no pivot for unknown {j}; factorization column {column})"
+                ),
+                None => write!(f, "matrix is singular (no pivot found at column {column})"),
+            },
             SparseError::FillBudgetExceeded { reached, budget } => {
                 write!(f, "factorization fill {reached} exceeded budget {budget}")
             }
@@ -120,8 +130,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = SparseError::Singular { column: 3 };
+        let e = SparseError::Singular {
+            column: 3,
+            unknown: None,
+        };
         assert!(e.to_string().contains("singular"));
+        let e = SparseError::Singular {
+            column: 3,
+            unknown: Some(7),
+        };
+        assert!(e.to_string().contains("unknown 7"), "{e}");
         let e = SparseError::FillBudgetExceeded {
             reached: 10,
             budget: 5,

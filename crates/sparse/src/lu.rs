@@ -353,7 +353,10 @@ impl SparseLu {
                 }
             }
             if max_row == usize::MAX || max_val < options.zero_pivot_threshold {
-                return Err(SparseError::Singular { column: jj });
+                return Err(SparseError::Singular {
+                    column: jj,
+                    unknown: Some(j_orig),
+                });
             }
             let pivot_row = if diag_ok && diag_val >= options.pivot_tolerance * max_val {
                 j_orig
@@ -517,7 +520,10 @@ impl SparseLu {
             // Frozen pivot.
             let pivot = x[jj];
             if !pivot.is_finite() || pivot.abs() < self.pivot_floor {
-                return Err(SparseError::Singular { column: jj });
+                return Err(SparseError::Singular {
+                    column: jj,
+                    unknown: Some(s.q.unmap(jj)),
+                });
             }
             self.u_diag[jj] = pivot;
             // Gather the column back out (and clear the workspace slots).

@@ -1,0 +1,213 @@
+//! Fault-injection acceptance tests (feature `fault-injection`).
+//!
+//! The ISSUE's acceptance scenario: a batch of 8 jobs with 2 fault-injected
+//! members — one deliberate panic, one genuinely singular system — must
+//! complete the other 6 bit-identically to an uninjected batch, with the
+//! failures attributed to the injected faults (panic message / named
+//! circuit node). Plus: NaN injection is rescued by the recovery ladder,
+//! and Krylov breakdowns surface as typed, non-retryable errors.
+//!
+//! Labels are unique per test: the armed-fault map is process-global, so
+//! tests must not call `fault::clear_all` (they run concurrently).
+
+use exi_netlist::generators::{rc_ladder, RcLadderSpec};
+use exi_netlist::Circuit;
+use exi_sim::{
+    fault, BatchJob, BatchPlan, BatchRunner, JobError, Method, RecoveryPolicy, SimError, Simulator,
+    TransientOptions,
+};
+
+fn ladder() -> Circuit {
+    rc_ladder(&RcLadderSpec {
+        segments: 4,
+        ..RcLadderSpec::default()
+    })
+    .expect("ladder builds")
+}
+
+fn options() -> TransientOptions {
+    TransientOptions {
+        t_stop: 5e-10,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        error_budget: 1e-3,
+        ..TransientOptions::default()
+    }
+}
+
+type Wave = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>);
+
+fn recorded_wave(outcome: &exi_sim::JobOutcome) -> Wave {
+    let r = outcome.recorded().expect("recorded output");
+    (r.times.clone(), r.samples.clone(), r.final_state.clone())
+}
+
+fn plan_with_labels(prefix: &str, jobs: usize) -> BatchPlan {
+    let mut plan = BatchPlan::new();
+    for k in 0..jobs {
+        plan.push(
+            BatchJob::new(
+                format!("{prefix}{k}"),
+                ladder(),
+                Method::ExponentialRosenbrock,
+                options(),
+            )
+            .probe("n2")
+            .probe("n4"),
+        );
+    }
+    plan
+}
+
+/// The acceptance scenario, at 1 and at 8 worker threads: jobs 3 (panic at
+/// accepted step 3) and 5 (row/col of unknown 2 — node `n2` — zeroed at the
+/// first device evaluation) fail with attributed diagnostics; the other 6
+/// jobs are bit-identical to a batch with no faults armed.
+#[test]
+fn injected_panic_and_singularity_leave_six_jobs_bit_identical() {
+    // A reference batch whose labels have no faults armed.
+    let clean = BatchRunner::new()
+        .worker_threads(2)
+        .run(&plan_with_labels("iso-clean-", 8));
+    assert!(clean.all_ok(), "{:?}", clean.stats);
+    let clean_waves: Vec<Wave> = clean.jobs.iter().map(recorded_wave).collect();
+
+    fault::arm(
+        "iso-3",
+        fault::FaultSpec {
+            panic_at_step: Some(3),
+            ..fault::FaultSpec::default()
+        },
+    );
+    fault::arm(
+        "iso-5",
+        fault::FaultSpec {
+            // First DC evaluation: G loses row+col 2, i.e. node 'n2'.
+            singular_unknown: Some((1, 2)),
+            ..fault::FaultSpec::default()
+        },
+    );
+
+    for threads in [1usize, 8] {
+        let result = BatchRunner::new()
+            .worker_threads(threads)
+            .run(&plan_with_labels("iso-", 8));
+        assert_eq!(result.len(), 8);
+        assert_eq!(result.succeeded(), 6, "threads={threads}");
+        assert_eq!(result.failed(), 2, "threads={threads}");
+        assert_eq!(result.cancelled(), 0, "threads={threads}");
+
+        // The panicking job is contained and names the injected panic.
+        let panicked = result.jobs[3].error().expect("job 3 panics");
+        assert!(
+            matches!(panicked, JobError::Panicked { .. }),
+            "threads={threads}: {panicked:?}"
+        );
+        assert!(
+            panicked.to_string().contains("fault injection"),
+            "threads={threads}: {panicked}"
+        );
+
+        // The singular job names the corrupted circuit node.
+        let singular = result.jobs[5].error().expect("job 5 is singular");
+        match singular {
+            JobError::Sim(SimError::SingularSystem { label, .. }) => {
+                assert_eq!(label.as_deref(), Some("node 'n2'"), "threads={threads}");
+            }
+            other => panic!("threads={threads}: expected SingularSystem, got {other:?}"),
+        }
+        assert!(
+            singular.to_string().contains("node 'n2'"),
+            "threads={threads}: {singular}"
+        );
+
+        // The six untouched jobs match the clean batch bit for bit.
+        for k in [0usize, 1, 2, 4, 6, 7] {
+            assert_eq!(
+                recorded_wave(&result.jobs[k]),
+                clean_waves[k],
+                "threads={threads}, job {k}"
+            );
+        }
+    }
+}
+
+/// A NaN stamped mid-transient fails the run with `NonFinite` at the stamp
+/// boundary — and because the injection counter is past its trigger on the
+/// retry, the recovery ladder's first rung completes the run, counting the
+/// escalation.
+#[test]
+fn nan_injection_is_rescued_by_the_recovery_ladder() {
+    fault::arm(
+        "nan-solo",
+        fault::FaultSpec {
+            // Device evaluation 10 is mid-transient for these options.
+            nan_f: Some((10, 1)),
+            ..fault::FaultSpec::default()
+        },
+    );
+
+    // Without a policy: the NaN surfaces as a typed NonFinite error.
+    fault::install("nan-solo");
+    let circuit = ladder();
+    let err = Simulator::new(&circuit)
+        .transient(Method::ExponentialRosenbrock, &options(), &["n2"])
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::NonFinite { time, .. } if time > 0.0),
+        "got {err:?}"
+    );
+
+    // With the standard policy: rung 1 reruns past the (spent) trigger.
+    fault::install("nan-solo"); // reset the eval counter
+    let mut sim = Simulator::new(&circuit).with_recovery_policy(RecoveryPolicy::standard());
+    let result = sim
+        .transient(Method::ExponentialRosenbrock, &options(), &["n2"])
+        .expect("the ladder rescues the injected NaN");
+    assert!(result.times.len() > 2);
+    assert!(sim.session_stats().recovery_attempts >= 1);
+    fault::uninstall();
+}
+
+/// An injected Krylov basis breakdown surfaces as a typed kernel error —
+/// and is *not* retryable: the ladder must not mask kernel bugs.
+#[test]
+fn krylov_breakdown_is_typed_and_not_retried() {
+    fault::arm(
+        "kry-solo",
+        fault::FaultSpec {
+            krylov_breakdown: Some(2),
+            ..fault::FaultSpec::default()
+        },
+    );
+    fault::install("kry-solo");
+    let circuit = ladder();
+    let mut sim = Simulator::new(&circuit).with_recovery_policy(RecoveryPolicy::standard());
+    let err = sim
+        .transient(Method::ExponentialRosenbrock, &options(), &["n2"])
+        .unwrap_err();
+    assert!(matches!(err, SimError::Krylov(_)), "got {err:?}");
+    assert_eq!(
+        sim.session_stats().method_fallbacks,
+        0,
+        "kernel errors must not be retried"
+    );
+    fault::uninstall();
+}
+
+/// Arming a label affects only jobs carrying that label — a batch whose
+/// labels never match runs clean even with faults armed process-wide.
+#[test]
+fn unmatched_labels_are_unaffected_by_armed_faults() {
+    fault::arm(
+        "never-installed",
+        fault::FaultSpec {
+            panic_at_step: Some(1),
+            ..fault::FaultSpec::default()
+        },
+    );
+    let result = BatchRunner::new()
+        .worker_threads(2)
+        .run(&plan_with_labels("unmatched-", 3));
+    assert!(result.all_ok(), "{:?}", result.stats);
+}
