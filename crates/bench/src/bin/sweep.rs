@@ -84,11 +84,20 @@ fn jobs_json(result: &BatchResult) -> String {
 
 fn merged_json(result: &BatchResult) -> String {
     let s = &result.stats;
+    // Per-worker attribution of the active solver time: an uneven schedule
+    // (the 0.97x scaling regression, ROADMAP item 1) shows up here as one
+    // worker's entry dwarfing the rest.
+    let per_worker: Vec<String> = result
+        .worker_active()
+        .iter()
+        .map(|t| format!("{t:.6}"))
+        .collect();
     format!(
         concat!(
             "{{\"batch_jobs\":{},\"worker_threads\":{},\"accepted_steps\":{},",
             "\"lu_factorizations\":{},\"symbolic_analyses\":{},\"lu_refactorizations\":{},",
-            "\"shared_symbolic_hits\":{},\"active_solver_s\":{:.6},\"wall_s\":{:.6}}}"
+            "\"shared_symbolic_hits\":{},\"active_solver_s\":{:.6},",
+            "\"active_solver_s_per_worker\":[{}],\"wall_s\":{:.6}}}"
         ),
         s.batch_jobs,
         s.worker_threads,
@@ -98,6 +107,7 @@ fn merged_json(result: &BatchResult) -> String {
         s.lu_refactorizations,
         s.shared_symbolic_hits,
         s.runtime_seconds(),
+        per_worker.join(","),
         result.wall_time.as_secs_f64(),
     )
 }

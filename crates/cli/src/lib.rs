@@ -5,7 +5,7 @@
 //! them through the [`exi_sim::Simulator`] session and
 //! [`exi_sim::BatchRunner`] batch machinery.
 //!
-//! Two subcommands:
+//! Four subcommands:
 //!
 //! ```text
 //! exi-cli run <deck.sp> [--method er|erc|be|tr] [--out csv|tsv]
@@ -13,6 +13,8 @@
 //! exi-cli sweep <deck.sp> --param NAME=v1,v2,... [--method ...] [--out ...]
 //!                       [--threads N] [--output-dir DIR] [--stream N]
 //!                       [--probe NODE]...
+//! exi-cli serve [--addr HOST:PORT] [--workers N] [--queue N] ...
+//! exi-cli client [<deck.sp>] --addr HOST:PORT [--output FILE] [--shutdown] ...
 //! ```
 //!
 //! `run` executes every analysis card of the deck in one simulator session
@@ -23,6 +25,9 @@
 //! `.param`-templated deck once per parameter value and fans the members
 //! across a [`exi_sim::BatchRunner`] worker pool, so same-structure members
 //! share one compiled stamping plan and one symbolic analysis fleet-wide.
+//! `serve` boots the resident [`exi_serve`] daemon (warm fleet caches,
+//! wire-streamed waveforms; see `docs/SERVICE.md`) and `client` drives a
+//! deck through one, producing bytes identical to a local `run`.
 //!
 //! The library surface mirrors the binary so everything is callable (and
 //! doc-tested) in-process:
@@ -50,6 +55,7 @@
 #![deny(missing_docs)]
 
 pub mod run;
+pub mod service;
 pub mod sweep;
 
 use std::fmt;
@@ -61,6 +67,7 @@ use exi_netlist::NetlistError;
 use exi_sim::{Method, SimError};
 
 pub use run::{analysis_options, effective_probes, run_deck, tran_options, RunConfig, RunSummary};
+pub use service::{run_client, run_serve, shutdown_server, ClientCommand, ClientConfig};
 pub use sweep::{
     build_sweep_plan, expand_param_grid, member_label, members_from_template, run_sweep,
     write_job_waveform, SweepConfig, SweepSummary,
@@ -80,6 +87,14 @@ pub enum CliError {
     /// The deck is well-formed but cannot be driven as requested
     /// (no analysis cards, unknown probe, every sweep member failed, …).
     Deck(String),
+    /// An `exi-serve` daemon reported a job failure; carries the server's
+    /// error class so the exit code matches a local run of the same deck.
+    Remote {
+        /// `usage`, `parse`, `convergence`, `io` or `internal`.
+        class: String,
+        /// The server's human-readable message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -90,6 +105,7 @@ impl fmt::Display for CliError {
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Deck(m) => write!(f, "{m}"),
+            CliError::Remote { class, message } => write!(f, "server error ({class}): {message}"),
         }
     }
 }
@@ -105,6 +121,13 @@ impl CliError {
             CliError::Sim(_) => 4,
             CliError::Io(_) => 5,
             CliError::Deck(_) => 1,
+            CliError::Remote { class, .. } => match class.as_str() {
+                "usage" => 2,
+                "parse" => 3,
+                "convergence" => 4,
+                "io" => 5,
+                _ => 1,
+            },
         }
     }
 
@@ -116,6 +139,13 @@ impl CliError {
             CliError::Sim(_) => "convergence",
             CliError::Io(_) => "io",
             CliError::Deck(_) => "internal",
+            CliError::Remote { class, .. } => match class.as_str() {
+                "usage" => "usage",
+                "parse" => "parse",
+                "convergence" => "convergence",
+                "io" => "io",
+                _ => "internal",
+            },
         }
     }
 }
@@ -270,6 +300,8 @@ exi-cli — SPICE-deck front-end for the exi-sim circuit simulator
 USAGE:
     exi-cli run <deck.sp> [OPTIONS]
     exi-cli sweep <deck.sp> --param NAME=v1,v2,... [OPTIONS]
+    exi-cli serve [SERVE OPTIONS]
+    exi-cli client [<deck.sp>] --addr HOST:PORT [OPTIONS]
 
 COMMON OPTIONS:
     --method <er|erc|be|tr>   integration method (default er)
@@ -291,6 +323,26 @@ sweep OPTIONS:
     --output-dir <DIR>        one waveform file per member (default '.')
     --keep-going              exit 0 even when members failed; default exits
                               nonzero after writing the successful members
+
+serve OPTIONS (the resident daemon; see docs/SERVICE.md):
+    --addr <HOST:PORT>        listen address (default 127.0.0.1:0; the bound
+                              address is printed on stdout at startup)
+    --workers <N>             worker threads draining the job queue
+    --queue <N>               job-queue capacity (full queue replies `busy`)
+    --symbolic-cache <N>      warm symbolic-cache capacity; 0 = unbounded
+    --plan-cache <N>          warm plan-cache capacity; 0 = unbounded
+
+client OPTIONS (submit a deck to a running daemon):
+    --addr <HOST:PORT>        daemon address (default 127.0.0.1:7878)
+    --output <FILE>           write the waveform to FILE instead of stdout
+    --id <NAME>               job id (default: the deck file stem)
+    --decimate <N>            keep every N-th accepted row (default 1)
+    --chunk-rows <N>          rows per streamed chunk (server default)
+    --deadline-ms <N>         per-job wall-clock budget in milliseconds
+                              (a server-reported failure exits with the
+                              same code a local run would)
+    --shutdown                ask the daemon to drain and exit afterwards;
+                              without a deck, sends only the shutdown
 
 EXIT CODES:
     0  success                3  deck parse error
@@ -319,6 +371,13 @@ pub enum Command {
         /// Directory receiving one waveform file per sweep member.
         output_dir: PathBuf,
     },
+    /// `exi-cli serve`: run the resident daemon until a `shutdown` request.
+    Serve {
+        /// Daemon settings.
+        config: exi_serve::ServeConfig,
+    },
+    /// `exi-cli client`: drive one deck through a running daemon.
+    Client(ClientCommand),
     /// `exi-cli --help`.
     Help,
 }
@@ -331,14 +390,18 @@ pub enum Command {
 pub fn parse_args(args: &[String]) -> CliResult<Command> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
-        return Err(CliError::Usage("missing subcommand (run or sweep)".into()));
+        return Err(CliError::Usage(
+            "missing subcommand (run, sweep, serve or client)".into(),
+        ));
     };
     match cmd.as_str() {
         "-h" | "--help" | "help" => Ok(Command::Help),
         "run" => parse_run_args(&mut it),
         "sweep" => parse_sweep_args(&mut it),
+        "serve" => parse_serve_args(&mut it),
+        "client" => parse_client_args(&mut it),
         other => Err(CliError::Usage(format!(
-            "unknown subcommand '{other}' (expected run or sweep)"
+            "unknown subcommand '{other}' (expected run, sweep, serve or client)"
         ))),
     }
 }
@@ -475,6 +538,116 @@ fn parse_sweep_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command>
     })
 }
 
+fn parse_positive(value: &str, flag: &str) -> CliResult<usize> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: bad count '{value}'")))?;
+    if n == 0 {
+        return Err(CliError::Usage(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
+fn parse_serve_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
+    let mut config = exi_serve::ServeConfig::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = next_value(it, "--addr")?.clone(),
+            "--workers" => {
+                config.workers = parse_positive(next_value(it, "--workers")?, "--workers")?
+            }
+            "--queue" => {
+                config.queue_capacity = parse_positive(next_value(it, "--queue")?, "--queue")?
+            }
+            "--chunk-rows" => {
+                config.default_chunk_rows =
+                    parse_positive(next_value(it, "--chunk-rows")?, "--chunk-rows")?
+            }
+            "--symbolic-cache" => {
+                let v = next_value(it, "--symbolic-cache")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--symbolic-cache: bad count '{v}'")))?;
+                config.symbolic_cache_capacity = (n > 0).then_some(n);
+            }
+            "--plan-cache" => {
+                let v = next_value(it, "--plan-cache")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--plan-cache: bad count '{v}'")))?;
+                config.plan_cache_capacity = (n > 0).then_some(n);
+            }
+            "--error-format" => {
+                ErrorFormat::parse(next_value(it, "--error-format")?)?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown option '{other}' for serve"
+                )))
+            }
+        }
+    }
+    Ok(Command::Serve { config })
+}
+
+fn parse_client_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
+    let mut deck: Option<PathBuf> = None;
+    let mut config = ClientConfig::default();
+    let mut output = None;
+    let mut shutdown = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = next_value(it, "--addr")?.clone(),
+            "--shutdown" => shutdown = true,
+            "--method" => config.method = parse_method(next_value(it, "--method")?)?,
+            "--out" => config.format = OutputFormat::parse(next_value(it, "--out")?)?,
+            "--output" => output = Some(PathBuf::from(next_value(it, "--output")?)),
+            "--probe" => config.probes.push(next_value(it, "--probe")?.clone()),
+            "--id" => config.id = Some(next_value(it, "--id")?.clone()),
+            "--decimate" => {
+                config.decimate = parse_positive(next_value(it, "--decimate")?, "--decimate")?
+            }
+            "--chunk-rows" => {
+                config.chunk_rows = Some(parse_positive(
+                    next_value(it, "--chunk-rows")?,
+                    "--chunk-rows",
+                )?)
+            }
+            "--deadline-ms" => {
+                let v = next_value(it, "--deadline-ms")?;
+                config.deadline_ms = Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("--deadline-ms: bad millisecond count '{v}'"))
+                })?);
+            }
+            "--error-format" => {
+                ErrorFormat::parse(next_value(it, "--error-format")?)?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option '{flag}' for client"
+                )))
+            }
+            path if deck.is_none() => deck = Some(PathBuf::from(path)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{extra}'"
+                )))
+            }
+        }
+    }
+    if deck.is_none() && !shutdown {
+        return Err(CliError::Usage(
+            "client: missing <deck.sp> path (or --shutdown for a shutdown-only request)".into(),
+        ));
+    }
+    Ok(Command::Client(ClientCommand {
+        deck,
+        config,
+        output,
+        shutdown,
+    }))
+}
+
 /// Executes a parsed command: `status` receives human-readable progress and
 /// summaries (stdout in the binary); waveforms go to `--output`/
 /// `--output-dir` files, or to `status` when `run` has no `--output`.
@@ -556,6 +729,34 @@ pub fn execute(command: &Command, status: &mut dyn Write) -> CliResult<()> {
                         summary.failed, summary.members
                     )));
                 }
+            }
+            Ok(())
+        }
+        Command::Serve { config } => run_serve(config.clone(), status),
+        Command::Client(client) => {
+            if let Some(deck) = &client.deck {
+                match &client.output {
+                    Some(path) => {
+                        let mut file = std::io::BufWriter::new(File::create(path)?);
+                        let rows = run_client(deck, &client.config, &mut file)?;
+                        file.flush()?;
+                        writeln!(
+                            status,
+                            "{}: {} rows -> {} (via {})",
+                            deck.display(),
+                            rows,
+                            path.display(),
+                            client.config.addr,
+                        )?;
+                    }
+                    None => {
+                        run_client(deck, &client.config, status)?;
+                    }
+                }
+            }
+            if client.shutdown {
+                shutdown_server(&client.config.addr)?;
+                writeln!(status, "shutdown requested (via {})", client.config.addr)?;
             }
             Ok(())
         }
@@ -722,6 +923,107 @@ mod tests {
         for (error, code, class) in cases {
             assert_eq!(error.exit_code(), code, "{error}");
             assert_eq!(error.class(), class, "{error}");
+        }
+    }
+
+    #[test]
+    fn remote_errors_mirror_the_local_taxonomy() {
+        for (class, code) in [
+            ("usage", 2),
+            ("parse", 3),
+            ("convergence", 4),
+            ("io", 5),
+            ("internal", 1),
+            ("martian", 1),
+        ] {
+            let error = CliError::Remote {
+                class: class.to_string(),
+                message: "x".to_string(),
+            };
+            assert_eq!(error.exit_code(), code, "{class}");
+            let expected = if error.exit_code() == 1 {
+                "internal"
+            } else {
+                class
+            };
+            assert_eq!(error.class(), expected, "{class}");
+        }
+    }
+
+    #[test]
+    fn serve_and_client_arguments_parse() {
+        let cmd = parse_args(&s(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:9100",
+            "--workers",
+            "3",
+            "--queue",
+            "4",
+            "--symbolic-cache",
+            "0",
+            "--plan-cache",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { config } => {
+                assert_eq!(config.addr, "127.0.0.1:9100");
+                assert_eq!(config.workers, 3);
+                assert_eq!(config.queue_capacity, 4);
+                assert_eq!(config.symbolic_cache_capacity, None);
+                assert_eq!(config.plan_cache_capacity, Some(8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&s(&[
+            "client",
+            "deck.sp",
+            "--addr",
+            "127.0.0.1:9100",
+            "--method",
+            "be",
+            "--decimate",
+            "4",
+            "--deadline-ms",
+            "1500",
+            "--id",
+            "my-job",
+            "--output",
+            "wave.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client(client) => {
+                assert_eq!(client.deck, Some(PathBuf::from("deck.sp")));
+                assert_eq!(client.config.addr, "127.0.0.1:9100");
+                assert_eq!(client.config.method, Method::BackwardEuler);
+                assert_eq!(client.config.decimate, 4);
+                assert_eq!(client.config.deadline_ms, Some(1500));
+                assert_eq!(client.config.id.as_deref(), Some("my-job"));
+                assert_eq!(client.output, Some(PathBuf::from("wave.csv")));
+                assert!(!client.shutdown);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A shutdown-only invocation needs no deck.
+        match parse_args(&s(&["client", "--shutdown", "--addr", "127.0.0.1:9100"])).unwrap() {
+            Command::Client(client) => {
+                assert_eq!(client.deck, None);
+                assert!(client.shutdown);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in [
+            vec!["client"],
+            vec!["client", "deck.sp", "--decimate", "0"],
+            vec!["serve", "--queue", "zero"],
+            vec!["serve", "deck.sp"],
+        ] {
+            match parse_args(&s(&bad)) {
+                Err(CliError::Usage(_)) => {}
+                other => panic!("{bad:?}: expected usage error, got {other:?}"),
+            }
         }
     }
 

@@ -4,9 +4,7 @@
 use std::io::Write;
 
 use exi_netlist::{Analysis, Deck};
-use exi_sim::{
-    resolve_probes, CsvObserver, Method, RunStats, Simulator, StreamingObserver, TransientOptions,
-};
+use exi_sim::{resolve_probes, CsvObserver, Method, RunStats, Simulator, StreamingObserver};
 
 use crate::{CliError, CliResult, OutputFormat};
 
@@ -48,52 +46,17 @@ pub struct RunSummary {
     pub stats: RunStats,
 }
 
-/// Maps a `.tran <step> <stop> [hmax]` card to [`TransientOptions`]: `step`
-/// becomes the initial step, `stop` the interval end, and `hmax` (when
-/// given) overrides the default `stop / 10` step ceiling. All other knobs
-/// keep their defaults — the deck-vs-generator bit-identity tests rely on
-/// this mapping being the single source of truth.
-pub fn tran_options(step: f64, stop: f64, h_max: Option<f64>) -> TransientOptions {
-    let mut options = TransientOptions::new(stop, step);
-    if let Some(h) = h_max {
-        options.h_max = h;
-    }
-    options
-}
-
-/// The [`TransientOptions`] a deck's analysis card runs with: the
-/// [`tran_options`] card mapping plus the deck's `.options reltol` as the
-/// error budget. `None` for non-transient cards. Every deck driver (`run`,
-/// `sweep`, the round-trip tests) goes through this one function, which is
-/// what makes deck-vs-generator bit-identity checkable.
-pub fn analysis_options(deck: &Deck, analysis: &Analysis) -> Option<TransientOptions> {
-    match analysis {
-        Analysis::Tran { step, stop, h_max } => {
-            let mut options = tran_options(*step, *stop, *h_max);
-            if let Some(reltol) = deck.reltol {
-                options.error_budget = reltol;
-            }
-            Some(options)
-        }
-        Analysis::OperatingPoint => None,
-    }
-}
+// The deck-card → solver-options mapping lives in `exi_sim::deck` so every
+// deck driver (this CLI and the `exi-serve` daemon) shares one definition;
+// re-exported here because it has always been part of this crate's API.
+pub use exi_sim::{analysis_options, tran_options};
 
 /// The probe names a run of `deck` records: the explicit `overrides` when
 /// non-empty, else the deck's `.print` cards, else every non-ground node in
-/// unknown order.
+/// unknown order (delegates to [`Deck::effective_probes`], the shared
+/// cascade).
 pub fn effective_probes(deck: &Deck, overrides: &[String]) -> Vec<String> {
-    if !overrides.is_empty() {
-        return overrides.to_vec();
-    }
-    if !deck.prints.is_empty() {
-        return deck.prints.clone();
-    }
-    deck.circuit
-        .node_names()
-        .into_iter()
-        .map(str::to_string)
-        .collect()
+    deck.effective_probes(overrides)
 }
 
 /// Runs every analysis card of `deck` in one [`Simulator`] session, writing
@@ -258,20 +221,8 @@ mod tests {
         .unwrap()
     }
 
-    #[test]
-    fn tran_options_mapping_matches_the_session_constructor() {
-        let plain = tran_options(1e-12, 5e-10, None);
-        assert_eq!(plain, TransientOptions::new(5e-10, 1e-12));
-        let capped = tran_options(1e-12, 5e-10, Some(2e-11));
-        assert_eq!(capped.h_max, 2e-11);
-        assert_eq!(
-            TransientOptions {
-                h_max: 2e-11,
-                ..TransientOptions::new(5e-10, 1e-12)
-            },
-            capped
-        );
-    }
+    // The `.tran`-card → `TransientOptions` mapping tests live with the
+    // shared definition in `exi_sim::deck`.
 
     #[test]
     fn probe_defaults_cascade() {

@@ -1,0 +1,176 @@
+//! The `serve` and `client` subcommands: run a resident `exi-serve` daemon,
+//! or drive a deck through one and stream the waveform back.
+//!
+//! The client path is byte-compatible with `exi-cli run`: waveform values
+//! arrive as preformatted 17-significant-digit strings and are written
+//! verbatim, so `exi-cli client deck.sp` and `exi-cli run deck.sp` produce
+//! identical files for the same single-`.tran` deck.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use exi_serve::{Client, ClientError, RunEnd, RunRequest, ServeConfig, Server};
+
+use crate::{CliError, CliResult, OutputFormat};
+
+/// Settings of one `exi-cli client` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Integration method requested from the daemon.
+    pub method: exi_sim::Method,
+    /// Waveform format.
+    pub format: OutputFormat,
+    /// Probe overrides; empty means the deck's `.print` cards, else every
+    /// node (resolved server-side through the same cascade as `run`).
+    pub probes: Vec<String>,
+    /// Keep every `decimate`-th accepted row (1 = every row).
+    pub decimate: usize,
+    /// Rows per chunk frame; `None` uses the server default.
+    pub chunk_rows: Option<usize>,
+    /// Per-job wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Job id; `None` derives one from the deck file name.
+    pub id: Option<String>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            method: exi_sim::Method::ExponentialRosenbrock,
+            format: OutputFormat::Csv,
+            probes: Vec::new(),
+            decimate: 1,
+            chunk_rows: None,
+            deadline_ms: None,
+            id: None,
+        }
+    }
+}
+
+/// Maps a daemon-reported failure class onto [`CliError::Remote`] so the
+/// process exit code matches what a local `run` of the same deck would
+/// produce.
+fn remote_error(class: String, message: String) -> CliError {
+    CliError::Remote { class, message }
+}
+
+/// Runs `deck_path` on the daemon at [`ClientConfig::addr`], writing the
+/// streamed waveform to `waveform`. Returns the number of data rows.
+///
+/// # Errors
+///
+/// [`CliError::Io`] for connection/socket failures, [`CliError::Remote`]
+/// for job failures reported by the daemon (carrying the server's error
+/// class), [`CliError::Deck`] for `busy`/shutdown rejections and protocol
+/// violations.
+pub fn run_client(
+    deck_path: &Path,
+    config: &ClientConfig,
+    waveform: &mut dyn Write,
+) -> CliResult<usize> {
+    let deck_text = std::fs::read_to_string(deck_path)?;
+    let id = config.id.clone().unwrap_or_else(|| {
+        deck_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "job".to_string())
+    });
+    let mut client = Client::connect(config.addr.as_str())?;
+    let end = client
+        .run_streaming(
+            RunRequest {
+                id,
+                deck: deck_text,
+                method: config.method,
+                probes: config.probes.clone(),
+                decimate: config.decimate,
+                chunk_rows: config.chunk_rows,
+                deadline_ms: config.deadline_ms,
+            },
+            waveform,
+            config.format.delimiter(),
+        )
+        .map_err(|e| match e {
+            ClientError::Io(e) => CliError::Io(e),
+            other => CliError::Deck(other.to_string()),
+        })?;
+    match end {
+        RunEnd::Done { rows, .. } => Ok(rows),
+        RunEnd::Cancelled {
+            reason,
+            at_time,
+            rows,
+        } => Err(remote_error(
+            "convergence".to_string(),
+            format!("job cancelled ({reason}) at t={at_time} after {rows} rows"),
+        )),
+        RunEnd::Failed { class, message } => Err(remote_error(class, message)),
+        RunEnd::Busy => Err(CliError::Deck(
+            "server busy: job queue is full, try again later".to_string(),
+        )),
+        RunEnd::ShuttingDown => Err(CliError::Deck(
+            "server is shutting down and did not accept the job".to_string(),
+        )),
+    }
+}
+
+/// Boots an `exi-serve` daemon in-process and blocks until a client sends a
+/// `shutdown` request. Announces the bound address on `status` first (the
+/// line scripts and CI wait for).
+///
+/// # Errors
+///
+/// [`CliError::Io`] for bind failures.
+pub fn run_serve(config: ServeConfig, status: &mut dyn Write) -> CliResult<()> {
+    let server = Server::bind(config)?;
+    writeln!(status, "exi-serve listening on {}", server.local_addr()?)?;
+    status.flush()?;
+    let stats = server.run();
+    writeln!(
+        status,
+        "exi-serve: drained and stopped — {} completed, {} failed, {} cancelled, {} rejected; \
+         {} symbolic analyses + {} warm hits, {} plan compilations + {} warm hits",
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.jobs_cancelled,
+        stats.jobs_rejected,
+        stats.symbolic_analyses,
+        stats.shared_symbolic_hits,
+        stats.plan_compilations,
+        stats.shared_plan_hits,
+    )?;
+    Ok(())
+}
+
+/// Requests a graceful daemon shutdown: already-admitted jobs drain to
+/// completion, then the server exits and prints its drain summary.
+///
+/// # Errors
+///
+/// [`CliError::Io`] for connection failures, [`CliError::Deck`] for
+/// protocol violations.
+pub fn shutdown_server(addr: &str) -> CliResult<()> {
+    let mut client = Client::connect(addr)?;
+    client.shutdown().map_err(|e| match e {
+        ClientError::Io(e) => CliError::Io(e),
+        other => CliError::Deck(other.to_string()),
+    })
+}
+
+/// Parsed `exi-cli client` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientCommand {
+    /// Deck path; `None` is only valid with [`ClientCommand::shutdown`]
+    /// (a shutdown-only invocation).
+    pub deck: Option<PathBuf>,
+    /// Connection and job settings.
+    pub config: ClientConfig,
+    /// Waveform destination; `None` writes to stdout.
+    pub output: Option<PathBuf>,
+    /// Send a graceful-shutdown request after the run (or on its own when
+    /// no deck is given).
+    pub shutdown: bool,
+}

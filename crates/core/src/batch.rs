@@ -387,6 +387,12 @@ pub struct JobOutcome {
     /// The job's session statistics — populated for failed jobs too (the
     /// partial work happened and is part of the batch totals).
     pub stats: RunStats,
+    /// Index of the worker slot (0-based, `< worker_threads`) that executed
+    /// the job, or `None` when the job never reached the pool (it failed
+    /// during fingerprinting, or its worker thread died before reporting).
+    /// Attribution only — which worker runs a job depends on scheduling and
+    /// carries no determinism guarantee, unlike the outcome itself.
+    pub worker: Option<usize>,
 }
 
 impl JobOutcome {
@@ -480,6 +486,25 @@ impl BatchResult {
     /// Returns `true` when every job completed.
     pub fn all_ok(&self) -> bool {
         self.failed() == 0
+    }
+
+    /// Active solver seconds per worker slot: entry `w` sums the session
+    /// runtime of every job executed on worker `w`, so an uneven batch
+    /// schedule (one worker stuck on the long tail while the rest idle)
+    /// shows up directly instead of hiding inside the
+    /// [`BatchResult::stats`] runtime total. The vector has
+    /// [`RunStats::worker_threads`] entries; jobs that never reached the
+    /// pool ([`JobOutcome::worker`] is `None`) are not attributed.
+    pub fn worker_active(&self) -> Vec<f64> {
+        let mut active = vec![0.0; self.stats.worker_threads];
+        for job in &self.jobs {
+            if let Some(w) = job.worker {
+                if w < active.len() {
+                    active[w] += job.stats.runtime_seconds();
+                }
+            }
+        }
+        active
     }
 }
 
@@ -700,6 +725,7 @@ impl BatchRunner {
                         method: job.method,
                         result: Err(JobError::Sim(e.attributed(&job.circuit))),
                         stats: RunStats::new(),
+                        worker: None,
                     };
                     observer.on_job_finished(i, &outcome);
                     slots[i] = Some(outcome);
@@ -752,6 +778,7 @@ impl BatchRunner {
                                 .to_string(),
                         }),
                         stats: RunStats::new(),
+                        worker: None,
                     };
                     observer.on_job_finished(i, &outcome);
                     outcome
@@ -790,17 +817,19 @@ impl BatchRunner {
         let plans = &self.plans;
         let recovery = &self.recovery;
         let mut results = Vec::with_capacity(indices.len());
+        let cursor = &cursor;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
                             let Some(&i) = indices.get(k) else { break };
                             let job = &jobs[i];
                             observer.on_job_started(i, &job.label);
-                            let outcome = execute_job(job, shared, plans, recovery);
+                            let mut outcome = execute_job(job, shared, plans, recovery);
+                            outcome.worker = Some(w);
                             observer.on_job_finished(i, &outcome);
                             local.push((i, outcome));
                         }
@@ -966,6 +995,7 @@ fn execute_job_shielded(
             message: panic_message(payload),
         }),
         stats: RunStats::new(),
+        worker: None,
     })
 }
 
@@ -1016,6 +1046,7 @@ fn run_job_body(
         method: job.method,
         result,
         stats: sim.session_stats().clone(),
+        worker: None,
     }
 }
 
@@ -1197,6 +1228,50 @@ mod tests {
         assert_eq!(result.stats.worker_threads, 2);
         assert_eq!(result.stats.symbolic_analyses, 1, "{:?}", result.stats);
         assert_eq!(result.stats.shared_symbolic_hits, 3);
+    }
+
+    #[test]
+    fn worker_attribution_accounts_for_every_executed_job() {
+        let mut plan = BatchPlan::new();
+        for k in 0..6 {
+            plan.push(
+                BatchJob::new(
+                    format!("job{k}"),
+                    rc_circuit(1e3 + k as f64),
+                    Method::ExponentialRosenbrock,
+                    options(),
+                )
+                .probe("out"),
+            );
+        }
+        let result = BatchRunner::new().worker_threads(2).run(&plan);
+        assert!(result.all_ok());
+        // Every executed job names a worker slot inside the pool.
+        for job in &result.jobs {
+            let w = job.worker.expect("executed job must be attributed");
+            assert!(w < 2, "worker slot {w} out of range");
+        }
+        // The per-worker breakdown is a partition of the active solver time.
+        let active = result.worker_active();
+        assert_eq!(active.len(), 2);
+        let total: f64 = active.iter().sum();
+        assert!(
+            (total - result.stats.runtime_seconds()).abs() <= 1e-9 * total.max(1.0),
+            "per-worker sum {total} vs merged {}",
+            result.stats.runtime_seconds()
+        );
+        // A job that fails before reaching the pool stays unattributed.
+        let mut bad = BatchPlan::new();
+        bad.push(BatchJob::new(
+            "empty-circuit",
+            Circuit::new(),
+            Method::ExponentialRosenbrock,
+            options(),
+        ));
+        let failed = BatchRunner::new().worker_threads(2).run(&bad);
+        assert_eq!(failed.failed(), 1);
+        assert_eq!(failed.jobs[0].worker, None);
+        assert_eq!(failed.worker_active(), vec![0.0, 0.0]);
     }
 
     #[test]

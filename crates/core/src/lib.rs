@@ -149,6 +149,7 @@
 
 pub mod batch;
 pub mod dc;
+pub mod deck;
 pub mod engines;
 pub mod error;
 pub mod observer;
@@ -167,6 +168,7 @@ pub use batch::{
     CancelToken, JobError, JobOutcome, JobOutput, JobSink, NullBatchObserver,
 };
 pub use dc::{dc_operating_point, DcSolution};
+pub use deck::{analysis_options, tran_options};
 #[allow(deprecated)]
 pub use engines::er::run_exponential_rosenbrock;
 #[allow(deprecated)]

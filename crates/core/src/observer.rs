@@ -361,6 +361,11 @@ impl Observer for StreamingObserver {
 ///
 /// [`Observer`] callbacks cannot fail, so I/O errors are latched: the first
 /// error stops further writing and is surfaced by [`CsvObserver::finish`].
+/// [`Observer::on_finish`] flushes the sink (latching any flush error), so a
+/// buffered socket or file sink holds every row the moment the run ends even
+/// if the caller forgets to call [`CsvObserver::finish`]; dropping an
+/// observer whose latched error was never consumed flushes best-effort and
+/// reports the error on stderr rather than discarding it silently.
 ///
 /// # Examples
 ///
@@ -378,7 +383,9 @@ impl Observer for StreamingObserver {
 /// ```
 #[derive(Debug)]
 pub struct CsvObserver<W: Write> {
-    writer: W,
+    /// `None` only after [`CsvObserver::finish`] has handed the sink back
+    /// (so the `Drop` impl knows nothing is left to flush).
+    writer: Option<W>,
     probes: Vec<Probe>,
     delimiter: char,
     rows: usize,
@@ -391,7 +398,7 @@ impl<W: Write> CsvObserver<W> {
     /// `writer`.
     pub fn new(writer: W, probes: Vec<Probe>) -> Self {
         CsvObserver {
-            writer,
+            writer: Some(writer),
             probes,
             delimiter: ',',
             rows: 0,
@@ -427,28 +434,55 @@ impl<W: Write> CsvObserver<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self.writer.take().expect("sink already taken");
+        match writer.flush() {
+            Ok(()) => Ok(writer),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Flushes the sink in place, latching (not returning) any error — the
+    /// infallible-callback form of [`CsvObserver::finish`] used by
+    /// [`Observer::on_finish`].
+    fn flush_latching(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(writer) = self.writer.as_mut() {
+            if let Err(e) = writer.flush() {
+                self.error = Some(e);
+            }
+        }
     }
 
     fn write_row(&mut self, t: f64, x: &[f64]) {
         if self.error.is_some() {
             return;
         }
+        let CsvObserver {
+            writer,
+            probes,
+            delimiter,
+            wrote_header,
+            ..
+        } = self;
+        let Some(writer) = writer.as_mut() else {
+            return;
+        };
         let result = (|| -> std::io::Result<()> {
-            if !self.wrote_header {
-                write!(self.writer, "time")?;
-                for p in &self.probes {
-                    write!(self.writer, "{}{}", self.delimiter, p.label)?;
+            if !*wrote_header {
+                write!(writer, "time")?;
+                for p in probes.iter() {
+                    write!(writer, "{}{}", delimiter, p.label)?;
                 }
-                writeln!(self.writer)?;
-                self.wrote_header = true;
+                writeln!(writer)?;
+                *wrote_header = true;
             }
-            write!(self.writer, "{t:.17e}")?;
-            for p in &self.probes {
-                write!(self.writer, "{}{:.17e}", self.delimiter, x[p.unknown])?;
+            write!(writer, "{t:.17e}")?;
+            for p in probes.iter() {
+                write!(writer, "{}{:.17e}", delimiter, x[p.unknown])?;
             }
-            writeln!(self.writer)
+            writeln!(writer)
         })();
         match result {
             Ok(()) => self.rows += 1,
@@ -464,6 +498,27 @@ impl<W: Write> Observer for CsvObserver<W> {
 
     fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
         self.write_row(t, x);
+    }
+
+    fn on_finish(&mut self, _final_state: &[f64], _stats: &RunStats) {
+        // Push buffered rows to the sink the moment the run ends, so a
+        // socket/file sink never truncates the tail even when the observer
+        // is dropped without a `finish()` call.
+        self.flush_latching();
+    }
+}
+
+impl<W: Write> Drop for CsvObserver<W> {
+    fn drop(&mut self) {
+        // `finish()` took the writer (and the error): nothing left to do.
+        // Otherwise flush best-effort and make sure a latched error the
+        // caller never consumed is reported rather than silently dropped.
+        if self.writer.is_some() {
+            self.flush_latching();
+        }
+        if let Some(e) = self.error.take() {
+            eprintln!("exi-sim: CsvObserver dropped with unreported I/O error: {e}");
+        }
     }
 }
 
@@ -646,6 +701,62 @@ mod tests {
         assert_eq!(bad.rows(), 0);
         assert!(bad.io_error().is_some());
         assert!(bad.finish().is_err());
+    }
+
+    #[test]
+    fn csv_observer_flushes_on_finish_event() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// A buffering sink that counts flushes — rows are only "durable"
+        /// once flushed, like a `BufWriter<TcpStream>`.
+        struct CountingSink(Arc<AtomicUsize>);
+        impl Write for CountingSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let mut csv =
+            CsvObserver::new(CountingSink(Arc::clone(&flushes)), vec![Probe::new("a", 0)]);
+        csv.on_dc(0.0, &[1.0]);
+        csv.on_step_accepted(1.0, &[2.0]);
+        assert_eq!(flushes.load(Ordering::SeqCst), 0);
+        // The run-finished event pushes everything to the sink...
+        csv.on_finish(&[2.0], &RunStats::new());
+        assert_eq!(flushes.load(Ordering::SeqCst), 1);
+        // ...and dropping without `finish()` flushes once more, best-effort.
+        drop(csv);
+        assert_eq!(flushes.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn csv_observer_finish_consumes_the_latched_error_exactly_once() {
+        /// A sink whose flush fails (writes succeed).
+        struct FailingFlush;
+        impl Write for FailingFlush {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("flush refused"))
+            }
+        }
+
+        let mut csv = CsvObserver::new(FailingFlush, vec![Probe::new("a", 0)]);
+        csv.on_step_accepted(1.0, &[2.0]);
+        assert!(csv.io_error().is_none());
+        // on_finish latches the flush error instead of losing it...
+        csv.on_finish(&[2.0], &RunStats::new());
+        assert!(csv.io_error().is_some());
+        // ...and finish() hands exactly that error to the caller (the drop
+        // that follows has nothing left to report).
+        assert!(csv.finish().is_err());
     }
 
     #[test]

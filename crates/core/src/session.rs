@@ -107,31 +107,88 @@ pub(crate) struct SessionCaches {
 /// compile exactly one plan total; the merged statistics expose the effect
 /// as `plan_compilations == distinct structures` plus one
 /// [`RunStats::shared_plan_hits`] per pooled session.
+///
+/// Unbounded by default (the one-shot batch case). A resident process — the
+/// `exi-serve` daemon keeping its plan pool warm across arbitrary client
+/// traffic — should bound it with [`PlanCache::with_capacity`]: the
+/// least-recently-used plan is evicted to admit a new structure, and
+/// [`PlanCache::stats`] snapshots hit/miss/eviction counters in the same
+/// [`exi_sparse::CacheStats`] form the symbolic cache reports.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    inner: Mutex<HashMap<Vec<u8>, Arc<EvalPlan>>>,
+    inner: Mutex<PlanCacheState>,
+    capacity: Option<usize>,
+}
+
+/// One cached plan plus its LRU stamp.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<EvalPlan>,
+    last_used: u64,
+}
+
+/// Mutex-guarded interior of a [`PlanCache`]: entries, the LRU clock and the
+/// residency counters (under one lock so snapshots are consistent).
+#[derive(Debug, Default)]
+struct PlanCacheState {
+    entries: HashMap<Vec<u8>, PlanEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         PlanCache::default()
     }
 
+    /// Creates an empty cache holding at most `capacity` compiled plans
+    /// (minimum 1), evicting the least-recently-used plan to admit a new
+    /// structure.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            capacity: Some(capacity.max(1)),
+            ..PlanCache::default()
+        }
+    }
+
+    /// The configured capacity; `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of distinct circuit structures cached.
     pub fn len(&self) -> usize {
-        // A worker that panicked mid-compile never published a partial plan
-        // (the map is only written after a successful compile), so the cache
-        // stays usable: recover the guard instead of propagating the poison.
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .len()
+        self.lock().entries.len()
     }
 
     /// Returns `true` when no plan has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot of the residency counters (entries, capacity, hits, misses,
+    /// evictions), internally consistent under the cache lock.
+    pub fn stats(&self) -> exi_sparse::CacheStats {
+        let state = self.lock();
+        exi_sparse::CacheStats {
+            entries: state.entries.len(),
+            capacity: self.capacity,
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+        }
+    }
+
+    /// A worker that panicked mid-compile never published a partial plan
+    /// (the map is only written after a successful compile), so the cache
+    /// stays usable: recover the guard instead of propagating the poison.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheState> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Returns the cached plan for `circuit`'s structure, compiling and
@@ -145,15 +202,40 @@ impl PlanCache {
     /// Propagates [`EvalPlan::compile`] errors (e.g. an empty circuit).
     pub fn get_or_compile(&self, circuit: &Circuit) -> SimResult<(Arc<EvalPlan>, bool)> {
         let key = circuit_fingerprint(circuit);
-        let mut map = self
-            .inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if let Some(plan) = map.get(&key) {
-            return Ok((Arc::clone(plan), false));
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.last_used = tick;
+            state.hits += 1;
+            return Ok((Arc::clone(&state.entries[&key].plan), false));
         }
+        state.misses += 1;
         let plan = Arc::new(EvalPlan::compile(circuit)?);
-        map.insert(key, Arc::clone(&plan));
+        state.entries.insert(
+            key.clone(),
+            PlanEntry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+            },
+        );
+        if let Some(capacity) = self.capacity {
+            while state.entries.len() > capacity {
+                let victim = state
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        state.entries.remove(&k);
+                        state.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
         Ok((plan, true))
     }
 }

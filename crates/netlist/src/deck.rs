@@ -120,6 +120,25 @@ impl Deck {
         }
     }
 
+    /// The probe names a run of this deck records: the explicit `overrides`
+    /// when non-empty, else the deck's `.print` cards, else every non-ground
+    /// node in unknown order. Every deck driver (`exi-cli run`/`sweep`, the
+    /// `exi-serve` daemon) resolves its probes through this one cascade, so
+    /// the same deck probes the same columns everywhere.
+    pub fn effective_probes(&self, overrides: &[String]) -> Vec<String> {
+        if !overrides.is_empty() {
+            return overrides.to_vec();
+        }
+        if !self.prints.is_empty() {
+            return self.prints.clone();
+        }
+        self.circuit
+            .node_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
     /// Serializes the deck to SPICE text that [`parse_deck`] reads back
     /// bit-identically.
     ///

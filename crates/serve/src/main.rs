@@ -1,0 +1,122 @@
+//! The `exi-serve` binary: parse flags, bind, announce the address, run
+//! until a `shutdown` request drains the fleet, then print the final stats.
+
+use std::process::ExitCode;
+
+use exi_serve::{ServeConfig, Server};
+
+const USAGE: &str = "\
+exi-serve - resident simulation service for exi-sim
+
+USAGE:
+    exi-serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      listen address (default 127.0.0.1:0; port 0 picks
+                          a free port, printed on stdout at startup)
+    --workers N           worker threads draining the job queue (default 2)
+    --queue N             job-queue capacity; further submissions get a
+                          `busy` reply (default 16)
+    --chunk-rows N        default waveform rows per chunk frame (default 64)
+    --max-frame-bytes N   largest accepted frame payload (default 1048576)
+    --max-deck-bytes N    largest accepted deck text (default 262144)
+    --symbolic-cache N    warm symbolic-cache capacity; 0 = unbounded
+                          (default 64)
+    --plan-cache N        warm plan-cache capacity; 0 = unbounded
+                          (default 64)
+    -h, --help            print this help
+
+The daemon exits after a client sends a `shutdown` request (see
+docs/SERVICE.md for the wire protocol; `exi-cli client` is the reference
+client).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_flags(&args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("exi-serve: {message}");
+            eprintln!("Try 'exi-serve --help'.");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("exi-serve: bind failed: {e}");
+            return ExitCode::from(5);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("exi-serve listening on {addr}"),
+        Err(e) => {
+            eprintln!("exi-serve: cannot read bound address: {e}");
+            return ExitCode::from(5);
+        }
+    }
+    let stats = server.run();
+    println!(
+        "exi-serve: drained and stopped — {} completed, {} failed, {} cancelled, {} rejected; \
+         {} symbolic analyses + {} warm hits, {} plan compilations + {} warm hits",
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.jobs_cancelled,
+        stats.jobs_rejected,
+        stats.symbolic_analyses,
+        stats.shared_symbolic_hits,
+        stats.plan_compilations,
+        stats.shared_plan_hits,
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parses the flag list; `Ok(None)` means help was requested.
+fn parse_flags(args: &[String]) -> Result<Option<ServeConfig>, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = parse_count(&value("--workers")?, "--workers")?.max(1),
+            "--queue" => config.queue_capacity = parse_count(&value("--queue")?, "--queue")?.max(1),
+            "--chunk-rows" => {
+                config.default_chunk_rows =
+                    parse_count(&value("--chunk-rows")?, "--chunk-rows")?.max(1)
+            }
+            "--max-frame-bytes" => {
+                config.max_frame_bytes =
+                    parse_count(&value("--max-frame-bytes")?, "--max-frame-bytes")?.max(1024)
+            }
+            "--max-deck-bytes" => {
+                config.max_deck_bytes =
+                    parse_count(&value("--max-deck-bytes")?, "--max-deck-bytes")?.max(1)
+            }
+            "--symbolic-cache" => {
+                let n = parse_count(&value("--symbolic-cache")?, "--symbolic-cache")?;
+                config.symbolic_cache_capacity = (n > 0).then_some(n);
+            }
+            "--plan-cache" => {
+                let n = parse_count(&value("--plan-cache")?, "--plan-cache")?;
+                config.plan_cache_capacity = (n > 0).then_some(n);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn parse_count(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: '{text}' is not a non-negative integer"))
+}

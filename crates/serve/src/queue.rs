@@ -1,0 +1,165 @@
+//! The bounded FIFO job queue feeding the worker pool.
+//!
+//! Backpressure is explicit: [`JobQueue::try_push`] never blocks — a full
+//! queue returns [`PushError::Full`] and the server bounces the request with
+//! a `busy` reply instead of letting producers pile up. Consumers block in
+//! [`JobQueue::pop`], which returns `None` only once the queue is **closed
+//! and drained**, giving graceful shutdown its in-flight-jobs-complete
+//! guarantee for free.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` jobs; the caller should reply `busy`.
+    Full,
+    /// The queue was closed (server shutting down); no work is accepted.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO with close-and-drain
+/// shutdown semantics.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` (floored at 1) jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Enqueues without blocking; returns the post-push depth.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next job. Returns `None` only when the queue is closed
+    /// **and** every queued job has been handed out — workers drain the
+    /// backlog before exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers wake to drain
+    /// whatever is already queued.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_reports_full_then_accepts_after_pop() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_returns_none() {
+        let q = JobQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let handle = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = JobQueue::<u8>::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(9), Ok(1));
+        assert_eq!(q.try_push(9), Err(PushError::Full));
+    }
+}

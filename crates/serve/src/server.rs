@@ -1,0 +1,704 @@
+//! The resident daemon: accept loop, connection handlers, the worker pool
+//! and the socket-backed streaming [`Observer`].
+//!
+//! # Lifecycle
+//!
+//! [`Server::bind`] opens the listener; [`Server::run`] blocks in the accept
+//! loop until a `shutdown` request arrives over any connection. Each
+//! connection gets a handler thread that parses request frames and replies
+//! inline to everything except `run`, which it admits to the bounded
+//! [`JobQueue`] (or bounces with `busy`). A fixed pool of worker threads
+//! drains the queue; every worker session is constructed with
+//! [`Simulator::with_shared_symbolic`] and [`Simulator::with_plan_cache`]
+//! over the server's two warm caches, so jobs sharing a circuit fingerprint
+//! perform exactly one symbolic analysis and one plan compilation
+//! server-wide, however many clients submit them.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request closes the queue (workers drain every already-queued
+//! job before exiting) and half-closes the read side of every open
+//! connection, which unblocks the handler threads without disturbing the
+//! write side — a client whose job is still running keeps receiving chunks
+//! until its final `done` frame.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use exi_netlist::{parse_deck, Analysis};
+use exi_sim::{
+    analysis_options, resolve_probes, CancelReason, CancelToken, Engine, Method, Observer,
+    PlanCache, Probe, RunStats, Simulator, StepOutcome,
+};
+use exi_sparse::SymbolicCache;
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, RunRequest};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::ServerStats;
+
+/// Settings of one daemon instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job-queue capacity; a full queue bounces `run` requests with `busy`.
+    pub queue_capacity: usize,
+    /// Maximum accepted frame payload in bytes (a larger declared length is
+    /// a protocol error and closes the connection).
+    pub max_frame_bytes: usize,
+    /// Maximum accepted deck text in bytes (a larger deck is rejected with a
+    /// `usage`-class error; the connection stays open).
+    pub max_deck_bytes: usize,
+    /// Warm symbolic-cache capacity (`None` = unbounded).
+    pub symbolic_cache_capacity: Option<usize>,
+    /// Warm plan-cache capacity (`None` = unbounded).
+    pub plan_cache_capacity: Option<usize>,
+    /// Rows per `chunk` frame when the request does not choose its own.
+    pub default_chunk_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME_BYTES,
+            max_deck_bytes: 256 * 1024,
+            symbolic_cache_capacity: Some(64),
+            plan_cache_capacity: Some(64),
+            default_chunk_rows: 64,
+        }
+    }
+}
+
+/// Lifetime job counters, maintained under one lock so a `stats` snapshot is
+/// internally consistent.
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_accepted: u64,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    jobs_cancelled: u64,
+    jobs_rejected: u64,
+    accepted_steps: usize,
+    symbolic_analyses: usize,
+    shared_symbolic_hits: usize,
+    plan_compilations: usize,
+    shared_plan_hits: usize,
+}
+
+/// One admitted `run` request, queued for a worker.
+struct Job {
+    id: String,
+    deck_text: String,
+    method: Method,
+    probes: Vec<String>,
+    decimate: usize,
+    chunk_rows: usize,
+    deadline: Option<Duration>,
+    token: CancelToken,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by the accept loop, handlers and workers.
+struct Shared {
+    config: ServeConfig,
+    queue: JobQueue<Job>,
+    symbolic: Arc<SymbolicCache>,
+    plans: Arc<PlanCache>,
+    counters: Mutex<Counters>,
+    /// Active (queued or running) jobs by id — the cancel registry.
+    active: Mutex<HashMap<String, CancelToken>>,
+    /// Read-half handles of open connections, half-closed at shutdown to
+    /// unblock handler threads.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStats {
+        let counters = lock(&self.counters);
+        ServerStats {
+            jobs_accepted: counters.jobs_accepted,
+            jobs_completed: counters.jobs_completed,
+            jobs_failed: counters.jobs_failed,
+            jobs_cancelled: counters.jobs_cancelled,
+            jobs_rejected: counters.jobs_rejected,
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.config.workers,
+            accepted_steps: counters.accepted_steps,
+            symbolic_analyses: counters.symbolic_analyses,
+            shared_symbolic_hits: counters.shared_symbolic_hits,
+            plan_compilations: counters.plan_compilations,
+            shared_plan_hits: counters.shared_plan_hits,
+            symbolic_cache: self.symbolic.stats(),
+            plan_cache: self.plans.stats(),
+        }
+    }
+
+    /// Stops accepting work and unblocks every thread: future pushes fail,
+    /// workers drain the backlog, handlers see EOF on their read half.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for conn in lock(&self.connections).values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// Serializes and writes one response frame; returns whether the peer is
+/// still reachable.
+fn send(writer: &Mutex<TcpStream>, response: &Response) -> bool {
+    let json = response.to_json();
+    let mut stream = lock(writer);
+    write_frame(&mut *stream, &json).is_ok()
+}
+
+/// The daemon. [`bind`](Server::bind) it, read
+/// [`local_addr`](Server::local_addr), then [`run`](Server::run) it (usually
+/// on its own thread); `run` returns the final [`ServerStats`] once a
+/// `shutdown` request has drained the fleet.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the warm caches.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let symbolic = Arc::new(match config.symbolic_cache_capacity {
+            Some(n) => SymbolicCache::with_capacity(n),
+            None => SymbolicCache::new(),
+        });
+        let plans = Arc::new(match config.plan_cache_capacity {
+            Some(n) => PlanCache::with_capacity(n),
+            None => PlanCache::new(),
+        });
+        let queue = JobQueue::new(config.queue_capacity);
+        Ok(Server {
+            listener,
+            shared: Shared {
+                config,
+                queue,
+                symbolic,
+                plans,
+                counters: Mutex::new(Counters::default()),
+                active: Mutex::new(HashMap::new()),
+                connections: Mutex::new(HashMap::new()),
+                next_connection: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            },
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures of the socket.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a `shutdown` request arrives, then drains
+    /// in-flight jobs and returns the final statistics snapshot.
+    pub fn run(self) -> ServerStats {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.config.workers.max(1) {
+                scope.spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        execute_job(shared, job);
+                    }
+                });
+            }
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || handle_connection(shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Defensive: if the loop exited for any reason other than a
+            // shutdown request, release the workers anyway.
+            shared.queue.close();
+        });
+        shared.snapshot()
+    }
+}
+
+/// One connection's request loop. Exits on EOF, I/O failure, protocol
+/// violation (after a `protocol_error` reply) or server shutdown.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(registered) = stream.try_clone() else {
+        return;
+    };
+    let connection_id = shared.next_connection.fetch_add(1, Ordering::Relaxed);
+    lock(&shared.connections).insert(connection_id, registered);
+    // Close the race with a shutdown that began while we were registering:
+    // from here on, `begin_shutdown` reaches this connection via the map.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(Mutex::new(stream));
+    loop {
+        let frame = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(FrameError::Io(_)) => break,
+            Err(e @ (FrameError::Malformed(_) | FrameError::Oversized { .. })) => {
+                send(
+                    &writer,
+                    &Response::ProtocolError {
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        let request = match Request::from_json(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                send(&writer, &Response::ProtocolError { message });
+                break;
+            }
+        };
+        match request {
+            Request::Ping => {
+                if !send(&writer, &Response::Pong) {
+                    break;
+                }
+            }
+            Request::Stats => {
+                if !send(&writer, &Response::Stats(shared.snapshot())) {
+                    break;
+                }
+            }
+            Request::Cancel { id } => {
+                let known = match lock(&shared.active).get(&id) {
+                    Some(token) => {
+                        token.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                if !send(&writer, &Response::CancelAck { id, known }) {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                send(&writer, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                break;
+            }
+            Request::Run(run) => {
+                if !admit_run(shared, &writer, run) {
+                    break;
+                }
+            }
+        }
+    }
+    lock(&shared.connections).remove(&connection_id);
+}
+
+/// Validates and enqueues one `run` request, replying `accepted`, `busy` or
+/// an inline error. Returns whether the peer is still reachable.
+fn admit_run(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, run: RunRequest) -> bool {
+    if run.deck.len() > shared.config.max_deck_bytes {
+        return send(
+            writer,
+            &Response::JobError {
+                id: run.id,
+                class: "usage".to_string(),
+                message: format!(
+                    "deck is {} bytes; this server accepts at most {}",
+                    run.deck.len(),
+                    shared.config.max_deck_bytes
+                ),
+            },
+        );
+    }
+    let token = CancelToken::new();
+    {
+        let mut active = lock(&shared.active);
+        if active.contains_key(&run.id) {
+            drop(active);
+            return send(
+                writer,
+                &Response::JobError {
+                    id: run.id,
+                    class: "usage".to_string(),
+                    message: "a job with this id is already active".to_string(),
+                },
+            );
+        }
+        active.insert(run.id.clone(), token.clone());
+    }
+    let job = Job {
+        id: run.id.clone(),
+        deck_text: run.deck,
+        method: run.method,
+        probes: run.probes,
+        decimate: run.decimate,
+        chunk_rows: run.chunk_rows.unwrap_or(shared.config.default_chunk_rows),
+        deadline: run.deadline_ms.map(Duration::from_millis),
+        token,
+        writer: Arc::clone(writer),
+    };
+    // Admission and the `accepted` reply happen under the writer lock so the
+    // first `chunk` frame (sent by a worker through the same lock) can never
+    // overtake the `accepted` frame.
+    let (alive, outcome) = {
+        let mut stream = lock(writer);
+        let outcome = shared.queue.try_push(job);
+        let reply = match &outcome {
+            Ok(depth) => Response::Accepted {
+                id: run.id.clone(),
+                queue_depth: *depth,
+            },
+            Err(PushError::Full) => Response::Busy {
+                id: run.id.clone(),
+                queue_capacity: shared.queue.capacity(),
+            },
+            Err(PushError::Closed) => Response::ShuttingDown,
+        };
+        let alive = write_frame(&mut *stream, &reply.to_json()).is_ok();
+        drop(stream);
+        (alive, outcome)
+    };
+    match outcome {
+        Ok(_) => {
+            lock(&shared.counters).jobs_accepted += 1;
+        }
+        Err(_) => {
+            lock(&shared.active).remove(&run.id);
+            if matches!(outcome, Err(PushError::Full)) {
+                lock(&shared.counters).jobs_rejected += 1;
+            }
+        }
+    }
+    alive
+}
+
+/// Streams accepted waveform points to the job's client as `chunk` frames —
+/// the socket-backed [`Observer`].
+///
+/// Rows are formatted to 17 significant digits the moment they are accepted
+/// and transported as strings, so the client materializes bytes identical to
+/// a local [`exi_sim::CsvObserver`] run. Memory is bounded by
+/// `chunk_rows × columns` regardless of run length, and `decimate` keeps
+/// every `k`-th accepted record (the DC point is record 0 and always kept).
+struct WireObserver {
+    id: String,
+    writer: Arc<Mutex<TcpStream>>,
+    probes: Vec<Probe>,
+    /// Column labels, shipped with the first chunk then cleared.
+    columns: Option<Vec<String>>,
+    decimate: usize,
+    chunk_rows: usize,
+    seen: usize,
+    rows_sent: usize,
+    seq: usize,
+    buffer: Vec<Vec<String>>,
+    /// Latched on the first failed socket write; no further frames are
+    /// attempted and the driver stops the job at the next step boundary.
+    dead: bool,
+}
+
+impl WireObserver {
+    fn new(
+        id: String,
+        writer: Arc<Mutex<TcpStream>>,
+        probes: Vec<Probe>,
+        decimate: usize,
+        chunk_rows: usize,
+    ) -> Self {
+        let mut columns = Vec::with_capacity(probes.len() + 1);
+        columns.push("time".to_string());
+        columns.extend(probes.iter().map(|p| p.label.clone()));
+        WireObserver {
+            id,
+            writer,
+            probes,
+            columns: Some(columns),
+            decimate: decimate.max(1),
+            chunk_rows: chunk_rows.max(1),
+            seen: 0,
+            rows_sent: 0,
+            seq: 0,
+            buffer: Vec::new(),
+            dead: false,
+        }
+    }
+
+    fn record(&mut self, t: f64, x: &[f64]) {
+        let keep = self.seen.is_multiple_of(self.decimate);
+        self.seen += 1;
+        if !keep || self.dead {
+            return;
+        }
+        let mut row = Vec::with_capacity(self.probes.len() + 1);
+        row.push(format!("{t:.17e}"));
+        for p in &self.probes {
+            row.push(format!("{:.17e}", x[p.unknown]));
+        }
+        self.buffer.push(row);
+        if self.buffer.len() >= self.chunk_rows {
+            self.flush_chunk();
+        }
+    }
+
+    /// Sends the buffered rows as one `chunk` frame (a no-op when empty).
+    fn flush_chunk(&mut self) {
+        if self.dead || self.buffer.is_empty() {
+            return;
+        }
+        let rows = std::mem::take(&mut self.buffer);
+        let sent = rows.len();
+        let chunk = Response::Chunk {
+            id: self.id.clone(),
+            seq: self.seq,
+            columns: self.columns.take(),
+            rows,
+        };
+        if send(&self.writer, &chunk) {
+            self.seq += 1;
+            self.rows_sent += sent;
+        } else {
+            self.dead = true;
+        }
+    }
+}
+
+impl Observer for WireObserver {
+    fn on_dc(&mut self, t0: f64, x0: &[f64]) {
+        self.record(t0, x0);
+    }
+
+    fn on_step_accepted(&mut self, t: f64, x: &[f64]) {
+        self.record(t, x);
+    }
+
+    fn on_finish(&mut self, _final_state: &[f64], _stats: &RunStats) {
+        self.flush_chunk();
+    }
+}
+
+/// Builds a failure reply in the `exi-cli` error taxonomy.
+fn job_error(id: &str, class: &str, message: String) -> Response {
+    Response::JobError {
+        id: id.to_string(),
+        class: class.to_string(),
+        message,
+    }
+}
+
+/// Runs one job end to end and reports its terminal frame plus the
+/// server-side counter updates.
+fn execute_job(shared: &Shared, job: Job) {
+    let (reply, session_stats) = run_job(shared, &job);
+    lock(&shared.active).remove(&job.id);
+    {
+        let mut counters = lock(&shared.counters);
+        if let Some(stats) = &session_stats {
+            counters.accepted_steps += stats.accepted_steps;
+            counters.symbolic_analyses += stats.symbolic_analyses;
+            counters.shared_symbolic_hits += stats.shared_symbolic_hits;
+            counters.plan_compilations += stats.plan_compilations;
+            counters.shared_plan_hits += stats.shared_plan_hits;
+        }
+        match reply {
+            Response::Done { .. } => counters.jobs_completed += 1,
+            Response::Cancelled { .. } => counters.jobs_cancelled += 1,
+            _ => counters.jobs_failed += 1,
+        }
+    }
+    send(&job.writer, &reply);
+}
+
+/// The solver side of one job: parse, build the shared-cache session, drive
+/// the stepper with between-step cancellation checks (the PR 6 contract —
+/// a cancelled job's streamed rows are a bit-exact prefix of the uncancelled
+/// run), and stream through a [`WireObserver`].
+fn run_job(shared: &Shared, job: &Job) -> (Response, Option<RunStats>) {
+    let deck = match parse_deck(&job.deck_text) {
+        Ok(deck) => deck,
+        Err(e) => return (job_error(&job.id, "parse", e.to_string()), None),
+    };
+    let Some(analysis) = deck
+        .analyses
+        .iter()
+        .find(|a| matches!(a, Analysis::Tran { .. }))
+    else {
+        return (
+            job_error(
+                &job.id,
+                "usage",
+                "deck has no .tran card (exi-serve runs transient analyses only)".to_string(),
+            ),
+            None,
+        );
+    };
+    let options = analysis_options(&deck, analysis).expect("transient card maps to options");
+    let probe_names = deck.effective_probes(&job.probes);
+    let probe_refs: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    let probes = match resolve_probes(&deck.circuit, &probe_refs) {
+        Ok(probes) => probes,
+        // Same class the CLI assigns to SimError (`CliError::Sim`).
+        Err(e) => return (job_error(&job.id, "convergence", e.to_string()), None),
+    };
+    let mut sim = Simulator::with_shared_symbolic(&deck.circuit, Arc::clone(&shared.symbolic))
+        .with_plan_cache(Arc::clone(&shared.plans));
+    let mut observer = WireObserver::new(
+        job.id.clone(),
+        Arc::clone(&job.writer),
+        probes,
+        job.decimate,
+        job.chunk_rows,
+    );
+    let deadline = job.deadline.map(|budget| Instant::now() + budget);
+    let (outcome, stats) = {
+        let mut stepper = match sim.stepper(job.method, &options) {
+            Ok(stepper) => stepper,
+            Err(e) => {
+                let message = e.attributed(&deck.circuit).to_string();
+                return (
+                    job_error(&job.id, "convergence", message),
+                    Some(sim.session_stats().clone()),
+                );
+            }
+        };
+        // Start (DC solve + `on_dc`) before the first cancellation check so
+        // even a job cancelled on arrival streams its DC point.
+        let outcome = match stepper.start(&mut observer) {
+            Err(e) => Err(e),
+            Ok(()) => loop {
+                let cancel = if job.token.is_cancelled() {
+                    Some(CancelReason::Token)
+                } else if deadline.is_some_and(|limit| Instant::now() >= limit) {
+                    Some(CancelReason::Deadline)
+                } else if observer.dead {
+                    // The client vanished; treat as a wire cancellation.
+                    Some(CancelReason::Token)
+                } else {
+                    None
+                };
+                if let Some(reason) = cancel {
+                    break Ok(Some((reason, stepper.time())));
+                }
+                match stepper.advance(&mut observer) {
+                    Ok(StepOutcome::Finished) => break Ok(None),
+                    Ok(_) => {}
+                    Err(e) => break Err(e),
+                }
+            },
+        };
+        let stats = stepper.finish(&mut observer);
+        (outcome, stats)
+    };
+    let reply = match outcome {
+        Ok(None) => {
+            sim.absorb_run(&stats);
+            Response::Done {
+                id: job.id.clone(),
+                rows: observer.rows_sent,
+                accepted_steps: stats.accepted_steps,
+                symbolic_analyses: stats.symbolic_analyses,
+                shared_symbolic_hits: stats.shared_symbolic_hits,
+                plan_compilations: stats.plan_compilations,
+                shared_plan_hits: stats.shared_plan_hits,
+            }
+        }
+        Ok(Some((reason, at_time))) => {
+            sim.absorb_partial(&stats);
+            Response::Cancelled {
+                id: job.id.clone(),
+                reason: match reason {
+                    CancelReason::Token => "token".to_string(),
+                    CancelReason::Deadline => "deadline".to_string(),
+                },
+                at_time: format!("{at_time:.17e}"),
+                rows: observer.rows_sent,
+            }
+        }
+        Err(e) => {
+            sim.absorb_partial(&stats);
+            job_error(
+                &job.id,
+                "convergence",
+                e.attributed(&deck.circuit).to_string(),
+            )
+        }
+    };
+    (reply, Some(sim.session_stats().clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_bounded() {
+        let config = ServeConfig::default();
+        assert!(config.queue_capacity >= 1);
+        assert!(config.max_deck_bytes <= config.max_frame_bytes);
+        assert!(config.symbolic_cache_capacity.is_some());
+        assert!(config.plan_cache_capacity.is_some());
+    }
+
+    #[test]
+    fn snapshot_reflects_counters_and_queue() {
+        let server = Server::bind(ServeConfig {
+            queue_capacity: 3,
+            workers: 5,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        {
+            let mut counters = lock(&server.shared.counters);
+            counters.jobs_accepted = 4;
+            counters.jobs_rejected = 1;
+            counters.accepted_steps = 99;
+        }
+        let snap = server.shared.snapshot();
+        assert_eq!(snap.jobs_accepted, 4);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.accepted_steps, 99);
+        assert_eq!(snap.queue_capacity, 3);
+        assert_eq!(snap.workers, 5);
+        assert_eq!(snap.queue_depth, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Server-wide observability: the [`ServerStats`] snapshot a `stats`
+//! request returns.
+
+use exi_sparse::CacheStats;
+
+use crate::json::{n, obj, Json};
+
+/// A consistent snapshot of the daemon's lifetime counters, queue state and
+/// warm-cache residency, taken under the server's stats lock.
+///
+/// The solver counters (`accepted_steps` through `shared_plan_hits`) are the
+/// server-wide merge of every finished job's
+/// [`RunStats`](exi_sim::RunStats) — the fleet-amortization contract shows
+/// up here as `symbolic_analyses == distinct patterns` and
+/// `plan_compilations == distinct structures`, however many jobs ran.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerStats {
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: u64,
+    /// Jobs that finished with a complete waveform.
+    pub jobs_completed: u64,
+    /// Jobs that stopped with a simulation/parse/I/O error.
+    pub jobs_failed: u64,
+    /// Jobs cancelled over the wire or by their deadline.
+    pub jobs_cancelled: u64,
+    /// `run` requests bounced with `busy` because the queue was full.
+    pub jobs_rejected: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// The queue's capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Merged accepted time steps across all finished jobs.
+    pub accepted_steps: usize,
+    /// Merged symbolic LU analyses (fleet-wide: one per distinct pattern).
+    pub symbolic_analyses: usize,
+    /// Merged cross-session symbolic-cache hits.
+    pub shared_symbolic_hits: usize,
+    /// Merged stamping-plan compilations (one per distinct structure).
+    pub plan_compilations: usize,
+    /// Merged shared plan-cache hits.
+    pub shared_plan_hits: usize,
+    /// Residency counters of the warm symbolic cache.
+    pub symbolic_cache: CacheStats,
+    /// Residency counters of the warm plan cache.
+    pub plan_cache: CacheStats,
+}
+
+/// Serializes one [`CacheStats`] as a JSON object (capacity `null` when
+/// unbounded).
+fn cache_json(c: &CacheStats) -> Json {
+    obj(vec![
+        ("entries", n(c.entries)),
+        (
+            "capacity",
+            c.capacity.map_or(Json::Null, |v| Json::Num(v as f64)),
+        ),
+        ("hits", Json::Num(c.hits as f64)),
+        ("misses", Json::Num(c.misses as f64)),
+        ("evictions", Json::Num(c.evictions as f64)),
+    ])
+}
+
+/// Reads one [`CacheStats`] back from its JSON object form.
+fn cache_from_json(v: &Json) -> Option<CacheStats> {
+    Some(CacheStats {
+        entries: v.get("entries")?.as_u64()? as usize,
+        capacity: match v.get("capacity")? {
+            Json::Null => None,
+            other => Some(other.as_u64()? as usize),
+        },
+        hits: v.get("hits")?.as_u64()?,
+        misses: v.get("misses")?.as_u64()?,
+        evictions: v.get("evictions")?.as_u64()?,
+    })
+}
+
+impl ServerStats {
+    /// Serializes the snapshot as the payload of a `stats` response.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("jobs_accepted", Json::Num(self.jobs_accepted as f64)),
+            ("jobs_completed", Json::Num(self.jobs_completed as f64)),
+            ("jobs_failed", Json::Num(self.jobs_failed as f64)),
+            ("jobs_cancelled", Json::Num(self.jobs_cancelled as f64)),
+            ("jobs_rejected", Json::Num(self.jobs_rejected as f64)),
+            ("queue_depth", n(self.queue_depth)),
+            ("queue_capacity", n(self.queue_capacity)),
+            ("workers", n(self.workers)),
+            ("accepted_steps", n(self.accepted_steps)),
+            ("symbolic_analyses", n(self.symbolic_analyses)),
+            ("shared_symbolic_hits", n(self.shared_symbolic_hits)),
+            ("plan_compilations", n(self.plan_compilations)),
+            ("shared_plan_hits", n(self.shared_plan_hits)),
+            ("symbolic_cache", cache_json(&self.symbolic_cache)),
+            ("plan_cache", cache_json(&self.plan_cache)),
+        ])
+    }
+
+    /// Reads a snapshot back from its JSON form (the client side).
+    pub fn from_json(v: &Json) -> Option<ServerStats> {
+        Some(ServerStats {
+            jobs_accepted: v.get("jobs_accepted")?.as_u64()?,
+            jobs_completed: v.get("jobs_completed")?.as_u64()?,
+            jobs_failed: v.get("jobs_failed")?.as_u64()?,
+            jobs_cancelled: v.get("jobs_cancelled")?.as_u64()?,
+            jobs_rejected: v.get("jobs_rejected")?.as_u64()?,
+            queue_depth: v.get("queue_depth")?.as_u64()? as usize,
+            queue_capacity: v.get("queue_capacity")?.as_u64()? as usize,
+            workers: v.get("workers")?.as_u64()? as usize,
+            accepted_steps: v.get("accepted_steps")?.as_u64()? as usize,
+            symbolic_analyses: v.get("symbolic_analyses")?.as_u64()? as usize,
+            shared_symbolic_hits: v.get("shared_symbolic_hits")?.as_u64()? as usize,
+            plan_compilations: v.get("plan_compilations")?.as_u64()? as usize,
+            shared_plan_hits: v.get("shared_plan_hits")?.as_u64()? as usize,
+            symbolic_cache: cache_from_json(v.get("symbolic_cache")?)?,
+            plan_cache: cache_from_json(v.get("plan_cache")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let stats = ServerStats {
+            jobs_accepted: 7,
+            jobs_completed: 5,
+            jobs_failed: 1,
+            jobs_cancelled: 1,
+            jobs_rejected: 2,
+            queue_depth: 3,
+            queue_capacity: 16,
+            workers: 4,
+            accepted_steps: 1234,
+            symbolic_analyses: 1,
+            shared_symbolic_hits: 6,
+            plan_compilations: 1,
+            shared_plan_hits: 6,
+            symbolic_cache: CacheStats {
+                entries: 1,
+                capacity: Some(64),
+                hits: 6,
+                misses: 1,
+                evictions: 0,
+            },
+            plan_cache: CacheStats {
+                entries: 1,
+                capacity: None,
+                hits: 6,
+                misses: 1,
+                evictions: 0,
+            },
+        };
+        let json = stats.to_json();
+        let back = ServerStats::from_json(&Json::parse(&json.dump()).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+}

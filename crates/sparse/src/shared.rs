@@ -27,6 +27,18 @@
 //! the requested [`OrderingMethod`]; a (vanishingly unlikely) fingerprint
 //! collision is detected by an exact pattern comparison and degrades to an
 //! unshared fresh factorization, never to a wrong result.
+//!
+//! # Residency
+//!
+//! By default the cache is unbounded (the batch-sweep case: a plan's worth of
+//! patterns, then the cache is dropped). A **resident** process — the
+//! `exi-serve` daemon keeping a fleet-wide warm cache across arbitrary client
+//! traffic — must bound it: [`SymbolicCache::with_capacity`] caps the number
+//! of published analyses and evicts the least-recently-used entry when a new
+//! pattern would exceed the cap. Hit/miss/eviction counters are snapshotted
+//! by [`SymbolicCache::stats`] in the [`CacheStats`] style of
+//! `exi_sim::RunStats`, so a long-lived server can watch its hit rate and
+//! working-set churn.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -58,36 +70,159 @@ struct PatternKey {
 enum Slot {
     /// A pilot factorization for this pattern is in flight on some thread.
     InFlight,
-    /// The published analysis.
-    Ready(Arc<SymbolicLu>),
+    /// The published analysis, stamped with the tick of its last use for LRU
+    /// eviction.
+    Ready {
+        symbolic: Arc<SymbolicLu>,
+        last_used: u64,
+    },
+}
+
+/// A point-in-time snapshot of a shared cache's residency counters
+/// (`exi_sim::RunStats` style: plain counts, cheap to copy, safe to diff
+/// between two snapshots).
+///
+/// Returned by [`SymbolicCache::stats`] (and mirrored by the evaluation-plan
+/// cache in `exi-sim`); a resident daemon surfaces these fleet-wide in its
+/// `ServerStats` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries currently cached (published analyses; in-flight pilots
+    /// count too — they hold a slot).
+    pub entries: usize,
+    /// Configured capacity; `None` for an unbounded cache.
+    pub capacity: Option<usize>,
+    /// Lookups served from a published entry.
+    pub hits: u64,
+    /// Lookups that found no published entry and ran (or waited on) a fresh
+    /// analysis.
+    pub misses: u64,
+    /// Published entries dropped to keep the cache within its capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (`0.0` before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The mutex-guarded interior of a [`SymbolicCache`]: the slot map plus the
+/// LRU clock and the residency counters (kept under the same lock so a
+/// [`CacheStats`] snapshot is internally consistent).
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: HashMap<PatternKey, Slot>,
+    /// Monotonic use clock; every hit or publish stamps its slot.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CacheState {
+    /// Stamps `key`'s Ready slot as just-used.
+    fn touch(&mut self, key: PatternKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(Slot::Ready { last_used, .. }) = self.slots.get_mut(&key) {
+            *last_used = tick;
+        }
+    }
+
+    /// Evicts least-recently-used **published** entries (never an in-flight
+    /// pilot, never `keep`) until the cache fits `capacity`.
+    fn evict_to_capacity(&mut self, capacity: usize, keep: PatternKey) {
+        while self.slots.len() > capacity {
+            let victim = self
+                .slots
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready { last_used, .. } if *k != keep => Some((*k, *last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    self.slots.remove(&k);
+                    self.evictions += 1;
+                }
+                // Everything else is in flight (or is the entry just
+                // published): nothing evictable, accept the overshoot.
+                None => break,
+            }
+        }
+    }
 }
 
 /// A shareable, blocking cache of symbolic LU analyses (see the module docs).
 ///
 /// Cheap to share: wrap it in an [`Arc`] and hand clones to every session
-/// that should pool its symbolic work. The cache only ever grows; drop it to
-/// release the analyses.
+/// that should pool its symbolic work. Unbounded by default
+/// ([`SymbolicCache::new`]); a resident process should bound it with
+/// [`SymbolicCache::with_capacity`] so the working set is LRU-evicted instead
+/// of leaking.
 #[derive(Debug, Default)]
 pub struct SymbolicCache {
-    slots: Mutex<HashMap<PatternKey, Slot>>,
+    state: Mutex<CacheState>,
     published: Condvar,
+    capacity: Option<usize>,
 }
 
 impl SymbolicCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         SymbolicCache::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` published analyses
+    /// (minimum 1); the least-recently-used entry is evicted to admit a new
+    /// pattern.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SymbolicCache {
+            capacity: Some(capacity.max(1)),
+            ..SymbolicCache::default()
+        }
+    }
+
+    /// The configured capacity; `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of patterns currently known to the cache (published or in
     /// flight).
     pub fn patterns(&self) -> usize {
-        self.slots.lock().expect("symbolic cache poisoned").len()
+        self.state
+            .lock()
+            .expect("symbolic cache poisoned")
+            .slots
+            .len()
     }
 
     /// Returns `true` when no pattern has been analyzed yet.
     pub fn is_empty(&self) -> bool {
         self.patterns() == 0
+    }
+
+    /// Snapshot of the residency counters (entries, capacity, hits, misses,
+    /// evictions) — internally consistent, taken under the cache lock.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("symbolic cache poisoned");
+        CacheStats {
+            entries: state.slots.len(),
+            capacity: self.capacity,
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+        }
     }
 
     /// Factorizes `a`, reusing the cached symbolic analysis for its pattern
@@ -115,11 +250,13 @@ impl SymbolicCache {
             ordering: options.ordering,
         };
         loop {
-            let mut slots = self.slots.lock().expect("symbolic cache poisoned");
-            match slots.get(&key) {
-                Some(Slot::Ready(symbolic)) => {
+            let mut state = self.state.lock().expect("symbolic cache poisoned");
+            match state.slots.get(&key) {
+                Some(Slot::Ready { symbolic, .. }) => {
                     let symbolic = Arc::clone(symbolic);
-                    drop(slots);
+                    state.hits += 1;
+                    state.touch(key);
+                    drop(state);
                     if !symbolic.matches_pattern(a) {
                         // Fingerprint collision: do not share, do not poison.
                         let lu = SparseLu::factorize_with(a, options)?;
@@ -137,27 +274,40 @@ impl SymbolicCache {
                 }
                 Some(Slot::InFlight) => {
                     // Another thread is running the pilot analysis; wait for
-                    // it to publish (or release) the slot and re-check.
-                    let _guard = self.published.wait(slots).expect("symbolic cache poisoned");
+                    // it to publish (or release) the slot and re-check. The
+                    // re-check accounts the hit or miss, not this wait.
+                    let _guard = self.published.wait(state).expect("symbolic cache poisoned");
                     continue;
                 }
                 None => {
-                    slots.insert(key, Slot::InFlight);
-                    drop(slots);
+                    state.misses += 1;
+                    state.slots.insert(key, Slot::InFlight);
+                    drop(state);
                     // Release the slot on every exit path: publish on
                     // success, remove on failure so a waiter can retry.
                     let result = SparseLu::factorize_with(a, options);
-                    let mut slots = self.slots.lock().expect("symbolic cache poisoned");
+                    let mut state = self.state.lock().expect("symbolic cache poisoned");
                     match result {
                         Ok(lu) => {
-                            slots.insert(key, Slot::Ready(lu.shared_symbolic()));
-                            drop(slots);
+                            state.tick += 1;
+                            let last_used = state.tick;
+                            state.slots.insert(
+                                key,
+                                Slot::Ready {
+                                    symbolic: lu.shared_symbolic(),
+                                    last_used,
+                                },
+                            );
+                            if let Some(capacity) = self.capacity {
+                                state.evict_to_capacity(capacity, key);
+                            }
+                            drop(state);
                             self.published.notify_all();
                             return Ok((lu, FactorSource::Analyzed));
                         }
                         Err(e) => {
-                            slots.remove(&key);
-                            drop(slots);
+                            state.slots.remove(&key);
+                            drop(state);
                             self.published.notify_all();
                             return Err(e);
                         }
@@ -299,6 +449,71 @@ mod tests {
             .count();
         assert_eq!(analyzed, 1, "exactly one pilot analysis: {sources:?}");
         assert_eq!(cache.patterns(), 1);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = SymbolicCache::new();
+        let mut ws = LuWorkspace::new();
+        let a = tridiag(16, 3.0);
+        cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, None);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = SymbolicCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let mut ws = LuWorkspace::new();
+        // Three distinct patterns into a 2-slot cache.
+        cache
+            .factorize(&tridiag(10, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        cache
+            .factorize(&tridiag(11, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        // Touch pattern 10 so pattern 11 becomes the LRU victim.
+        let (_, src) = cache
+            .factorize(&tridiag(10, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(src, FactorSource::Shared);
+        cache
+            .factorize(&tridiag(12, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(cache.patterns(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Pattern 10 survived (hit); pattern 11 was evicted (miss again).
+        let (_, src10) = cache
+            .factorize(&tridiag(10, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(src10, FactorSource::Shared);
+        let (_, src11) = cache
+            .factorize(&tridiag(11, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(src11, FactorSource::Analyzed);
+    }
+
+    #[test]
+    fn capacity_floor_is_one_entry() {
+        let cache = SymbolicCache::with_capacity(0);
+        assert_eq!(cache.capacity(), Some(1));
+        let mut ws = LuWorkspace::new();
+        cache
+            .factorize(&tridiag(10, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        cache
+            .factorize(&tridiag(11, 3.0), &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(cache.patterns(), 1);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

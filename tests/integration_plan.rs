@@ -134,4 +134,66 @@ fn batch_jobs_share_one_plan_compilation() {
     assert_eq!(result.stats.shared_plan_hits, 6);
     assert_eq!(shared_plans.len(), 1);
     assert_eq!(result.stats.assembly_workspace_allocations, 0);
+    let stats = shared_plans.stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.capacity, None);
+    assert_eq!(stats.evictions, 0);
+    // Exactly one compile server-wide; every other access was a warm hit
+    // (the scheduling pre-pass and each session both consult the cache).
+    assert_eq!(stats.misses, 1);
+    assert!(stats.hits >= 6, "{stats:?}");
+}
+
+/// A capacity-bounded plan cache evicts its least-recently-used structure
+/// and accounts every hit, miss, and eviction — residency guarantees for a
+/// long-lived server process.
+#[test]
+fn bounded_plan_cache_evicts_lru_and_counts() {
+    let circuits: Vec<_> = (2..5)
+        .map(|stages| {
+            inverter_chain(&InverterChainSpec {
+                stages,
+                ..InverterChainSpec::default()
+            })
+            .unwrap()
+        })
+        .collect();
+    let (a, b, c) = (&circuits[0], &circuits[1], &circuits[2]);
+
+    let cache = PlanCache::with_capacity(2);
+    assert_eq!(cache.capacity(), Some(2));
+    assert!(cache.get_or_compile(a).unwrap().1);
+    assert!(cache.get_or_compile(b).unwrap().1);
+    // Touch `a` so `b` becomes the least recently used...
+    assert!(!cache.get_or_compile(a).unwrap().1);
+    // ...then admit `c`, which must evict `b`.
+    assert!(cache.get_or_compile(c).unwrap().1);
+    assert_eq!(cache.len(), 2);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+    // `b` was evicted, so it recompiles (displacing `a`, now the LRU),
+    // while `c` is still resident.
+    assert!(cache.get_or_compile(b).unwrap().1);
+    assert!(!cache.get_or_compile(c).unwrap().1);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 4, 2));
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.capacity, Some(2));
+    assert!((stats.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
+}
+
+/// A zero capacity is clamped to one entry: the cache still functions as a
+/// single-slot plan holder instead of thrashing on every request.
+#[test]
+fn plan_cache_capacity_floor_is_one() {
+    let cache = PlanCache::with_capacity(0);
+    assert_eq!(cache.capacity(), Some(1));
+    let spec = InverterChainSpec {
+        stages: 2,
+        ..InverterChainSpec::default()
+    };
+    let circuit = inverter_chain(&spec).unwrap();
+    assert!(cache.get_or_compile(&circuit).unwrap().1);
+    assert!(!cache.get_or_compile(&circuit).unwrap().1);
+    assert_eq!(cache.len(), 1);
 }
