@@ -19,18 +19,28 @@
 //! Batch output is deterministic and independent of the worker-thread count.
 //! Two mechanisms guarantee this:
 //!
-//! 1. **Deterministic pilots.** Jobs are grouped up front by the
+//! 1. **Deterministic publication.** Jobs are grouped up front by the
 //!    fingerprints of every matrix pattern they will factorize — the
 //!    conductance pattern `G` for all jobs, plus the implicit-Jacobian
 //!    pattern (structural union of `C` and `G`) for BE/TR jobs — using the
 //!    same [`exi_sparse::pattern_fingerprint`] the shared cache keys its
-//!    slots by. The runner then executes barrier-separated waves: for each
-//!    pattern that lacks a published analysis, the lowest-index
-//!    not-yet-run job of its group runs as the pattern's pilot (a failed
-//!    pilot promotes the group's next candidate into a fresh wave), and
-//!    only once every pattern is published — or its group exhausted — does
-//!    the bulk wave run everything else. Which job pilots each pattern is
-//!    therefore a function of the plan, never of thread scheduling.
+//!    slots by. Every distinct `G` pattern is then **pre-published on the
+//!    main thread**: the runner factorizes the already-evaluated `G(x=0)`
+//!    matrix — bit-for-bit the matrix every job's first DC Newton
+//!    iteration factorizes — straight into the shared cache before any
+//!    worker starts, so no job ever serializes behind a `G` pilot.
+//!    Implicit-Jacobian patterns (whose values depend on the per-job step
+//!    size) still run barrier-separated pilot waves: for each such pattern
+//!    that lacks a published analysis, the lowest-index not-yet-run job of
+//!    its group runs as the pattern's pilot (a failed pilot promotes the
+//!    group's next candidate into a fresh wave), and only once every
+//!    pattern is published — or its group exhausted — does the bulk wave
+//!    run everything else. Which job pilots each pattern is therefore a
+//!    function of the plan, never of thread scheduling — and on a warm
+//!    cache (a re-run batch, or analyses published by earlier batches
+//!    sharing the cache) the satisfied-check consults the cache itself, so
+//!    no pilot wave runs at all and no job ever blocks on an in-flight
+//!    slot.
 //! 2. **Bit-exact numeric derivation.** A worker that hits the shared cache
 //!    derives its factor with [`exi_sparse::SparseLu::from_symbolic`], which
 //!    replays the pilot's elimination in the recorded operation order. For
@@ -66,9 +76,11 @@
 //! }
 //! let result = BatchRunner::new().worker_threads(2).run(&plan);
 //! assert!(result.all_ok());
-//! // Three same-topology jobs, one symbolic analysis for the whole fleet.
+//! // Three same-topology jobs, one symbolic analysis for the whole fleet —
+//! // performed up front by the runner, so every job (the first included)
+//! // derives from the shared analysis.
 //! assert_eq!(result.stats.symbolic_analyses, 1);
-//! assert_eq!(result.stats.shared_symbolic_hits, 2);
+//! assert_eq!(result.stats.shared_symbolic_hits, 3);
 //! assert_eq!(result.stats.batch_jobs, 3);
 //! # Ok(())
 //! # }
@@ -80,7 +92,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use exi_netlist::Circuit;
-use exi_sparse::{pattern_fingerprint, CsrMatrix, OrderingMethod, SymbolicCache};
+use exi_sparse::{
+    pattern_fingerprint, CsrMatrix, FactorSource, LuOptions, LuWorkspace, OrderingMethod,
+    SymbolicCache,
+};
 
 use crate::engines::{resolve_probes, Engine, StepOutcome};
 use crate::error::{SimError, SimResult};
@@ -437,8 +452,11 @@ pub struct BatchResult {
     pub jobs: Vec<JobOutcome>,
     /// Merged statistics: per-job counters summed ([`RunStats::absorb`]) plus
     /// the batch-level [`RunStats::batch_jobs`] and
-    /// [`RunStats::worker_threads`]. Note `stats.runtime` sums *active solver
-    /// time across workers*; see [`BatchResult::wall_time`] for elapsed time.
+    /// [`RunStats::worker_threads`]. Note `stats.runtime` sums *solver time
+    /// across workers* (of which [`RunStats::cache_wait`] was spent waiting
+    /// on shared-cache locks — subtract it, via
+    /// [`RunStats::active_solver_seconds`], for pure compute); see
+    /// [`BatchResult::wall_time`] for elapsed time.
     pub stats: RunStats,
     /// Wall-clock duration of the whole batch (what a throughput number
     /// should divide by).
@@ -488,23 +506,37 @@ impl BatchResult {
         self.failed() == 0
     }
 
-    /// Active solver seconds per worker slot: entry `w` sums the session
-    /// runtime of every job executed on worker `w`, so an uneven batch
-    /// schedule (one worker stuck on the long tail while the rest idle)
-    /// shows up directly instead of hiding inside the
+    /// Active solver seconds per worker slot: entry `w` sums
+    /// [`RunStats::active_solver_seconds`] — session runtime minus shared-
+    /// cache wait — over every job executed on worker `w`, so an uneven
+    /// batch schedule (one worker stuck on the long tail while the rest
+    /// idle) shows up directly instead of hiding inside the
     /// [`BatchResult::stats`] runtime total. The vector has
     /// [`RunStats::worker_threads`] entries; jobs that never reached the
     /// pool ([`JobOutcome::worker`] is `None`) are not attributed.
     pub fn worker_active(&self) -> Vec<f64> {
-        let mut active = vec![0.0; self.stats.worker_threads];
+        self.per_worker(RunStats::active_solver_seconds)
+    }
+
+    /// Shared-cache wait seconds per worker slot
+    /// ([`RunStats::cache_wait_seconds`] summed per worker) — the
+    /// contention complement of [`BatchResult::worker_active`]. After
+    /// warm-up these should be (near) zero: warm lookups take no blocking
+    /// lock on the step hot path.
+    pub fn worker_cache_wait(&self) -> Vec<f64> {
+        self.per_worker(RunStats::cache_wait_seconds)
+    }
+
+    fn per_worker(&self, metric: impl Fn(&RunStats) -> f64) -> Vec<f64> {
+        let mut totals = vec![0.0; self.stats.worker_threads];
         for job in &self.jobs {
             if let Some(w) = job.worker {
-                if w < active.len() {
-                    active[w] += job.stats.runtime_seconds();
+                if w < totals.len() {
+                    totals[w] += metric(&job.stats);
                 }
             }
         }
-        active
+        totals
     }
 }
 
@@ -695,10 +727,9 @@ impl BatchRunner {
         // `exi_sparse::pattern_fingerprint` the cache keys its slots by.
         let mut g_queues: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
         let mut jac_queues: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
-        // Every job that would publish a key when it runs successfully —
-        // used by the satisfied-check, because a Jacobian pattern can
-        // coincide with a G pattern some earlier pilot already published.
-        let mut publishers: BTreeMap<PatternKey, Vec<usize>> = BTreeMap::new();
+        // The evaluated `G(x = 0)` matrix of the lowest-index job of each
+        // pattern group — the seed for main-thread pre-publication below.
+        let mut g_seeds: BTreeMap<PatternKey, CsrMatrix> = BTreeMap::new();
         // Fingerprinting warms the shared plan cache deterministically on
         // the main thread (one compile per distinct structure); the compiles
         // are charged to the merged batch stats below, while each worker
@@ -706,14 +737,11 @@ impl BatchRunner {
         let mut precompiled_plans = 0usize;
         for (i, job) in jobs.iter().enumerate() {
             match job_fingerprints(job, &self.plans, &mut precompiled_plans) {
-                Ok(keys) => {
+                Ok((keys, g)) => {
                     g_queues.entry(keys.g).or_default().push(i);
-                    publishers.entry(keys.g).or_default().push(i);
+                    g_seeds.entry(keys.g).or_insert(g);
                     if let Some(jac) = keys.jac {
                         jac_queues.entry(jac).or_default().push(i);
-                        if jac != keys.g {
-                            publishers.entry(jac).or_default().push(i);
-                        }
                     }
                 }
                 Err(e) => {
@@ -733,19 +761,33 @@ impl BatchRunner {
             }
         }
 
+        // --- Main-thread pre-publication of every G analysis. ---
+        // Each job's first factorization is the DC Newton start: `G`
+        // evaluated at `x = 0` — exactly the matrix fingerprinting just
+        // evaluated. Publishing its analysis here, before any worker
+        // starts, removes the G pilot waves entirely: every job (the
+        // would-be pilot included) derives its factor from the shared
+        // analysis, so a batch of same-pattern jobs parallelizes from the
+        // first job instead of running one pilot to completion alone.
+        // A pattern whose seed fails to factorize falls back to pilot-wave
+        // election below, so the owning job surfaces the error itself with
+        // full attribution.
+        let prepublish = self.prepublish_g_patterns(&g_seeds);
+
         // --- Pilot waves, then the bulk wave, over the worker pool. ---
-        // Wave phase 1 elects one pilot per distinct G pattern (the
-        // lowest-index not-yet-run job of the group); phase 2 does the same
-        // per distinct implicit-Jacobian pattern. A failed pilot does not
-        // wedge its group: the next candidate is promoted into a fresh
-        // barrier-separated wave (still a function of the plan alone —
-        // whether a job fails is deterministic), so pilot identity never
-        // depends on thread scheduling. Phase 3 runs everything else; by
-        // then every pattern any job needs is published, so workers only
-        // read the cache.
+        // With every G pattern published above, wave election only fires
+        // for implicit-Jacobian patterns (whose values depend on the
+        // per-job step size) and for G seeds that failed to factorize: the
+        // lowest-index not-yet-run job of each unsatisfied group pilots it.
+        // A failed pilot does not wedge its group: the next candidate is
+        // promoted into a fresh barrier-separated wave (still a function of
+        // the plan alone — whether a job fails is deterministic), so pilot
+        // identity never depends on thread scheduling. The final phase runs
+        // everything else; by then every pattern any job needs is
+        // published, so workers only read the cache.
         for queues in [&g_queues, &jac_queues] {
             loop {
-                let wave = elect_pilots(queues, &publishers, &slots);
+                let wave = elect_pilots(queues, &slots, &self.shared);
                 if wave.is_empty() {
                     break;
                 }
@@ -789,6 +831,7 @@ impl BatchRunner {
         for outcome in &outcomes {
             stats.absorb(&outcome.stats);
         }
+        stats.absorb(&prepublish);
         stats.plan_compilations += precompiled_plans;
         stats.batch_jobs = outcomes.len();
         stats.worker_threads = threads;
@@ -816,39 +859,88 @@ impl BatchRunner {
         let shared = &self.shared;
         let plans = &self.plans;
         let recovery = &self.recovery;
-        let mut results = Vec::with_capacity(indices.len());
         let cursor = &cursor;
+        // Finished jobs report into a shared buffer immediately (one lock
+        // acquisition per *job*, not per step — invisible next to a
+        // transient run), so a worker that later dies outside the per-job
+        // panic shield loses only the job it was on, never work it already
+        // completed.
+        let results = std::sync::Mutex::new(Vec::with_capacity(indices.len()));
+        let results_ref = &results;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                            let Some(&i) = indices.get(k) else { break };
-                            let job = &jobs[i];
-                            observer.on_job_started(i, &job.label);
-                            let mut outcome = execute_job(job, shared, plans, recovery);
-                            outcome.worker = Some(w);
-                            observer.on_job_finished(i, &outcome);
-                            local.push((i, outcome));
-                        }
-                        local
+                    scope.spawn(move || loop {
+                        let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        let Some(&i) = indices.get(k) else { break };
+                        let job = &jobs[i];
+                        observer.on_job_started(i, &job.label);
+                        let mut outcome = execute_job(job, shared, plans, recovery);
+                        outcome.worker = Some(w);
+                        observer.on_job_finished(i, &outcome);
+                        results_ref
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push((i, outcome));
                     })
                 })
                 .collect();
             for handle in handles {
                 // Job panics are caught inside `execute_job`; a join error
                 // here means the worker died outside that shield (e.g. in a
-                // `BatchObserver` callback). Its finished jobs are lost with
-                // its local buffer — the merge backfills their slots with
-                // Panicked outcomes instead of propagating the panic.
-                if let Ok(local) = handle.join() {
-                    results.extend(local);
-                }
+                // `BatchObserver` callback). Only its in-flight job is lost
+                // — the merge backfills that slot with a Panicked outcome
+                // instead of propagating the panic.
+                let _ = handle.join();
             }
         });
         results
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Publishes the symbolic analysis of every distinct `G` pattern into
+    /// the shared cache, on the main thread, before any worker starts.
+    ///
+    /// Each seed is the pattern group's `G(x = 0)` — bit-for-bit the matrix
+    /// the group's lowest-index job would have factorized first (the DC
+    /// Newton start), so the published analysis (pivot order included) is
+    /// identical to what that job's pilot run used to publish. The options
+    /// mirror the DC solve's: the job's requested ordering over
+    /// [`LuOptions::default`]. Already-published patterns (a warm cache) are
+    /// skipped without touching hit/miss counters; a seed that fails to
+    /// factorize is left for pilot-wave election, so the owning job reports
+    /// the error itself. Returns the counters to fold into the merged batch
+    /// statistics (main-thread work belongs to no worker, so its `runtime`
+    /// stays zero and [`BatchResult::worker_active`] remains a partition of
+    /// worker time).
+    fn prepublish_g_patterns(&self, g_seeds: &BTreeMap<PatternKey, CsrMatrix>) -> RunStats {
+        let mut stats = RunStats::new();
+        let mut ws = LuWorkspace::new();
+        for (&(fingerprint, ordering), g) in g_seeds {
+            if self.shared.is_published(fingerprint, ordering) {
+                continue;
+            }
+            let options = LuOptions {
+                ordering,
+                ..LuOptions::default()
+            };
+            match self.shared.factorize(g, &options, &mut ws) {
+                Ok((_, FactorSource::Analyzed)) => {
+                    stats.symbolic_analyses += 1;
+                    stats.lu_factorizations += 1;
+                }
+                // Another session sharing the cache published the pattern
+                // between the `is_published` probe and the factorize call.
+                Ok((_, FactorSource::Shared)) => {
+                    stats.lu_factorizations += 1;
+                    stats.lu_refactorizations += 1;
+                    stats.shared_symbolic_hits += 1;
+                }
+                Err(_) => {}
+            }
+        }
+        stats
     }
 }
 
@@ -877,7 +969,8 @@ fn uses_implicit_jacobian(method: Method) -> bool {
 
 /// Fingerprints of the matrix patterns `job` will factorize, computed with
 /// [`exi_sparse::pattern_fingerprint`] — the exact grouping the shared cache
-/// uses. Costs one plan fetch (compiled once per distinct structure, counted
+/// uses — plus the evaluated `G(x = 0)` matrix itself, the pre-publication
+/// seed. Costs one plan fetch (compiled once per distinct structure, counted
 /// into `precompiled`) and one device evaluation at `x = 0` (plus one
 /// structural matrix add for implicit jobs) per job — negligible against a
 /// transient run.
@@ -885,7 +978,7 @@ fn job_fingerprints(
     job: &BatchJob,
     plans: &PlanCache,
     precompiled: &mut usize,
-) -> SimResult<JobKeys> {
+) -> SimResult<(JobKeys, CsrMatrix)> {
     let (plan, compiled) = plans.get_or_compile(&job.circuit)?;
     if compiled {
         *precompiled += 1;
@@ -899,28 +992,30 @@ fn job_fingerprints(
     } else {
         None
     };
-    Ok(JobKeys {
+    let keys = JobKeys {
         g: (pattern_fingerprint(&ev.g), ordering),
         jac,
-    })
+    };
+    Ok((keys, ev.g))
 }
 
-/// One pilot per pattern that still lacks a finished **successful**
-/// publisher: the lowest-index not-yet-run member of each such group.
-/// Returns an empty wave once every pattern is either published or out of
-/// candidates.
+/// One pilot per pattern whose analysis the shared cache has not published:
+/// the lowest-index not-yet-run member of each such group. Returns an empty
+/// wave once every pattern is either published or out of candidates.
+///
+/// The satisfied-check asks the cache itself — never the job slots — so a
+/// pattern published by pre-publication, by an earlier wave, or by a
+/// previous batch sharing the cache needs no pilot at all: on a fully
+/// warmed cache every wave is empty and every job goes straight to the bulk
+/// phase.
 fn elect_pilots(
     queues: &BTreeMap<PatternKey, Vec<usize>>,
-    publishers: &BTreeMap<PatternKey, Vec<usize>>,
     slots: &[Option<JobOutcome>],
+    shared: &SymbolicCache,
 ) -> Vec<usize> {
     let mut wave = Vec::new();
-    for (key, members) in queues {
-        let satisfied = publishers.get(key).is_some_and(|all| {
-            all.iter()
-                .any(|&i| matches!(&slots[i], Some(outcome) if outcome.is_ok()))
-        });
-        if satisfied {
+    for (&(fingerprint, ordering), members) in queues {
+        if shared.is_published(fingerprint, ordering) {
             continue;
         }
         if let Some(&candidate) = members.iter().find(|&&i| slots[i].is_none()) {
@@ -1227,7 +1322,11 @@ mod tests {
         assert_eq!(result.stats.batch_jobs, 4);
         assert_eq!(result.stats.worker_threads, 2);
         assert_eq!(result.stats.symbolic_analyses, 1, "{:?}", result.stats);
-        assert_eq!(result.stats.shared_symbolic_hits, 3);
+        // Pre-publication performs the one analysis on the main thread, so
+        // all four jobs — the would-be pilot included — derive from it.
+        assert_eq!(result.stats.shared_symbolic_hits, 4);
+        // No job ever blocked on an in-flight cache slot.
+        assert_eq!(result.stats.shared_symbolic_wait_events, 0);
     }
 
     #[test]
@@ -1251,15 +1350,17 @@ mod tests {
             let w = job.worker.expect("executed job must be attributed");
             assert!(w < 2, "worker slot {w} out of range");
         }
-        // The per-worker breakdown is a partition of the active solver time.
+        // The per-worker breakdown is a partition of the active solver time
+        // (merged runtime minus merged cache wait).
         let active = result.worker_active();
         assert_eq!(active.len(), 2);
         let total: f64 = active.iter().sum();
         assert!(
-            (total - result.stats.runtime_seconds()).abs() <= 1e-9 * total.max(1.0),
+            (total - result.stats.active_solver_seconds()).abs() <= 1e-6 * total.max(1.0),
             "per-worker sum {total} vs merged {}",
-            result.stats.runtime_seconds()
+            result.stats.active_solver_seconds()
         );
+        assert_eq!(result.worker_cache_wait().len(), 2);
         // A job that fails before reaching the pool stays unattributed.
         let mut bad = BatchPlan::new();
         bad.push(BatchJob::new(

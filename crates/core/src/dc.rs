@@ -15,9 +15,9 @@
 //! conductance pattern matches never pay for a second symbolic analysis.
 
 use exi_netlist::{Circuit, EvalPlan, EvalWorkspace};
-use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SparseLu, SymbolicCache};
+use exi_sparse::{vector, CsrMatrix, LuOptions, LuWorkspace, SymbolicCache};
 
-use crate::engines::refresh_lu;
+use crate::engines::{refresh_lu, LuSlot, RetainedFactors};
 use crate::error::{SimError, SimResult};
 use crate::options::DcOptions;
 use crate::stats::RunStats;
@@ -63,7 +63,8 @@ pub struct DcSolution {
 /// ```
 pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<DcSolution> {
     let mut stats = RunStats::new();
-    let mut lu_cache: Option<SparseLu> = None;
+    let mut lu_cache = LuSlot::default();
+    let mut retained = RetainedFactors::default();
     let mut lu_ws = LuWorkspace::new();
     let plan = circuit.compile_plan()?;
     stats.plan_compilations += 1;
@@ -74,6 +75,7 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> SimResult<D
         options,
         &mut stats,
         &mut lu_cache,
+        &mut retained,
         None,
         &mut lu_ws,
         &mut eval_ws,
@@ -120,7 +122,8 @@ pub(crate) fn dc_operating_point_recovering(
     options: &DcOptions,
     policy: &crate::RecoveryPolicy,
     stats: &mut RunStats,
-    lu_cache: &mut Option<SparseLu>,
+    lu_cache: &mut LuSlot,
+    retained: &mut RetainedFactors,
     shared: Option<&SymbolicCache>,
     lu_ws: &mut LuWorkspace,
     eval_ws: &mut EvalWorkspace,
@@ -131,6 +134,7 @@ pub(crate) fn dc_operating_point_recovering(
         options,
         stats,
         lu_cache,
+        retained,
         shared,
         lu_ws,
         eval_ws,
@@ -157,6 +161,7 @@ pub(crate) fn dc_operating_point_recovering(
                 options,
                 stats,
                 lu_cache,
+                retained,
                 shared,
                 lu_ws,
                 eval_ws,
@@ -181,6 +186,7 @@ pub(crate) fn dc_operating_point_recovering(
                 options,
                 stats,
                 lu_cache,
+                retained,
                 shared,
                 lu_ws,
                 eval_ws,
@@ -210,6 +216,7 @@ pub(crate) fn dc_operating_point_recovering(
                 options,
                 stats,
                 lu_cache,
+                retained,
                 shared,
                 lu_ws,
                 eval_ws,
@@ -244,7 +251,8 @@ pub(crate) fn dc_operating_point_internal(
     plan: &EvalPlan,
     options: &DcOptions,
     stats: &mut RunStats,
-    lu_cache: &mut Option<SparseLu>,
+    lu_cache: &mut LuSlot,
+    retained: &mut RetainedFactors,
     shared: Option<&SymbolicCache>,
     lu_ws: &mut LuWorkspace,
     eval_ws: &mut EvalWorkspace,
@@ -316,8 +324,8 @@ pub(crate) fn dc_operating_point_internal(
         } else {
             &ev.g
         };
-        refresh_lu(lu_cache, shared, jac, &lu_options, lu_ws, stats)?;
-        let lu = lu_cache.as_ref().expect("refresh_lu populated the cache");
+        refresh_lu(lu_cache, retained, shared, jac, &lu_options, lu_ws, stats)?;
+        let lu = lu_cache.get().expect("refresh_lu populated the cache");
         lu.solve_into(&rhs, &mut delta, lu_ws)?;
         stats.linear_solves += 1;
         // Simple voltage limiting keeps exponential devices in range.
@@ -433,7 +441,8 @@ mod tests {
         ckt.add_resistor("R1", a, d, 1e3).unwrap();
         ckt.add_diode("D1", d, gnd, DiodeModel::default()).unwrap();
         let mut stats = RunStats::new();
-        let mut lu: Option<SparseLu> = None;
+        let mut lu = LuSlot::default();
+        let mut retained = RetainedFactors::default();
         let mut ws = LuWorkspace::new();
         let plan = ckt.compile_plan().unwrap();
         let mut eval_ws = plan.new_workspace();
@@ -443,6 +452,7 @@ mod tests {
             &DcOptions::default(),
             &mut stats,
             &mut lu,
+            &mut retained,
             None,
             &mut ws,
             &mut eval_ws,
@@ -462,7 +472,7 @@ mod tests {
             stats.lu_refactorizations > stats.symbolic_analyses,
             "{stats:?}"
         );
-        assert!(lu.is_some());
+        assert!(lu.get().is_some());
     }
 
     #[test]

@@ -281,16 +281,14 @@ impl ErStepper<'_> {
         b.mul_vec_into(&self.u_k, &mut self.bu_k);
         refresh_lu(
             &mut caches.g_lu,
+            &mut caches.retained,
             caches.shared.as_deref(),
             &self.eval_k.g,
             &self.lu_options,
             &mut caches.lu_ws,
             &mut self.stats,
         )?;
-        let g_lu_ref = caches
-            .g_lu
-            .as_ref()
-            .expect("refresh_lu populated the cache");
+        let g_lu_ref = caches.g_lu.get().expect("refresh_lu populated the cache");
 
         // w1 = G⁻¹ (f(x_k) − B·u_k): the "distance to quasi-equilibrium".
         for i in 0..n {

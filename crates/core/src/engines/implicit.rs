@@ -280,16 +280,14 @@ impl ImplicitStepper<'_> {
                 )?;
                 refresh_lu(
                     &mut caches.jac_lu,
+                    &mut caches.retained,
                     caches.shared.as_deref(),
                     &self.jac,
                     &self.lu_options,
                     &mut caches.lu_ws,
                     &mut self.stats,
                 )?;
-                let lu = caches
-                    .jac_lu
-                    .as_ref()
-                    .expect("refresh_lu populated the cache");
+                let lu = caches.jac_lu.get().expect("refresh_lu populated the cache");
                 lu.solve_into(&self.residual, &mut self.delta, &mut caches.lu_ws)?;
                 self.stats.linear_solves += 1;
                 vector::scale(-1.0, &mut self.delta);

@@ -17,9 +17,12 @@
 pub mod er;
 pub mod implicit;
 
+use std::collections::HashMap;
+
 use exi_netlist::Circuit;
 use exi_sparse::{
-    CsrMatrix, FactorSource, LuOptions, LuWorkspace, SparseError, SparseLu, SymbolicCache,
+    pattern_fingerprint, CsrMatrix, FactorSource, LuOptions, LuWorkspace, OrderingMethod,
+    SparseError, SparseLu, SymbolicCache,
 };
 
 use crate::error::{SimError, SimResult};
@@ -208,53 +211,137 @@ pub(crate) fn reached_end(t: f64, t_stop: f64) -> bool {
     t >= t_stop * (1.0 - TIME_EPSILON)
 }
 
+/// The cache key of one LU pattern: the shared cache's own
+/// [`pattern_fingerprint`] plus the fill-reducing ordering (a different
+/// ordering is a different analysis).
+pub(crate) type LuPatternKey = (u64, OrderingMethod);
+
+/// One engine-facing LU cache slot: the current factor plus — for sessions
+/// attached to a shared [`SymbolicCache`] — the pattern key it was built
+/// under, so a displaced factor can be retired into the session's
+/// [`RetainedFactors`] pool instead of being discarded.
+#[derive(Debug, Default)]
+pub(crate) struct LuSlot {
+    /// The cached factorization; `None` until the first [`refresh_lu`].
+    pub(crate) factor: Option<SparseLu>,
+    /// Pattern key of `factor`. Only maintained for shared sessions (it
+    /// costs a pattern hash); `None` otherwise.
+    key: Option<LuPatternKey>,
+}
+
+impl LuSlot {
+    /// The cached factor, if any.
+    pub(crate) fn get(&self) -> Option<&SparseLu> {
+        self.factor.as_ref()
+    }
+}
+
+/// Session-local pool of LU factors displaced from a [`LuSlot`] by a
+/// mid-run sparsity-pattern change (e.g. a MOSFET crossing regions), keyed
+/// like the shared [`SymbolicCache`].
+///
+/// This is what keeps warm lookups off the shared cache's blocking lock on
+/// the step hot path: a pattern the session has factorized before is revived
+/// with a **local, lock-free** numeric refactorization — bit-identical to
+/// the `from_symbolic` derivation the shared cache would perform, because
+/// both replay the same recorded elimination on the same values. Only
+/// populated for sessions attached to a shared cache; unshared sessions keep
+/// their original discard-and-re-analyze behavior (and bit-exact output).
+#[derive(Debug, Default)]
+pub(crate) struct RetainedFactors {
+    factors: HashMap<LuPatternKey, SparseLu>,
+}
+
+impl RetainedFactors {
+    /// Patterns a session plausibly alternates between; beyond this the
+    /// displaced factor is dropped (the shared cache still serves the
+    /// pattern, at the cost of its lock).
+    const CAPACITY: usize = 8;
+
+    fn retire(&mut self, key: LuPatternKey, factor: SparseLu) {
+        if self.factors.len() < Self::CAPACITY {
+            self.factors.insert(key, factor);
+        }
+    }
+
+    fn revive(&mut self, key: &LuPatternKey) -> Option<SparseLu> {
+        self.factors.remove(key)
+    }
+}
+
 /// Obtains an LU factorization of `a`, preferring the cheap numeric-only
-/// refactorization path when `cache` already holds a factor whose symbolic
+/// refactorization path when `slot` already holds a factor whose symbolic
 /// analysis matches `a`'s sparsity pattern.
 ///
-/// When the local cache cannot serve the pattern, `shared` (the cross-session
-/// [`SymbolicCache`] a [`crate::BatchRunner`] hands to its workers) is
-/// consulted next: a hit derives the numeric factor from the published
-/// analysis — counted as a refactorization plus a
-/// [`RunStats::shared_symbolic_hits`] — and only a miss (or an unshared
-/// session) runs a full symbolic analysis, publishing it for the fleet.
+/// The lookup ladder, cheapest first — the step hot path (fixed pattern)
+/// never goes past the first rung, and no rung before the shared pool takes
+/// a lock:
 ///
-/// Falls back to a fresh factorization (with re-pivoting) whenever the
+/// 1. **In-place refactorization** of the slot's current factor (pattern
+///    unchanged — no hashing, no locks).
+/// 2. **Retained-factor revival** (shared sessions only): a pattern this
+///    session factorized earlier in the run is refactorized locally instead
+///    of re-locking the shared cache.
+/// 3. **Shared pool** ([`SymbolicCache`], once per pattern per session): a
+///    hit derives the factor from the published analysis — counted as a
+///    refactorization plus a [`RunStats::shared_symbolic_hits`], with any
+///    blocked time charged to [`RunStats::cache_wait`] — and a miss runs
+///    the pilot analysis, publishing it for the fleet.
+/// 4. **Fresh analysis** (unshared sessions).
+///
+/// Falls back to a fresh factorization (with re-pivoting) whenever a
 /// refactorization is rejected — pattern change, vanished pivot or excessive
-/// element growth. Counts both paths into `stats` so runs expose how much
+/// element growth. Counts every path into `stats` so runs expose how much
 /// symbolic work they actually reused.
 pub(crate) fn refresh_lu(
-    cache: &mut Option<SparseLu>,
+    slot: &mut LuSlot,
+    retained: &mut RetainedFactors,
     shared: Option<&SymbolicCache>,
     a: &CsrMatrix,
     options: &LuOptions,
     ws: &mut LuWorkspace,
     stats: &mut RunStats,
 ) -> SimResult<()> {
-    if let Some(lu) = cache.as_mut() {
+    if let Some(lu) = slot.factor.as_mut() {
         if lu.refactorize_with(a, ws).is_ok() {
             // The fill of a pattern-preserving refactorization is identical
             // to the pilot's, but a budget configured *after* the pilot (or a
             // factor seeded from another analysis) must still be honored.
-            if let Some(budget) = options.fill_budget {
-                if lu.fill() > budget {
-                    return Err(SimError::Sparse(SparseError::FillBudgetExceeded {
-                        reached: lu.fill(),
-                        budget,
-                    }));
-                }
-            }
+            check_fill_budget(lu, options)?;
             stats.lu_factorizations += 1;
             stats.lu_refactorizations += 1;
             return Ok(());
         }
-        // Stale symbolic analysis: discard and re-pivot from scratch.
-        *cache = None;
+        // Stale symbolic analysis. Shared sessions retire the factor for a
+        // lock-free revival should the run flip back to its pattern;
+        // unshared sessions discard and re-pivot from scratch, as always.
+        let displaced = slot.factor.take();
+        let displaced_key = slot.key.take();
+        if shared.is_some() {
+            if let (Some(key), Some(old)) = (displaced_key, displaced) {
+                retained.retire(key, old);
+            }
+        }
     }
     match shared {
         Some(pool) => {
-            let (lu, source) = pool.factorize(a, options, ws)?;
+            let key = (pattern_fingerprint(a), options.ordering);
+            if let Some(mut lu) = retained.revive(&key) {
+                if lu.refactorize_with(a, ws).is_ok() {
+                    check_fill_budget(&lu, options)?;
+                    stats.lu_factorizations += 1;
+                    stats.lu_refactorizations += 1;
+                    slot.key = Some(key);
+                    slot.factor = Some(lu);
+                    return Ok(());
+                }
+                // Frozen pivots no longer viable for these values: drop the
+                // retired factor and let the pool decide (it re-pivots).
+            }
+            let (lu, source, wait) = pool.factorize_timed(a, options, ws)?;
             stats.lu_factorizations += 1;
+            stats.cache_wait += wait.blocked;
+            stats.shared_symbolic_wait_events += wait.events;
             match source {
                 FactorSource::Shared => {
                     stats.lu_refactorizations += 1;
@@ -262,12 +349,26 @@ pub(crate) fn refresh_lu(
                 }
                 FactorSource::Analyzed => stats.symbolic_analyses += 1,
             }
-            *cache = Some(lu);
+            slot.key = Some(key);
+            slot.factor = Some(lu);
         }
         None => {
-            *cache = Some(SparseLu::factorize_with(a, options)?);
+            slot.factor = Some(SparseLu::factorize_with(a, options)?);
             stats.lu_factorizations += 1;
             stats.symbolic_analyses += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Rejects a factor whose fill exceeds the configured budget.
+fn check_fill_budget(lu: &SparseLu, options: &LuOptions) -> SimResult<()> {
+    if let Some(budget) = options.fill_budget {
+        if lu.fill() > budget {
+            return Err(SimError::Sparse(SparseError::FillBudgetExceeded {
+                reached: lu.fill(),
+                budget,
+            }));
         }
     }
     Ok(())

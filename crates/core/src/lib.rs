@@ -82,9 +82,10 @@
 //! }
 //! let result = BatchRunner::new().worker_threads(2).run(&plan);
 //! assert!(result.all_ok());
-//! // Two same-topology corners, one symbolic analysis for the whole fleet.
+//! // Two same-topology corners, one symbolic analysis for the whole fleet
+//! // — pre-published by the runner, so both corners count as shared hits.
 //! assert_eq!(result.stats.symbolic_analyses, 1);
-//! assert_eq!(result.stats.shared_symbolic_hits, 1);
+//! assert_eq!(result.stats.shared_symbolic_hits, 2);
 //! # Ok(())
 //! # }
 //! ```

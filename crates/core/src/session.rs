@@ -38,16 +38,16 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use exi_krylov::MevpWorkspace;
 use exi_netlist::{circuit_fingerprint, Circuit, EvalPlan, EvalWorkspace};
-use exi_sparse::{LuWorkspace, OrderingMethod, SparseLu, SymbolicCache};
+use exi_sparse::{LuWorkspace, OrderingMethod, SymbolicCache};
 
 use crate::dc::{dc_operating_point_recovering, DcSolution};
 use crate::engines::er::ErStepper;
 use crate::engines::implicit::{ImplicitScheme, ImplicitStepper};
-use crate::engines::{resolve_probes, Engine, StepOutcome};
+use crate::engines::{resolve_probes, Engine, LuSlot, RetainedFactors, StepOutcome};
 use crate::error::SimResult;
 use crate::observer::{Observer, RecordingObserver};
 use crate::options::{DcOptions, TransientOptions};
@@ -65,13 +65,17 @@ use crate::transient::Method;
 /// * `jac_lu` — cached factorization of the implicit-method Jacobian
 ///   `C/h + θ·G` (a different, denser pattern), reused across Newton
 ///   iterations, step sizes and runs.
+/// * `retained` — recently displaced factors, keyed by pattern, revived
+///   lock-free when a run alternates between patterns (e.g. DC homotopy
+///   stages) instead of going back through the shared cache.
 /// * `lu_ws` / `mevp_ws` — allocation pools for triangular solves and Krylov
 ///   subspace builds; pure scratch, shared by every engine.
 /// * `dc` — the DC operating point, computed once per topology.
 #[derive(Debug, Default)]
 pub(crate) struct SessionCaches {
-    pub(crate) g_lu: Option<SparseLu>,
-    pub(crate) jac_lu: Option<SparseLu>,
+    pub(crate) g_lu: LuSlot,
+    pub(crate) jac_lu: LuSlot,
+    pub(crate) retained: RetainedFactors,
     pub(crate) lu_ws: LuWorkspace,
     pub(crate) mevp_ws: MevpWorkspace,
     pub(crate) dc: Option<DcSolution>,
@@ -201,14 +205,33 @@ impl PlanCache {
     ///
     /// Propagates [`EvalPlan::compile`] errors (e.g. an empty circuit).
     pub fn get_or_compile(&self, circuit: &Circuit) -> SimResult<(Arc<EvalPlan>, bool)> {
+        self.get_or_compile_timed(circuit)
+            .map(|(plan, compiled, _)| (plan, compiled))
+    }
+
+    /// As [`PlanCache::get_or_compile`], additionally reporting how long this
+    /// call waited to acquire the cache lock. A warm lookup on an
+    /// uncontended cache reports (close to) zero; the batch runner charges
+    /// the wait to [`RunStats::cache_wait`] so `active_solver_s` stays a
+    /// pure compute figure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalPlan::compile`] errors (e.g. an empty circuit).
+    pub fn get_or_compile_timed(
+        &self,
+        circuit: &Circuit,
+    ) -> SimResult<(Arc<EvalPlan>, bool, Duration)> {
         let key = circuit_fingerprint(circuit);
+        let acquire = Instant::now();
         let mut state = self.lock();
+        let waited = acquire.elapsed();
         state.tick += 1;
         let tick = state.tick;
         if let Some(entry) = state.entries.get_mut(&key) {
             entry.last_used = tick;
             state.hits += 1;
-            return Ok((Arc::clone(&state.entries[&key].plan), false));
+            return Ok((Arc::clone(&state.entries[&key].plan), false, waited));
         }
         state.misses += 1;
         let plan = Arc::new(EvalPlan::compile(circuit)?);
@@ -236,7 +259,7 @@ impl PlanCache {
                 }
             }
         }
-        Ok((plan, true))
+        Ok((plan, true, waited))
     }
 }
 
@@ -423,12 +446,14 @@ impl<'c> Simulator<'c> {
     }
 
     /// Compiles (or fetches from the shared [`PlanCache`]) the session's
-    /// evaluation plan, charging the compile to `stats`.
+    /// evaluation plan, charging the compile — and any wait on the shared
+    /// cache's lock — to `stats`.
     fn ensure_plan(&mut self, stats: &mut RunStats) -> SimResult<()> {
         if self.caches.plan.is_none() {
             let plan = match &self.caches.shared_plans {
                 Some(pool) => {
-                    let (plan, compiled) = pool.get_or_compile(self.circuit)?;
+                    let (plan, compiled, waited) = pool.get_or_compile_timed(self.circuit)?;
+                    stats.cache_wait += waited;
                     if compiled {
                         stats.plan_compilations += 1;
                     } else {
@@ -454,28 +479,34 @@ impl<'c> Simulator<'c> {
     /// that run is), [`Simulator::dc_with`] absorbs them directly.
     fn ensure_dc(&mut self, options: &DcOptions) -> SimResult<RunStats> {
         let mut stats = RunStats::new();
-        self.ensure_plan(&mut stats)?;
-        if self.caches.dc.is_none() {
-            let started = Instant::now();
-            let caches = &mut self.caches;
-            let plan = caches
-                .plan
-                .as_ref()
-                .expect("ensure_plan populated the cache");
-            let dc = dc_operating_point_recovering(
-                self.circuit,
-                plan,
-                options,
-                &self.recovery,
-                &mut stats,
-                &mut caches.g_lu,
-                caches.shared.as_deref(),
-                &mut caches.lu_ws,
-                &mut caches.eval_ws,
-            )?;
-            stats.runtime = started.elapsed();
-            self.caches.dc = Some(dc);
+        if self.caches.dc.is_some() {
+            self.ensure_plan(&mut stats)?;
+            return Ok(stats);
         }
+        // The timer starts before plan acquisition so that any wait on the
+        // shared plan cache's lock lands inside `runtime` — `cache_wait` is
+        // documented as a subset of it.
+        let started = Instant::now();
+        self.ensure_plan(&mut stats)?;
+        let caches = &mut self.caches;
+        let plan = caches
+            .plan
+            .as_ref()
+            .expect("ensure_plan populated the cache");
+        let dc = dc_operating_point_recovering(
+            self.circuit,
+            plan,
+            options,
+            &self.recovery,
+            &mut stats,
+            &mut caches.g_lu,
+            &mut caches.retained,
+            caches.shared.as_deref(),
+            &mut caches.lu_ws,
+            &mut caches.eval_ws,
+        )?;
+        stats.runtime = started.elapsed();
+        self.caches.dc = Some(dc);
         Ok(stats)
     }
 

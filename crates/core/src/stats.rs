@@ -85,9 +85,18 @@ pub struct RunStats {
     /// Number of numeric factorizations seeded from a cross-session
     /// [`SymbolicCache`](exi_sparse::SymbolicCache) hit. Such factorizations
     /// also count into [`RunStats::lu_refactorizations`]; for an `N`-job
-    /// same-topology sweep the merged stats show `symbolic_analyses == 1` and
-    /// `shared_symbolic_hits == N − 1`.
+    /// same-topology sweep the merged stats show `symbolic_analyses == 1`
+    /// (the batch runner's main-thread pre-publication) and
+    /// `shared_symbolic_hits == N` — every worker session, the would-be
+    /// pilot included, derives its factor from the published analysis.
     pub shared_symbolic_hits: usize,
+    /// Number of times a shared-cache lookup **blocked** on another
+    /// session's in-flight pilot analysis (the condvar wait in
+    /// [`SymbolicCache::factorize`](exi_sparse::SymbolicCache::factorize)).
+    /// A fully warmed batch — every pattern published before its workers
+    /// start — must show 0 here; a nonzero count means the scheduler
+    /// serialized jobs behind a pilot instead of pre-publishing.
+    pub shared_symbolic_wait_events: usize,
     /// Worker threads the executing [`BatchRunner`](crate::BatchRunner) used
     /// (zero for a plain run). [`RunStats::absorb`] keeps the maximum — for
     /// merged totals this is the batch's actual concurrency, not a sum.
@@ -107,8 +116,19 @@ pub struct RunStats {
     /// Active wall-clock time of the analysis: the DC solve (for the run
     /// that triggered it) plus time spent inside `advance()`. Idle time while
     /// a stepper is paused (checkpointing, co-simulation interleaves) is not
-    /// charged.
+    /// charged. Includes [`RunStats::cache_wait`]; subtract it (or use
+    /// [`RunStats::active_solver_seconds`]) for the time actually spent
+    /// solving.
     pub runtime: Duration,
+    /// Time this run spent **blocked on shared caches** instead of solving:
+    /// [`SymbolicCache`](exi_sparse::SymbolicCache) lock acquisitions and
+    /// in-flight condvar waits, plus the [`crate::PlanCache`] lock (which is
+    /// held across a compile, so a concurrent same-structure fetch waits
+    /// here). A subset of [`RunStats::runtime`]; reporting the two
+    /// separately is what keeps a contended schedule from masquerading as
+    /// solver work ("active_solver_s nearly doubled" under 2 workers was
+    /// exactly this misattribution).
+    pub cache_wait: Duration,
 }
 
 impl RunStats {
@@ -155,6 +175,19 @@ impl RunStats {
         self.runtime.as_secs_f64()
     }
 
+    /// Time blocked on shared caches, in seconds (see
+    /// [`RunStats::cache_wait`]).
+    pub fn cache_wait_seconds(&self) -> f64 {
+        self.cache_wait.as_secs_f64()
+    }
+
+    /// Runtime actually spent solving: [`RunStats::runtime`] minus
+    /// [`RunStats::cache_wait`] (saturating — the plan fetch of a run whose
+    /// DC solve was already cached can wait without accruing runtime).
+    pub fn active_solver_seconds(&self) -> f64 {
+        self.runtime.saturating_sub(self.cache_wait).as_secs_f64()
+    }
+
     /// Folds another run's counters into these (session totals): counts add
     /// up, peaks take the maximum, runtimes accumulate.
     pub fn absorb(&mut self, other: &RunStats) {
@@ -178,12 +211,14 @@ impl RunStats {
         self.resumed_runs += other.resumed_runs;
         self.batch_jobs += other.batch_jobs;
         self.shared_symbolic_hits += other.shared_symbolic_hits;
+        self.shared_symbolic_wait_events += other.shared_symbolic_wait_events;
         self.worker_threads = self.worker_threads.max(other.worker_threads);
         self.recovery_attempts += other.recovery_attempts;
         self.gmin_steps += other.gmin_steps;
         self.source_steps += other.source_steps;
         self.method_fallbacks += other.method_fallbacks;
         self.runtime += other.runtime;
+        self.cache_wait += other.cache_wait;
     }
 }
 
@@ -229,6 +264,34 @@ mod tests {
             s.lu_factorizations,
             s.symbolic_analyses + s.lu_refactorizations
         );
+    }
+
+    #[test]
+    fn active_solver_time_excludes_cache_wait() {
+        let s = RunStats {
+            runtime: Duration::from_millis(250),
+            cache_wait: Duration::from_millis(50),
+            ..RunStats::default()
+        };
+        assert!((s.runtime_seconds() - 0.25).abs() < 1e-12);
+        assert!((s.cache_wait_seconds() - 0.05).abs() < 1e-12);
+        assert!((s.active_solver_seconds() - 0.2).abs() < 1e-12);
+        // Wait outside the runtime window saturates instead of underflowing.
+        let odd = RunStats {
+            runtime: Duration::from_millis(10),
+            cache_wait: Duration::from_millis(20),
+            ..RunStats::default()
+        };
+        assert_eq!(odd.active_solver_seconds(), 0.0);
+        // Both durations and the wait-event counter are plain sums.
+        let mut total = s.clone();
+        total.absorb(&RunStats {
+            cache_wait: Duration::from_millis(25),
+            shared_symbolic_wait_events: 3,
+            ..RunStats::default()
+        });
+        assert!((total.cache_wait_seconds() - 0.075).abs() < 1e-12);
+        assert_eq!(total.shared_symbolic_wait_events, 3);
     }
 
     #[test]

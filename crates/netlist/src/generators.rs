@@ -11,6 +11,7 @@
 //! * `inverter_chain`: input `in`, stage outputs `s1 … sN`, supply `vdd`.
 //! * `rc_ladder`: input `in`, taps `n1 … nN`.
 //! * `power_grid`: pads `vdd`, grid nodes `g_<row>_<col>`.
+//! * `rc_mesh`: driver `in`, mesh nodes `m_<row>_<col>`.
 //! * `coupled_lines`: line nodes `l<line>_<segment>`, driver inputs `in<line>`.
 
 use rand::rngs::StdRng;
@@ -250,6 +251,90 @@ fn build_power_grid(spec: &PowerGridSpec) -> NetlistResult<Circuit> {
     Ok(ckt)
 }
 
+/// Parameters for [`rc_mesh`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcMeshSpec {
+    /// Number of rows in the mesh.
+    pub rows: usize,
+    /// Number of columns in the mesh.
+    pub cols: usize,
+    /// Resistance of each mesh edge in ohms.
+    pub segment_resistance: f64,
+    /// Capacitance to ground at each mesh node in farads.
+    pub node_capacitance: f64,
+    /// Series resistance between the driving source and the mesh corner.
+    pub drive_resistance: f64,
+    /// Amplitude of the driving ramp in volts.
+    pub amplitude: f64,
+    /// Rise time of the driving ramp in seconds.
+    pub rise_time: f64,
+}
+
+impl Default for RcMeshSpec {
+    fn default() -> Self {
+        RcMeshSpec {
+            rows: 16,
+            cols: 16,
+            segment_resistance: 10.0,
+            node_capacitance: 1e-14,
+            drive_resistance: 50.0,
+            amplitude: 1.0,
+            rise_time: 1e-10,
+        }
+    }
+}
+
+/// Builds a purely linear RC mesh: a `rows × cols` grid of resistors with a
+/// capacitor to ground at every node, driven at one corner by a PWL ramp
+/// through a series resistance. Unknowns scale as `rows · cols` (plus the
+/// driver node and one branch current), so `100 × 100` gives the 10⁴-unknown
+/// floor of the batch-scaling benchmark and `1000 × 1000` reaches 10⁶.
+///
+/// With no nonlinear devices, per-step work is dominated by the sparse
+/// triangular solves and (re)factorizations — the regime where batch-level
+/// parallel scaling is purely a question of solver and cache behaviour,
+/// which is exactly what the `scaling` section of the bench sweep measures.
+/// Node names are `m_<row>_<col>`; the far corner
+/// `m_<rows-1>_<cols-1>` is the natural probe.
+///
+/// # Errors
+///
+/// Propagates device-construction errors, wrapped with the generator's name
+/// ([`crate::NetlistError::Spec`]).
+pub fn rc_mesh(spec: &RcMeshSpec) -> NetlistResult<Circuit> {
+    build_rc_mesh(spec).map_err(|e| e.in_spec("rc_mesh"))
+}
+
+fn build_rc_mesh(spec: &RcMeshSpec) -> NetlistResult<Circuit> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let drive = ckt.node("in");
+    ckt.add_voltage_source(
+        "Vin",
+        drive,
+        gnd,
+        Waveform::Pwl(vec![(0.0, 0.0), (spec.rise_time, spec.amplitude)]),
+    )?;
+    let node_name = |r: usize, c: usize| format!("m_{r}_{c}");
+    for r in 0..spec.rows {
+        for c in 0..spec.cols {
+            let n = ckt.node(&node_name(r, c));
+            ckt.add_capacitor(&format!("C_{r}_{c}"), n, gnd, spec.node_capacitance)?;
+            if c + 1 < spec.cols {
+                let right = ckt.node(&node_name(r, c + 1));
+                ckt.add_resistor(&format!("Rh_{r}_{c}"), n, right, spec.segment_resistance)?;
+            }
+            if r + 1 < spec.rows {
+                let down = ckt.node(&node_name(r + 1, c));
+                ckt.add_resistor(&format!("Rv_{r}_{c}"), n, down, spec.segment_resistance)?;
+            }
+        }
+    }
+    let corner = ckt.node(&node_name(0, 0));
+    ckt.add_resistor("Rdrv", drive, corner, spec.drive_resistance)?;
+    Ok(ckt)
+}
+
 /// Parameters for [`coupled_lines`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoupledLinesSpec {
@@ -448,6 +533,31 @@ mod tests {
     }
 
     #[test]
+    fn rc_mesh_structure_scales_with_the_grid() {
+        let ckt = rc_mesh(&RcMeshSpec {
+            rows: 5,
+            cols: 7,
+            ..RcMeshSpec::default()
+        })
+        .unwrap();
+        // 35 mesh nodes + driver node + 1 branch current.
+        assert_eq!(ckt.num_unknowns(), 5 * 7 + 2);
+        assert_eq!(ckt.num_nonlinear_devices(), 0);
+        assert!(ckt.unknown_of("m_4_6").is_some());
+        let ev = eval(&ckt, &vec![0.0; ckt.num_unknowns()]);
+        assert!(ev.g.nnz() > 0);
+        assert!(ev.c.nnz() > 0);
+        // A 100x100 mesh clears the 10^4-unknown floor of the scaling bench.
+        let big = rc_mesh(&RcMeshSpec {
+            rows: 100,
+            cols: 100,
+            ..RcMeshSpec::default()
+        })
+        .unwrap();
+        assert!(big.num_unknowns() >= 10_000);
+    }
+
+    #[test]
     fn coupled_lines_coupling_density_knob() {
         let sparse_spec = CoupledLinesSpec {
             lines: 4,
@@ -527,6 +637,14 @@ mod tests {
         };
         let text = power_grid(&bad).unwrap_err().to_string();
         assert!(text.contains("power_grid"), "{text}");
+        let bad = RcMeshSpec {
+            rows: 2,
+            cols: 2,
+            segment_resistance: -1.0,
+            ..RcMeshSpec::default()
+        };
+        let text = rc_mesh(&bad).unwrap_err().to_string();
+        assert!(text.contains("rc_mesh"), "{text}");
         let bad = CoupledLinesSpec {
             lines: 2,
             segments: 3,

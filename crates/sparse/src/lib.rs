@@ -68,4 +68,4 @@ pub use error::{SparseError, SparseResult};
 pub use lu::{factor_fill, solve_sparse, LuOptions, LuWorkspace, SparseLu, SymbolicLu};
 pub use ordering::OrderingMethod;
 pub use permutation::Permutation;
-pub use shared::{pattern_fingerprint, CacheStats, FactorSource, SymbolicCache};
+pub use shared::{pattern_fingerprint, CacheStats, CacheWait, FactorSource, SymbolicCache};

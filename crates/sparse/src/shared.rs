@@ -44,6 +44,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseResult;
@@ -58,6 +59,23 @@ pub enum FactorSource {
     Analyzed,
     /// The call reused a cached analysis and performed numeric-only work.
     Shared,
+}
+
+/// How long one [`SymbolicCache::factorize_timed`] call spent blocked on the
+/// cache instead of doing numeric work: lock acquisitions plus any condvar
+/// waits on another thread's in-flight pilot analysis.
+///
+/// Callers fold this into their own accounting (`exi_sim::RunStats` splits
+/// per-job runtime into active solver time and cache wait with it) so a
+/// contended cache shows up as *wait*, never misattributed as solve time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheWait {
+    /// Times the call blocked on an in-flight pilot slot (one per condvar
+    /// wait; zero whenever the pattern was already published or this call
+    /// was the pilot).
+    pub events: usize,
+    /// Total time blocked: lock acquisition plus in-flight condvar waits.
+    pub blocked: Duration,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +243,30 @@ impl SymbolicCache {
         }
     }
 
+    /// Whether a published (ready, not merely in-flight) analysis exists for
+    /// the pattern identified by `fingerprint` (see [`pattern_fingerprint`])
+    /// under `ordering`.
+    ///
+    /// Does not touch the hit/miss counters or the LRU clock — this is a
+    /// scheduling query, not a lookup: the batch runner uses it to skip
+    /// pilot election for patterns some earlier batch (or the main-thread
+    /// pre-publication pass) already published, so a warm fleet never
+    /// re-serializes its first wave.
+    pub fn is_published(&self, fingerprint: u64, ordering: OrderingMethod) -> bool {
+        let key = PatternKey {
+            fingerprint,
+            ordering,
+        };
+        matches!(
+            self.state
+                .lock()
+                .expect("symbolic cache poisoned")
+                .slots
+                .get(&key),
+            Some(Slot::Ready { .. })
+        )
+    }
+
     /// Factorizes `a`, reusing the cached symbolic analysis for its pattern
     /// when one exists (numeric-only work) and publishing a fresh analysis
     /// when it does not. Blocks while another thread is analyzing the same
@@ -245,12 +287,36 @@ impl SymbolicCache {
         options: &LuOptions,
         ws: &mut LuWorkspace,
     ) -> SparseResult<(SparseLu, FactorSource)> {
+        self.factorize_timed(a, options, ws)
+            .map(|(lu, source, _)| (lu, source))
+    }
+
+    /// As [`SymbolicCache::factorize`], additionally reporting how long the
+    /// call spent blocked on the cache (lock acquisition plus condvar waits
+    /// on an in-flight pilot) as a [`CacheWait`].
+    ///
+    /// This is the accounting entry point for schedulers that must not
+    /// misattribute contention as solve time: on a warm cache the wait is a
+    /// single uncontended lock acquisition and `events` is 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicCache::factorize`].
+    pub fn factorize_timed(
+        &self,
+        a: &CsrMatrix,
+        options: &LuOptions,
+        ws: &mut LuWorkspace,
+    ) -> SparseResult<(SparseLu, FactorSource, CacheWait)> {
         let key = PatternKey {
             fingerprint: pattern_fingerprint(a),
             ordering: options.ordering,
         };
+        let mut wait = CacheWait::default();
         loop {
+            let acquire = Instant::now();
             let mut state = self.state.lock().expect("symbolic cache poisoned");
+            wait.blocked += acquire.elapsed();
             match state.slots.get(&key) {
                 Some(Slot::Ready { symbolic, .. }) => {
                     let symbolic = Arc::clone(symbolic);
@@ -260,23 +326,29 @@ impl SymbolicCache {
                     if !symbolic.matches_pattern(a) {
                         // Fingerprint collision: do not share, do not poison.
                         let lu = SparseLu::factorize_with(a, options)?;
-                        return Ok((lu, FactorSource::Analyzed));
+                        return Ok((lu, FactorSource::Analyzed, wait));
                     }
                     return match SparseLu::from_symbolic(symbolic, a, options, ws) {
-                        Ok(lu) => Ok((lu, FactorSource::Shared)),
+                        Ok(lu) => Ok((lu, FactorSource::Shared, wait)),
                         // The frozen pivot order is not viable for these
                         // values: re-pivot from scratch for this caller only.
                         Err(_) => {
                             let lu = SparseLu::factorize_with(a, options)?;
-                            Ok((lu, FactorSource::Analyzed))
+                            Ok((lu, FactorSource::Analyzed, wait))
                         }
                     };
                 }
                 Some(Slot::InFlight) => {
                     // Another thread is running the pilot analysis; wait for
                     // it to publish (or release) the slot and re-check. The
-                    // re-check accounts the hit or miss, not this wait.
-                    let _guard = self.published.wait(state).expect("symbolic cache poisoned");
+                    // re-check accounts the hit or miss, not this wait — but
+                    // the blocked time is the caller's to report, so a
+                    // serialized schedule can't masquerade as solve time.
+                    wait.events += 1;
+                    let blocked = Instant::now();
+                    let guard = self.published.wait(state).expect("symbolic cache poisoned");
+                    wait.blocked += blocked.elapsed();
+                    drop(guard);
                     continue;
                 }
                 None => {
@@ -303,7 +375,7 @@ impl SymbolicCache {
                             }
                             drop(state);
                             self.published.notify_all();
-                            return Ok((lu, FactorSource::Analyzed));
+                            return Ok((lu, FactorSource::Analyzed, wait));
                         }
                         Err(e) => {
                             state.slots.remove(&key);
@@ -449,6 +521,39 @@ mod tests {
             .count();
         assert_eq!(analyzed, 1, "exactly one pilot analysis: {sources:?}");
         assert_eq!(cache.patterns(), 1);
+    }
+
+    #[test]
+    fn warm_lookup_reports_zero_wait_events() {
+        let cache = SymbolicCache::new();
+        let mut ws = LuWorkspace::new();
+        let a = tridiag(16, 3.0);
+        let (_, _, pilot_wait) = cache
+            .factorize_timed(&a, &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(pilot_wait.events, 0, "the pilot never waits on itself");
+        let (_, src, warm_wait) = cache
+            .factorize_timed(&a, &LuOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(src, FactorSource::Shared);
+        assert_eq!(warm_wait.events, 0, "published pattern must not block");
+    }
+
+    #[test]
+    fn is_published_reflects_ready_slots_only() {
+        let cache = SymbolicCache::new();
+        let mut ws = LuWorkspace::new();
+        let a = tridiag(12, 3.0);
+        let fp = pattern_fingerprint(&a);
+        assert!(!cache.is_published(fp, OrderingMethod::default()));
+        cache.factorize(&a, &LuOptions::default(), &mut ws).unwrap();
+        assert!(cache.is_published(fp, OrderingMethod::default()));
+        // A different ordering is a different slot.
+        assert!(!cache.is_published(fp, OrderingMethod::MinDegree));
+        // The query is side-effect free: no hit/miss accounting.
+        let before = cache.stats();
+        cache.is_published(fp, OrderingMethod::default());
+        assert_eq!(cache.stats(), before);
     }
 
     #[test]

@@ -59,10 +59,14 @@ fn waveforms(result: &exi_sim::BatchResult) -> Vec<Waveform> {
 }
 
 /// Zeroes the fields that legitimately vary between equivalent batch
-/// executions (wall-clock time and configured concurrency).
+/// executions (wall-clock time, lock-wait time and configured concurrency).
+/// `shared_symbolic_wait_events` is deliberately *not* normalized: with
+/// every pattern pre-published before workers start, no job ever blocks on
+/// an in-flight cache slot, at any thread count.
 fn normalized(stats: &RunStats) -> RunStats {
     RunStats {
         runtime: std::time::Duration::ZERO,
+        cache_wait: std::time::Duration::ZERO,
         worker_threads: 0,
         ..stats.clone()
     }
@@ -95,14 +99,16 @@ fn power_grid_sweep_is_bit_identical_at_any_thread_count_with_one_symbolic_analy
         assert!(result.all_ok(), "threads={threads}: {:?}", result.failed());
         assert_eq!(result.stats.batch_jobs, JOBS);
         assert_eq!(result.stats.worker_threads, threads);
-        // Exactly one symbolic analysis for the whole fleet; every other job
-        // derived its factors from the shared cache.
+        // Exactly one symbolic analysis for the whole fleet — performed up
+        // front by the runner — so every job derived its factors from the
+        // shared cache, and none ever blocked on an in-flight slot.
         assert_eq!(
             result.stats.symbolic_analyses, 1,
             "threads={threads}: {:?}",
             result.stats
         );
-        assert_eq!(result.stats.shared_symbolic_hits, JOBS - 1);
+        assert_eq!(result.stats.shared_symbolic_hits, JOBS);
+        assert_eq!(result.stats.shared_symbolic_wait_events, 0);
         assert_eq!(
             result.stats.lu_factorizations,
             result.stats.symbolic_analyses + result.stats.lu_refactorizations
@@ -171,9 +177,10 @@ fn mixed_method_batch_shares_both_pattern_analyses() {
         );
         assert_eq!(result.stats.symbolic_analyses, 1);
         // Seeding events: every job seeds its G slot once (5) and every
-        // implicit job additionally seeds its Jacobian slot once (3); all
-        // but the single pilot analysis were shared-cache hits.
-        assert_eq!(result.stats.shared_symbolic_hits, 5 + 3 - 1);
+        // implicit job additionally seeds its Jacobian slot once (3); the
+        // single analysis was pre-published by the runner, so all eight
+        // seedings were shared-cache hits.
+        assert_eq!(result.stats.shared_symbolic_hits, 5 + 3);
     }
 }
 
@@ -330,13 +337,15 @@ fn failed_pilot_promotes_the_next_candidate_deterministically() {
             .run(&build_plan());
         assert_eq!(result.failed(), 1);
         assert!(!result.jobs[0].is_ok());
-        // The promoted pilot (job 1) analyzed once; jobs 2..4 shared it.
+        // The runner pre-published the group's analysis before any job ran
+        // (fingerprinting does not depend on the doomed job's options), so
+        // the failure costs nothing: jobs 1..4 all shared the analysis.
         assert_eq!(
             result.stats.symbolic_analyses, 1,
             "threads={threads}: {:?}",
             result.stats
         );
-        assert_eq!(result.stats.shared_symbolic_hits, 3);
+        assert_eq!(result.stats.shared_symbolic_hits, 4);
         let waves: Vec<Waveform> = result.jobs[1..]
             .iter()
             .map(|j| {
@@ -391,4 +400,7 @@ fn shared_cache_survives_across_batches() {
         .run(&grid_plan(3));
     assert_eq!(second.stats.symbolic_analyses, 0, "{:?}", second.stats);
     assert_eq!(second.stats.shared_symbolic_hits, 3);
+    // On a fully warmed cache no job may ever block on an in-flight slot:
+    // warm lookups are pure reads, never condvar waits.
+    assert_eq!(second.stats.shared_symbolic_wait_events, 0);
 }

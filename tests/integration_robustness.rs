@@ -281,9 +281,10 @@ impl BatchObserver for PanicOnIndex {
 
 /// A panicking `BatchObserver` callback kills its worker thread (observer
 /// callbacks run outside the per-job shield by design), but the batch
-/// itself survives: every slot the dead worker never reported is backfilled
-/// as `Panicked`, jobs on other waves keep their results, and `run_observed`
-/// returns normally.
+/// itself survives: workers report each outcome as it completes, so the
+/// dead worker's already-finished jobs keep their results, every slot it
+/// never reported is backfilled as `Panicked`, and `run_observed` returns
+/// normally.
 #[test]
 fn batch_observer_panics_leave_the_batch_standing() {
     let mut plan = BatchPlan::new();
@@ -298,13 +299,17 @@ fn batch_observer_panics_leave_the_batch_standing() {
             .probe("n2"),
         );
     }
-    // One worker: job 0 pilots alone in the first wave; jobs 1..3 share the
-    // single second-wave worker, which dies on job 1.
+    // One worker runs all four jobs in submission order (the G analysis is
+    // pre-published, so there are no pilot waves); it completes and reports
+    // job 0, then dies starting job 1 — taking jobs 1..3 with it.
     let result = BatchRunner::new()
         .worker_threads(1)
         .run_observed(&plan, &PanicOnIndex(1));
     assert_eq!(result.len(), 4);
-    assert!(result.jobs[0].is_ok(), "the pilot wave finished first");
+    assert!(
+        result.jobs[0].is_ok(),
+        "job 0 was reported before the worker died"
+    );
     for k in 1..4 {
         let err = result.jobs[k].error().expect("lost to the dead worker");
         assert!(

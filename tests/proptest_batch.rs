@@ -119,6 +119,7 @@ fn build_plan(
 fn strip_timing(stats: &RunStats) -> RunStats {
     RunStats {
         runtime: std::time::Duration::ZERO,
+        cache_wait: std::time::Duration::ZERO,
         worker_threads: 0,
         ..stats.clone()
     }
@@ -190,16 +191,20 @@ proptest! {
             2,
             "{:?}", per_thread_stats[0]
         );
-        // Every non-pilot pattern use came from the shared cache: each
-        // topology-A job seeds its G slot once (leader excepted) and each
-        // BackwardEuler job additionally seeds its Jacobian slot once.
+        // Both analyses are pre-published by the runner, so every pattern
+        // use came from the shared cache: each job (topology A's
+        // `corners.len()` plus topology B's one) seeds its G slot once, and
+        // each BackwardEuler job additionally seeds its Jacobian slot once.
         let jac_users = corners.iter().enumerate()
             .filter(|(k, _)| METHODS[k % METHODS.len()] == Method::BackwardEuler)
             .count();
         prop_assert_eq!(
             per_thread_stats[0].shared_symbolic_hits,
-            (corners.len() - 1) + jac_users,
+            corners.len() + 1 + jac_users,
             "{:?}", per_thread_stats[0]
         );
+        // And with every analysis published before workers start, no job
+        // ever blocked on an in-flight cache slot.
+        prop_assert_eq!(per_thread_stats[0].shared_symbolic_wait_events, 0);
     }
 }
