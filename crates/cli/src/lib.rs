@@ -67,7 +67,9 @@ use exi_netlist::NetlistError;
 use exi_sim::{Method, SimError};
 
 pub use run::{analysis_options, effective_probes, run_deck, tran_options, RunConfig, RunSummary};
-pub use service::{run_client, run_serve, shutdown_server, ClientCommand, ClientConfig};
+pub use service::{
+    fetch_stats, run_client, run_serve, shutdown_server, write_stats, ClientCommand, ClientConfig,
+};
 pub use sweep::{
     build_sweep_plan, expand_param_grid, member_label, members_from_template, run_sweep,
     write_job_waveform, SweepConfig, SweepSummary,
@@ -331,6 +333,19 @@ serve OPTIONS (the resident daemon; see docs/SERVICE.md):
     --queue <N>               job-queue capacity (full queue replies `busy`)
     --symbolic-cache <N>      warm symbolic-cache capacity; 0 = unbounded
     --plan-cache <N>          warm plan-cache capacity; 0 = unbounded
+    --max-unknowns <N>        per-job unknown-count admission budget
+    --max-est-nnz <N>         per-job estimated-nonzeros admission budget
+    --max-declared-steps <N>  per-job declared .tran step admission budget
+    --max-inflight-unknowns <N>
+                              server-wide active-unknowns budget; 0 = off
+    --default-deadline-ms <N> deadline for jobs that declare none; 0 = off
+    --read-timeout-ms <N>     reap a connection whose frame stalls; 0 = off
+    --idle-timeout-ms <N>     reap a connection idle between frames; 0 = off
+    --write-stall-ms <N>      abandon writes blocked on a stalled client
+    --respawn-limit <N>       worker respawns per window before degraded mode
+    --shed-after-ms <N>       queue-full time before the overload ladder
+                              sheds new decks (see 'Overload ladder' in
+                              docs/SERVICE.md)
 
 client OPTIONS (submit a deck to a running daemon):
     --addr <HOST:PORT>        daemon address (default 127.0.0.1:7878)
@@ -341,6 +356,14 @@ client OPTIONS (submit a deck to a running daemon):
     --deadline-ms <N>         per-job wall-clock budget in milliseconds
                               (a server-reported failure exits with the
                               same code a local run would)
+    --retries <N>             retry a refused connection or `busy` reply up
+                              to N extra times with exponential backoff
+                              (default 0 = fail on the first refusal)
+    --retry-base-ms <N>       backoff base; attempt k sleeps base<<k ms
+                              before reconnecting (default 100)
+    --stats                   print the daemon's stats snapshot as
+                              `key: value` lines (combinable with a deck
+                              run and/or --shutdown)
     --shutdown                ask the daemon to drain and exit afterwards;
                               without a deck, sends only the shutdown
 
@@ -548,6 +571,18 @@ fn parse_positive(value: &str, flag: &str) -> CliResult<usize> {
     Ok(n)
 }
 
+fn parse_nonnegative(value: &str, flag: &str) -> CliResult<usize> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: bad count '{value}'")))
+}
+
+fn parse_millis(value: &str, flag: &str) -> CliResult<u64> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: bad millisecond count '{value}'")))
+}
+
 fn parse_serve_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command> {
     let mut config = exi_serve::ServeConfig::default();
     while let Some(arg) = it.next() {
@@ -577,6 +612,59 @@ fn parse_serve_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command>
                     .map_err(|_| CliError::Usage(format!("--plan-cache: bad count '{v}'")))?;
                 config.plan_cache_capacity = (n > 0).then_some(n);
             }
+            "--max-unknowns" => {
+                config.budget.max_unknowns =
+                    parse_positive(next_value(it, "--max-unknowns")?, "--max-unknowns")?
+            }
+            "--max-est-nnz" => {
+                config.budget.max_est_nnz =
+                    parse_positive(next_value(it, "--max-est-nnz")?, "--max-est-nnz")?
+            }
+            "--max-declared-steps" => {
+                config.budget.max_declared_steps = parse_positive(
+                    next_value(it, "--max-declared-steps")?,
+                    "--max-declared-steps",
+                )?
+            }
+            "--max-inflight-unknowns" => {
+                config.max_inflight_unknowns = parse_nonnegative(
+                    next_value(it, "--max-inflight-unknowns")?,
+                    "--max-inflight-unknowns",
+                )?
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline_ms = parse_millis(
+                    next_value(it, "--default-deadline-ms")?,
+                    "--default-deadline-ms",
+                )?
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms =
+                    parse_millis(next_value(it, "--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms =
+                    parse_millis(next_value(it, "--idle-timeout-ms")?, "--idle-timeout-ms")?
+            }
+            "--write-stall-ms" => {
+                config.write_stall_ms =
+                    parse_millis(next_value(it, "--write-stall-ms")?, "--write-stall-ms")?
+            }
+            "--respawn-limit" => {
+                config.respawn_limit =
+                    parse_positive(next_value(it, "--respawn-limit")?, "--respawn-limit")?
+            }
+            "--shed-after-ms" => {
+                let shed =
+                    parse_millis(next_value(it, "--shed-after-ms")?, "--shed-after-ms")?.max(1);
+                // Keep the ladder ordered when only the first rung is tuned.
+                config.overload.shed_after_ms = shed;
+                config.overload.cancel_after_ms = config.overload.cancel_after_ms.max(shed);
+                config.overload.drain_after_ms = config
+                    .overload
+                    .drain_after_ms
+                    .max(config.overload.cancel_after_ms);
+            }
             "--error-format" => {
                 ErrorFormat::parse(next_value(it, "--error-format")?)?;
             }
@@ -594,10 +682,12 @@ fn parse_client_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command
     let mut deck: Option<PathBuf> = None;
     let mut config = ClientConfig::default();
     let mut output = None;
+    let mut stats = false;
     let mut shutdown = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => config.addr = next_value(it, "--addr")?.clone(),
+            "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             "--method" => config.method = parse_method(next_value(it, "--method")?)?,
             "--out" => config.format = OutputFormat::parse(next_value(it, "--out")?)?,
@@ -619,6 +709,16 @@ fn parse_client_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command
                     CliError::Usage(format!("--deadline-ms: bad millisecond count '{v}'"))
                 })?);
             }
+            "--retries" => {
+                let v = next_value(it, "--retries")?;
+                config.retries = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--retries: bad count '{v}'")))?;
+            }
+            "--retry-base-ms" => {
+                config.retry_base_ms =
+                    parse_millis(next_value(it, "--retry-base-ms")?, "--retry-base-ms")?.max(1);
+            }
             "--error-format" => {
                 ErrorFormat::parse(next_value(it, "--error-format")?)?;
             }
@@ -635,15 +735,17 @@ fn parse_client_args(it: &mut std::slice::Iter<'_, String>) -> CliResult<Command
             }
         }
     }
-    if deck.is_none() && !shutdown {
+    if deck.is_none() && !shutdown && !stats {
         return Err(CliError::Usage(
-            "client: missing <deck.sp> path (or --shutdown for a shutdown-only request)".into(),
+            "client: missing <deck.sp> path (or --shutdown / --stats for a deckless request)"
+                .into(),
         ));
     }
     Ok(Command::Client(ClientCommand {
         deck,
         config,
         output,
+        stats,
         shutdown,
     }))
 }
@@ -753,6 +855,10 @@ pub fn execute(command: &Command, status: &mut dyn Write) -> CliResult<()> {
                         run_client(deck, &client.config, status)?;
                     }
                 }
+            }
+            if client.stats {
+                let stats = fetch_stats(&client.config.addr)?;
+                write_stats(&stats, status)?;
             }
             if client.shutdown {
                 shutdown_server(&client.config.addr)?;
@@ -1017,7 +1123,9 @@ mod tests {
         for bad in [
             vec!["client"],
             vec!["client", "deck.sp", "--decimate", "0"],
+            vec!["client", "deck.sp", "--retries", "many"],
             vec!["serve", "--queue", "zero"],
+            vec!["serve", "--read-timeout-ms", "soon"],
             vec!["serve", "deck.sp"],
         ] {
             match parse_args(&s(&bad)) {
@@ -1025,6 +1133,128 @@ mod tests {
                 other => panic!("{bad:?}: expected usage error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn hardening_flags_parse() {
+        let cmd = parse_args(&s(&[
+            "serve",
+            "--max-declared-steps",
+            "1000",
+            "--max-inflight-unknowns",
+            "0",
+            "--default-deadline-ms",
+            "250",
+            "--read-timeout-ms",
+            "200",
+            "--idle-timeout-ms",
+            "0",
+            "--write-stall-ms",
+            "100",
+            "--respawn-limit",
+            "2",
+            "--shed-after-ms",
+            "50",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { config } => {
+                assert_eq!(config.budget.max_declared_steps, 1000);
+                assert_eq!(config.max_inflight_unknowns, 0);
+                assert_eq!(config.default_deadline_ms, 250);
+                assert_eq!(config.read_timeout_ms, 200);
+                assert_eq!(config.idle_timeout_ms, 0);
+                assert_eq!(config.write_stall_ms, 100);
+                assert_eq!(config.respawn_limit, 2);
+                assert_eq!(config.overload.shed_after_ms, 50);
+                // Tuning only the first rung keeps the ladder ordered.
+                assert!(config.overload.shed_after_ms <= config.overload.cancel_after_ms);
+                assert!(config.overload.cancel_after_ms <= config.overload.drain_after_ms);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&s(&[
+            "client",
+            "deck.sp",
+            "--retries",
+            "3",
+            "--retry-base-ms",
+            "5",
+            "--stats",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client(client) => {
+                assert_eq!(client.config.retries, 3);
+                assert_eq!(client.config.retry_base_ms, 5);
+                assert!(client.stats);
+                assert!(!client.shutdown);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A stats-only invocation needs no deck.
+        match parse_args(&s(&["client", "--stats", "--addr", "127.0.0.1:9100"])).unwrap() {
+            Command::Client(client) => {
+                assert_eq!(client.deck, None);
+                assert!(client.stats);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Retry exhaustion against an address nothing listens on is a
+    /// deterministic i/o failure: every attempt is refused, the backoff is
+    /// bounded, and the exit code is the i/o code (5).
+    #[test]
+    fn client_retry_exhaustion_exits_with_the_io_code() {
+        // Bind to get a port the kernel just proved free, then release it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let dir = scratch("retry-exhaustion");
+        let deck = dir.join("rc.sp");
+        std::fs::write(
+            &deck,
+            "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1f\n.tran 1p 50p\n.print v(out)\n",
+        )
+        .unwrap();
+        let code = run_main(&s(&[
+            "client",
+            deck.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--retries",
+            "2",
+            "--retry-base-ms",
+            "1",
+        ]));
+        assert_eq!(code, 5, "exhausted retries surface the refused connection");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `client --stats` against a live daemon prints the hardening counters
+    /// as stable `key: value` lines.
+    #[test]
+    fn client_stats_prints_hardening_counters() {
+        let server = exi_serve::Server::bind(exi_serve::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+        let command =
+            parse_args(&s(&["client", "--stats", "--shutdown", "--addr", &addr])).unwrap();
+        let mut out = Vec::new();
+        execute(&command, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for line in [
+            "jobs_rejected_budget: 0",
+            "workers_respawned: 0",
+            "connections_reaped: 0",
+            "write_stalls: 0",
+            "overload_stage: 0",
+        ] {
+            assert!(text.contains(line), "missing '{line}' in:\n{text}");
+        }
+        assert!(text.contains("shutdown requested"), "{text}");
+        daemon.join().unwrap();
     }
 
     #[test]

@@ -8,8 +8,9 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use exi_serve::{Client, ClientError, RunEnd, RunRequest, ServeConfig, Server};
+use exi_serve::{Client, ClientError, RunEnd, RunRequest, ServeConfig, Server, ServerStats};
 
 use crate::{CliError, CliResult, OutputFormat};
 
@@ -33,6 +34,12 @@ pub struct ClientConfig {
     pub deadline_ms: Option<u64>,
     /// Job id; `None` derives one from the deck file name.
     pub id: Option<String>,
+    /// Extra attempts after a refused connection or a `busy` reply
+    /// (0 = fail on the first refusal, the default).
+    pub retries: u32,
+    /// Base backoff in milliseconds; attempt `k` sleeps `base << k` before
+    /// reconnecting (deterministic, no jitter).
+    pub retry_base_ms: u64,
 }
 
 impl Default for ClientConfig {
@@ -46,6 +53,8 @@ impl Default for ClientConfig {
             chunk_rows: None,
             deadline_ms: None,
             id: None,
+            retries: 0,
+            retry_base_ms: 100,
         }
     }
 }
@@ -57,33 +66,20 @@ fn remote_error(class: String, message: String) -> CliError {
     CliError::Remote { class, message }
 }
 
-/// Runs `deck_path` on the daemon at [`ClientConfig::addr`], writing the
-/// streamed waveform to `waveform`. Returns the number of data rows.
-///
-/// # Errors
-///
-/// [`CliError::Io`] for connection/socket failures, [`CliError::Remote`]
-/// for job failures reported by the daemon (carrying the server's error
-/// class), [`CliError::Deck`] for `busy`/shutdown rejections and protocol
-/// violations.
-pub fn run_client(
-    deck_path: &Path,
+/// One connect-and-submit attempt (the unit [`run_client`]'s retry loop
+/// repeats).
+fn attempt_run(
+    deck_text: &str,
+    id: &str,
     config: &ClientConfig,
     waveform: &mut dyn Write,
-) -> CliResult<usize> {
-    let deck_text = std::fs::read_to_string(deck_path)?;
-    let id = config.id.clone().unwrap_or_else(|| {
-        deck_path
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "job".to_string())
-    });
+) -> CliResult<RunEnd> {
     let mut client = Client::connect(config.addr.as_str())?;
-    let end = client
+    client
         .run_streaming(
             RunRequest {
-                id,
-                deck: deck_text,
+                id: id.to_string(),
+                deck: deck_text.to_string(),
                 method: config.method,
                 probes: config.probes.clone(),
                 decimate: config.decimate,
@@ -96,7 +92,59 @@ pub fn run_client(
         .map_err(|e| match e {
             ClientError::Io(e) => CliError::Io(e),
             other => CliError::Deck(other.to_string()),
-        })?;
+        })
+}
+
+/// The deterministic backoff before retry attempt `attempt` (0-based):
+/// `retry_base_ms << attempt`, saturating.
+fn backoff_delay(config: &ClientConfig, attempt: u32) -> Duration {
+    Duration::from_millis(config.retry_base_ms.saturating_mul(1u64 << attempt.min(16)))
+}
+
+/// Runs `deck_path` on the daemon at [`ClientConfig::addr`], writing the
+/// streamed waveform to `waveform`. Returns the number of data rows.
+///
+/// With [`ClientConfig::retries`] > 0, a refused connection or a `busy`
+/// reply is retried with exponential backoff (`retry_base_ms << attempt`,
+/// reconnecting each time). Both happen strictly before any waveform bytes
+/// arrive, so a retry can never duplicate output; failures after streaming
+/// starts are never retried.
+///
+/// # Errors
+///
+/// [`CliError::Io`] for connection/socket failures, [`CliError::Remote`]
+/// for job failures reported by the daemon (carrying the server's error
+/// class), [`CliError::Deck`] for `busy`/`rejected`/shutdown refusals and
+/// protocol violations.
+pub fn run_client(
+    deck_path: &Path,
+    config: &ClientConfig,
+    waveform: &mut dyn Write,
+) -> CliResult<usize> {
+    let deck_text = std::fs::read_to_string(deck_path)?;
+    let id = config.id.clone().unwrap_or_else(|| {
+        deck_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "job".to_string())
+    });
+    let mut attempt: u32 = 0;
+    let end = loop {
+        match attempt_run(&deck_text, &id, config, waveform) {
+            Err(CliError::Io(e))
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && attempt < config.retries =>
+            {
+                std::thread::sleep(backoff_delay(config, attempt));
+                attempt += 1;
+            }
+            Ok(RunEnd::Busy) if attempt < config.retries => {
+                std::thread::sleep(backoff_delay(config, attempt));
+                attempt += 1;
+            }
+            other => break other,
+        }
+    }?;
     match end {
         RunEnd::Done { rows, .. } => Ok(rows),
         RunEnd::Cancelled {
@@ -108,13 +156,70 @@ pub fn run_client(
             format!("job cancelled ({reason}) at t={at_time} after {rows} rows"),
         )),
         RunEnd::Failed { class, message } => Err(remote_error(class, message)),
-        RunEnd::Busy => Err(CliError::Deck(
-            "server busy: job queue is full, try again later".to_string(),
-        )),
+        RunEnd::Busy => Err(CliError::Deck(if config.retries > 0 {
+            format!(
+                "server busy: job queue is full ({} attempts exhausted)",
+                config.retries + 1
+            )
+        } else {
+            "server busy: job queue is full, try again later".to_string()
+        })),
+        RunEnd::Rejected { reason, message } => Err(CliError::Deck(format!(
+            "server rejected the job ({reason}): {message}"
+        ))),
         RunEnd::ShuttingDown => Err(CliError::Deck(
             "server is shutting down and did not accept the job".to_string(),
         )),
     }
+}
+
+/// Fetches a [`ServerStats`] snapshot from the daemon at `addr`.
+///
+/// # Errors
+///
+/// [`CliError::Io`] for connection failures, [`CliError::Deck`] for
+/// protocol violations.
+pub fn fetch_stats(addr: &str) -> CliResult<ServerStats> {
+    let mut client = Client::connect(addr)?;
+    client.stats().map_err(|e| match e {
+        ClientError::Io(e) => CliError::Io(e),
+        other => CliError::Deck(other.to_string()),
+    })
+}
+
+/// Renders a [`ServerStats`] snapshot as stable `key: value` lines (the
+/// `exi-cli client --stats` output; scripts grep these).
+///
+/// # Errors
+///
+/// Propagates write failures on `out`.
+pub fn write_stats(stats: &ServerStats, out: &mut dyn Write) -> CliResult<()> {
+    writeln!(out, "jobs_accepted: {}", stats.jobs_accepted)?;
+    writeln!(out, "jobs_completed: {}", stats.jobs_completed)?;
+    writeln!(out, "jobs_failed: {}", stats.jobs_failed)?;
+    writeln!(out, "jobs_cancelled: {}", stats.jobs_cancelled)?;
+    writeln!(out, "jobs_rejected: {}", stats.jobs_rejected)?;
+    writeln!(out, "jobs_rejected_budget: {}", stats.jobs_rejected_budget)?;
+    writeln!(out, "jobs_shed_overload: {}", stats.jobs_shed_overload)?;
+    writeln!(
+        out,
+        "jobs_cancelled_overload: {}",
+        stats.jobs_cancelled_overload
+    )?;
+    writeln!(out, "workers_respawned: {}", stats.workers_respawned)?;
+    writeln!(out, "connections_reaped: {}", stats.connections_reaped)?;
+    writeln!(out, "write_stalls: {}", stats.write_stalls)?;
+    writeln!(out, "overload_transitions: {}", stats.overload_transitions)?;
+    writeln!(out, "overload_stage: {}", stats.overload_stage)?;
+    writeln!(out, "queue_depth: {}", stats.queue_depth)?;
+    writeln!(out, "queue_capacity: {}", stats.queue_capacity)?;
+    writeln!(out, "workers: {}", stats.workers)?;
+    writeln!(out, "accepted_steps: {}", stats.accepted_steps)?;
+    writeln!(out, "symbolic_analyses: {}", stats.symbolic_analyses)?;
+    writeln!(out, "shared_symbolic_hits: {}", stats.shared_symbolic_hits)?;
+    writeln!(out, "plan_compilations: {}", stats.plan_compilations)?;
+    writeln!(out, "shared_plan_hits: {}", stats.shared_plan_hits)?;
+    Ok(())
 }
 
 /// Boots an `exi-serve` daemon in-process and blocks until a client sends a
@@ -170,6 +275,9 @@ pub struct ClientCommand {
     pub config: ClientConfig,
     /// Waveform destination; `None` writes to stdout.
     pub output: Option<PathBuf>,
+    /// Print the daemon's [`ServerStats`] snapshot (after the run, if a
+    /// deck was given; before `--shutdown`, if both are set).
+    pub stats: bool,
     /// Send a graceful-shutdown request after the run (or on its own when
     /// no deck is given).
     pub shutdown: bool,

@@ -91,9 +91,75 @@ pub fn arm(label: &str, spec: FaultSpec) {
 }
 
 /// Disarms every label and uninstalls the calling thread's active fault.
+///
+/// The armed map is process-global, so calling this from an integration
+/// test wipes faults armed by concurrently running tests. Prefer
+/// [`FaultGuard`], which removes only its own labels.
 pub fn clear_all() {
     *armed_lock() = None;
     uninstall();
+}
+
+/// Disarms `label` only, leaving every other armed fault in place.
+pub fn disarm(label: &str) {
+    if let Some(map) = armed_lock().as_mut() {
+        map.remove(label);
+    }
+}
+
+/// Scoped fault arming: arms labels on construction, disarms exactly those
+/// labels (and uninstalls the calling thread's slot) on drop.
+///
+/// This fixes the [`clear_all`] footgun — the armed map is process-global,
+/// so a test that cleared *everything* on exit would race with faults armed
+/// by concurrently running tests. A guard only ever touches the labels it
+/// armed itself:
+///
+/// ```
+/// # #[cfg(feature = "fault-injection")] {
+/// use exi_sim::fault::{FaultGuard, FaultSpec};
+/// let _guard = FaultGuard::arm(
+///     "job-3",
+///     FaultSpec { panic_at_step: Some(2), ..FaultSpec::default() },
+/// )
+/// .also(
+///     "job-5",
+///     FaultSpec { singular_unknown: Some((1, 0)), ..FaultSpec::default() },
+/// );
+/// // faults armed for "job-3" / "job-5" until `_guard` drops
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultGuard {
+    labels: Vec<String>,
+}
+
+impl FaultGuard {
+    /// Arms `spec` for `label` and returns a guard that will disarm it.
+    #[must_use = "faults disarm when the guard drops"]
+    pub fn arm(label: &str, spec: FaultSpec) -> FaultGuard {
+        arm(label, spec);
+        FaultGuard {
+            labels: vec![label.to_string()],
+        }
+    }
+
+    /// Arms an additional label under the same guard.
+    #[must_use = "faults disarm when the guard drops"]
+    pub fn also(mut self, label: &str, spec: FaultSpec) -> FaultGuard {
+        arm(label, spec);
+        self.labels.push(label.to_string());
+        self
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        for label in &self.labels {
+            disarm(label);
+        }
+        uninstall();
+    }
 }
 
 /// Installs the fault armed for `label` (if any) on the calling thread,
@@ -192,8 +258,13 @@ fn zero_row_col(g: &mut exi_sparse::CsrMatrix, r: usize) {
 mod tests {
     use super::*;
 
+    // The armed map is process-global and `clear_all` wipes it; serialize
+    // the tests that touch it so they cannot disarm each other mid-flight.
+    static MAP_TESTS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn install_is_label_keyed_and_thread_local() {
+        let _serial = MAP_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         clear_all();
         arm(
             "job-a",
@@ -209,6 +280,45 @@ mod tests {
         assert!(handle.join().unwrap());
         clear_all();
         assert!(!install("job-a"));
+    }
+
+    #[test]
+    fn guard_disarms_only_its_own_labels() {
+        let _serial = MAP_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        arm(
+            "guard-outside",
+            FaultSpec {
+                krylov_breakdown: Some(1),
+                ..FaultSpec::default()
+            },
+        );
+        {
+            let _guard = FaultGuard::arm(
+                "guard-a",
+                FaultSpec {
+                    nan_f: Some((1, 0)),
+                    ..FaultSpec::default()
+                },
+            )
+            .also(
+                "guard-b",
+                FaultSpec {
+                    panic_at_step: Some(1),
+                    ..FaultSpec::default()
+                },
+            );
+            assert!(install("guard-a"));
+            uninstall();
+            assert!(install("guard-b"));
+            uninstall();
+        }
+        assert!(!install("guard-a"));
+        assert!(!install("guard-b"));
+        // A label armed outside the guard survives the guard's drop.
+        assert!(install("guard-outside"));
+        uninstall();
+        disarm("guard-outside");
+        assert!(!install("guard-outside"));
     }
 
     #[test]

@@ -85,6 +85,13 @@ pub enum RunEnd {
     },
     /// Backpressure: the queue was full.
     Busy,
+    /// Admission control refused the job before it could queue.
+    Rejected {
+        /// `"budget"`, `"inflight"`, `"overload"` or `"degraded"`.
+        reason: String,
+        /// Human-readable explanation of the refusal.
+        message: String,
+    },
     /// The server is shutting down and did not accept the job.
     ShuttingDown,
 }
@@ -209,6 +216,11 @@ impl Client {
             match self.recv()? {
                 Response::Accepted { .. } => {}
                 Response::Busy { id: busy_id, .. } if busy_id == id => return Ok(RunEnd::Busy),
+                Response::Rejected {
+                    id: rejected_id,
+                    reason,
+                    message,
+                } if rejected_id == id => return Ok(RunEnd::Rejected { reason, message }),
                 Response::ShuttingDown => return Ok(RunEnd::ShuttingDown),
                 Response::Chunk {
                     id: chunk_id,

@@ -31,6 +31,23 @@
 //!   `exi-cli client`.
 //! * [`stats`] — [`ServerStats`]: the consistent observability snapshot a
 //!   `stats` request returns (job counters, queue state, cache residency).
+//! * `wirefault` *(feature `wire-fault-injection`)* — deterministic
+//!   wire-level fault injection for chaos tests: truncated frames,
+//!   mid-stream disconnects, stalled readers, corrupted length lines, armed
+//!   per accepted connection.
+//!
+//! # Hardening
+//!
+//! The daemon assumes hostile tenants. Admission control estimates every
+//! deck's footprint against a [`JobBudget`] (and a server-wide in-flight
+//! unknown budget) before queueing; jobs that declare no deadline inherit
+//! the server default. A supervisor respawns workers that panic (bounded
+//! per window, then degraded mode) after attributing the failure to the
+//! offending job. Stalled or idle connections are reaped without occupying
+//! a worker, and a client that stops reading trips the write-stall deadline.
+//! Under sustained queue pressure an [`OverloadConfig`]-driven ladder sheds
+//! load in documented stages. `docs/SERVICE.md` covers limits, the ladder
+//! and the failure modes; `docs/ROBUSTNESS.md` covers the fault taxonomy.
 //!
 //! See `docs/SERVICE.md` for the protocol specification and operational
 //! notes.
@@ -81,11 +98,13 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+#[cfg(feature = "wire-fault-injection")]
+pub mod wirefault;
 
 pub use client::{Client, ClientError, RunEnd};
 pub use protocol::{
     method_name, parse_method, read_frame, write_frame, FrameError, Request, Response, RunRequest,
 };
 pub use queue::{JobQueue, PushError};
-pub use server::{ServeConfig, Server};
+pub use server::{JobBudget, OverloadConfig, ServeConfig, Server};
 pub use stats::ServerStats;

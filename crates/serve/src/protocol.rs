@@ -332,6 +332,17 @@ pub enum Response {
         /// The queue's capacity.
         queue_capacity: usize,
     },
+    /// Admission control refused the job before it touched the queue.
+    Rejected {
+        /// The refused job id.
+        id: String,
+        /// Machine-readable refusal class: `"budget"` (per-job footprint),
+        /// `"inflight"` (server-wide in-flight budget), `"overload"`
+        /// (shedding ladder), or `"degraded"` (no workers left).
+        reason: String,
+        /// Human-readable detail (which limit, measured vs allowed).
+        message: String,
+    },
     /// A slice of waveform rows, in simulation order.
     Chunk {
         /// The job id.
@@ -418,6 +429,17 @@ impl Response {
                 ("type", s("busy")),
                 ("id", s(id)),
                 ("queue_capacity", n(*queue_capacity)),
+            ])
+            .dump(),
+            Response::Rejected {
+                id,
+                reason,
+                message,
+            } => obj(vec![
+                ("type", s("rejected")),
+                ("id", s(id)),
+                ("reason", s(reason)),
+                ("message", s(message)),
             ])
             .dump(),
             Response::Chunk {
@@ -527,6 +549,19 @@ impl Response {
             "busy" => Ok(Response::Busy {
                 id: id(&v)?,
                 queue_capacity: count(&v, "queue_capacity")?,
+            }),
+            "rejected" => Ok(Response::Rejected {
+                id: id(&v)?,
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or("rejected: missing 'reason'")?
+                    .to_string(),
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or("rejected: missing 'message'")?
+                    .to_string(),
             }),
             "chunk" => {
                 let columns = match v.get("columns") {
@@ -737,6 +772,11 @@ mod tests {
             Response::Busy {
                 id: "j".to_string(),
                 queue_capacity: 16,
+            },
+            Response::Rejected {
+                id: "j".to_string(),
+                reason: "budget".to_string(),
+                message: "declared steps 60000 exceed budget 1000".to_string(),
             },
             Response::Chunk {
                 id: "j".to_string(),

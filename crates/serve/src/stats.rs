@@ -25,6 +25,26 @@ pub struct ServerStats {
     pub jobs_cancelled: u64,
     /// `run` requests bounced with `busy` because the queue was full.
     pub jobs_rejected: u64,
+    /// `run` requests refused at admission by the per-job or in-flight
+    /// footprint budget (`rejected{reason: "budget" | "inflight"}`).
+    pub jobs_rejected_budget: u64,
+    /// `run` requests shed by the overload ladder or refused while degraded
+    /// (`rejected{reason: "overload" | "degraded"}`).
+    pub jobs_shed_overload: u64,
+    /// Running jobs cancelled by the overload ladder (stages 2–3).
+    pub jobs_cancelled_overload: u64,
+    /// Worker threads respawned by the supervisor after a panic.
+    pub workers_respawned: u64,
+    /// Connections closed by the read/idle timeout reaper.
+    pub connections_reaped: u64,
+    /// Frame writes abandoned because the client stalled past the
+    /// write-stall deadline.
+    pub write_stalls: u64,
+    /// Overload-ladder stage changes since boot (escalations and
+    /// de-escalations both count).
+    pub overload_transitions: u64,
+    /// Current overload-ladder stage: 0 normal, 1 shed, 2 cancel, 3 drain.
+    pub overload_stage: usize,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// The queue's capacity (backpressure threshold).
@@ -85,6 +105,32 @@ impl ServerStats {
             ("jobs_failed", Json::Num(self.jobs_failed as f64)),
             ("jobs_cancelled", Json::Num(self.jobs_cancelled as f64)),
             ("jobs_rejected", Json::Num(self.jobs_rejected as f64)),
+            (
+                "jobs_rejected_budget",
+                Json::Num(self.jobs_rejected_budget as f64),
+            ),
+            (
+                "jobs_shed_overload",
+                Json::Num(self.jobs_shed_overload as f64),
+            ),
+            (
+                "jobs_cancelled_overload",
+                Json::Num(self.jobs_cancelled_overload as f64),
+            ),
+            (
+                "workers_respawned",
+                Json::Num(self.workers_respawned as f64),
+            ),
+            (
+                "connections_reaped",
+                Json::Num(self.connections_reaped as f64),
+            ),
+            ("write_stalls", Json::Num(self.write_stalls as f64)),
+            (
+                "overload_transitions",
+                Json::Num(self.overload_transitions as f64),
+            ),
+            ("overload_stage", n(self.overload_stage)),
             ("queue_depth", n(self.queue_depth)),
             ("queue_capacity", n(self.queue_capacity)),
             ("workers", n(self.workers)),
@@ -106,6 +152,14 @@ impl ServerStats {
             jobs_failed: v.get("jobs_failed")?.as_u64()?,
             jobs_cancelled: v.get("jobs_cancelled")?.as_u64()?,
             jobs_rejected: v.get("jobs_rejected")?.as_u64()?,
+            jobs_rejected_budget: v.get("jobs_rejected_budget")?.as_u64()?,
+            jobs_shed_overload: v.get("jobs_shed_overload")?.as_u64()?,
+            jobs_cancelled_overload: v.get("jobs_cancelled_overload")?.as_u64()?,
+            workers_respawned: v.get("workers_respawned")?.as_u64()?,
+            connections_reaped: v.get("connections_reaped")?.as_u64()?,
+            write_stalls: v.get("write_stalls")?.as_u64()?,
+            overload_transitions: v.get("overload_transitions")?.as_u64()?,
+            overload_stage: v.get("overload_stage")?.as_u64()? as usize,
             queue_depth: v.get("queue_depth")?.as_u64()? as usize,
             queue_capacity: v.get("queue_capacity")?.as_u64()? as usize,
             workers: v.get("workers")?.as_u64()? as usize,
@@ -132,6 +186,14 @@ mod tests {
             jobs_failed: 1,
             jobs_cancelled: 1,
             jobs_rejected: 2,
+            jobs_rejected_budget: 3,
+            jobs_shed_overload: 4,
+            jobs_cancelled_overload: 1,
+            workers_respawned: 2,
+            connections_reaped: 5,
+            write_stalls: 1,
+            overload_transitions: 6,
+            overload_stage: 1,
             queue_depth: 3,
             queue_capacity: 16,
             workers: 4,

@@ -1,0 +1,281 @@
+//! The chaos acceptance test (features `fault-injection` +
+//! `wire-fault-injection`): one server per worker count, hostile
+//! connections with armed wire faults, a raw socket that dies mid-frame, a
+//! job whose solver panics mid-run — all concurrent with honest clients.
+//! Every *unfaulted* job must stream a waveform bit-identical to a clean
+//! server's, the panicked worker must be respawned, and the server must
+//! drain cleanly on shutdown.
+//!
+//! Wire faults are armed per accept index, so the hostile connections are
+//! opened serially (kernel accept order is FIFO); the honest clients connect
+//! afterwards and concurrently, on indices with nothing armed.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use exi_serve::wirefault::{self, WireFaultSpec};
+use exi_serve::{Client, Request, Response, RunEnd, RunRequest, ServeConfig, Server, ServerStats};
+use exi_sim::fault::{self, FaultSpec};
+use exi_sim::Method;
+
+/// The CLI golden-fixture RC lowpass: ~3 unknowns, finishes in milliseconds.
+const RC_DECK: &str = "Vin in 0 PULSE(0 1 0 10p 10p 200p)\n\
+                       R1 in out 1k\n\
+                       C1 out 0 1f\n\
+                       .tran 1p 500p\n\
+                       .print v(out)\n";
+
+/// A long run (clamped `h_max`, 60000 declared steps) whose stream is long
+/// enough for a mid-stream wire fault to land deterministically.
+const SLOW_DECK: &str = "Vin in 0 PULSE(0 1 0 10p 10p 200p)\n\
+                         R1 in out 1k\n\
+                         C1 out 0 1f\n\
+                         .tran 1p 60000p 1p\n\
+                         .print v(out)\n";
+
+fn boot(config: ServeConfig) -> (SocketAddr, JoinHandle<ServerStats>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn request(deck: &str, id: &str) -> RunRequest {
+    RunRequest {
+        id: id.to_string(),
+        deck: deck.to_string(),
+        method: Method::ExponentialRosenbrock,
+        probes: Vec::new(),
+        decimate: 1,
+        chunk_rows: None,
+        deadline_ms: Some(60_000),
+    }
+}
+
+fn poll_stats(
+    addr: SocketAddr,
+    timeout: Duration,
+    pred: impl Fn(&ServerStats) -> bool,
+) -> ServerStats {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let mut client = Client::connect(addr).expect("connect for stats");
+        let stats = client.stats().expect("stats");
+        if pred(&stats) || Instant::now() >= deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The reference waveform from a clean, unfaulted server.
+fn clean_reference() -> Vec<u8> {
+    let (addr, daemon) = boot(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut bytes = Vec::new();
+    let end = client
+        .run_streaming(request(RC_DECK, "reference"), &mut bytes, ',')
+        .expect("reference run");
+    assert!(matches!(end, RunEnd::Done { .. }), "got {end:?}");
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("join");
+    bytes
+}
+
+/// One full chaos round against a server with `workers` workers.
+fn chaos_round(workers: usize, reference: &[u8]) {
+    // Fresh fault state; accept indices restart at 1 on each new server.
+    wirefault::clear_all();
+    fault::clear_all();
+    // Connection 1: its second request arrives with a corrupted length line.
+    wirefault::arm(
+        1,
+        WireFaultSpec {
+            corrupt_len_line: Some(2),
+            ..WireFaultSpec::default()
+        },
+    );
+    // Connection 2: the reader stalls past the idle deadline — reaper bait.
+    wirefault::arm(
+        2,
+        WireFaultSpec {
+            stall_read_ms: Some((1, 700)),
+            ..WireFaultSpec::default()
+        },
+    );
+    // Connection 3: the socket hard-closes at server write 5 (mid-stream).
+    wirefault::arm(
+        3,
+        WireFaultSpec {
+            disconnect_at_write: Some(5),
+            ..WireFaultSpec::default()
+        },
+    );
+    // Connection 4: server write 4 is truncated to 10 bytes, then closed.
+    wirefault::arm(
+        4,
+        WireFaultSpec {
+            truncate_write: Some((4, 10)),
+            ..WireFaultSpec::default()
+        },
+    );
+    // Solver fault: the job with this id panics before accepted step 3.
+    fault::arm(
+        "chaos-panic",
+        FaultSpec {
+            panic_at_step: Some(3),
+            ..FaultSpec::default()
+        },
+    );
+
+    let (addr, daemon) = boot(ServeConfig {
+        workers,
+        read_timeout_ms: 1_000,
+        idle_timeout_ms: 400,
+        ..ServeConfig::default()
+    });
+
+    // -- Hostile connections, serially, pinning accept indices 1..=6. --
+
+    // 1: a ping round-trips, then the corrupted length line draws
+    // `protocol_error` and a close.
+    let mut corrupt = Client::connect(addr).expect("connect 1");
+    corrupt.ping().expect("ping before the corrupted frame");
+    corrupt.send(&Request::Ping).expect("send into corruption");
+    match corrupt.recv().expect("protocol_error frame") {
+        Response::ProtocolError { message } => {
+            assert!(message.contains("fault injection"), "message: {message}")
+        }
+        other => panic!("expected protocol_error, got {other:?}"),
+    }
+
+    // 2: never gets to send; the server-side stall outlives the idle
+    // deadline and the reaper takes the connection.
+    let _stalled = TcpStream::connect(addr).expect("connect 2");
+
+    // 3 and 4: streaming victims. Submit with 1-row chunks so the armed
+    // write number lands within milliseconds, and read only the acceptance —
+    // the fault then kills the stream while the job is mid-run.
+    let mut victims = Vec::new();
+    for (index, id) in [(3, "wire-victim-disconnect"), (4, "wire-victim-truncate")] {
+        let mut victim = Client::connect(addr).expect("connect victim");
+        let mut run = request(SLOW_DECK, id);
+        run.chunk_rows = Some(1);
+        victim.send(&Request::Run(run)).expect("send run");
+        match victim
+            .recv()
+            .unwrap_or_else(|e| panic!("accept {index}: {e}"))
+        {
+            Response::Accepted { id: accepted, .. } => assert_eq!(accepted, id),
+            other => panic!("expected accepted on {index}, got {other:?}"),
+        }
+        victims.push(victim);
+    }
+
+    // 5: a raw peer that starts a valid frame and dies mid-payload.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect 5");
+        raw.write_all(b"100\n{\"type\":\"ru")
+            .expect("truncated frame");
+        raw.shutdown(Shutdown::Write).expect("half-close");
+    }
+
+    // 6: the job whose solver panics; the supervisor must attribute the
+    // failure to this id and respawn the worker.
+    let mut panicker = Client::connect(addr).expect("connect 6");
+    let end = panicker
+        .run_streaming(request(RC_DECK, "chaos-panic"), &mut Vec::new(), ',')
+        .expect("panic job round-trip");
+    let RunEnd::Failed { class, message } = end else {
+        panic!("expected failed, got {end:?}");
+    };
+    // `run_streaming` only returns frames whose id matches "chaos-panic",
+    // so receiving this Failed end IS the attribution.
+    assert_eq!(class, "internal");
+    assert!(message.contains("panicked"), "panic report: {message}");
+
+    // -- Honest clients, concurrent, on unarmed accept indices. --
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect honest");
+                    let mut bytes = Vec::new();
+                    let end = client
+                        .run_streaming(
+                            request(RC_DECK, &format!("honest-{workers}w-{i}")),
+                            &mut bytes,
+                            ',',
+                        )
+                        .expect("honest run");
+                    assert!(matches!(end, RunEnd::Done { .. }), "got {end:?}");
+                    bytes
+                })
+            })
+            .collect();
+        for handle in handles {
+            let bytes = handle.join().expect("honest client");
+            assert_eq!(
+                String::from_utf8(bytes).unwrap(),
+                String::from_utf8(reference.to_vec()).unwrap(),
+                "an unfaulted job must stream bytes identical to a clean server's"
+            );
+        }
+    });
+
+    // Every injected failure is visible in the counters.
+    let stats = poll_stats(addr, Duration::from_secs(60), |s| {
+        s.workers_respawned >= 1 && s.connections_reaped >= 1 && s.jobs_cancelled >= 2
+    });
+    assert!(stats.workers_respawned >= 1, "stats: {stats:?}");
+    assert!(stats.connections_reaped >= 1, "stats: {stats:?}");
+    assert!(
+        stats.jobs_cancelled >= 2,
+        "both wire victims observe a dead client and stop: {stats:?}"
+    );
+    assert_eq!(stats.workers, workers);
+
+    // Clean drain: the daemon exits on shutdown with coherent final
+    // counters — 4 honest completions, exactly the panicked job failed.
+    drop(victims);
+    Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    let stats = daemon.join().expect("join");
+    assert_eq!(stats.jobs_completed, 4, "stats: {stats:?}");
+    assert_eq!(stats.jobs_failed, 1, "stats: {stats:?}");
+    assert_eq!(stats.jobs_cancelled, 2, "stats: {stats:?}");
+    assert!(stats.workers_respawned >= 1, "stats: {stats:?}");
+
+    wirefault::clear_all();
+    fault::clear_all();
+}
+
+/// The acceptance criterion of this PR: under concurrent socket faults and
+/// a worker panic, unfaulted jobs are bit-identical to a clean run and the
+/// server drains cleanly — at 1 worker and at 8.
+#[test]
+fn chaos_leaves_unfaulted_jobs_bit_identical_and_drains_cleanly() {
+    // Watchdog: a wedged drain must fail the test run, not hang CI.
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(240));
+            if !finished.load(Ordering::SeqCst) {
+                eprintln!("chaos test wedged past 240s; aborting");
+                std::process::exit(124);
+            }
+        });
+    }
+
+    let reference = clean_reference();
+    for workers in [1usize, 8] {
+        chaos_round(workers, &reference);
+    }
+    finished.store(true, Ordering::SeqCst);
+}

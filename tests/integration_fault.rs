@@ -7,8 +7,10 @@
 //! circuit node). Plus: NaN injection is rescued by the recovery ladder,
 //! and Krylov breakdowns surface as typed, non-retryable errors.
 //!
-//! Labels are unique per test: the armed-fault map is process-global, so
-//! tests must not call `fault::clear_all` (they run concurrently).
+//! Labels are unique per test, and each test arms its faults through a
+//! scoped [`fault::FaultGuard`]: the armed-fault map is process-global and
+//! tests run concurrently, so a guard that disarms only its own labels on
+//! drop (never `fault::clear_all`) keeps them independent.
 
 use exi_netlist::generators::{rc_ladder, RcLadderSpec};
 use exi_netlist::Circuit;
@@ -72,14 +74,14 @@ fn injected_panic_and_singularity_leave_six_jobs_bit_identical() {
     assert!(clean.all_ok(), "{:?}", clean.stats);
     let clean_waves: Vec<Wave> = clean.jobs.iter().map(recorded_wave).collect();
 
-    fault::arm(
+    let _faults = fault::FaultGuard::arm(
         "iso-3",
         fault::FaultSpec {
             panic_at_step: Some(3),
             ..fault::FaultSpec::default()
         },
-    );
-    fault::arm(
+    )
+    .also(
         "iso-5",
         fault::FaultSpec {
             // First DC evaluation: G loses row+col 2, i.e. node 'n2'.
@@ -138,7 +140,7 @@ fn injected_panic_and_singularity_leave_six_jobs_bit_identical() {
 /// escalation.
 #[test]
 fn nan_injection_is_rescued_by_the_recovery_ladder() {
-    fault::arm(
+    let _faults = fault::FaultGuard::arm(
         "nan-solo",
         fault::FaultSpec {
             // Device evaluation 10 is mid-transient for these options.
@@ -166,14 +168,13 @@ fn nan_injection_is_rescued_by_the_recovery_ladder() {
         .expect("the ladder rescues the injected NaN");
     assert!(result.times.len() > 2);
     assert!(sim.session_stats().recovery_attempts >= 1);
-    fault::uninstall();
 }
 
 /// An injected Krylov basis breakdown surfaces as a typed kernel error —
 /// and is *not* retryable: the ladder must not mask kernel bugs.
 #[test]
 fn krylov_breakdown_is_typed_and_not_retried() {
-    fault::arm(
+    let _faults = fault::FaultGuard::arm(
         "kry-solo",
         fault::FaultSpec {
             krylov_breakdown: Some(2),
@@ -192,14 +193,13 @@ fn krylov_breakdown_is_typed_and_not_retried() {
         0,
         "kernel errors must not be retried"
     );
-    fault::uninstall();
 }
 
 /// Arming a label affects only jobs carrying that label — a batch whose
 /// labels never match runs clean even with faults armed process-wide.
 #[test]
 fn unmatched_labels_are_unaffected_by_armed_faults() {
-    fault::arm(
+    let _faults = fault::FaultGuard::arm(
         "never-installed",
         fault::FaultSpec {
             panic_at_step: Some(1),
