@@ -1,0 +1,150 @@
+//! Criterion bench for the value-lane engine: the same eight-corner
+//! same-fingerprint RC-mesh sweep executed (a) as a scalar one-worker batch
+//! (shared symbolic cache, one session per job), (b) lane-coalesced through
+//! [`BatchRunner`] at widths 2/4/8, and (c) directly through [`LaneRunner`]
+//! (no batch scheduling overhead). Backward Euler throughout — the implicit
+//! path is the one that rides `refactorize_lanes`; ER lanes intentionally
+//! fall back to sequential scalar sessions.
+//!
+//! Set `LANE_SWEEP_SMOKE=1` to shrink the mesh and sample counts for CI
+//! smoke runs; the printed `lanes-vs-scalar` ratio is the artifact CI keeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exi_netlist::generators::{rc_mesh, RcMeshSpec};
+use exi_netlist::Circuit;
+use exi_sim::{BatchJob, BatchPlan, BatchRunner, LanePolicy, LaneRunner, Method, TransientOptions};
+use std::time::Instant;
+
+const JOBS: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var_os("LANE_SWEEP_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn mesh_side() -> usize {
+    if smoke() {
+        8
+    } else {
+        20
+    }
+}
+
+fn sweep_options() -> TransientOptions {
+    TransientOptions {
+        t_stop: 3e-10,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        error_budget: 1e-3,
+        ..TransientOptions::default()
+    }
+}
+
+/// Eight same-fingerprint corners: tiny drive-amplitude perturbations keep
+/// every lane bitwise distinct (no dedup shortcut in the refactorization
+/// pass) while staying deep inside the lockstep regime (no detaches).
+fn corner_circuits(side: usize) -> Vec<Circuit> {
+    (0..JOBS)
+        .map(|k| {
+            rc_mesh(&RcMeshSpec {
+                rows: side,
+                cols: side,
+                amplitude: 1.0 + 1e-4 * k as f64,
+                ..RcMeshSpec::default()
+            })
+            .expect("mesh builds")
+        })
+        .collect()
+}
+
+fn sweep_plan(side: usize) -> BatchPlan {
+    let mut plan = BatchPlan::new();
+    for (k, circuit) in corner_circuits(side).into_iter().enumerate() {
+        plan.push(
+            BatchJob::new(
+                format!("corner{k}"),
+                circuit,
+                Method::BackwardEuler,
+                sweep_options(),
+            )
+            .probe(format!("m_{}_{}", side - 1, side - 1)),
+        );
+    }
+    plan
+}
+
+fn bench_lane_sweep(c: &mut Criterion) {
+    let side = mesh_side();
+    let plan = sweep_plan(side);
+    let probe = format!("m_{}_{}", side - 1, side - 1);
+    let mut group = c.benchmark_group("lane_sweep");
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    // Scalar batch: one worker, shared caches, one session per corner.
+    group.bench_function("scalar_batch_1_worker", |b| {
+        b.iter(|| {
+            let result = BatchRunner::new().worker_threads(1).run(&plan);
+            assert!(result.all_ok());
+            result
+        })
+    });
+
+    for width in [2usize, 4, 8] {
+        group.bench_function(format!("lane_batch_width_{width}"), |b| {
+            b.iter(|| {
+                let result = BatchRunner::new()
+                    .worker_threads(1)
+                    .lane_policy(LanePolicy::Fixed(width))
+                    .run(&plan);
+                assert!(result.all_ok());
+                assert!(result.stats.lane_batches > 0);
+                result
+            })
+        });
+    }
+
+    // LaneRunner without batch scheduling: the raw engine ceiling.
+    let circuits = corner_circuits(side);
+    let refs: Vec<&Circuit> = circuits.iter().collect();
+    let options = sweep_options();
+    group.bench_function("lane_runner_direct_k8", |b| {
+        b.iter(|| {
+            let batch = LaneRunner::new(&refs).expect("same fingerprint").transient(
+                Method::BackwardEuler,
+                &options,
+                &[&probe],
+            );
+            assert!(batch.lanes.iter().all(Result::is_ok));
+            batch
+        })
+    });
+
+    group.finish();
+
+    // The lanes-vs-scalar throughput ratio CI archives: one timed run each,
+    // after the criterion passes above have warmed everything.
+    let scalar = {
+        let start = Instant::now();
+        let result = BatchRunner::new().worker_threads(1).run(&plan);
+        assert!(result.all_ok());
+        start.elapsed().as_secs_f64()
+    };
+    let laned = {
+        let start = Instant::now();
+        let result = BatchRunner::new()
+            .worker_threads(1)
+            .lane_policy(LanePolicy::Fixed(8))
+            .run(&plan);
+        assert!(result.all_ok());
+        start.elapsed().as_secs_f64()
+    };
+    println!(
+        "lane_sweep/lanes-vs-scalar: {:.2}x (scalar {:.3} s, lanes(8) {:.3} s, \
+         {side}x{side} mesh, {JOBS} corners)",
+        scalar / laned.max(1e-9),
+        scalar,
+        laned,
+    );
+}
+
+criterion_group!(benches, bench_lane_sweep);
+criterion_main!(benches);

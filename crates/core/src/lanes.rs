@@ -1,0 +1,1346 @@
+//! Batched **value-lane** engine: one symbolic analysis, one compiled plan,
+//! `K` parameter corners advanced in lockstep.
+//!
+//! A [`LaneRunner`] takes `K` circuits with the **same**
+//! [`circuit_fingerprint`] — identical topology and device values, different
+//! source waveforms — and drives all of them through one Newton/step-control
+//! state machine. Per iteration it restamps every lane, deduplicates
+//! bitwise-identical Jacobians, refactorizes the distinct values in a single
+//! pass over the shared factor pattern
+//! ([`LaneFactors::refactorize_lanes`](exi_sparse::LaneFactors)), and back-
+//! substitutes all `K` right-hand sides while the factor is hot
+//! ([`solve_lanes`](exi_sparse::LaneFactors::solve_lanes)).
+//!
+//! # The bit-identity contract
+//!
+//! Every lane's waveform is **bit-identical** to the same circuit run through
+//! a standalone scalar [`Simulator`]. The drivers below replay the exact
+//! floating-point operation sequence of
+//! [`dc_operating_point_internal`](crate::dc) and the implicit stepper's
+//! `advance_step` — same residual expression, same voltage limiting, same
+//! LTE predictor, same step-control arithmetic — so lockstep execution is an
+//! *instruction schedule* change, never a numeric one.
+//!
+//! # The detach contract
+//!
+//! Lockstep only holds while every lane takes the same control path. The
+//! moment a lane disagrees with the batch — its clamped step differs (a
+//! private breakpoint), its Newton iteration diverges where the leader's
+//! converged (or vice versa), its LTE verdict differs, its Jacobian pattern
+//! leaves the shared symbolic analysis, or its frozen-pivot refactorization
+//! fails where the scalar ladder would re-pivot — the lane **detaches**: it
+//! leaves the lockstep group and is re-run start-to-finish on the scalar
+//! path against the batch's shared [`SymbolicCache`] and [`PlanCache`]. The
+//! rerun *is* the scalar reference, so a detached lane is still bit-identical
+//! to its isolated run; detaching costs time, never correctness. Each detach
+//! increments [`RunStats::lane_detaches`].
+//!
+//! Deterministic failures whose scalar outcome is already decided at the
+//! point of disagreement (step-size underflow, Newton exhaustion at `h_min`,
+//! a non-finite accepted state) are returned directly as that lane's error —
+//! no rerun, and no detach counted.
+//!
+//! # Statistics
+//!
+//! The batch-level [`RunStats`] returned in [`LaneBatchResult::stats`] /
+//! [`LaneDcResult::stats`] is the authoritative account of all work done,
+//! including any detach reruns. Lockstep control decisions (accepted and
+//! rejected steps) are counted once per batch, not once per lane; per-lane
+//! work (device evaluations, Newton updates, linear solves) is summed over
+//! lanes. Per-lane [`TransientResult::stats`] are left empty for lanes that
+//! completed in lockstep (the batch figure is not divisible); a detached
+//! lane carries its own scalar rerun's statistics.
+
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use exi_netlist::{circuit_fingerprint, Circuit, EvalPlan, Evaluation};
+use exi_sparse::{
+    vector, CsrMatrix, FactorSource, LaneFactors, LaneVec, LaneWorkspace, LuOptions, LuWorkspace,
+    SparseError, SymbolicCache, LANE_DETACHED,
+};
+
+use crate::dc::DcSolution;
+use crate::engines::{clamp_step, prepare, reached_end, resolve_probes};
+use crate::error::{SimError, SimResult};
+use crate::observer::{Observer, RecordingObserver};
+use crate::options::{DcOptions, TransientOptions};
+use crate::output::TransientResult;
+use crate::session::{PlanCache, Simulator};
+use crate::stats::RunStats;
+use crate::transient::Method;
+
+/// How a batch scheduler coalesces same-fingerprint jobs into lane batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LanePolicy {
+    /// Never form lane batches; every job runs on the scalar path. This is
+    /// the default: lane batching changes scheduling (one symbolic claimant
+    /// per group, shared stepping), so callers opt in explicitly.
+    #[default]
+    Off,
+    /// Coalesce same-fingerprint jobs into batches of up to
+    /// [`LanePolicy::AUTO_WIDTH`] lanes.
+    Auto,
+    /// Coalesce into batches of exactly this width (the last batch of a
+    /// group may be narrower). `Fixed(0)` behaves like [`LanePolicy::Off`];
+    /// `Fixed(1)` exercises the lane path with single-lane batches.
+    Fixed(usize),
+}
+
+impl LanePolicy {
+    /// Lane width used by [`LanePolicy::Auto`].
+    pub const AUTO_WIDTH: usize = 8;
+
+    /// Maximum lanes per batch under this policy, or `None` when lane
+    /// batching is disabled.
+    pub fn max_width(self) -> Option<usize> {
+        match self {
+            LanePolicy::Off | LanePolicy::Fixed(0) => None,
+            LanePolicy::Auto => Some(Self::AUTO_WIDTH),
+            LanePolicy::Fixed(k) => Some(k),
+        }
+    }
+
+    /// `true` when this policy never forms lane batches.
+    pub fn is_off(self) -> bool {
+        self.max_width().is_none()
+    }
+}
+
+impl FromStr for LanePolicy {
+    type Err = String;
+
+    /// Parses the CLI surface: `off`, `auto`, or a lane count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(LanePolicy::Off),
+            "auto" => Ok(LanePolicy::Auto),
+            other => other
+                .parse::<usize>()
+                .map(LanePolicy::Fixed)
+                .map_err(|_| format!("expected 'auto', 'off' or a lane count, got '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for LanePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LanePolicy::Off => write!(f, "off"),
+            LanePolicy::Auto => write!(f, "auto"),
+            LanePolicy::Fixed(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// Per-lane DC solutions plus the batch-level statistics.
+#[derive(Debug)]
+pub struct LaneDcResult {
+    /// One result per input circuit, in input order.
+    pub lanes: Vec<SimResult<DcSolution>>,
+    /// Authoritative statistics for the whole batch (lockstep work plus any
+    /// detach reruns).
+    pub stats: RunStats,
+}
+
+/// Per-lane transient results plus the batch-level statistics.
+#[derive(Debug)]
+pub struct LaneBatchResult {
+    /// One result per input circuit, in input order.
+    pub lanes: Vec<SimResult<TransientResult>>,
+    /// Authoritative statistics for the whole batch (lockstep work plus any
+    /// detach reruns).
+    pub stats: RunStats,
+}
+
+/// Drives `K` same-fingerprint circuits through one shared solver state
+/// machine (see the [module docs](self)).
+pub struct LaneRunner<'c> {
+    circuits: Vec<&'c Circuit>,
+    shared: Arc<SymbolicCache>,
+    plans: Arc<PlanCache>,
+}
+
+impl<'c> LaneRunner<'c> {
+    /// Creates a runner over `circuits`, which must be non-empty and share
+    /// one [`circuit_fingerprint`] (same topology and device values; only
+    /// source waveforms may differ).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidOptions`] when the batch is empty or fingerprints
+    /// disagree.
+    pub fn new(circuits: &[&'c Circuit]) -> SimResult<Self> {
+        if circuits.is_empty() {
+            return Err(SimError::InvalidOptions {
+                message: "a lane batch needs at least one circuit".to_string(),
+            });
+        }
+        let fp = circuit_fingerprint(circuits[0]);
+        for (lane, ckt) in circuits.iter().enumerate().skip(1) {
+            if circuit_fingerprint(ckt) != fp {
+                return Err(SimError::InvalidOptions {
+                    message: format!(
+                        "lane {lane} has a different circuit fingerprint than lane 0; \
+                         lane batches require identical topology and device values"
+                    ),
+                });
+            }
+        }
+        Ok(LaneRunner {
+            circuits: circuits.to_vec(),
+            shared: Arc::new(SymbolicCache::new()),
+            plans: Arc::new(PlanCache::new()),
+        })
+    }
+
+    /// Uses `shared` for symbolic analyses instead of a private cache, so
+    /// the batch's single analysis is pooled with other sessions.
+    pub fn with_shared_symbolic(mut self, shared: Arc<SymbolicCache>) -> Self {
+        self.shared = shared;
+        self
+    }
+
+    /// Uses `cache` for compiled evaluation plans instead of a private one.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plans = cache;
+        self
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Computes every lane's DC operating point in lockstep.
+    ///
+    /// Lanes that leave lockstep (see the [module docs](self)) are re-run on
+    /// the scalar path against the shared caches; their per-lane `Result` is
+    /// exactly what an isolated scalar solve would produce.
+    pub fn dc(&self, options: &DcOptions) -> LaneDcResult {
+        let mut stats = RunStats::new();
+        stats.lane_batches += 1;
+        let plan = match self.acquire_plan(&mut stats) {
+            Ok(plan) => plan,
+            Err(e) => return self.dc_all_failed(e, stats),
+        };
+        let started = Instant::now();
+        let include = vec![true; self.circuits.len()];
+        let outcomes = dc_lockstep(
+            &self.circuits,
+            &plan,
+            options,
+            &self.shared,
+            &mut stats,
+            &include,
+        );
+        stats.runtime += started.elapsed();
+        let lanes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(lane, outcome)| match outcome {
+                LaneOutcome::Done(solution) => Ok(solution),
+                LaneOutcome::Failed(e) => Err(e.attributed(self.circuits[lane])),
+                LaneOutcome::Detached => {
+                    let mut sim = Simulator::with_shared_symbolic(
+                        self.circuits[lane],
+                        Arc::clone(&self.shared),
+                    )
+                    .with_plan_cache(Arc::clone(&self.plans));
+                    let result = sim.dc_with(options);
+                    stats.absorb(sim.session_stats());
+                    result
+                }
+                LaneOutcome::Pending => unreachable!("lockstep driver resolved every lane"),
+            })
+            .collect();
+        LaneDcResult { lanes, stats }
+    }
+
+    /// Runs every lane's transient analysis.
+    ///
+    /// The implicit methods ([`Method::BackwardEuler`],
+    /// [`Method::Trapezoidal`]) step all lanes in lockstep; the exponential
+    /// methods run the lanes sequentially through scalar sessions sharing
+    /// this batch's symbolic and plan caches (the Krylov recurrences are
+    /// value-dependent, so there is no shared factor pass to batch — the
+    /// shared-cache reuse is still worth the grouping).
+    pub fn transient(
+        &self,
+        method: Method,
+        options: &TransientOptions,
+        probe_names: &[&str],
+    ) -> LaneBatchResult {
+        let mut stats = RunStats::new();
+        stats.lane_batches += 1;
+        if let Err(e) = options.validate() {
+            return self.transient_all_failed(e, stats);
+        }
+        let plan = match self.acquire_plan(&mut stats) {
+            Ok(plan) => plan,
+            Err(e) => return self.transient_all_failed(e, stats),
+        };
+        let theta = match method {
+            Method::BackwardEuler => 1.0,
+            Method::Trapezoidal => 0.5,
+            Method::ExponentialRosenbrock | Method::ExponentialRosenbrockCorrected => {
+                return self.transient_sequential(method, options, probe_names, stats);
+            }
+        };
+
+        // Scalar sessions resolve probes before anything else; mirror that
+        // order so a bad probe name fails a lane without starting its DC.
+        let k = self.circuits.len();
+        let mut probes = Vec::with_capacity(k);
+        let mut include = vec![false; k];
+        for (lane, ckt) in self.circuits.iter().enumerate() {
+            match resolve_probes(ckt, probe_names) {
+                Ok(p) => {
+                    include[lane] = true;
+                    probes.push(Ok(p));
+                }
+                Err(e) => probes.push(Err(e)),
+            }
+        }
+
+        let started = Instant::now();
+        let dc_options = DcOptions {
+            ordering: options.ordering,
+            ..DcOptions::default()
+        };
+        let dc_outcomes = dc_lockstep(
+            &self.circuits,
+            &plan,
+            &dc_options,
+            &self.shared,
+            &mut stats,
+            &include,
+        );
+
+        let mut observers: Vec<RecordingObserver> = Vec::with_capacity(k);
+        let mut init: Vec<LaneOutcome<Vec<f64>>> = Vec::with_capacity(k);
+        for (lane, outcome) in dc_outcomes.into_iter().enumerate() {
+            match &probes[lane] {
+                Ok(p) => observers.push(RecordingObserver::new(
+                    p.clone(),
+                    options.record_full_states,
+                )),
+                Err(_) => observers.push(RecordingObserver::new(Vec::new(), false)),
+            }
+            init.push(match probes[lane].as_ref() {
+                Err(e) => LaneOutcome::Failed(e.clone()),
+                Ok(_) => match outcome {
+                    LaneOutcome::Done(solution) => LaneOutcome::Done(solution.state),
+                    LaneOutcome::Detached => LaneOutcome::Detached,
+                    LaneOutcome::Failed(e) => LaneOutcome::Failed(e),
+                    LaneOutcome::Pending => unreachable!("lockstep driver resolved every lane"),
+                },
+            });
+        }
+
+        let outcomes = implicit_lockstep(
+            &self.circuits,
+            &plan,
+            theta,
+            options,
+            init,
+            &mut observers,
+            &self.shared,
+            &mut stats,
+        );
+        stats.runtime += started.elapsed();
+
+        let lanes = outcomes
+            .into_iter()
+            .zip(observers)
+            .enumerate()
+            .map(|(lane, (outcome, observer))| match outcome {
+                LaneOutcome::Done(()) => Ok(observer.into_result()),
+                LaneOutcome::Failed(e) => Err(e.attributed(self.circuits[lane])),
+                LaneOutcome::Detached => {
+                    self.rerun_scalar(lane, method, options, probe_names, &mut stats)
+                }
+                LaneOutcome::Pending => unreachable!("lockstep driver resolved every lane"),
+            })
+            .collect();
+        LaneBatchResult { lanes, stats }
+    }
+
+    /// Scalar rerun of one lane against the batch's shared caches — the
+    /// detach path, bit-identical to an isolated run by the pivot-order
+    /// stability contract.
+    fn rerun_scalar(
+        &self,
+        lane: usize,
+        method: Method,
+        options: &TransientOptions,
+        probe_names: &[&str],
+        stats: &mut RunStats,
+    ) -> SimResult<TransientResult> {
+        let mut sim =
+            Simulator::with_shared_symbolic(self.circuits[lane], Arc::clone(&self.shared))
+                .with_plan_cache(Arc::clone(&self.plans));
+        let result = sim.transient(method, options, probe_names);
+        stats.absorb(sim.session_stats());
+        result
+    }
+
+    /// ER/ER-C lanes: sequential scalar sessions over the shared caches.
+    fn transient_sequential(
+        &self,
+        method: Method,
+        options: &TransientOptions,
+        probe_names: &[&str],
+        mut stats: RunStats,
+    ) -> LaneBatchResult {
+        let lanes = (0..self.circuits.len())
+            .map(|lane| self.rerun_scalar(lane, method, options, probe_names, &mut stats))
+            .collect();
+        LaneBatchResult { lanes, stats }
+    }
+
+    /// Fetches (or compiles) the one evaluation plan every lane shares,
+    /// mirroring the scalar session's cache accounting.
+    fn acquire_plan(&self, stats: &mut RunStats) -> SimResult<Arc<EvalPlan>> {
+        let (plan, compiled, waited) = self.plans.get_or_compile_timed(self.circuits[0])?;
+        stats.cache_wait += waited;
+        if compiled {
+            stats.plan_compilations += 1;
+        } else {
+            stats.shared_plan_hits += 1;
+        }
+        Ok(plan)
+    }
+
+    fn dc_all_failed(&self, e: SimError, stats: RunStats) -> LaneDcResult {
+        LaneDcResult {
+            lanes: self
+                .circuits
+                .iter()
+                .map(|ckt| Err(e.clone().attributed(ckt)))
+                .collect(),
+            stats,
+        }
+    }
+
+    fn transient_all_failed(&self, e: SimError, stats: RunStats) -> LaneBatchResult {
+        LaneBatchResult {
+            lanes: self
+                .circuits
+                .iter()
+                .map(|ckt| Err(e.clone().attributed(ckt)))
+                .collect(),
+            stats,
+        }
+    }
+}
+
+/// Where a lane stands relative to the lockstep group.
+#[derive(Debug)]
+enum LaneOutcome<T> {
+    /// Still stepping in lockstep.
+    Pending,
+    /// Finished on the lockstep path.
+    Done(T),
+    /// Left lockstep; must be re-run on the scalar path.
+    Detached,
+    /// Failed with an error the scalar path would produce identically.
+    Failed(SimError),
+}
+
+fn attached_lanes<T>(out: &[LaneOutcome<T>]) -> Vec<usize> {
+    out.iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o, LaneOutcome::Pending))
+        .map(|(lane, _)| lane)
+        .collect()
+}
+
+fn detach<T>(out: &mut [LaneOutcome<T>], lane: usize, stats: &mut RunStats) {
+    out[lane] = LaneOutcome::Detached;
+    stats.lane_detaches += 1;
+}
+
+/// Bitwise equality of two matrices — pattern and values. `==` on `f64`
+/// would conflate `-0.0` with `+0.0` and lose NaN payloads; value
+/// deduplication must be exact or "shared factor" silently becomes "wrong
+/// factor" for one lane.
+fn same_matrix_bits(a: &CsrMatrix, b: &CsrMatrix) -> bool {
+    a.rows() == b.rows()
+        && a.indptr() == b.indptr()
+        && a.indices() == b.indices()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Acquires a shared symbolic analysis for `mat` through the pool, mirroring
+/// the scalar `refresh_lu` rung-3 statistics, and wraps it in a fresh
+/// [`LaneFactors`] sized for `lanes` value lanes.
+fn acquire_factors(
+    shared: &SymbolicCache,
+    mat: &CsrMatrix,
+    lu_options: &LuOptions,
+    lanes: usize,
+    lu_ws: &mut LuWorkspace,
+    stats: &mut RunStats,
+) -> SimResult<LaneFactors> {
+    let (lu, source, wait) = shared.factorize_timed(mat, lu_options, lu_ws)?;
+    stats.lu_factorizations += 1;
+    stats.cache_wait += wait.blocked;
+    stats.shared_symbolic_wait_events += wait.events;
+    match source {
+        FactorSource::Shared => {
+            stats.lu_refactorizations += 1;
+            stats.shared_symbolic_hits += 1;
+        }
+        FactorSource::Analyzed => stats.symbolic_analyses += 1,
+    }
+    if let Some(budget) = lu_options.fill_budget {
+        if lu.fill() > budget {
+            return Err(SimError::Sparse(SparseError::FillBudgetExceeded {
+                reached: lu.fill(),
+                budget,
+            }));
+        }
+    }
+    Ok(LaneFactors::new(lu.shared_symbolic(), lanes, lu_options))
+}
+
+/// Outcome of one shared refactorize-and-solve round: per-lane Newton
+/// updates for every lane that stayed attached through it.
+///
+/// Deduplicates bitwise-identical matrices to representative lanes, keeps
+/// the shared symbolic analysis in sync with the leader's pattern (leader =
+/// lowest attached lane), refactorizes each distinct value set in one lane
+/// pass and back-substitutes every right-hand side. Lanes whose pattern or
+/// values fall outside the shared analysis detach; an unusable leader
+/// pattern fails the leader (the scalar path would fail identically) and
+/// detaches the rest.
+#[allow(clippy::too_many_arguments)]
+fn lane_solve_round<T>(
+    out: &mut [LaneOutcome<T>],
+    round: &[usize],
+    round_mats: &[&CsrMatrix],
+    round_rhs: &[&[f64]],
+    factors: &mut Option<LaneFactors>,
+    shared: &SymbolicCache,
+    lu_options: &LuOptions,
+    lanes_total: usize,
+    rhs_lanes: &mut LaneVec,
+    delta_lanes: &mut LaneVec,
+    lane_ws: &mut LaneWorkspace,
+    lu_ws: &mut LuWorkspace,
+    stats: &mut RunStats,
+) -> Vec<usize> {
+    debug_assert_eq!(round.len(), round_mats.len());
+    debug_assert_eq!(round.len(), round_rhs.len());
+    let mut reps: Vec<usize> = Vec::new();
+    let mut lane_map = vec![LANE_DETACHED; lanes_total];
+    for (idx, &lane) in round.iter().enumerate() {
+        match reps
+            .iter()
+            .position(|&r| same_matrix_bits(round_mats[r], round_mats[idx]))
+        {
+            Some(pos) => lane_map[lane] = pos,
+            None => {
+                lane_map[lane] = reps.len();
+                reps.push(idx);
+            }
+        }
+    }
+    let leader_mat = round_mats[reps[0]];
+    let need = match factors.as_ref() {
+        Some(f) => !f.symbolic().matches_pattern(leader_mat),
+        None => true,
+    };
+    if need {
+        match acquire_factors(shared, leader_mat, lu_options, lanes_total, lu_ws, stats) {
+            Ok(f) => *factors = Some(f),
+            Err(e) => {
+                let leader = round[reps[0]];
+                out[leader] = LaneOutcome::Failed(e);
+                for &lane in round {
+                    if lane != leader {
+                        detach(out, lane, stats);
+                    }
+                }
+                return Vec::new();
+            }
+        }
+    }
+    let factors = factors.as_mut().expect("lane factors acquired");
+    let rep_mats: Vec<&CsrMatrix> = reps.iter().map(|&r| round_mats[r]).collect();
+    let refactor = factors.refactorize_lanes(&rep_mats, lane_ws);
+    stats.lane_refactorization_passes += 1;
+    stats.lu_factorizations += reps.len();
+    stats.lu_refactorizations += reps.len();
+    let mut solvable = Vec::with_capacity(round.len());
+    for (idx, &lane) in round.iter().enumerate() {
+        if refactor[lane_map[lane]].is_ok() {
+            rhs_lanes.load_lane(lane, round_rhs[idx]);
+            solvable.push(lane);
+        } else {
+            // The scalar ladder would re-pivot this lane from scratch;
+            // lockstep cannot, so the lane leaves the group.
+            detach(out, lane, stats);
+            lane_map[lane] = LANE_DETACHED;
+        }
+    }
+    if solvable.is_empty() {
+        return solvable;
+    }
+    if factors
+        .solve_lanes(rhs_lanes, &lane_map, delta_lanes, lane_ws)
+        .is_err()
+    {
+        for &lane in &solvable {
+            detach(out, lane, stats);
+        }
+        return Vec::new();
+    }
+    stats.linear_solves += solvable.len();
+    stats.lane_refactorization_lanes += solvable.len();
+    solvable
+}
+
+/// Lockstep mirror of the plain (no-homotopy) path of
+/// `dc_operating_point_internal`: same residual, damping-engagement test,
+/// voltage limiting and convergence arithmetic per lane. Lanes outside
+/// `include` come back [`LaneOutcome::Detached`] without counting a detach
+/// (the caller already resolved them).
+fn dc_lockstep(
+    circuits: &[&Circuit],
+    plan: &EvalPlan,
+    options: &DcOptions,
+    shared: &SymbolicCache,
+    stats: &mut RunStats,
+    include: &[bool],
+) -> Vec<LaneOutcome<DcSolution>> {
+    let k = circuits.len();
+    let n = circuits[0].num_unknowns();
+    let b = plan.input_matrix();
+    let lu_options = LuOptions {
+        ordering: options.ordering,
+        ..LuOptions::default()
+    };
+
+    let mut out: Vec<LaneOutcome<DcSolution>> = include
+        .iter()
+        .map(|&inc| {
+            if inc {
+                LaneOutcome::Pending
+            } else {
+                LaneOutcome::Detached
+            }
+        })
+        .collect();
+
+    let bu: Vec<Vec<f64>> = circuits
+        .iter()
+        .map(|ckt| b.mul_vec(&ckt.input_vector(0.0)))
+        .collect();
+    let mut x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut previous_residual = vec![f64::INFINITY; k];
+    let mut residual_norm = vec![0.0_f64; k];
+    let mut evals: Vec<Evaluation> = (0..k).map(|_| plan.new_evaluation()).collect();
+    let mut eval_ws = plan.new_workspace();
+    let mut rhs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut delta: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut rhs_lanes = LaneVec::zeros(n, k);
+    let mut delta_lanes = LaneVec::zeros(n, k);
+    let mut lane_ws = LaneWorkspace::new();
+    let mut lu_ws = LuWorkspace::new();
+    let mut factors: Option<LaneFactors> = None;
+
+    for iter in 1..=options.max_iterations {
+        let active = attached_lanes(&out);
+        if active.is_empty() {
+            break;
+        }
+        let mut round = Vec::with_capacity(active.len());
+        for &lane in &active {
+            match plan.evaluate_into(&x[lane], &mut eval_ws, &mut evals[lane]) {
+                Ok(restamped) => stats.restamped_entries += restamped,
+                Err(e) => {
+                    out[lane] = LaneOutcome::Failed(e.into());
+                    continue;
+                }
+            }
+            stats.device_evaluations += 1;
+            for i in 0..n {
+                rhs[lane][i] = bu[lane][i] - evals[lane].f[i];
+            }
+            let norm = vector::norm_inf(&rhs[lane]);
+            if !norm.is_finite() || norm > 10.0 * previous_residual[lane] {
+                // The scalar solver engages Levenberg damping here, which
+                // changes the Jacobian pattern — off the lockstep path.
+                detach(&mut out, lane, stats);
+                continue;
+            }
+            previous_residual[lane] = norm.min(previous_residual[lane]);
+            residual_norm[lane] = norm;
+            round.push(lane);
+        }
+        if round.is_empty() {
+            continue;
+        }
+        let round_mats: Vec<&CsrMatrix> = round.iter().map(|&lane| &evals[lane].g).collect();
+        let round_rhs: Vec<&[f64]> = round.iter().map(|&lane| rhs[lane].as_slice()).collect();
+        let solvable = lane_solve_round(
+            &mut out,
+            &round,
+            &round_mats,
+            &round_rhs,
+            &mut factors,
+            shared,
+            &lu_options,
+            k,
+            &mut rhs_lanes,
+            &mut delta_lanes,
+            &mut lane_ws,
+            &mut lu_ws,
+            stats,
+        );
+        for &lane in &solvable {
+            delta_lanes.store_lane(lane, &mut delta[lane]);
+            for d in delta[lane].iter_mut() {
+                if d.abs() > options.max_update {
+                    *d = options.max_update * d.signum();
+                }
+                if !d.is_finite() {
+                    *d = 0.0;
+                }
+            }
+            let update_norm = vector::norm_inf(&delta[lane]);
+            vector::axpy(1.0, &delta[lane], &mut x[lane]);
+            stats.newton_iterations += 1;
+            if update_norm < options.tolerance && residual_norm[lane].is_finite() {
+                match plan.evaluate_into(&x[lane], &mut eval_ws, &mut evals[lane]) {
+                    Ok(restamped) => stats.restamped_entries += restamped,
+                    Err(e) => {
+                        out[lane] = LaneOutcome::Failed(e.into());
+                        continue;
+                    }
+                }
+                stats.device_evaluations += 1;
+                let final_residual = vector::norm_inf(&vector::sub(&bu[lane], &evals[lane].f));
+                out[lane] = LaneOutcome::Done(DcSolution {
+                    state: x[lane].clone(),
+                    iterations: iter,
+                    residual: final_residual,
+                });
+            }
+        }
+    }
+    for outcome in out.iter_mut() {
+        if matches!(outcome, LaneOutcome::Pending) {
+            *outcome = LaneOutcome::Failed(SimError::NewtonDidNotConverge {
+                time: 0.0,
+                step: 0.0,
+                iterations: options.max_iterations,
+            });
+        }
+    }
+    out
+}
+
+/// Per-lane mutable state of the implicit lockstep driver.
+struct TransLane {
+    x: Vec<f64>,
+    xi: Vec<f64>,
+    u_k: Vec<f64>,
+    u_next: Vec<f64>,
+    bu_k: Vec<f64>,
+    bu_next: Vec<f64>,
+    residual: Vec<f64>,
+    delta: Vec<f64>,
+    eval_k: Evaluation,
+    eval_i: Evaluation,
+    jac: Option<CsrMatrix>,
+    prev_derivative: Option<Vec<f64>>,
+    breakpoints: Vec<f64>,
+    converged: bool,
+    broken: bool,
+    iters: usize,
+    lte: f64,
+}
+
+/// Lockstep mirror of `ImplicitStepper::advance_step` over `K` lanes.
+///
+/// The four consensus points — clamped step size, Newton convergence, LTE
+/// verdict, post-accept step growth — compare each lane against the leader
+/// (lowest attached lane); disagreeing lanes detach so the group's shared
+/// `t`/`h` trajectory always equals what each remaining lane's scalar run
+/// would have produced.
+#[allow(clippy::too_many_arguments)]
+fn implicit_lockstep(
+    circuits: &[&Circuit],
+    plan: &Arc<EvalPlan>,
+    theta: f64,
+    options: &TransientOptions,
+    init: Vec<LaneOutcome<Vec<f64>>>,
+    observers: &mut [RecordingObserver],
+    shared: &SymbolicCache,
+    stats: &mut RunStats,
+) -> Vec<LaneOutcome<()>> {
+    let k = circuits.len();
+    let n = circuits[0].num_unknowns();
+    let b = plan.input_matrix();
+    let input_dim = b.cols();
+    let lu_options = LuOptions {
+        ordering: options.ordering,
+        fill_budget: options.fill_budget,
+        ..LuOptions::default()
+    };
+
+    let mut out: Vec<LaneOutcome<()>> = Vec::with_capacity(k);
+    let mut lanes: Vec<TransLane> = Vec::with_capacity(k);
+    for (lane, state) in init.into_iter().enumerate() {
+        let (outcome, x0) = match state {
+            LaneOutcome::Done(x0) => match prepare(circuits[lane], options) {
+                Ok(breakpoints) => (LaneOutcome::Pending, Some((x0, breakpoints))),
+                Err(e) => (LaneOutcome::Failed(e), None),
+            },
+            LaneOutcome::Detached => (LaneOutcome::Detached, None),
+            LaneOutcome::Failed(e) => (LaneOutcome::Failed(e), None),
+            LaneOutcome::Pending => unreachable!("DC driver resolved every lane"),
+        };
+        out.push(outcome);
+        let (x0, breakpoints) = match x0 {
+            Some((x0, bps)) => (x0, bps),
+            None => (vec![0.0; n], Vec::new()),
+        };
+        lanes.push(TransLane {
+            x: x0,
+            xi: vec![0.0; n],
+            u_k: vec![0.0; input_dim],
+            u_next: vec![0.0; input_dim],
+            bu_k: vec![0.0; n],
+            bu_next: vec![0.0; n],
+            residual: vec![0.0; n],
+            delta: vec![0.0; n],
+            eval_k: plan.new_evaluation(),
+            eval_i: plan.new_evaluation(),
+            jac: None,
+            prev_derivative: None,
+            breakpoints,
+            converged: false,
+            broken: false,
+            iters: 0,
+            lte: 0.0,
+        });
+    }
+
+    let mut eval_ws = plan.new_workspace();
+    let mut rhs_lanes = LaneVec::zeros(n, k);
+    let mut delta_lanes = LaneVec::zeros(n, k);
+    let mut lane_ws = LaneWorkspace::new();
+    let mut lu_ws = LuWorkspace::new();
+    let mut factors: Option<LaneFactors> = None;
+
+    let mut t = 0.0_f64;
+    let mut h = options.h_init;
+
+    for &lane in &attached_lanes(&out) {
+        stats.observer_callbacks += 1;
+        observers[lane].on_dc(t, &lanes[lane].x);
+    }
+    if reached_end(t, options.t_stop) {
+        for lane in attached_lanes(&out) {
+            stats.observer_callbacks += 1;
+            observers[lane].on_finish(&lanes[lane].x, &RunStats::new());
+            out[lane] = LaneOutcome::Done(());
+        }
+        return out;
+    }
+
+    'outer: loop {
+        let attached = attached_lanes(&out);
+        if attached.is_empty() {
+            break;
+        }
+        // Step-start evaluation at the accepted state (scalar: top of
+        // advance_step, outside the retry loop — retries reuse it).
+        for &lane in &attached {
+            let l = &mut lanes[lane];
+            match plan.evaluate_into(&l.x, &mut eval_ws, &mut l.eval_k) {
+                Ok(restamped) => stats.restamped_entries += restamped,
+                Err(e) => {
+                    out[lane] = LaneOutcome::Failed(e.into());
+                    continue;
+                }
+            }
+            stats.device_evaluations += 1;
+            circuits[lane].input_vector_into(t, &mut l.u_k);
+            b.mul_vec_into(&l.u_k, &mut l.bu_k);
+        }
+
+        'retry: loop {
+            let attached = attached_lanes(&out);
+            if attached.is_empty() {
+                break 'outer;
+            }
+            // Consensus 1: the clamped step. Breakpoints are per-lane
+            // (waveform timing differs), so the clamp must agree bitwise.
+            let leader = attached[0];
+            let h_step = clamp_step(
+                t,
+                h.min(options.h_max),
+                options.t_stop,
+                &lanes[leader].breakpoints,
+            );
+            for &lane in &attached[1..] {
+                let h_lane = clamp_step(
+                    t,
+                    h.min(options.h_max),
+                    options.t_stop,
+                    &lanes[lane].breakpoints,
+                );
+                if h_lane.to_bits() != h_step.to_bits() {
+                    detach(&mut out, lane, stats);
+                }
+            }
+            let attached = attached_lanes(&out);
+            if h_step < options.h_min {
+                for &lane in &attached {
+                    out[lane] = LaneOutcome::Failed(SimError::StepSizeUnderflow {
+                        time: t,
+                        step: h_step,
+                    });
+                }
+                break 'outer;
+            }
+            for &lane in &attached {
+                let l = &mut lanes[lane];
+                circuits[lane].input_vector_into(t + h_step, &mut l.u_next);
+                b.mul_vec_into(&l.u_next, &mut l.bu_next);
+                l.xi.copy_from_slice(&l.x);
+                l.converged = false;
+                l.broken = false;
+                l.iters = 0;
+            }
+
+            // --- Newton–Raphson in lockstep. ---
+            let mut iterations = 0usize;
+            while iterations < options.newton_max_iterations {
+                let round: Vec<usize> = attached_lanes(&out)
+                    .into_iter()
+                    .filter(|&lane| !lanes[lane].converged && !lanes[lane].broken)
+                    .collect();
+                if round.is_empty() {
+                    break;
+                }
+                iterations += 1;
+                for &lane in &round {
+                    let l = &mut lanes[lane];
+                    match plan.evaluate_into(&l.xi, &mut eval_ws, &mut l.eval_i) {
+                        Ok(restamped) => stats.restamped_entries += restamped,
+                        Err(e) => {
+                            out[lane] = LaneOutcome::Failed(e.into());
+                            continue;
+                        }
+                    }
+                    stats.device_evaluations += 1;
+                    for i in 0..n {
+                        l.residual[i] = (l.eval_i.q[i] - l.eval_k.q[i]) / h_step
+                            + theta * (l.eval_i.f[i] - l.bu_next[i])
+                            + (1.0 - theta) * (l.eval_k.f[i] - l.bu_k[i]);
+                    }
+                    let combined = match l.jac.as_mut() {
+                        Some(jac) => CsrMatrix::linear_combination_into(
+                            1.0 / h_step,
+                            &l.eval_i.c,
+                            theta,
+                            &l.eval_i.g,
+                            jac,
+                        ),
+                        None => CsrMatrix::linear_combination(
+                            1.0 / h_step,
+                            &l.eval_i.c,
+                            theta,
+                            &l.eval_i.g,
+                        )
+                        .map(|jac| l.jac = Some(jac)),
+                    };
+                    if let Err(e) = combined {
+                        out[lane] = LaneOutcome::Failed(e.into());
+                    }
+                }
+                let round: Vec<usize> = round
+                    .into_iter()
+                    .filter(|&lane| matches!(out[lane], LaneOutcome::Pending))
+                    .collect();
+                if round.is_empty() {
+                    break;
+                }
+                let round_mats: Vec<&CsrMatrix> = round
+                    .iter()
+                    .map(|&lane| lanes[lane].jac.as_ref().expect("jac combined this round"))
+                    .collect();
+                let round_rhs: Vec<&[f64]> = round
+                    .iter()
+                    .map(|&lane| lanes[lane].residual.as_slice())
+                    .collect();
+                let solvable = lane_solve_round(
+                    &mut out,
+                    &round,
+                    &round_mats,
+                    &round_rhs,
+                    &mut factors,
+                    shared,
+                    &lu_options,
+                    k,
+                    &mut rhs_lanes,
+                    &mut delta_lanes,
+                    &mut lane_ws,
+                    &mut lu_ws,
+                    stats,
+                );
+                for &lane in &solvable {
+                    let l = &mut lanes[lane];
+                    delta_lanes.store_lane(lane, &mut l.delta);
+                    vector::scale(-1.0, &mut l.delta);
+                    let update = vector::norm_inf(&l.delta);
+                    vector::axpy(1.0, &l.delta, &mut l.xi);
+                    stats.newton_iterations += 1;
+                    if !update.is_finite() {
+                        l.broken = true;
+                        continue;
+                    }
+                    if update < options.newton_tolerance {
+                        l.converged = true;
+                        l.iters = iterations;
+                    }
+                }
+            }
+
+            // Consensus 2: Newton convergence. The leader's verdict decides
+            // whether the batch retries; lanes on the other side detach.
+            let attached = attached_lanes(&out);
+            if attached.is_empty() {
+                break 'outer;
+            }
+            let leader = attached[0];
+            if !lanes[leader].converged {
+                for &lane in &attached[1..] {
+                    if lanes[lane].converged {
+                        detach(&mut out, lane, stats);
+                    }
+                }
+                stats.rejected_steps += 1;
+                for &lane in &attached_lanes(&out) {
+                    stats.observer_callbacks += 1;
+                    observers[lane].on_step_rejected(t, h_step);
+                }
+                h *= options.shrink_factor;
+                if h < options.h_min {
+                    for lane in attached_lanes(&out) {
+                        out[lane] = LaneOutcome::Failed(SimError::NewtonDidNotConverge {
+                            time: t,
+                            step: h_step,
+                            iterations: options.newton_max_iterations,
+                        });
+                    }
+                    break 'outer;
+                }
+                continue 'retry;
+            }
+            for &lane in &attached[1..] {
+                if !lanes[lane].converged {
+                    detach(&mut out, lane, stats);
+                }
+            }
+
+            // Consensus 3: the LTE verdict (forward-Euler predictor).
+            let attached = attached_lanes(&out);
+            if attached.is_empty() {
+                break 'outer;
+            }
+            for &lane in &attached {
+                let l = &mut lanes[lane];
+                l.lte = match &l.prev_derivative {
+                    Some(dxdt) => {
+                        let mut err = 0.0_f64;
+                        for (i, d) in dxdt.iter().enumerate() {
+                            let predicted = l.x[i] + h_step * d;
+                            err = err.max((l.xi[i] - predicted).abs());
+                        }
+                        err * 0.5
+                    }
+                    None => 0.0,
+                };
+            }
+            let leader = attached[0];
+            let reject = |lte: f64| lte > options.error_budget && h_step > 2.0 * options.h_min;
+            let leader_rejects = reject(lanes[leader].lte);
+            for &lane in &attached[1..] {
+                if reject(lanes[lane].lte) != leader_rejects {
+                    detach(&mut out, lane, stats);
+                }
+            }
+            if leader_rejects {
+                stats.rejected_steps += 1;
+                for &lane in &attached_lanes(&out) {
+                    stats.observer_callbacks += 1;
+                    observers[lane].on_step_rejected(t, h_step);
+                }
+                h = h_step * options.shrink_factor;
+                continue 'retry;
+            }
+
+            // Accept the step on every remaining lane.
+            let attached = attached_lanes(&out);
+            if attached.is_empty() {
+                break 'outer;
+            }
+            for &lane in &attached {
+                let l = &mut lanes[lane];
+                let mut derivative = l.prev_derivative.take().unwrap_or_else(|| vec![0.0; n]);
+                for (i, d) in derivative.iter_mut().enumerate() {
+                    *d = (l.xi[i] - l.x[i]) / h_step;
+                }
+                l.prev_derivative = Some(derivative);
+                std::mem::swap(&mut l.x, &mut l.xi);
+            }
+            t += h_step;
+            for &lane in &attached {
+                if lanes[lane].x.iter().any(|v| !v.is_finite()) {
+                    out[lane] = LaneOutcome::Failed(SimError::NonFinite {
+                        time: t,
+                        device: None,
+                    });
+                }
+            }
+            let attached = attached_lanes(&out);
+            stats.accepted_steps += 1;
+            for &lane in &attached {
+                stats.observer_callbacks += 1;
+                observers[lane].on_step_accepted(t, &lanes[lane].x);
+            }
+            if attached.is_empty() {
+                break 'outer;
+            }
+
+            // Consensus 4: post-accept step growth (easy-step heuristic uses
+            // per-lane Newton counts and LTE).
+            let leader = attached[0];
+            let grows = |l: &TransLane| {
+                l.iters <= options.easy_step_threshold + 1 && l.lte < 0.5 * options.error_budget
+            };
+            let leader_grows = grows(&lanes[leader]);
+            for &lane in &attached[1..] {
+                if grows(&lanes[lane]) != leader_grows {
+                    detach(&mut out, lane, stats);
+                }
+            }
+            h = if leader_grows {
+                (h_step * options.growth_factor).min(options.h_max)
+            } else {
+                h_step
+            };
+
+            if reached_end(t, options.t_stop) {
+                for lane in attached_lanes(&out) {
+                    stats.observer_callbacks += 1;
+                    observers[lane].on_finish(&lanes[lane].x, &RunStats::new());
+                    out[lane] = LaneOutcome::Done(());
+                }
+                break 'outer;
+            }
+            break 'retry;
+        }
+    }
+    stats.assembly_workspace_allocations += eval_ws.allocations();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exi_netlist::generators::{rc_ladder, RcLadderSpec};
+    use exi_netlist::Waveform;
+
+    fn ladder_with_offset(offset: f64) -> Circuit {
+        rc_ladder(&RcLadderSpec {
+            segments: 12,
+            input: Waveform::single_pulse(offset, offset + 1.0, 0.0, 1e-11, 1e-11, 1e-8),
+            ..RcLadderSpec::default()
+        })
+        .expect("generator builds")
+    }
+
+    /// Offset-style corner sweep (e.g. supply-voltage corners): the DC level
+    /// varies per lane while the transient swing is shared, so in a linear
+    /// circuit the per-lane local-truncation errors agree to rounding and
+    /// the lanes genuinely share the step-control trajectory. Amplitude-
+    /// *scaled* sweeps scale LTE with the lane and detach at the controller's
+    /// growth boundary — by design (their scalar trajectories diverge).
+    fn offsets(k: usize) -> Vec<f64> {
+        (0..k).map(|i| 0.05 * i as f64).collect()
+    }
+
+    #[test]
+    fn lane_policy_parses_and_defaults_off() {
+        assert_eq!(LanePolicy::default(), LanePolicy::Off);
+        assert_eq!("off".parse::<LanePolicy>().unwrap(), LanePolicy::Off);
+        assert_eq!("auto".parse::<LanePolicy>().unwrap(), LanePolicy::Auto);
+        assert_eq!("4".parse::<LanePolicy>().unwrap(), LanePolicy::Fixed(4));
+        assert!("wat".parse::<LanePolicy>().is_err());
+        assert!(LanePolicy::Off.is_off());
+        assert!(LanePolicy::Fixed(0).is_off());
+        assert_eq!(LanePolicy::Auto.max_width(), Some(LanePolicy::AUTO_WIDTH));
+        assert_eq!(LanePolicy::Fixed(3).max_width(), Some(3));
+        assert_eq!(LanePolicy::Auto.to_string(), "auto");
+        assert_eq!(LanePolicy::Fixed(6).to_string(), "6");
+    }
+
+    #[test]
+    fn mismatched_fingerprints_are_rejected() {
+        let a = ladder_with_offset(1.0);
+        let b = rc_ladder(&RcLadderSpec {
+            segments: 13,
+            ..RcLadderSpec::default()
+        })
+        .unwrap();
+        let err = LaneRunner::new(&[&a, &b]).err().expect("must reject");
+        assert!(matches!(err, SimError::InvalidOptions { .. }));
+        assert!(LaneRunner::new(&[]).is_err());
+    }
+
+    #[test]
+    fn lane_dc_is_bit_identical_to_isolated_scalar_runs() {
+        let circuits: Vec<Circuit> = offsets(4).into_iter().map(ladder_with_offset).collect();
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+        let runner = LaneRunner::new(&refs).unwrap();
+        let options = DcOptions::default();
+        let batch = runner.dc(&options);
+        assert_eq!(batch.stats.lane_batches, 1);
+        assert_eq!(batch.stats.lane_detaches, 0);
+        assert_eq!(batch.stats.symbolic_analyses, 1);
+        assert_eq!(batch.stats.plan_compilations, 1);
+        assert!(batch.stats.lane_refactorization_passes > 0);
+        for (lane, ckt) in circuits.iter().enumerate() {
+            let scalar = Simulator::new(ckt).dc_with(&options).expect("scalar dc");
+            let got = batch.lanes[lane].as_ref().expect("lane dc");
+            assert_eq!(got.iterations, scalar.iterations);
+            assert_eq!(got.state.len(), scalar.state.len());
+            for (a, b) in got.state.iter().zip(&scalar.state) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {lane} state drifted");
+            }
+            assert_eq!(got.residual.to_bits(), scalar.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn lane_transient_is_bit_identical_to_isolated_scalar_runs() {
+        let circuits: Vec<Circuit> = offsets(3).into_iter().map(ladder_with_offset).collect();
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+        let runner = LaneRunner::new(&refs).unwrap();
+        let options = TransientOptions::new(2e-10, 1e-12);
+        let probes = ["n1", "n12"];
+        let batch = runner.transient(Method::BackwardEuler, &options, &probes);
+        assert_eq!(
+            batch.stats.lane_detaches, 0,
+            "uniform batch must not detach"
+        );
+        assert_eq!(batch.stats.symbolic_analyses, 1);
+        assert_eq!(batch.stats.plan_compilations, 1);
+        assert!(batch.stats.lane_refactorization_passes > 0);
+        assert!(batch.stats.lanes_per_refactorization() > 1.0);
+        for (lane, ckt) in circuits.iter().enumerate() {
+            let scalar = Simulator::new(ckt)
+                .transient(Method::BackwardEuler, &options, &probes)
+                .expect("scalar transient");
+            let got = batch.lanes[lane].as_ref().expect("lane transient");
+            assert_eq!(
+                got.times.len(),
+                scalar.times.len(),
+                "lane {lane} step count"
+            );
+            for (a, b) in got.times.iter().zip(&scalar.times) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {lane} time axis drifted");
+            }
+            for (sa, sb) in got.samples.iter().zip(&scalar.samples) {
+                for (a, b) in sa.iter().zip(sb) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "lane {lane} waveform drifted");
+                }
+            }
+            for (a, b) in got.final_state.iter().zip(&scalar.final_state) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {lane} final state drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_matches_scalar() {
+        let ckt = ladder_with_offset(1.0);
+        let runner = LaneRunner::new(&[&ckt]).unwrap();
+        let options = TransientOptions::new(1e-10, 1e-12);
+        let batch = runner.transient(Method::Trapezoidal, &options, &["n12"]);
+        let scalar = Simulator::new(&ckt)
+            .transient(Method::Trapezoidal, &options, &["n12"])
+            .unwrap();
+        let got = batch.lanes[0].as_ref().unwrap();
+        assert_eq!(got.times.len(), scalar.times.len());
+        for (a, b) in got.final_state.iter().zip(&scalar.final_state) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(batch.stats.lane_detaches, 0);
+    }
+
+    #[test]
+    fn exponential_lanes_share_caches_and_match_scalar() {
+        let circuits: Vec<Circuit> = offsets(2).into_iter().map(ladder_with_offset).collect();
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+        let runner = LaneRunner::new(&refs).unwrap();
+        let options = TransientOptions::new(1e-10, 1e-12);
+        let batch = runner.transient(Method::ExponentialRosenbrock, &options, &["n12"]);
+        assert_eq!(
+            batch.stats.plan_compilations, 1,
+            "one compile for the batch"
+        );
+        assert_eq!(
+            batch.stats.symbolic_analyses, 1,
+            "one analysis for the batch"
+        );
+        for (lane, ckt) in circuits.iter().enumerate() {
+            let scalar = Simulator::new(ckt)
+                .transient(Method::ExponentialRosenbrock, &options, &["n12"])
+                .unwrap();
+            let got = batch.lanes[lane].as_ref().unwrap();
+            assert_eq!(got.times.len(), scalar.times.len());
+            for (a, b) in got.final_state.iter().zip(&scalar.final_state) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_options_fail_every_lane() {
+        let ckt = ladder_with_offset(1.0);
+        let runner = LaneRunner::new(&[&ckt, &ckt]).unwrap();
+        let bad = TransientOptions {
+            t_stop: 0.0,
+            ..TransientOptions::default()
+        };
+        let batch = runner.transient(Method::BackwardEuler, &bad, &[]);
+        assert_eq!(batch.lanes.len(), 2);
+        for lane in &batch.lanes {
+            assert!(matches!(lane, Err(SimError::InvalidOptions { .. })));
+        }
+    }
+
+    #[test]
+    fn bad_probe_fails_only_that_invocation_path() {
+        let ckt = ladder_with_offset(1.0);
+        let runner = LaneRunner::new(&[&ckt, &ckt]).unwrap();
+        let options = TransientOptions::new(1e-10, 1e-12);
+        let batch = runner.transient(Method::BackwardEuler, &options, &["nope"]);
+        for lane in &batch.lanes {
+            assert!(lane.is_err());
+        }
+    }
+}

@@ -153,6 +153,7 @@ pub mod dc;
 pub mod deck;
 pub mod engines;
 pub mod error;
+pub mod lanes;
 pub mod observer;
 pub mod options;
 pub mod output;
@@ -177,6 +178,7 @@ pub use engines::implicit::run_implicit;
 pub use engines::implicit::ImplicitScheme;
 pub use engines::{resolve_probes, Engine, StepOutcome};
 pub use error::{SimError, SimResult};
+pub use lanes::{LaneBatchResult, LaneDcResult, LanePolicy, LaneRunner};
 pub use observer::{
     CsvObserver, DecimatedWaveform, NullObserver, Observer, RecordingObserver, StreamingObserver,
 };

@@ -1,0 +1,911 @@
+//! Batched **value-lane** LU kernels: one symbolic analysis, `K` numeric
+//! corners per pattern pass.
+//!
+//! A corner/Monte-Carlo sweep factorizes and solves many matrices that share
+//! one sparsity pattern and differ only in values. The scalar path walks the
+//! factor pattern once *per corner*; the kernels here walk it **once per
+//! batch**, carrying `K` value lanes through every pattern visit in
+//! structure-of-arrays, lane-major storage ([`LaneVec`]: element `i` of lane
+//! `r` lives at `data[i * lanes + r]`, so the innermost loop touches
+//! contiguous memory).
+//!
+//! # Bit-identity contract
+//!
+//! Every lane of [`LaneFactors::refactorize_lanes`] and
+//! [`LaneFactors::solve_lanes`] performs **exactly the floating-point
+//! operation sequence** of the scalar [`SparseLu::refactorize_with`](crate::SparseLu::refactorize_with) /
+//! [`SparseLu::solve_into`](crate::SparseLu::solve_into) on that lane's values — same operations, same
+//! order, same rounding. In particular the scalar kernels' `== 0.0` skip
+//! guards are preserved *per lane*: executing `x -= l * 0.0` unconditionally
+//! is **not** a bitwise no-op (`-0.0 - (l * -0.0)` can flip the sign of a
+//! negative zero), so the lane loops branch per lane exactly where the scalar
+//! loops branch. Only the guard-free phases (value scatter, permutation,
+//! diagonal scaling, workspace clears) run as explicit 4-wide chunks for
+//! auto-vectorization. Reassociating across lanes is always safe (lanes are
+//! independent); reassociating **within** a lane is not, and none of the
+//! kernels do it — the same rule the unrolled SpMV follows.
+//!
+//! # Per-lane failure masking
+//!
+//! A lane whose frozen pivot vanishes (or whose elimination grows out of
+//! bounds) is *masked out* — its factor contents become unspecified and every
+//! later pattern visit skips it — while the remaining lanes finish
+//! unperturbed. The caller detaches failed lanes to the scalar path (which
+//! re-pivots); the batch is never poisoned.
+
+use std::sync::Arc;
+
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::lu::{LuOptions, SymbolicLu};
+
+/// Width of the explicit inner chunks in the guard-free lane loops.
+const LANE_CHUNK: usize = 4;
+
+/// Bound on `max |L|` above which a lane's pivot-order-preserving
+/// refactorization is rejected — the same constant the scalar
+/// [`SparseLu::refactorize_with`](crate::SparseLu::refactorize_with)(crate::SparseLu::refactorize_with) uses.
+const REFACTOR_GROWTH_LIMIT: f64 = 1e10;
+
+/// Sentinel for [`LaneFactors::solve_lanes`] `lane_map` entries: the
+/// right-hand-side lane is masked out and neither read nor written.
+pub const LANE_DETACHED: usize = usize::MAX;
+
+/// Lane-major dense storage for `len` elements × `lanes` value lanes.
+///
+/// Element `i` of lane `r` is `data[i * lanes + r]`: all lanes of one element
+/// are contiguous, so batched kernels stream the structural indices once and
+/// the innermost (lane) loop is unit-stride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneVec {
+    len: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl LaneVec {
+    /// Creates a zero-filled lane vector of `len` elements × `lanes` lanes.
+    pub fn zeros(len: usize, lanes: usize) -> Self {
+        LaneVec {
+            len,
+            lanes,
+            data: vec![0.0; len * lanes],
+        }
+    }
+
+    /// Number of elements per lane.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of value lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Element `i` of lane `lane`.
+    #[inline]
+    pub fn get(&self, i: usize, lane: usize) -> f64 {
+        self.data[i * self.lanes + lane]
+    }
+
+    /// Sets element `i` of lane `lane`.
+    #[inline]
+    pub fn set(&mut self, i: usize, lane: usize, value: f64) {
+        self.data[i * self.lanes + lane] = value;
+    }
+
+    /// Copies a scalar vector into lane `lane` (`src.len()` must equal
+    /// [`LaneVec::len`]).
+    pub fn load_lane(&mut self, lane: usize, src: &[f64]) {
+        assert_eq!(src.len(), self.len, "lane load length mismatch");
+        let lanes = self.lanes;
+        for (i, &v) in src.iter().enumerate() {
+            self.data[i * lanes + lane] = v;
+        }
+    }
+
+    /// Copies lane `lane` out into a scalar vector (`dst.len()` must equal
+    /// [`LaneVec::len`]).
+    pub fn store_lane(&self, lane: usize, dst: &mut [f64]) {
+        assert_eq!(dst.len(), self.len, "lane store length mismatch");
+        let lanes = self.lanes;
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.data[i * lanes + lane];
+        }
+    }
+
+    /// The raw lane-major storage (`len × lanes` values).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Fills every element of every lane with `value`, in 4-wide chunks.
+    pub fn fill(&mut self, value: f64) {
+        let mut chunks = self.data.chunks_exact_mut(LANE_CHUNK);
+        for c in &mut chunks {
+            c[0] = value;
+            c[1] = value;
+            c[2] = value;
+            c[3] = value;
+        }
+        for v in chunks.into_remainder() {
+            *v = value;
+        }
+    }
+}
+
+/// Reusable scratch for the batched kernels (the lane analogue of
+/// [`crate::LuWorkspace`]); grows to the largest `len × lanes` product seen.
+#[derive(Debug, Clone, Default)]
+pub struct LaneWorkspace {
+    scratch: Vec<f64>,
+}
+
+impl LaneWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        LaneWorkspace::default()
+    }
+
+    /// A scratch slice of `len × lanes` values with unspecified contents.
+    fn slice(&mut self, len: usize, lanes: usize) -> &mut [f64] {
+        let need = len * lanes;
+        if self.scratch.len() < need {
+            self.scratch.resize(need, 0.0);
+        }
+        &mut self.scratch[..need]
+    }
+
+    /// A zero-initialized scratch slice of `len × lanes` values.
+    fn zeroed(&mut self, len: usize, lanes: usize) -> &mut [f64] {
+        let s = self.slice(len, lanes);
+        s.fill(0.0);
+        s
+    }
+}
+
+/// Numeric LU factors for `K` value lanes over one shared [`SymbolicLu`].
+///
+/// The lane sibling of [`SparseLu`](crate::SparseLu): one symbolic analysis
+/// (ordering, pivot order, factor patterns) drives `K` numeric factors stored
+/// lane-major, refactorized by one pass over the recorded elimination
+/// ([`LaneFactors::refactorize_lanes`]) and applied to `K` right-hand sides
+/// by one pass over the factor patterns ([`LaneFactors::solve_lanes`]).
+#[derive(Debug, Clone)]
+pub struct LaneFactors {
+    symbolic: Arc<SymbolicLu>,
+    lanes: usize,
+    l_vals: LaneVec,
+    u_vals: LaneVec,
+    u_diag: LaneVec,
+    /// Smallest pivot magnitude a lane refactorization accepts (same
+    /// derivation as the scalar factor: `pivot_tolerance ×
+    /// zero_pivot_threshold`).
+    pivot_floor: f64,
+    /// Per-lane validity: `false` once a lane's refactorization failed (its
+    /// factor contents are unspecified and solves skip it).
+    ok: Vec<bool>,
+    /// Lane stride of the LAST refactorization pass: the number of distinct
+    /// matrices it was handed (≤ `lanes`). Value deduplication routinely
+    /// collapses a batch to a handful of representatives, and packing the
+    /// factor values at the representative count keeps a deduplicated pass's
+    /// memory traffic proportional to the distinct work, not the allocation.
+    stride: usize,
+}
+
+impl LaneFactors {
+    /// Allocates lane factors for `lanes` value lanes over a shared symbolic
+    /// analysis. The factors hold no numbers until the first
+    /// [`LaneFactors::refactorize_lanes`]; every lane starts masked out.
+    pub fn new(symbolic: Arc<SymbolicLu>, lanes: usize, options: &LuOptions) -> Self {
+        let strict_l = symbolic.nnz_l() - symbolic.dim();
+        let strict_u = symbolic.nnz_u() - symbolic.dim();
+        LaneFactors {
+            lanes,
+            l_vals: LaneVec::zeros(strict_l, lanes),
+            u_vals: LaneVec::zeros(strict_u, lanes),
+            u_diag: LaneVec::zeros(symbolic.dim(), lanes),
+            pivot_floor: options.pivot_tolerance * options.zero_pivot_threshold,
+            ok: vec![false; lanes],
+            stride: lanes,
+            symbolic,
+        }
+    }
+
+    /// The shared symbolic analysis backing every lane.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.symbolic
+    }
+
+    /// Number of value lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether lane `lane` holds a valid factor from the last
+    /// refactorization.
+    pub fn lane_ok(&self, lane: usize) -> bool {
+        self.ok[lane]
+    }
+
+    /// Numerically refactorizes lanes `0..mats.len()` in one pass over the
+    /// recorded elimination, using the default [`ScalarLanes`] backend.
+    ///
+    /// `mats[r]` supplies lane `r`'s values; every matrix must have exactly
+    /// the analyzed sparsity pattern. Fewer matrices than allocated lanes is
+    /// the **value-deduplication** shape: `R` distinct factors can serve `K`
+    /// right-hand-side lanes through [`LaneFactors::solve_lanes`]'s
+    /// `lane_map`; the unsupplied lanes are masked out. Returns one result
+    /// per supplied matrix: a failed lane ([`SparseError::Singular`] /
+    /// [`SparseError::UnstableRefactorization`] /
+    /// [`SparseError::PatternMismatch`]) is masked out while the remaining
+    /// lanes complete — each surviving lane's factor is bit-identical to a
+    /// scalar [`SparseLu::refactorize_with`](crate::SparseLu::refactorize_with)(crate::SparseLu::refactorize_with)
+    /// on the same values.
+    pub fn refactorize_lanes(
+        &mut self,
+        mats: &[&CsrMatrix],
+        ws: &mut LaneWorkspace,
+    ) -> Vec<SparseResult<()>> {
+        ScalarLanes::refactorize_lanes(self, mats, ws)
+    }
+
+    /// Solves `A_r · x = b_k` for `K` right-hand-side lanes in one pass over
+    /// the factor patterns, using the default [`ScalarLanes`] backend.
+    ///
+    /// `lane_map[k]` names the factor lane solving right-hand-side lane `k` —
+    /// several rhs lanes may share one factor lane (value deduplication:
+    /// bitwise-equal matrices need one factor) — or [`LANE_DETACHED`] to mask
+    /// lane `k` out entirely (neither read nor written). Each mapped lane's
+    /// result is bit-identical to a scalar
+    /// [`SparseLu::solve_into`](crate::SparseLu::solve_into) against that
+    /// factor.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::DimensionMismatch`] on shape disagreements, and
+    /// [`SparseError::Singular`] when `lane_map` routes a rhs lane to a
+    /// masked-out (failed) factor lane.
+    pub fn solve_lanes(
+        &self,
+        rhs: &LaneVec,
+        lane_map: &[usize],
+        out: &mut LaneVec,
+        ws: &mut LaneWorkspace,
+    ) -> SparseResult<()> {
+        ScalarLanes::solve_lanes(self, rhs, lane_map, out, ws)
+    }
+}
+
+/// A batched execution backend for the lane kernels.
+///
+/// The trait fixes the *what* (one pattern pass, `K` value lanes,
+/// scalar-bit-identical per lane); implementations choose the *how*. The
+/// portable [`ScalarLanes`] backend structures its inner loops for
+/// auto-vectorization; the seam leaves room for explicit SIMD intrinsics or
+/// accelerator offload without touching the callers.
+pub trait LaneBackend {
+    /// Batched numeric refactorization; see
+    /// [`LaneFactors::refactorize_lanes`].
+    fn refactorize_lanes(
+        factors: &mut LaneFactors,
+        mats: &[&CsrMatrix],
+        ws: &mut LaneWorkspace,
+    ) -> Vec<SparseResult<()>>;
+
+    /// Batched triangular solves; see [`LaneFactors::solve_lanes`].
+    fn solve_lanes(
+        factors: &LaneFactors,
+        rhs: &LaneVec,
+        lane_map: &[usize],
+        out: &mut LaneVec,
+        ws: &mut LaneWorkspace,
+    ) -> SparseResult<()>;
+}
+
+/// The portable reference backend: plain Rust loops, lane-major unit-stride
+/// inner iteration, explicit 4-wide chunks in the guard-free phases. This is
+/// the backend every other implementation is differentially tested against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarLanes;
+
+impl LaneBackend for ScalarLanes {
+    fn refactorize_lanes(
+        factors: &mut LaneFactors,
+        mats: &[&CsrMatrix],
+        ws: &mut LaneWorkspace,
+    ) -> Vec<SparseResult<()>> {
+        let lanes = factors.lanes;
+        let width = mats.len();
+        assert!(
+            width <= lanes,
+            "at most one matrix per allocated value lane"
+        );
+        let s = Arc::clone(&factors.symbolic);
+        let n = s.n;
+        // Pack the pass at the representative count: after value dedup a
+        // K-lane batch routinely needs only a few distinct factors, and a
+        // `lanes`-strided walk would pay the full allocation in memory
+        // traffic anyway.
+        let stride = width.max(1);
+        factors.stride = stride;
+
+        let mut results: Vec<SparseResult<()>> = Vec::with_capacity(width);
+        for (r, mat) in mats.iter().enumerate() {
+            if s.matches_pattern(mat) {
+                factors.ok[r] = true;
+                results.push(Ok(()));
+            } else {
+                factors.ok[r] = false;
+                results.push(Err(SparseError::PatternMismatch {
+                    expected_nnz: s.a_nnz(),
+                    found_nnz: mat.nnz(),
+                }));
+            }
+        }
+        // Lanes beyond the supplied matrices hold no factor this round.
+        for ok in factors.ok[width..].iter_mut() {
+            *ok = false;
+        }
+        // A mismatched lane's value array can be SHORTER than the symbolic
+        // pattern (`acol_src` indexes past its end), so its source reads are
+        // not harmless — route the scatter through the guarded path below.
+        let all_ok = factors.ok[..width].iter().all(|&ok| ok);
+
+        let x = ws.zeroed(n, stride);
+        // Per-lane fail helper: record the error, mask the lane.
+        let fail = |ok: &mut [bool], results: &mut [SparseResult<()>], r: usize, e: SparseError| {
+            ok[r] = false;
+            results[r] = Err(e);
+        };
+        // Stack buffer for the per-lane pivots / update sources of one column.
+        let mut pivots = vec![0.0f64; stride];
+
+        for jj in 0..n {
+            // --- Scatter A[:, q(jj)] into pivot-position slots, all supplied
+            // lanes. Guard-free: failed lanes scatter harmlessly (their slots
+            // are never read again and the workspace is re-zeroed per call).
+            for t in s.acol_ptr[jj]..s.acol_ptr[jj + 1] {
+                let base = s.acol_pos[t] * stride;
+                let src = s.acol_src[t];
+                let dst = &mut x[base..base + width];
+                if all_ok {
+                    let mut chunks = dst.chunks_exact_mut(LANE_CHUNK);
+                    let mut r = 0usize;
+                    for c in &mut chunks {
+                        c[0] = mats[r].values()[src];
+                        c[1] = mats[r + 1].values()[src];
+                        c[2] = mats[r + 2].values()[src];
+                        c[3] = mats[r + 3].values()[src];
+                        r += LANE_CHUNK;
+                    }
+                    for v in chunks.into_remainder() {
+                        *v = mats[r].values()[src];
+                        r += 1;
+                    }
+                } else {
+                    // Guarded scatter: mismatched lanes write 0.0 (their
+                    // slots are masked out of every later phase anyway).
+                    for (r, v) in dst.iter_mut().enumerate() {
+                        *v = if factors.ok[r] {
+                            mats[r].values()[src]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+
+            // --- Replay the left-looking update in the recorded order. The
+            // per-lane `xp == 0.0` skip mirrors the scalar kernel exactly
+            // (executing the update with xp == 0.0 is not a bitwise no-op).
+            for t in s.u_colptr[jj]..s.u_colptr[jj + 1] {
+                let p = s.u_rows[t];
+                let pbase = p * stride;
+                pivots[..width].copy_from_slice(&x[pbase..pbase + width]);
+                let any_active = pivots
+                    .iter()
+                    .zip(factors.ok.iter())
+                    .any(|(&xp, &ok)| ok && xp != 0.0);
+                if !any_active {
+                    continue;
+                }
+                for idx in s.l_colptr[p]..s.l_colptr[p + 1] {
+                    let row_base = s.l_rows[idx] * stride;
+                    let lbase = idx * stride;
+                    for r in 0..width {
+                        let xp = pivots[r];
+                        if factors.ok[r] && xp != 0.0 {
+                            x[row_base + r] -= factors.l_vals.data[lbase + r] * xp;
+                        }
+                    }
+                }
+            }
+
+            // --- Frozen pivot, per lane.
+            let jbase = jj * stride;
+            for r in 0..width {
+                if !factors.ok[r] {
+                    continue;
+                }
+                let pivot = x[jbase + r];
+                if !pivot.is_finite() || pivot.abs() < factors.pivot_floor {
+                    fail(
+                        &mut factors.ok,
+                        &mut results,
+                        r,
+                        SparseError::Singular {
+                            column: jj,
+                            unknown: Some(s.q.unmap(jj)),
+                        },
+                    );
+                    continue;
+                }
+                factors.u_diag.data[jbase + r] = pivot;
+                pivots[r] = pivot;
+            }
+
+            // --- Gather U column jj back out (and clear), per lane with the
+            // scalar finiteness check.
+            for t in s.u_colptr[jj]..s.u_colptr[jj + 1] {
+                let pbase = s.u_rows[t] * stride;
+                let ubase = t * stride;
+                for r in 0..width {
+                    if !factors.ok[r] {
+                        continue;
+                    }
+                    let uv = x[pbase + r];
+                    if !uv.is_finite() {
+                        fail(
+                            &mut factors.ok,
+                            &mut results,
+                            r,
+                            SparseError::UnstableRefactorization {
+                                growth: f64::INFINITY,
+                            },
+                        );
+                        continue;
+                    }
+                    factors.u_vals.data[ubase + r] = uv;
+                    x[pbase + r] = 0.0;
+                }
+            }
+            // Clear the pivot slots (all lanes — failed lanes hold garbage
+            // that must not leak into later columns of surviving lanes; the
+            // slots are lane-separated, clearing is always safe).
+            for v in x[jbase..jbase + width].iter_mut() {
+                *v = 0.0;
+            }
+
+            // --- Gather L column jj (scaled by the pivot), per lane with the
+            // scalar growth check.
+            for t in s.l_colptr[jj]..s.l_colptr[jj + 1] {
+                let pbase = s.l_rows[t] * stride;
+                let lbase = t * stride;
+                for r in 0..width {
+                    if !factors.ok[r] {
+                        x[pbase + r] = 0.0;
+                        continue;
+                    }
+                    let lv = x[pbase + r] / pivots[r];
+                    let magnitude = lv.abs();
+                    if magnitude > REFACTOR_GROWTH_LIMIT || magnitude.is_nan() {
+                        fail(
+                            &mut factors.ok,
+                            &mut results,
+                            r,
+                            SparseError::UnstableRefactorization { growth: magnitude },
+                        );
+                        x[pbase + r] = 0.0;
+                        continue;
+                    }
+                    factors.l_vals.data[lbase + r] = lv;
+                    x[pbase + r] = 0.0;
+                }
+            }
+        }
+        results
+    }
+
+    fn solve_lanes(
+        factors: &LaneFactors,
+        rhs: &LaneVec,
+        lane_map: &[usize],
+        out: &mut LaneVec,
+        ws: &mut LaneWorkspace,
+    ) -> SparseResult<()> {
+        let s = &factors.symbolic;
+        let n = s.n;
+        let k_lanes = rhs.lanes();
+        if rhs.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                op: "lane solve rhs",
+                expected: n,
+                found: rhs.len(),
+            });
+        }
+        if out.len() != n || out.lanes() != k_lanes {
+            return Err(SparseError::DimensionMismatch {
+                op: "lane solve output",
+                expected: n * k_lanes,
+                found: out.len() * out.lanes(),
+            });
+        }
+        if lane_map.len() != k_lanes {
+            return Err(SparseError::DimensionMismatch {
+                op: "lane solve map",
+                expected: k_lanes,
+                found: lane_map.len(),
+            });
+        }
+        // Active rhs lanes and their factor lanes, validated up front.
+        let mut active: Vec<(usize, usize)> = Vec::with_capacity(k_lanes);
+        for (k, &rep) in lane_map.iter().enumerate() {
+            if rep == LANE_DETACHED {
+                continue;
+            }
+            if rep >= factors.stride || !factors.ok[rep] {
+                return Err(SparseError::Singular {
+                    column: 0,
+                    unknown: None,
+                });
+            }
+            active.push((k, rep));
+        }
+
+        let z = ws.slice(n, k_lanes);
+        // Apply the row permutation: z = P b, active lanes only.
+        for r in 0..n {
+            let src = r * k_lanes;
+            let dst = s.pinv[r] * k_lanes;
+            for &(k, _) in &active {
+                z[dst + k] = rhs.data[src + k];
+            }
+        }
+        let mut xj = vec![0.0f64; k_lanes];
+        // Forward solve with unit lower triangular L (column oriented); the
+        // per-lane `xj == 0.0` skip mirrors the scalar kernel.
+        for j in 0..n {
+            let jbase = j * k_lanes;
+            xj.copy_from_slice(&z[jbase..jbase + k_lanes]);
+            let mut any = false;
+            for &(k, _) in &active {
+                if xj[k] != 0.0 {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                continue;
+            }
+            for idx in s.l_colptr[j]..s.l_colptr[j + 1] {
+                let row_base = s.l_rows[idx] * k_lanes;
+                let lbase = idx * factors.stride;
+                for &(k, rep) in &active {
+                    let v = xj[k];
+                    if v != 0.0 {
+                        z[row_base + k] -= factors.l_vals.data[lbase + rep] * v;
+                    }
+                }
+            }
+        }
+        // Backward solve with U (column oriented).
+        for j in (0..n).rev() {
+            let jbase = j * k_lanes;
+            let dbase = j * factors.stride;
+            for &(k, rep) in &active {
+                z[jbase + k] /= factors.u_diag.data[dbase + rep];
+                xj[k] = z[jbase + k];
+            }
+            let mut any = false;
+            for &(k, _) in &active {
+                if xj[k] != 0.0 {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                continue;
+            }
+            for idx in s.u_colptr[j]..s.u_colptr[j + 1] {
+                let row_base = s.u_rows[idx] * k_lanes;
+                let ubase = idx * factors.stride;
+                for &(k, rep) in &active {
+                    let v = xj[k];
+                    if v != 0.0 {
+                        z[row_base + k] -= factors.u_vals.data[ubase + rep] * v;
+                    }
+                }
+            }
+        }
+        // Undo the column ordering: out[q(k)] = z[k], active lanes only.
+        for pos in 0..n {
+            let src = pos * k_lanes;
+            let dst = s.q.unmap(pos) * k_lanes;
+            for &(k, _) in &active {
+                out.data[dst + k] = z[src + k];
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{LuWorkspace, SparseLu};
+    use crate::TripletMatrix;
+
+    fn tridiag(n: usize, d: f64, off: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, d);
+            if i + 1 < n {
+                t.push(i, i + 1, off);
+                t.push(i + 1, i, off);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Random-ish but deterministic same-pattern matrices.
+    fn corner_mats(n: usize, lanes: usize) -> Vec<CsrMatrix> {
+        (0..lanes)
+            .map(|r| {
+                let scale = 1.0 + r as f64 * 0.37;
+                tridiag(n, 2.5 * scale, -1.0 / scale)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_refactorization_is_bit_identical_to_scalar_per_lane() {
+        for lanes in [1usize, 2, 3, 4, 5, 8] {
+            let n = 37;
+            let mats = corner_mats(n, lanes);
+            let pilot = SparseLu::factorize(&mats[0]).unwrap();
+            let mut lf = LaneFactors::new(pilot.shared_symbolic(), lanes, &LuOptions::default());
+            let refs: Vec<&CsrMatrix> = mats.iter().collect();
+            let mut ws = LaneWorkspace::new();
+            let results = lf.refactorize_lanes(&refs, &mut ws);
+            assert!(results.iter().all(|r| r.is_ok()));
+
+            let mut lu_ws = LuWorkspace::new();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+            let mut rhs = LaneVec::zeros(n, lanes);
+            for r in 0..lanes {
+                rhs.load_lane(r, &b);
+            }
+            let map: Vec<usize> = (0..lanes).collect();
+            let mut out = LaneVec::zeros(n, lanes);
+            lf.solve_lanes(&rhs, &map, &mut out, &mut ws).unwrap();
+
+            for (r, mat) in mats.iter().enumerate() {
+                let scalar = SparseLu::from_symbolic(
+                    pilot.shared_symbolic(),
+                    mat,
+                    &LuOptions::default(),
+                    &mut lu_ws,
+                )
+                .unwrap();
+                let mut x = vec![0.0; n];
+                scalar.solve_into(&b, &mut x, &mut lu_ws).unwrap();
+                let mut lane_x = vec![0.0; n];
+                out.store_lane(r, &mut lane_x);
+                let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                let lb: Vec<u64> = lane_x.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(xb, lb, "lane {r} of {lanes} diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn deduplicated_factor_lane_serves_many_rhs_lanes() {
+        let n = 25;
+        let a = tridiag(n, 3.0, -1.0);
+        let pilot = SparseLu::factorize(&a).unwrap();
+        // One factor lane, four rhs lanes all mapping to it.
+        let mut lf = LaneFactors::new(pilot.shared_symbolic(), 1, &LuOptions::default());
+        let mut ws = LaneWorkspace::new();
+        assert!(lf.refactorize_lanes(&[&a], &mut ws)[0].is_ok());
+
+        let k = 4;
+        let mut rhs = LaneVec::zeros(n, k);
+        let mut expected = Vec::new();
+        let mut lu_ws = LuWorkspace::new();
+        for lane in 0..k {
+            let b: Vec<f64> = (0..n).map(|i| ((i + lane) as f64 * 0.21).cos()).collect();
+            rhs.load_lane(lane, &b);
+            let mut x = vec![0.0; n];
+            pilot.solve_into(&b, &mut x, &mut lu_ws).unwrap();
+            expected.push(x);
+        }
+        let mut out = LaneVec::zeros(n, k);
+        lf.solve_lanes(&rhs, &[0, 0, 0, 0], &mut out, &mut ws)
+            .unwrap();
+        for (lane, want) in expected.iter().enumerate() {
+            let mut got = vec![0.0; n];
+            out.store_lane(lane, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn failed_lane_is_masked_without_poisoning_the_batch() {
+        let n = 19;
+        let good0 = tridiag(n, 2.5, -1.0);
+        let bad = tridiag(n, 1e-30, 1e-30); // frozen pivots vanish
+        let good1 = tridiag(n, 4.0, -0.5);
+        let pilot = SparseLu::factorize(&good0).unwrap();
+        let mut lf = LaneFactors::new(pilot.shared_symbolic(), 3, &LuOptions::default());
+        let mut ws = LaneWorkspace::new();
+        let results = lf.refactorize_lanes(&[&good0, &bad, &good1], &mut ws);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SparseError::Singular { .. })));
+        assert!(results[2].is_ok());
+        assert!(lf.lane_ok(0) && !lf.lane_ok(1) && lf.lane_ok(2));
+
+        // Surviving lanes still solve bit-identically to scalar.
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 7.0).collect();
+        let mut rhs = LaneVec::zeros(n, 3);
+        for lane in 0..3 {
+            rhs.load_lane(lane, &b);
+        }
+        let mut out = LaneVec::zeros(n, 3);
+        lf.solve_lanes(&rhs, &[0, LANE_DETACHED, 2], &mut out, &mut ws)
+            .unwrap();
+        let mut lu_ws = LuWorkspace::new();
+        for (lane, mat) in [(0usize, &good0), (2usize, &good1)] {
+            let scalar = SparseLu::from_symbolic(
+                pilot.shared_symbolic(),
+                mat,
+                &LuOptions::default(),
+                &mut lu_ws,
+            )
+            .unwrap();
+            let mut want = vec![0.0; n];
+            scalar.solve_into(&b, &mut want, &mut lu_ws).unwrap();
+            let mut got = vec![0.0; n];
+            out.store_lane(lane, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "surviving lane {lane}"
+            );
+        }
+        // Routing a rhs lane to the failed factor lane is rejected.
+        assert!(lf.solve_lanes(&rhs, &[0, 1, 2], &mut out, &mut ws).is_err());
+    }
+
+    #[test]
+    fn partial_width_refactorization_masks_unsupplied_lanes() {
+        // The value-deduplication shape: 8 allocated lanes, 3 distinct
+        // matrices, 8 rhs lanes routed onto the 3 factors.
+        let n = 21;
+        let mats = corner_mats(n, 3);
+        let pilot = SparseLu::factorize(&mats[0]).unwrap();
+        let mut lf = LaneFactors::new(pilot.shared_symbolic(), 8, &LuOptions::default());
+        let mut ws = LaneWorkspace::new();
+        let refs: Vec<&CsrMatrix> = mats.iter().collect();
+        let results = lf.refactorize_lanes(&refs, &mut ws);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        for r in 0..3 {
+            assert!(lf.lane_ok(r));
+        }
+        for r in 3..8 {
+            assert!(!lf.lane_ok(r));
+        }
+
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+        let mut rhs = LaneVec::zeros(n, 8);
+        for k in 0..8 {
+            rhs.load_lane(k, &b);
+        }
+        let map = [0usize, 1, 2, 0, 1, 2, 0, LANE_DETACHED];
+        let mut out = LaneVec::zeros(n, 8);
+        lf.solve_lanes(&rhs, &map, &mut out, &mut ws).unwrap();
+        let mut lu_ws = LuWorkspace::new();
+        for (k, &rep) in map.iter().enumerate() {
+            if rep == LANE_DETACHED {
+                continue;
+            }
+            let scalar = SparseLu::from_symbolic(
+                pilot.shared_symbolic(),
+                &mats[rep],
+                &LuOptions::default(),
+                &mut lu_ws,
+            )
+            .unwrap();
+            let mut want = vec![0.0; n];
+            scalar.solve_into(&b, &mut want, &mut lu_ws).unwrap();
+            let mut got = vec![0.0; n];
+            out.store_lane(k, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "rhs lane {k} via factor lane {rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_mismatch_masks_only_the_offending_lane() {
+        let a = tridiag(12, 2.5, -1.0);
+        let wrong = tridiag(13, 2.5, -1.0);
+        let pilot = SparseLu::factorize(&a).unwrap();
+        let mut lf = LaneFactors::new(pilot.shared_symbolic(), 2, &LuOptions::default());
+        let mut ws = LaneWorkspace::new();
+        let results = lf.refactorize_lanes(&[&a, &wrong], &mut ws);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(SparseError::PatternMismatch { .. })
+        ));
+        assert!(lf.lane_ok(0) && !lf.lane_ok(1));
+    }
+
+    #[test]
+    fn negative_zero_rhs_survives_the_lane_guards() {
+        // A rhs containing -0.0 must come through exactly as the scalar
+        // solve produces it (the per-lane zero guards preserve signed
+        // zeros; an unguarded update could flip them).
+        let n = 9;
+        let a = tridiag(n, 2.0, -1.0);
+        let pilot = SparseLu::factorize(&a).unwrap();
+        let mut lf = LaneFactors::new(pilot.shared_symbolic(), 2, &LuOptions::default());
+        let mut ws = LaneWorkspace::new();
+        assert!(lf
+            .refactorize_lanes(&[&a, &a], &mut ws)
+            .iter()
+            .all(|r| r.is_ok()));
+        let mut b = vec![0.0; n];
+        b[4] = -0.0;
+        b[5] = 1.0;
+        let mut rhs = LaneVec::zeros(n, 2);
+        rhs.load_lane(0, &b);
+        rhs.load_lane(1, &b);
+        let mut out = LaneVec::zeros(n, 2);
+        lf.solve_lanes(&rhs, &[0, 1], &mut out, &mut ws).unwrap();
+        let mut want = vec![0.0; n];
+        let mut lu_ws = LuWorkspace::new();
+        pilot.solve_into(&b, &mut want, &mut lu_ws).unwrap();
+        for lane in 0..2 {
+            let mut got = vec![0.0; n];
+            out.store_lane(lane, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn lane_vec_round_trips_and_fills() {
+        let mut v = LaneVec::zeros(5, 3);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.lanes(), 3);
+        assert!(!v.is_empty());
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        v.load_lane(1, &src);
+        assert_eq!(v.get(2, 1), 3.0);
+        v.set(2, 1, 9.0);
+        let mut dst = [0.0; 5];
+        v.store_lane(1, &mut dst);
+        assert_eq!(dst, [1.0, 2.0, 9.0, 4.0, 5.0]);
+        // Other lanes untouched.
+        v.store_lane(0, &mut dst);
+        assert_eq!(dst, [0.0; 5]);
+        v.fill(7.0);
+        assert!(v.as_slice().iter().all(|&x| x == 7.0));
+    }
+}

@@ -1,0 +1,411 @@
+//! Differential lane-test harness: the batched value-lane engine
+//! ([`LaneRunner`]) against isolated scalar [`Simulator`] runs.
+//!
+//! Every generator workload sweeps K waveform-only corner variants — one
+//! circuit fingerprint, different source drives, exactly what a supply- or
+//! input-corner sweep produces — through DC, BENR and ER lane batches at
+//! K ∈ {1, 2, 4, 8}. The contract under test:
+//!
+//! * **Bit-identity**: every lane's solution equals the isolated scalar
+//!   run of the same circuit, bit for bit — lanes change throughput, never
+//!   waveforms. Lanes that leave lockstep are re-run on the scalar path,
+//!   so the guarantee holds detaches included.
+//! * **Amortization**: a K-lane batch compiles exactly one evaluation plan
+//!   and performs no more symbolic analyses than ONE scalar run of the
+//!   same workload (one per distinct matrix pattern).
+//! * **Single claimant**: lane groups coalesced by a [`BatchRunner`] claim
+//!   each matrix pattern once, so a warmed batch never blocks on an
+//!   in-flight shared-cache slot at any worker count.
+
+use std::sync::Arc;
+
+use exi_netlist::generators::{
+    coupled_lines, inverter_chain, power_grid, rc_ladder, CoupledLinesSpec, InverterChainSpec,
+    PowerGridSpec, RcLadderSpec,
+};
+use exi_netlist::{Circuit, Waveform};
+use exi_sim::{
+    BatchJob, BatchPlan, BatchRunner, DcOptions, LanePolicy, LaneRunner, Method, PlanCache,
+    Simulator, TransientOptions, TransientResult,
+};
+use exi_sparse::SymbolicCache;
+
+/// One lane workload: a corner-variant builder plus the options and probes
+/// every method replays with (sized like the golden fixtures — tens of
+/// accepted points each).
+struct LaneCase {
+    name: &'static str,
+    build: fn(usize) -> Vec<Circuit>,
+    options: TransientOptions,
+    probes: &'static [&'static str],
+}
+
+/// RC ladder input-offset corners: `single_pulse(offset, offset + 1, …)`
+/// shifts the whole drive, which cancels from the linear dynamics — the
+/// lockstep-friendly sweep shape.
+fn rc_ladder_corners(k: usize) -> Vec<Circuit> {
+    (0..k)
+        .map(|i| {
+            let offset = 0.05 * i as f64;
+            rc_ladder(&RcLadderSpec {
+                segments: 4,
+                resistance: 200.0,
+                capacitance: 2e-13,
+                input: Waveform::single_pulse(offset, offset + 1.0, 0.0, 1e-11, 1e-11, 1e-8),
+            })
+            .expect("rc_ladder builds")
+        })
+        .collect()
+}
+
+/// Inverter-chain gate-drive offsets (small, so every corner's DC input
+/// stays in the same MOSFET operating region).
+fn inverter_chain_corners(k: usize) -> Vec<Circuit> {
+    (0..k)
+        .map(|i| {
+            let offset = 0.02 * i as f64;
+            inverter_chain(&InverterChainSpec {
+                stages: 2,
+                input: Waveform::single_pulse(offset, offset + 1.0, 1e-10, 2e-11, 2e-11, 2e-9),
+                ..InverterChainSpec::default()
+            })
+            .expect("inverter_chain builds")
+        })
+        .collect()
+}
+
+/// Power-grid supply corners: `vdd` only enters the pad sources'
+/// `Waveform::Dc`, so every corner shares one circuit fingerprint.
+fn power_grid_corners(k: usize) -> Vec<Circuit> {
+    (0..k)
+        .map(|i| {
+            power_grid(&PowerGridSpec {
+                rows: 3,
+                cols: 3,
+                num_sinks: 2,
+                vdd: 1.0 + 0.05 * i as f64,
+                ..PowerGridSpec::default()
+            })
+            .expect("power_grid builds")
+        })
+        .collect()
+}
+
+/// Coupled-lines supply corners: `vdd` drives the rail source and the
+/// per-line pulse amplitudes — waveforms only, one fingerprint.
+fn coupled_lines_corners(k: usize) -> Vec<Circuit> {
+    (0..k)
+        .map(|i| {
+            coupled_lines(&CoupledLinesSpec {
+                lines: 2,
+                segments: 4,
+                random_couplings: 3,
+                vdd: 1.0 + 0.05 * i as f64,
+                ..CoupledLinesSpec::default()
+            })
+            .expect("coupled_lines builds")
+        })
+        .collect()
+}
+
+fn cases() -> Vec<LaneCase> {
+    vec![
+        LaneCase {
+            name: "rc_ladder",
+            build: rc_ladder_corners,
+            options: TransientOptions {
+                t_stop: 5e-10,
+                h_init: 1e-12,
+                h_max: 2e-11,
+                error_budget: 1e-3,
+                ..TransientOptions::default()
+            },
+            probes: &["n2", "n4"],
+        },
+        LaneCase {
+            name: "inverter_chain",
+            build: inverter_chain_corners,
+            options: TransientOptions {
+                t_stop: 3e-10,
+                h_init: 1e-12,
+                h_max: 5e-12,
+                error_budget: 5e-3,
+                ..TransientOptions::default()
+            },
+            probes: &["s1", "s2"],
+        },
+        LaneCase {
+            name: "power_grid",
+            build: power_grid_corners,
+            options: TransientOptions {
+                t_stop: 5e-10,
+                h_init: 1e-12,
+                h_max: 2e-11,
+                error_budget: 1e-3,
+                ..TransientOptions::default()
+            },
+            probes: &["g_1_1", "g_2_2"],
+        },
+        LaneCase {
+            name: "coupled_lines",
+            build: coupled_lines_corners,
+            options: TransientOptions {
+                t_stop: 2e-10,
+                h_init: 1e-12,
+                h_max: 1e-11,
+                error_budget: 1e-2,
+                ..TransientOptions::default()
+            },
+            probes: &["l0_3", "l1_3"],
+        },
+    ]
+}
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs every corner circuit through an isolated scalar `Simulator` wired
+/// to ONE shared fresh symbolic cache and plan cache, and returns the total
+/// number of symbolic analyses performed — i.e. the number of DISTINCT
+/// matrix patterns the whole sweep traverses. A lane batch must match this
+/// count exactly: analyzing each pattern once for all K lanes.
+fn shared_scalar_symbolic_count(
+    circuits: &[Circuit],
+    mut run: impl FnMut(&mut Simulator) -> Result<(), exi_sim::SimError>,
+) -> usize {
+    let shared = Arc::new(SymbolicCache::new());
+    let plans = Arc::new(PlanCache::new());
+    let mut total = 0;
+    for ckt in circuits {
+        let mut sim = Simulator::with_shared_symbolic(ckt, Arc::clone(&shared))
+            .with_plan_cache(Arc::clone(&plans));
+        run(&mut sim).expect("shared-cache scalar run");
+        total += sim.session_stats().symbolic_analyses;
+    }
+    total
+}
+
+fn assert_transient_bits(
+    case: &str,
+    k: usize,
+    lane: usize,
+    got: &TransientResult,
+    want: &TransientResult,
+) {
+    let tag = format!("{case} K={k} lane {lane}");
+    assert_eq!(
+        got.times.len(),
+        want.times.len(),
+        "{tag}: step counts differ"
+    );
+    for (i, (a, b)) in got.times.iter().zip(&want.times).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag}: time {i} differs");
+    }
+    assert_eq!(
+        got.samples.len(),
+        want.samples.len(),
+        "{tag}: sample rows differ"
+    );
+    for (i, (ra, rb)) in got.samples.iter().zip(&want.samples).enumerate() {
+        for (j, (a, b)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag}: sample ({i},{j}) differs");
+        }
+    }
+    for (i, (a, b)) in got.final_state.iter().zip(&want.final_state).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag}: final state {i} differs");
+    }
+}
+
+#[test]
+fn lane_dc_matches_isolated_scalar_at_every_width() {
+    let options = DcOptions::default();
+    for case in cases() {
+        for k in WIDTHS {
+            let circuits = (case.build)(k);
+            let refs: Vec<&Circuit> = circuits.iter().collect();
+            let batch = LaneRunner::new(&refs)
+                .expect("same fingerprint")
+                .dc(&options);
+            assert_eq!(batch.lanes.len(), k);
+            assert_eq!(batch.stats.lane_batches, 1);
+            // One plan for the whole batch, and one symbolic analysis per
+            // DISTINCT pattern across all K lanes: exactly 1 for linear
+            // circuits; nonlinear DC may traverse extra damped-Newton
+            // patterns per lane, so the baseline is K scalar runs through
+            // ONE shared fresh cache (each distinct pattern analyzed once).
+            assert_eq!(batch.stats.plan_compilations, 1, "{} K={k}", case.name);
+            let expected_symbolic =
+                shared_scalar_symbolic_count(&circuits, |sim| sim.dc_with(&options).map(|_| ()));
+            assert_eq!(
+                batch.stats.symbolic_analyses, expected_symbolic,
+                "{} K={k}: lane batch re-analyzed a pattern",
+                case.name
+            );
+            if matches!(case.name, "rc_ladder" | "power_grid") {
+                assert_eq!(
+                    expected_symbolic, 1,
+                    "{}: linear DC has one pattern",
+                    case.name
+                );
+            }
+            for (lane, ckt) in circuits.iter().enumerate() {
+                let want = Simulator::new(ckt).dc_with(&options).expect("scalar DC");
+                let got = batch.lanes[lane]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{} K={k} lane {lane}: {e}", case.name));
+                assert_eq!(
+                    got.iterations, want.iterations,
+                    "{} K={k} lane {lane}",
+                    case.name
+                );
+                assert_eq!(
+                    got.residual.to_bits(),
+                    want.residual.to_bits(),
+                    "{} K={k} lane {lane}",
+                    case.name
+                );
+                for (i, (a, b)) in got.state.iter().zip(&want.state).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} K={k} lane {lane}: unknown {i}",
+                        case.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_transient_method(method: Method) {
+    for case in cases() {
+        for k in WIDTHS {
+            let circuits = (case.build)(k);
+            let refs: Vec<&Circuit> = circuits.iter().collect();
+            let batch = LaneRunner::new(&refs).expect("same fingerprint").transient(
+                method,
+                &case.options,
+                case.probes,
+            );
+            assert_eq!(batch.lanes.len(), k);
+            assert_eq!(batch.stats.lane_batches, 1);
+            assert_eq!(batch.stats.plan_compilations, 1, "{} K={k}", case.name);
+            // One symbolic analysis per distinct matrix pattern across all
+            // K lanes — the count K scalar runs report through ONE shared
+            // fresh cache (1 for most workloads; more only when a lane's
+            // implicit-Jacobian or damped pattern differs from G's).
+            let expected_symbolic = shared_scalar_symbolic_count(&circuits, |sim| {
+                sim.transient(method, &case.options, case.probes)
+                    .map(|_| ())
+            });
+            assert_eq!(
+                batch.stats.symbolic_analyses, expected_symbolic,
+                "{} K={k}: lane batch re-analyzed a pattern",
+                case.name
+            );
+            for (lane, ckt) in circuits.iter().enumerate() {
+                let want = Simulator::new(ckt)
+                    .transient(method, &case.options, case.probes)
+                    .expect("scalar run");
+                let got = batch.lanes[lane]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{} K={k} lane {lane}: {e}", case.name));
+                assert_transient_bits(case.name, k, lane, got, &want);
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_benr_matches_isolated_scalar_at_every_width() {
+    check_transient_method(Method::BackwardEuler);
+}
+
+#[test]
+fn lane_er_matches_isolated_scalar_at_every_width() {
+    check_transient_method(Method::ExponentialRosenbrock);
+}
+
+/// The single-claimant regression: lane-coalesced jobs enter the batch
+/// runner's pattern-claim bookkeeping as ONE claimant (the group leader),
+/// not K — so on a warmed shared cache no job, at any worker count, ever
+/// blocks on an in-flight symbolic-cache slot or repeats an analysis.
+#[test]
+fn warmed_lane_batches_never_wait_on_the_shared_cache() {
+    let mut plan = BatchPlan::new();
+    let grid_options = TransientOptions {
+        t_stop: 5e-10,
+        h_init: 1e-12,
+        h_max: 2e-11,
+        error_budget: 1e-3,
+        ..TransientOptions::default()
+    };
+    for (i, ckt) in power_grid_corners(8).into_iter().enumerate() {
+        plan.push(
+            BatchJob::new(
+                format!("vdd{i}"),
+                ckt,
+                Method::BackwardEuler,
+                grid_options.clone(),
+            )
+            .probe("g_1_1"),
+        );
+    }
+    for (i, ckt) in rc_ladder_corners(8).into_iter().enumerate() {
+        plan.push(
+            BatchJob::new(
+                format!("offset{i}"),
+                ckt,
+                Method::BackwardEuler,
+                TransientOptions {
+                    t_stop: 5e-10,
+                    h_init: 1e-12,
+                    h_max: 2e-11,
+                    error_budget: 1e-3,
+                    ..TransientOptions::default()
+                },
+            )
+            .probe("n2"),
+        );
+    }
+
+    // Warm the shared caches once; the lane groups publish each of their
+    // patterns exactly once while doing so.
+    let shared = Arc::new(SymbolicCache::new());
+    let plans = Arc::new(PlanCache::new());
+    let warmup = BatchRunner::new()
+        .worker_threads(2)
+        .lane_policy(LanePolicy::Fixed(8))
+        .shared_cache(Arc::clone(&shared))
+        .shared_plan_cache(Arc::clone(&plans))
+        .run(&plan);
+    assert!(warmup.all_ok());
+    assert_eq!(warmup.stats.lane_batches, 2);
+
+    let mut waves_per_threads = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let result = BatchRunner::new()
+            .worker_threads(threads)
+            .lane_policy(LanePolicy::Fixed(8))
+            .shared_cache(Arc::clone(&shared))
+            .shared_plan_cache(Arc::clone(&plans))
+            .run(&plan);
+        assert!(result.all_ok());
+        assert_eq!(result.stats.lane_batches, 2);
+        // Warmed: nothing re-analyzed, nothing recompiled, nobody waited.
+        assert_eq!(result.stats.symbolic_analyses, 0, "threads={threads}");
+        assert_eq!(result.stats.plan_compilations, 0, "threads={threads}");
+        assert_eq!(
+            result.stats.shared_symbolic_wait_events, 0,
+            "threads={threads}: a lane group must claim each pattern once"
+        );
+        let waves: Vec<Vec<Vec<f64>>> = result
+            .jobs
+            .iter()
+            .map(|j| j.recorded().expect("recorded").samples.clone())
+            .collect();
+        waves_per_threads.push(waves);
+    }
+    // And the output is invariant across worker-thread counts.
+    assert_eq!(waves_per_threads[0], waves_per_threads[1]);
+    assert_eq!(waves_per_threads[0], waves_per_threads[2]);
+}

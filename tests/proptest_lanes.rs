@@ -1,0 +1,209 @@
+//! Property-based tests for the value-lane engine: on randomly generated
+//! RC ladders with per-lane waveform perturbations, a [`LaneRunner`] batch
+//! reproduces isolated scalar [`Simulator`] runs **bit for bit** — at every
+//! lane width, including width 1, and including lanes that leave lockstep
+//! and are re-run on the scalar detach path.
+
+use std::sync::Arc;
+
+use exi_netlist::{Circuit, Waveform};
+use exi_sim::{LaneRunner, Method, PlanCache, Simulator, TransientOptions, TransientResult};
+use exi_sparse::SymbolicCache;
+use proptest::prelude::*;
+
+/// Builds an RC ladder `in -R- n0 -R- … -R- out` with a capacitor to ground
+/// at every internal node, driven by a fast PWL ramp from `base` to
+/// `base + swing`.
+fn rc_ladder(resistors: &[f64], caps: &[f64], base: f64, swing: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vin = ckt.node("in");
+    ckt.add_voltage_source(
+        "V1",
+        vin,
+        gnd,
+        Waveform::Pwl(vec![(0.0, base), (1e-11, base + swing)]),
+    )
+    .unwrap();
+    let mut prev = vin;
+    for (k, (&r, &c)) in resistors.iter().zip(caps.iter()).enumerate() {
+        let name = if k + 1 == resistors.len() {
+            "out".to_string()
+        } else {
+            format!("n{k}")
+        };
+        let node = ckt.node(&name);
+        ckt.add_resistor(&format!("R{k}"), prev, node, r).unwrap();
+        ckt.add_capacitor(&format!("C{k}"), node, gnd, c).unwrap();
+        prev = node;
+    }
+    ckt
+}
+
+fn options(budget: f64) -> TransientOptions {
+    TransientOptions {
+        t_stop: 6e-10,
+        h_init: 1e-12,
+        h_max: 5e-11,
+        error_budget: budget,
+        ..TransientOptions::default()
+    }
+}
+
+const METHODS: [Method; 3] = [
+    Method::BackwardEuler,
+    Method::ExponentialRosenbrock,
+    Method::ExponentialRosenbrockCorrected,
+];
+
+/// A random ladder topology, a per-lane list of drive offsets (offsets move
+/// the whole waveform without changing its shape — the lockstep-friendly
+/// sweep), an error-budget corner, and a method index.
+#[allow(clippy::type_complexity)]
+fn lane_inputs() -> impl Strategy<Value = ((Vec<f64>, Vec<f64>), Vec<f64>, f64, usize)> {
+    (2usize..5).prop_flat_map(|n| {
+        (
+            (
+                proptest::collection::vec(100.0f64..10_000.0, n),
+                proptest::collection::vec(1e-13f64..1e-12, n),
+            ),
+            proptest::collection::vec(-0.5f64..0.5, 1..8),
+            1e-4f64..1e-2,
+            0usize..METHODS.len(),
+        )
+    })
+}
+
+fn scalar_reference(ckt: &Circuit, method: Method, opts: &TransientOptions) -> TransientResult {
+    Simulator::new(ckt)
+        .transient(method, opts, &["out"])
+        .expect("scalar run")
+}
+
+/// Number of DISTINCT matrix patterns the sweep traverses: the total
+/// symbolic analyses K isolated scalar runs perform through ONE shared
+/// fresh cache. The lane batch must match it exactly.
+fn shared_scalar_symbolic_count(
+    circuits: &[Circuit],
+    method: Method,
+    opts: &TransientOptions,
+) -> usize {
+    let shared = Arc::new(SymbolicCache::new());
+    let plans = Arc::new(PlanCache::new());
+    let mut total = 0;
+    for ckt in circuits {
+        let mut sim = Simulator::with_shared_symbolic(ckt, Arc::clone(&shared))
+            .with_plan_cache(Arc::clone(&plans));
+        sim.transient(method, opts, &["out"])
+            .expect("shared-cache scalar run");
+        total += sim.session_stats().symbolic_analyses;
+    }
+    total
+}
+
+/// Panics (the vendored `prop_assert!` is panic-based) unless `got` and
+/// `want` agree bit for bit on times, samples and final state.
+fn assert_bits_equal(got: &TransientResult, want: &TransientResult, tag: &str) {
+    assert_eq!(got.times.len(), want.times.len(), "{tag}: step counts");
+    for (a, b) in got.times.iter().zip(&want.times) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag}: times");
+    }
+    assert_eq!(got.samples.len(), want.samples.len(), "{tag}: rows");
+    for (ra, rb) in got.samples.iter().zip(&want.samples) {
+        for (a, b) in ra.iter().zip(rb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag}: samples");
+        }
+    }
+    for (a, b) in got.final_state.iter().zip(&want.final_state) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag}: final state");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Offset-style per-lane perturbations: every lane of the batch is
+    /// bit-identical to its isolated scalar run, the batch compiles one
+    /// plan and analyzes no more patterns than one scalar run does, and a
+    /// width-1 batch is the scalar run.
+    #[test]
+    fn lanes_match_isolated_scalar_bit_for_bit(
+        ((resistors, caps), offsets, budget, method_ix) in lane_inputs()
+    ) {
+        let method = METHODS[method_ix];
+        let opts = options(budget);
+        let circuits: Vec<Circuit> = offsets
+            .iter()
+            .map(|&off| rc_ladder(&resistors, &caps, off, 1.0))
+            .collect();
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+
+        let batch = LaneRunner::new(&refs)
+            .expect("same-fingerprint corners")
+            .transient(method, &opts, &["out"]);
+        prop_assert_eq!(batch.lanes.len(), circuits.len());
+        prop_assert_eq!(batch.stats.lane_batches, 1);
+        prop_assert_eq!(batch.stats.plan_compilations, 1);
+
+        prop_assert_eq!(
+            batch.stats.symbolic_analyses,
+            shared_scalar_symbolic_count(&circuits, method, &opts),
+            "lane batch re-analyzed a pattern: {:?}", batch.stats
+        );
+
+        let want0 = scalar_reference(&circuits[0], method, &opts);
+        for (lane, ckt) in circuits.iter().enumerate() {
+            let want = if lane == 0 {
+                want0.clone()
+            } else {
+                scalar_reference(ckt, method, &opts)
+            };
+            let got = batch.lanes[lane].as_ref().expect("lane result");
+            assert_bits_equal(got, &want, &format!("lane {lane}"));
+        }
+
+        // A width-1 batch IS the scalar run — no consensus partner, no
+        // detach possible.
+        let solo = LaneRunner::new(&refs[..1])
+            .expect("single lane")
+            .transient(method, &opts, &["out"]);
+        prop_assert_eq!(solo.stats.lane_detaches, 0);
+        assert_bits_equal(solo.lanes[0].as_ref().expect("solo lane"), &want0, "solo");
+    }
+
+    /// Forced divergence: an amplitude outlier 100× the leader's swing has
+    /// ~100× the leader's truncation error, so once the leader's step-size
+    /// controller parks near its own budget the outlier must disagree with
+    /// a consensus verdict and detach. The detached lane is re-run on the
+    /// scalar path — so it is STILL bit-identical to its isolated run, and
+    /// so is every lane that stayed in lockstep.
+    #[test]
+    fn detached_lanes_stay_bit_identical_and_are_counted(
+        ((resistors, caps), _, budget, _) in lane_inputs(),
+        outlier_scale in 100.0f64..400.0,
+    ) {
+        // Lockstep lanes use unit swing; the last lane is the outlier.
+        let swings = [1.0, 1.0, outlier_scale];
+        let method = Method::BackwardEuler;
+        let opts = options(budget);
+        let circuits: Vec<Circuit> = swings
+            .iter()
+            .map(|&s| rc_ladder(&resistors, &caps, 0.0, s))
+            .collect();
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+
+        let batch = LaneRunner::new(&refs)
+            .expect("same-fingerprint corners")
+            .transient(method, &opts, &["out"]);
+        prop_assert!(
+            batch.stats.lane_detaches >= 1,
+            "a 100×-amplitude outlier must leave lockstep: {:?}", batch.stats
+        );
+
+        for (lane, ckt) in circuits.iter().enumerate() {
+            let want = scalar_reference(ckt, method, &opts);
+            let got = batch.lanes[lane].as_ref().expect("lane result");
+            assert_bits_equal(got, &want, &format!("lane {lane}"));
+        }
+    }
+}
